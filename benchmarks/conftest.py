@@ -1,0 +1,55 @@
+"""Shared benchmark fixtures: paper-scale collections, built once.
+
+Every module here regenerates one table or figure of the paper (see
+DESIGN.md's experiment index); fixtures are session-scoped because the
+paper-scale collections are expensive to build.  ``FULL_SCALE`` can be
+lowered via the ``SEDA_BENCH_SCALE`` environment variable for quick
+smoke runs.
+"""
+
+import os
+
+import pytest
+
+from repro.datasets.factbook import FactbookGenerator
+from repro.datasets.googlebase import GoogleBaseGenerator
+from repro.datasets.mondial import MondialGenerator
+from repro.datasets.recipeml import RecipeMLGenerator
+from repro.system import Seda
+
+FULL_SCALE = float(os.environ.get("SEDA_BENCH_SCALE", "1.0"))
+# The interactive-pipeline benchmarks use a smaller slice so that each
+# benchmark iteration stays sub-second; Table 1 uses FULL_SCALE.
+PIPELINE_SCALE = min(FULL_SCALE, 0.05)
+
+
+@pytest.fixture(scope="session")
+def factbook_full():
+    return FactbookGenerator(scale=FULL_SCALE).build_collection()
+
+
+@pytest.fixture(scope="session")
+def mondial_full():
+    return MondialGenerator(scale=FULL_SCALE).build_collection()
+
+
+@pytest.fixture(scope="session")
+def googlebase_full():
+    return GoogleBaseGenerator(scale=FULL_SCALE).build_collection()
+
+
+@pytest.fixture(scope="session")
+def recipeml_full():
+    return RecipeMLGenerator(scale=FULL_SCALE).build_collection()
+
+
+@pytest.fixture(scope="session")
+def factbook_seda():
+    """A fully wired SEDA instance on the pipeline-scale Factbook."""
+    generator = FactbookGenerator(scale=PIPELINE_SCALE)
+    seda = Seda(
+        generator.build_collection(),
+        value_links=FactbookGenerator.value_link_specs(),
+    )
+    FactbookGenerator.register_standard_definitions(seda.registry)
+    return seda

@@ -1,0 +1,58 @@
+"""DG -- Section 6.1 operational detail: dataguide load-once-from-disk.
+
+"At query time, SEDA optimizes the use of the dataguide index by
+loading it into memory only once from disk."  Measures the save and
+load cost of the paper-scale Factbook dataguide set, versus rebuilding
+it from the collection -- the saving that motivates the design.
+"""
+
+import pytest
+
+from repro.summaries.dataguide import DataguideBuilder, DataguideSet
+
+
+@pytest.fixture(scope="module")
+def factbook_guides(factbook_full):
+    builder = DataguideBuilder(0.4)
+    for document in factbook_full.documents:
+        builder.add_paths(document.paths(), document.doc_id)
+    return builder.build()
+
+
+def test_save(benchmark, factbook_guides, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("guides")
+
+    counter = {"n": 0}
+
+    def save():
+        counter["n"] += 1
+        path = directory / f"guides-{counter['n']}.json"
+        factbook_guides.save(path)
+        return path
+
+    path = benchmark.pedantic(save, rounds=3, iterations=1)
+    size_kb = path.stat().st_size / 1024
+    print(f"\nsaved {len(factbook_guides)} guides, {size_kb:.0f} KiB")
+
+
+def test_load_from_disk(benchmark, factbook_guides, tmp_path_factory):
+    path = tmp_path_factory.mktemp("guides") / "guides.json"
+    factbook_guides.save(path)
+    loaded = benchmark.pedantic(
+        DataguideSet.load, args=(path,), rounds=3, iterations=1
+    )
+    print(f"\nloaded {len(loaded)} guides")
+    assert len(loaded) == len(factbook_guides)
+
+
+def test_rebuild_from_collection(benchmark, factbook_full):
+    """The alternative SEDA avoids: recomputing the merge per query."""
+
+    def rebuild():
+        builder = DataguideBuilder(0.4)
+        for document in factbook_full.documents:
+            builder.add_paths(document.paths(), document.doc_id)
+        return builder.build()
+
+    guide_set = benchmark.pedantic(rebuild, rounds=1, iterations=1)
+    print(f"\nrebuilt {len(guide_set)} guides")

@@ -1,0 +1,87 @@
+"""E1 -- Example 1 and the Section 1/5 dataset measurements.
+
+The paper's in-text numbers for the full World Factbook collection:
+
+* the query term ``(*, "United States")`` matches 27 distinct paths;
+* 1984 distinct root-to-leaf paths overall;
+* ``/country`` occurs in 1577 of 1600 documents;
+* the refugee country-of-origin path occurs in only 186 documents,
+  one of a long tail of infrequent paths.
+"""
+
+import pytest
+
+from repro.index.builder import IndexBuilder
+from repro.query.matcher import TermMatcher
+from repro.query.term import Query
+from repro.storage.catalog import CollectionCatalog
+from repro.storage.node_store import NodeStore
+
+PAPER = {
+    "us_paths": 27,
+    "distinct_paths": 1984,
+    "country_docs": 1577,
+    "documents": 1600,
+    "refugee_docs": 186,
+}
+
+REFUGEE_PATH = "/country/transnational_issues/refugees/country_of_origin"
+
+
+@pytest.fixture(scope="module")
+def matcher(factbook_full):
+    inverted, paths = IndexBuilder(factbook_full).build()
+    return TermMatcher(
+        factbook_full, inverted, paths, NodeStore(factbook_full)
+    )
+
+
+def test_us_context_bucket(benchmark, matcher, factbook_full):
+    query = Query.parse([("*", '"United States"')])
+    paths = benchmark(matcher.term_paths, query.terms[0])
+    print(
+        f"\n'United States' contexts: {len(paths)} "
+        f"(paper: {PAPER['us_paths']})"
+    )
+    assert len(paths) == PAPER["us_paths"]
+
+
+def test_collection_statistics(benchmark, factbook_full):
+    catalog = CollectionCatalog(factbook_full)
+    summary = benchmark(catalog.summary)
+    print(
+        f"\ndocuments={summary['documents']} (paper {PAPER['documents']}), "
+        f"distinct paths={summary['distinct_paths']} "
+        f"(paper {PAPER['distinct_paths']})"
+    )
+    assert summary["documents"] == PAPER["documents"]
+    assert abs(summary["distinct_paths"] - PAPER["distinct_paths"]) <= 60
+
+
+def test_country_document_frequency(benchmark, factbook_full):
+    frequency = benchmark(
+        factbook_full.path_document_frequency, "/country"
+    )
+    print(f"\n/country docfreq: {frequency} (paper {PAPER['country_docs']})")
+    assert frequency == PAPER["country_docs"]
+
+
+def test_refugee_long_tail_path(benchmark, factbook_full):
+    frequency = benchmark(
+        factbook_full.path_document_frequency, REFUGEE_PATH
+    )
+    print(f"\nrefugee path docfreq: {frequency} (paper {PAPER['refugee_docs']})")
+    assert frequency == PAPER["refugee_docs"]
+
+
+def test_long_tail_profile(benchmark, factbook_full):
+    """The long tail that 'makes shredding all the attributes into a
+    data warehouse very difficult': most paths live in few documents."""
+    catalog = CollectionCatalog(factbook_full)
+    tail = benchmark(catalog.long_tail, 400)
+    share = len(tail) / factbook_full.path_count()
+    print(
+        f"\npaths in <400 of {len(factbook_full)} docs: {len(tail)} "
+        f"({share:.0%} of all paths)"
+    )
+    assert share > 0.5

@@ -1,0 +1,109 @@
+"""The paper's running example, end to end: Query 1 on World Factbook.
+
+Reproduces the Section 1 / Figure 3 walk-through:
+
+1. search ``(*, "United States") AND (trade_country, *) AND
+   (percentage, *)``;
+2. inspect the context summary (the 27 "United States" contexts);
+3. refine to the import-partner contexts;
+4. pick the sibling connection between trade_country and percentage;
+5. materialize the complete result R(q);
+6. build the star schema -- SEDA matches the country/import-country
+   dimensions and the import-trade-percentage fact, then adds the year
+   key column automatically;
+7. aggregate with the OLAP engine.
+
+Run with::
+
+    python examples/factbook_trade_analysis.py [scale]
+"""
+
+import sys
+
+from repro.datasets.factbook import FactbookGenerator
+from repro.summaries.connection import TreeConnection
+from repro.system import Seda
+
+TC_PATH = "/country/economy/import_partners/item/trade_country"
+PCT_PATH = "/country/economy/import_partners/item/percentage"
+ITEM_PATH = "/country/economy/import_partners/item"
+
+
+def main(scale=0.05):
+    print(f"Generating World Factbook at scale {scale}...")
+    generator = FactbookGenerator(scale=scale)
+    seda = Seda(
+        generator.build_collection(),
+        value_links=FactbookGenerator.value_link_specs(),
+    )
+    FactbookGenerator.register_standard_definitions(seda.registry)
+    print(f"  {len(seda.collection)} documents, "
+          f"{seda.collection.node_count} nodes, "
+          f"{seda.collection.path_count()} distinct paths")
+
+    # Step 1: Query 1.
+    session = seda.search(
+        [("*", '"United States"'), ("trade_country", "*"),
+         ("percentage", "*")],
+        k=10,
+    )
+    print(f"\nTop-{len(session.results)} results (of many combinations):")
+    for result in session.results[:5]:
+        print(" ", result.describe(seda.collection))
+
+    # Step 2: the context summary.
+    summary = session.context_summary
+    print(f"\n'United States' matches {len(summary.bucket(0))} contexts; "
+          f"{summary.combination_count()} term-context combinations.")
+    for entry in summary.bucket(0).entries[:5]:
+        print(f"    {entry.path} (x{entry.occurrences})")
+
+    # Step 3: refine to the import-partner interpretation.
+    refined = session.refine_contexts({
+        0: ["/country"], 1: [TC_PATH], 2: [PCT_PATH],
+    })
+    print(f"\nAfter context refinement: {len(refined.results)} top results.")
+
+    # Step 4: the connection summary offers the item-level (sibling)
+    # and import_partners-level (cousin) connections; pick siblings,
+    # and anchor the country to its own document.
+    print("Connections observed in the top-k:")
+    for (i, j), connection, support in (
+        refined.connection_summary.all_connections()
+    ):
+        print(f"  {i}-{j} [{support}]: {connection.describe()}")
+    chosen = refined.refine_connections([
+        ((0, 1), TreeConnection("/country", TC_PATH, "/country")),
+        ((1, 2), TreeConnection(TC_PATH, PCT_PATH, ITEM_PATH)),
+    ])
+
+    # Step 5: the complete result set.
+    table = chosen.complete_results()
+    print(f"\nComplete result R(q): {len(table)} tuples")
+    for row in table.display_rows()[:4]:
+        print("  ", row)
+
+    # Step 6: the star schema (Figure 3c).
+    schema = chosen.build_cube(table)
+    fact = schema.fact("import-trade-percentage")
+    print(f"\nFact table {fact.name} {fact.columns}:")
+    for row in fact.rows:
+        print("  ", row)
+    for name, dimension in sorted(schema.dimension_tables.items()):
+        print(f"Dimension {name}: {list(dimension)}")
+
+    # Step 7: OLAP.
+    engine = chosen.olap(schema)
+    cube = engine.cube("import-trade-percentage")
+    print("\nAverage import share by partner:")
+    for row in engine.report(
+        "import-trade-percentage", ["import-country"], agg="avg"
+    ):
+        print(f"  {row[0]}: {row[1]:.2f}%")
+    print("\nPivot year x partner:")
+    print(engine.render_pivot(cube.pivot("year", "import-country"),
+                              row_label="year"))
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.05)

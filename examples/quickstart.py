@@ -1,0 +1,77 @@
+"""Quickstart: index a few XML documents, search, and inspect summaries.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Seda
+
+DOCUMENTS = [
+    ("usa-2006", """
+        <country>United States
+          <year>2006</year>
+          <economy>
+            <GDP_ppp>12.31T</GDP_ppp>
+            <import_partners>
+              <item><trade_country>China</trade_country>
+                    <percentage>15%</percentage></item>
+              <item><trade_country>Canada</trade_country>
+                    <percentage>16.9%</percentage></item>
+            </import_partners>
+          </economy>
+        </country>
+    """),
+    ("mexico-2003", """
+        <country>Mexico
+          <year>2003</year>
+          <economy>
+            <GDP>924.4B</GDP>
+            <import_partners>
+              <item><trade_country>United States</trade_country>
+                    <percentage>70.6%</percentage></item>
+              <item><trade_country>Germany</trade_country>
+                    <percentage>3.5%</percentage></item>
+            </import_partners>
+          </economy>
+        </country>
+    """),
+]
+
+
+def main():
+    # 1. Build a SEDA instance over the documents (parses, indexes,
+    #    builds the data graph and dataguides).
+    seda = Seda.from_documents(DOCUMENTS, name="quickstart")
+
+    # 2. A SEDA query is a set of (context, search) terms.  Context "*"
+    #    means anywhere; a tag name restricts by node name.
+    session = seda.search(
+        [("*", '"United States"'), ("percentage", "*")], k=5
+    )
+
+    print("Top-k results:")
+    for result in session.results:
+        print(" ", result.describe(seda.collection))
+
+    # 3. The context summary shows every path each term matches, with
+    #    collection-wide frequencies -- the exploration panel.
+    print("\nContext summary:")
+    for index, bucket in enumerate(session.context_summary):
+        print(f"  term {index}:")
+        for entry in bucket:
+            print(
+                f"    {entry.path}  "
+                f"(x{entry.occurrences}, {entry.document_frequency} docs)"
+            )
+
+    # 4. The connection summary shows how the matched nodes relate.
+    print("\nConnection summary:")
+    for (i, j), connection, support in (
+        session.connection_summary.all_connections()
+    ):
+        print(f"  terms {i}-{j} [{support} tuples]: {connection.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Schema evolution: one logical fact spread over two physical paths.
+
+The World Factbook renamed the GDP element over the years: documents
+before 2005 carry ``/country/economy/GDP``, later ones
+``/country/economy/GDP_ppp``.  SEDA's facts are *context lists*, so the
+GDP fact covers both paths and a single cube spans the evolution --
+the Section 7 motivation for making ContextList a relation.
+
+Run with::
+
+    python examples/schema_evolution_gdp.py [scale]
+"""
+
+import sys
+
+from repro.cube.extract import parse_measure
+from repro.datasets.factbook import FactbookGenerator
+from repro.system import Seda
+
+
+def main(scale=0.02):
+    generator = FactbookGenerator(scale=scale)
+    seda = Seda(generator.build_collection())
+    FactbookGenerator.register_standard_definitions(seda.registry)
+
+    gdp = seda.registry.fact("GDP")
+    print("The GDP fact's context list (one logical fact, two paths):")
+    for context, key in gdp.context_list:
+        print(f"  {context}  key={list(key)}")
+
+    # Search with a context disjunction covering both tag generations.
+    session = seda.search([("GDP|GDP_ppp", "*")], k=10)
+    print(f"\nTop GDP values found ({len(session.results)}):")
+    for result in session.results[:5]:
+        print(" ", result.describe(seda.collection))
+
+    # Build one cube per physical context, then merge: the fact tables
+    # share the (country, year) key, so the star schema merges them.
+    print("\nPer-context complete results:")
+    tables = {}
+    for context in sorted(gdp.contexts):
+        table = session.complete_results(term_paths={0: context})
+        tables[context] = table
+        print(f"  {context}: {len(table)} rows")
+
+    for context, table in tables.items():
+        schema = session.build_cube(table)
+        fact = schema.fact("GDP")
+        years = sorted({row[1] for row in fact.rows})
+        print(f"\nGDP fact rows from {context}: {len(fact)} "
+              f"(years {years[0]}..{years[-1]})")
+        us_rows = [row for row in fact.rows if row[0] == "United States"]
+        for row in us_rows:
+            print(f"  {row[0]} {row[1]}: {row[2]:.3e}")
+
+    # The measure parser normalizes the Factbook's value shapes.
+    print("\nMeasure parsing examples:")
+    for raw in ("10.082T", "924.4B", "16.9%", "1,234.5"):
+        print(f"  {raw!r} -> {parse_measure(raw)}")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.02)

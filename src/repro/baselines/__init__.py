@@ -1,0 +1,36 @@
+"""XML keyword-search heuristics: the baselines SEDA argues about.
+
+Section 2 positions SEDA against flexible-querying heuristics --
+XSEarch, Schema-Free XQuery (MLCA), SLCA, XRank's ELCA -- and cites
+[22] for evidence that each "works in some scenarios but fails in
+others", motivating SEDA's user-in-the-loop disambiguation.  This
+package implements the three classic tree heuristics plus SEDA's
+compactness ranking so the comparison is reproducible.
+
+All three heuristics operate per document tree on keyword match sets
+(nodes whose text contains the keyword), returning answer nodes:
+
+* :func:`slca` -- smallest lowest common ancestors [26];
+* :func:`elca` -- exclusive LCAs as in XRank [10];
+* :func:`mlca` -- meaningful LCAs as in Schema-Free XQuery [12];
+* :func:`xsearch` -- XSEarch interconnection semantics [6].
+"""
+
+from repro.baselines.compactness import CompactnessRanker
+from repro.baselines.elca import elca
+from repro.baselines.lca import KeywordMatcher, lca_dewey
+from repro.baselines.mlca import mlca, mlca_pairs
+from repro.baselines.slca import slca
+from repro.baselines.xsearch import interconnected, xsearch
+
+__all__ = [
+    "CompactnessRanker",
+    "KeywordMatcher",
+    "elca",
+    "interconnected",
+    "lca_dewey",
+    "mlca",
+    "mlca_pairs",
+    "slca",
+    "xsearch",
+]

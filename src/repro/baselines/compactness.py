@@ -1,0 +1,42 @@
+"""SEDA's compactness ranking packaged as a baseline-comparable API.
+
+The tree heuristics return answer nodes; SEDA returns ranked node
+tuples.  For the heuristics comparison we expose compactness ranking
+over the same keyword match sets, so scenario tests can ask "which
+pairs does each approach keep?" on an equal footing.
+"""
+
+from repro.baselines.lca import KeywordMatcher, lca_dewey
+
+
+class CompactnessRanker:
+    """Ranks same-document keyword match tuples by tree compactness."""
+
+    def __init__(self, collection, inverted):
+        self.collection = collection
+        self.inverted = inverted
+        self.matcher = KeywordMatcher(collection, inverted)
+
+    def rank_pairs(self, keyword_a, keyword_b, limit=None):
+        """Pairs (node_a, node_b, distance) sorted by tree distance.
+
+        Unlike the LCA heuristics, *every* pair is retained with a
+        score -- SEDA never silently drops a combination; the user
+        disambiguates via summaries instead.
+        """
+        ranked = []
+        match_sets = self.matcher.match_sets([keyword_a, keyword_b])
+        for _doc_id, (matches_a, matches_b) in match_sets.items():
+            for node_a in matches_a:
+                for node_b in matches_b:
+                    lca_depth = lca_dewey([node_a.dewey, node_b.dewey]).depth
+                    distance = (
+                        node_a.dewey.depth - lca_depth
+                    ) + (node_b.dewey.depth - lca_depth)
+                    ranked.append((node_a, node_b, distance))
+        ranked.sort(
+            key=lambda item: (item[2], item[0].dewey, item[1].dewey)
+        )
+        if limit is not None:
+            ranked = ranked[:limit]
+        return ranked

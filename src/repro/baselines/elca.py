@@ -1,0 +1,84 @@
+"""Exclusive LCA (ELCA) keyword search, as in XRank [10].
+
+A node v is an ELCA when, for every keyword, v's subtree contains a
+match that is *not* located in the subtree of any descendant of v that
+itself contains all keywords.  Intuitively: v has its own witnesses
+after its self-sufficient children have claimed theirs.
+"""
+
+import collections
+
+from repro.baselines.lca import KeywordMatcher
+
+
+def elca(collection, inverted, keywords):
+    """ELCA answers for ``keywords``: list of (doc_id, DeweyID), sorted."""
+    matcher = KeywordMatcher(collection, inverted)
+    answers = []
+    for doc_id, match_lists in matcher.match_sets(keywords).items():
+        answers.extend(
+            (doc_id, dewey)
+            for dewey in _elca_one_document(match_lists, len(keywords))
+        )
+    answers.sort()
+    return answers
+
+
+def _elca_one_document(match_lists, keyword_count):
+    """ELCAs inside one document tree."""
+    # Count matches per keyword in every subtree by walking match
+    # ancestors (documents are shallow; matches are few).
+    subtree_counts = collections.defaultdict(
+        lambda: [0] * keyword_count
+    )
+    direct_matches = collections.defaultdict(
+        lambda: [0] * keyword_count
+    )
+    for keyword_index, nodes in enumerate(match_lists):
+        for node in nodes:
+            direct_matches[node.dewey][keyword_index] += 1
+            components = node.dewey.components
+            for depth in range(1, len(components) + 1):
+                prefix = components[:depth]
+                subtree_counts[prefix][keyword_index] += 1
+
+    # Complete ancestors: subtrees containing every keyword.
+    complete = {
+        prefix
+        for prefix, counts in subtree_counts.items()
+        if all(count > 0 for count in counts)
+    }
+
+    elcas = []
+    for prefix in complete:
+        # Witness check: for each keyword, some match under `prefix`
+        # must not fall under a complete *proper descendant*.
+        children_complete = [
+            other
+            for other in complete
+            if len(other) > len(prefix) and other[: len(prefix)] == prefix
+        ]
+        is_elca = True
+        for keyword_index in range(keyword_count):
+            total = subtree_counts[prefix][keyword_index]
+            claimed = 0
+            # Only maximal complete descendants claim matches (nested
+            # complete subtrees would double count).
+            maximal = [
+                other
+                for other in children_complete
+                if not any(
+                    other[: len(third)] == third and len(third) < len(other)
+                    for third in children_complete
+                )
+            ]
+            for other in maximal:
+                claimed += subtree_counts[other][keyword_index]
+            if total - claimed <= 0:
+                is_elca = False
+                break
+        if is_elca:
+            from repro.model.dewey import DeweyID
+
+            elcas.append(DeweyID(prefix))
+    return sorted(elcas)

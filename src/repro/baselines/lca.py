@@ -1,0 +1,67 @@
+"""Shared utilities for the LCA-family heuristics."""
+
+import collections
+
+from repro.model.dewey import DeweyID
+
+
+def lca_dewey(deweys):
+    """The lowest common ancestor Dewey ID of same-document nodes."""
+    iterator = iter(deweys)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise ValueError("lca_dewey needs at least one Dewey ID") from None
+    common = list(first.components)
+    for dewey in iterator:
+        components = dewey.components
+        limit = min(len(common), len(components))
+        i = 0
+        while i < limit and common[i] == components[i]:
+            i += 1
+        del common[i:]
+        if not common:
+            raise ValueError("nodes do not share a document root")
+    return DeweyID(common)
+
+
+class KeywordMatcher:
+    """Per-document keyword match sets for the tree heuristics.
+
+    A node matches a keyword when the keyword occurs in the node's
+    direct text (the same convention the SEDA indexes use), looked up
+    through the inverted index and grouped by document.
+    """
+
+    def __init__(self, collection, inverted):
+        self.collection = collection
+        self.inverted = inverted
+
+    def match_sets(self, keywords):
+        """``{doc_id: [sorted-dewey node lists per keyword]}``.
+
+        Documents missing any keyword are excluded -- no tree answer
+        can exist there.
+        """
+        analyzer = self.inverted.analyzer
+        per_keyword = []
+        for keyword in keywords:
+            term = analyzer.terms(keyword)
+            if len(term) != 1:
+                raise ValueError(
+                    f"keyword {keyword!r} must analyze to one term"
+                )
+            by_doc = collections.defaultdict(list)
+            for node_id in self.inverted.nodes_with_term(term[0]):
+                node = self.collection.node(node_id)
+                by_doc[node.doc_id].append(node)
+            per_keyword.append(by_doc)
+        if not per_keyword:
+            return {}
+        shared_docs = set(per_keyword[0])
+        for by_doc in per_keyword[1:]:
+            shared_docs &= set(by_doc)
+        return {
+            doc_id: [by_doc[doc_id] for by_doc in per_keyword]
+            for doc_id in sorted(shared_docs)
+        }

@@ -1,0 +1,77 @@
+"""Meaningful LCA (MLCA) as in Schema-Free XQuery (Li, Yu, Jagadish [12]).
+
+Two nodes a (of type A) and b (of type B) are *meaningfully related*
+when no other node b' of type B exists with lca(a, b') a proper
+descendant of lca(a, b) -- i.e. b is among the structurally closest
+B-nodes to a (and symmetrically).  A match tuple is meaningful when
+every pair of its nodes is meaningfully related; node "type" is the
+node's tag name, as in Schema-Free XQuery.
+"""
+
+import itertools
+
+from repro.baselines.lca import KeywordMatcher, lca_dewey
+
+
+def _meaningful(node_a, node_b, peers_of_b):
+    """Is (a, b) meaningful given all candidate b-typed peers?
+
+    Neither endpoint competes against itself: when a and b share a tag
+    type, a is not its own closer b-alternative.
+    """
+    base_depth = lca_dewey([node_a.dewey, node_b.dewey]).depth
+    for other in peers_of_b:
+        if other.dewey == node_b.dewey or other.dewey == node_a.dewey:
+            continue
+        if lca_dewey([node_a.dewey, other.dewey]).depth > base_depth:
+            return False
+    return True
+
+
+def mlca_pairs(match_a, match_b):
+    """Meaningful pairs between two same-document match lists."""
+    pairs = []
+    by_tag_b = {}
+    for node in match_b:
+        by_tag_b.setdefault(node.tag, []).append(node)
+    by_tag_a = {}
+    for node in match_a:
+        by_tag_a.setdefault(node.tag, []).append(node)
+    for node_a, node_b in itertools.product(match_a, match_b):
+        if _meaningful(node_a, node_b, by_tag_b[node_b.tag]) and _meaningful(
+            node_b, node_a, by_tag_a[node_a.tag]
+        ):
+            pairs.append((node_a, node_b))
+    return pairs
+
+
+def mlca(collection, inverted, keywords):
+    """MLCA answers: (doc_id, lca DeweyID, node tuple) per meaningful
+    match tuple, sorted; tuples need all pairwise relations meaningful.
+
+    Competitor nodes b' range over *all* document nodes of b's type
+    (per the Schema-Free XQuery definition), not just keyword matches:
+    alpha's lead is chen even when the query keyword only hits smith.
+    """
+    matcher = KeywordMatcher(collection, inverted)
+    answers = []
+    for doc_id, match_lists in matcher.match_sets(keywords).items():
+        peers_by_tag = {}
+        for node in collection.document(doc_id).nodes:
+            peers_by_tag.setdefault(node.tag, []).append(node)
+        for combo in itertools.product(*match_lists):
+            meaningful = True
+            for i, j in itertools.combinations(range(len(combo)), 2):
+                if not (
+                    _meaningful(combo[i], combo[j],
+                                peers_by_tag[combo[j].tag])
+                    and _meaningful(combo[j], combo[i],
+                                    peers_by_tag[combo[i].tag])
+                ):
+                    meaningful = False
+                    break
+            if meaningful:
+                lca = lca_dewey([node.dewey for node in combo])
+                answers.append((doc_id, lca, tuple(combo)))
+    answers.sort(key=lambda answer: (answer[0], answer[1]))
+    return answers

@@ -1,0 +1,60 @@
+"""Smallest LCA keyword search (Xu & Papakonstantinou [26]).
+
+An SLCA answer is a node v such that (1) v's subtree contains at least
+one match of every keyword and (2) no proper descendant of v also
+does.  The implementation follows the indexed-lookup idea: for every
+node in the smallest match set, find its closest neighbors in the
+other sets (binary search over Dewey order), take the LCA, then prune
+candidates that are ancestors of other candidates.
+"""
+
+import bisect
+
+from repro.baselines.lca import KeywordMatcher, lca_dewey
+
+
+def _closest_lca(anchor, others):
+    """Best (deepest) LCA of ``anchor`` with one node from each list.
+
+    For each other match list, the node maximizing the LCA depth with
+    ``anchor`` is one of the two neighbors of ``anchor`` in Dewey
+    order, so a binary search suffices.
+    """
+    deweys = [anchor.dewey]
+    for nodes in others:
+        keys = [node.dewey for node in nodes]
+        position = bisect.bisect_left(keys, anchor.dewey)
+        best = None
+        best_depth = -1
+        for candidate in (position - 1, position):
+            if 0 <= candidate < len(keys):
+                depth = lca_dewey([anchor.dewey, keys[candidate]]).depth
+                if depth > best_depth:
+                    best_depth = depth
+                    best = keys[candidate]
+        deweys.append(best)
+    return lca_dewey(deweys)
+
+
+def slca(collection, inverted, keywords):
+    """SLCA answers for ``keywords``: list of (doc_id, DeweyID), sorted.
+
+    Runs independently per document (tree semantics).
+    """
+    matcher = KeywordMatcher(collection, inverted)
+    answers = []
+    for doc_id, match_lists in matcher.match_sets(keywords).items():
+        match_lists = sorted(match_lists, key=len)
+        smallest, others = match_lists[0], match_lists[1:]
+        candidates = set()
+        for anchor in smallest:
+            candidates.add(_closest_lca(anchor, others))
+        # Keep only the smallest: drop any candidate with a proper
+        # descendant candidate.
+        for candidate in candidates:
+            if not any(
+                candidate.is_ancestor_of(other) for other in candidates
+            ):
+                answers.append((doc_id, candidate))
+    answers.sort()
+    return answers

@@ -1,0 +1,80 @@
+"""XSEarch interconnection semantics (Cohen et al. [6], cited in §2).
+
+XSEarch deems two nodes *interconnected* when the tree path between
+them (through their LCA) contains no two distinct nodes with the same
+tag -- the intuition being that repeated tags signal crossing between
+distinct real-world entities (e.g. from one ``item`` into another).  A
+match tuple is an answer when all its nodes are pairwise
+interconnected.
+
+This heuristic is the fourth of the paper's flexible-querying
+baselines; like the LCA family it silently drops some real
+relationships (crossing two ``item`` entities is exactly the paper's
+"cousin" percentage connection), which is the behaviour the
+comparison benchmarks surface.
+"""
+
+import itertools
+
+from repro.baselines.lca import KeywordMatcher, lca_dewey
+
+
+def _chain_tags(collection, node, lca_depth):
+    """Tags on the path from ``node`` (exclusive) up to the LCA
+    (exclusive): the interior of node's side of the connecting path."""
+    tags = []
+    doc = collection.document(node.doc_id)
+    dewey = node.dewey
+    while dewey.depth > lca_depth + 1:
+        dewey = dewey.parent()
+        tags.append(doc.node_at(dewey).tag)
+    return tags
+
+
+def interconnected(collection, node_a, node_b):
+    """The XSEarch relationship test for two same-document nodes.
+
+    The connecting path is node_a .. LCA .. node_b; the test fails when
+    any tag appears on two *distinct* nodes of that path (the two
+    endpoints and the LCA included).
+    """
+    if node_a.doc_id != node_b.doc_id:
+        return False
+    lca = lca_dewey([node_a.dewey, node_b.dewey])
+    doc = collection.document(node_a.doc_id)
+    lca_node = doc.node_at(lca)
+
+    tags = []
+    distinct = set()
+    for node in (node_a, node_b, lca_node):
+        if node.dewey not in distinct:
+            distinct.add(node.dewey)
+            tags.append(node.tag)
+    interior = []
+    if node_a.dewey != lca:
+        interior.extend(_chain_tags(collection, node_a, lca.depth))
+    if node_b.dewey != lca:
+        interior.extend(_chain_tags(collection, node_b, lca.depth))
+    tags.extend(interior)
+    return len(tags) == len(set(tags))
+
+
+def xsearch(collection, inverted, keywords):
+    """XSEarch answers: interconnected match tuples.
+
+    Returns ``(doc_id, lca DeweyID, node tuple)`` entries, sorted, for
+    every tuple (one node per keyword) whose pairs are all
+    interconnected.
+    """
+    matcher = KeywordMatcher(collection, inverted)
+    answers = []
+    for doc_id, match_lists in matcher.match_sets(keywords).items():
+        for combo in itertools.product(*match_lists):
+            if all(
+                interconnected(collection, combo[i], combo[j])
+                for i, j in itertools.combinations(range(len(combo)), 2)
+            ):
+                lca = lca_dewey([node.dewey for node in combo])
+                answers.append((doc_id, lca, tuple(combo)))
+    answers.sort(key=lambda answer: (answer[0], answer[1]))
+    return answers

@@ -1,0 +1,217 @@
+"""Command-line interface: explore collections without writing code.
+
+Subcommands::
+
+    python -m repro stats   --dataset factbook --scale 0.02
+    python -m repro search  --dataset factbook --scale 0.02 \
+        --term '*:"United States"' --term 'trade_country:*' -k 10
+    python -m repro table1  --threshold 0.4 --scale 1.0
+    python -m repro query1  --scale 0.05
+
+``--data DIR`` loads ``*.xml`` files from a directory instead of a
+generated dataset, so the CLI works on user collections too.  Terms
+are written ``context:search`` (first colon splits); ``*`` on either
+side means "any".
+"""
+
+import argparse
+import pathlib
+import sys
+
+from repro import ui
+from repro.storage.catalog import CollectionCatalog
+from repro.summaries.dataguide import DataguideBuilder
+from repro.system import Seda
+
+_DATASETS = ("factbook", "mondial", "googlebase", "recipeml")
+
+
+def _build_generator(name, scale):
+    from repro.datasets import (
+        FactbookGenerator,
+        GoogleBaseGenerator,
+        MondialGenerator,
+        RecipeMLGenerator,
+    )
+
+    generators = {
+        "factbook": FactbookGenerator,
+        "mondial": MondialGenerator,
+        "googlebase": GoogleBaseGenerator,
+        "recipeml": RecipeMLGenerator,
+    }
+    return generators[name](scale=scale)
+
+
+def _load_collection(args):
+    """The collection selected by --data or --dataset."""
+    if args.data:
+        from repro.model.collection import DocumentCollection
+
+        directory = pathlib.Path(args.data)
+        files = sorted(directory.glob("*.xml"))
+        if not files:
+            raise SystemExit(f"no *.xml files found in {directory}")
+        collection = DocumentCollection(name=directory.name)
+        for path in files:
+            with open(path, "r", encoding="utf-8") as handle:
+                collection.add_document(handle.read(), name=path.stem)
+        return collection
+    return _build_generator(args.dataset, args.scale).build_collection()
+
+
+def _build_seda(args):
+    collection = _load_collection(args)
+    value_links = ()
+    if not args.data and args.dataset == "factbook":
+        from repro.datasets.factbook import FactbookGenerator
+
+        value_links = FactbookGenerator.value_link_specs()
+    seda = Seda(collection, value_links=value_links)
+    if not args.data and args.dataset == "factbook":
+        from repro.datasets.factbook import FactbookGenerator
+
+        FactbookGenerator.register_standard_definitions(seda.registry)
+    return seda
+
+
+def _parse_term(text):
+    """``context:search`` -> a (context, search) pair."""
+    if ":" in text:
+        context, search = text.split(":", 1)
+    else:
+        context, search = "*", text
+    return context.strip() or "*", search.strip() or "*"
+
+
+# -- subcommands -----------------------------------------------------------
+
+def cmd_stats(args, out):
+    collection = _load_collection(args)
+    catalog = CollectionCatalog(collection)
+    summary = catalog.summary()
+    print(f"collection: {collection.name}", file=out)
+    for key, value in summary.items():
+        print(f"  {key}: {value}", file=out)
+    print("  top paths by occurrences:", file=out)
+    for path, occurrences, documents in catalog.path_frequencies()[:args.top]:
+        print(f"    {occurrences:8d} nodes {documents:6d} docs  {path}",
+              file=out)
+    tail = catalog.long_tail()
+    print(f"  long-tail paths (<25% of docs): {len(tail)}", file=out)
+    return 0
+
+
+def cmd_search(args, out):
+    if not args.term:
+        raise SystemExit("search needs at least one --term")
+    seda = _build_seda(args)
+    pairs = [_parse_term(term) for term in args.term]
+    session = seda.search(pairs, k=args.k)
+    print(ui.render_session(session), file=out)
+    return 0
+
+
+def cmd_table1(args, out):
+    print(f"Table 1 at threshold {args.threshold} "
+          f"(scale {args.scale}):", file=out)
+    for name in _DATASETS:
+        collection = _build_generator(name, args.scale).build_collection()
+        builder = DataguideBuilder(args.threshold)
+        for document in collection.documents:
+            builder.add_paths(document.paths(), document.doc_id)
+        print(f"  {name:12s} documents={len(collection):6d} "
+              f"dataguides={builder.guide_count}", file=out)
+    return 0
+
+
+def cmd_query1(args, out):
+    from repro.summaries.connection import TreeConnection
+
+    tc = "/country/economy/import_partners/item/trade_country"
+    pct = "/country/economy/import_partners/item/percentage"
+    item = "/country/economy/import_partners/item"
+
+    args.dataset = "factbook"
+    args.data = None
+    seda = _build_seda(args)
+    session = seda.search(
+        [("*", '"United States"'), ("trade_country", "*"),
+         ("percentage", "*")],
+        k=args.k,
+    )
+    print(ui.render_session(session), file=out)
+    refined = session.refine_contexts({0: ["/country"], 1: [tc], 2: [pct]})
+    chosen = refined.refine_connections([
+        ((0, 1), TreeConnection("/country", tc, "/country")),
+        ((1, 2), TreeConnection(tc, pct, item)),
+    ])
+    table = chosen.complete_results()
+    print("", file=out)
+    print(ui.render_result_table(table), file=out)
+    schema = chosen.build_cube(table)
+    print("", file=out)
+    print(ui.render_star_schema(schema), file=out)
+    print("", file=out)
+    print(f"session effort: {chosen.effort.summary()}", file=out)
+    return 0
+
+
+# -- argument parsing -------------------------------------------------------------
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SEDA: search-driven analysis of heterogeneous XML data",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_source_options(sub):
+        sub.add_argument("--dataset", choices=_DATASETS, default="factbook",
+                         help="generated dataset to load (default factbook)")
+        sub.add_argument("--scale", type=float, default=0.02,
+                         help="dataset scale in (0, 1] (default 0.02)")
+        sub.add_argument("--data", default=None, metavar="DIR",
+                         help="load *.xml files from DIR instead")
+
+    stats = subparsers.add_parser("stats", help="collection statistics")
+    add_source_options(stats)
+    stats.add_argument("--top", type=int, default=10,
+                       help="number of top paths to print")
+    stats.set_defaults(handler=cmd_stats)
+
+    search = subparsers.add_parser("search", help="run a SEDA query")
+    add_source_options(search)
+    search.add_argument("--term", action="append", default=[],
+                        metavar="CONTEXT:SEARCH",
+                        help="query term; repeatable")
+    search.add_argument("-k", type=int, default=10, help="top-k size")
+    search.set_defaults(handler=cmd_search)
+
+    table1 = subparsers.add_parser(
+        "table1", help="regenerate the paper's Table 1"
+    )
+    table1.add_argument("--threshold", type=float, default=0.4)
+    table1.add_argument("--scale", type=float, default=1.0)
+    table1.set_defaults(handler=cmd_table1)
+
+    query1 = subparsers.add_parser(
+        "query1", help="run the paper's Query 1 walk-through (Figure 3)"
+    )
+    query1.add_argument("--scale", type=float, default=0.05)
+    query1.add_argument("-k", type=int, default=10)
+    query1.set_defaults(handler=cmd_query1)
+
+    return parser
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

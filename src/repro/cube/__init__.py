@@ -1,0 +1,40 @@
+"""Data cube construction (Section 7).
+
+SEDA maintains a registry of known facts ``F`` and dimensions ``D``,
+each a nested relation ``<name, ContextList<context, key>>`` with
+*relative XML keys* [5].  Cube construction runs in three steps:
+
+1. **Matching** -- each path column of the full query result is matched
+   against the context lists (subset semantics), yielding the facts and
+   dimensions present in the result.
+2. **Augmentation** -- users adjust the matched sets; the result is
+   extended with any missing key columns (e.g. the ``/country/year``
+   column of Figure 3), which are themselves matched against known
+   dimensions.
+3. **Extraction** -- fact and dimension tables of the star schema are
+   generated and populated; fact tables with identical keys are merged.
+"""
+
+from repro.cube.augment import AugmentedResult, Augmenter
+from repro.cube.extract import TableExtractor, parse_measure
+from repro.cube.keys import KeyResolutionError, RelativeKey
+from repro.cube.matching import ColumnMatch, MatchReport, ResultMatcher
+from repro.cube.registry import CubeDefinition, Registry
+from repro.cube.star import DimensionTable, FactTable, StarSchema
+
+__all__ = [
+    "AugmentedResult",
+    "Augmenter",
+    "ColumnMatch",
+    "CubeDefinition",
+    "DimensionTable",
+    "FactTable",
+    "KeyResolutionError",
+    "MatchReport",
+    "Registry",
+    "RelativeKey",
+    "ResultMatcher",
+    "StarSchema",
+    "TableExtractor",
+    "parse_measure",
+]

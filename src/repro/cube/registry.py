@@ -1,0 +1,153 @@
+"""The facts and dimensions registry: F and D (Section 7).
+
+Both sets are nested relations with schema ``<name, ContextList>``
+where ``ContextList`` has schema ``<context, key>``.  The context list
+is a *relation* because heterogeneous collections spread the same
+logical fact over several paths -- the paper's example is the GDP fact
+defined by both ``/country/economy/GDP`` (pre-2005 documents) and
+``/country/economy/GDP_ppp`` (2005 onward), a consequence of schema
+evolution.
+
+The registry is seeded by an administrator and extended by users during
+query processing (the pay-as-you-go element of SEDA).
+"""
+
+from repro.cube.keys import RelativeKey
+
+FACT = "fact"
+DIMENSION = "dimension"
+
+
+class CubeDefinition:
+    """One fact or dimension: a name plus its context list."""
+
+    __slots__ = ("name", "kind", "context_list")
+
+    def __init__(self, name, kind, context_list):
+        if kind not in (FACT, DIMENSION):
+            raise ValueError(f"kind must be 'fact' or 'dimension', got {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.context_list = []
+        for context, key in context_list:
+            if not isinstance(key, RelativeKey):
+                key = RelativeKey(key)
+            self.context_list.append((context, key))
+        if not self.context_list:
+            raise ValueError(f"{kind} {name!r} needs at least one context")
+
+    @property
+    def contexts(self):
+        """The set of paths defining this fact/dimension."""
+        return {context for context, _key in self.context_list}
+
+    def key_for_context(self, context):
+        """The relative key registered for ``context``, or ``None``."""
+        for candidate, key in self.context_list:
+            if candidate == context:
+                return key
+        return None
+
+    def add_context(self, context, key):
+        if not isinstance(key, RelativeKey):
+            key = RelativeKey(key)
+        self.context_list.append((context, key))
+
+    def matches_paths(self, paths):
+        """Full match: every result path is one of this definition's
+        contexts (the paper's subset semantics,
+        ``pi_cp(R) subseteq pi_context(ContextList)``)."""
+        return bool(paths) and set(paths) <= self.contexts
+
+    def overlaps_paths(self, paths):
+        """Partial match: some but not all paths are known contexts."""
+        intersection = set(paths) & self.contexts
+        return bool(intersection) and not set(paths) <= self.contexts
+
+    def __repr__(self):
+        return (
+            f"CubeDefinition({self.name!r}, {self.kind}, "
+            f"contexts={sorted(self.contexts)})"
+        )
+
+
+class Registry:
+    """The system's known facts F and dimensions D."""
+
+    def __init__(self):
+        self._facts = {}
+        self._dimensions = {}
+
+    # -- administration ----------------------------------------------------
+
+    def add_fact(self, name, context_list):
+        """Register a fact; ``context_list`` is ``[(path, key), ...]``."""
+        definition = CubeDefinition(name, FACT, context_list)
+        self._facts[name] = definition
+        return definition
+
+    def add_dimension(self, name, context_list):
+        definition = CubeDefinition(name, DIMENSION, context_list)
+        self._dimensions[name] = definition
+        return definition
+
+    def remove_fact(self, name):
+        del self._facts[name]
+
+    def remove_dimension(self, name):
+        del self._dimensions[name]
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def facts(self):
+        return list(self._facts.values())
+
+    @property
+    def dimensions(self):
+        return list(self._dimensions.values())
+
+    def fact(self, name):
+        return self._facts[name]
+
+    def dimension(self, name):
+        return self._dimensions[name]
+
+    def has_fact(self, name):
+        return name in self._facts
+
+    def has_dimension(self, name):
+        return name in self._dimensions
+
+    # -- matching helpers ---------------------------------------------------------
+
+    def full_matches(self, paths):
+        """Definitions whose contexts cover all ``paths``."""
+        return [
+            definition
+            for definition in list(self._facts.values())
+            + list(self._dimensions.values())
+            if definition.matches_paths(paths)
+        ]
+
+    def partial_matches(self, paths):
+        """Definitions that intersect ``paths`` without covering them."""
+        return [
+            definition
+            for definition in list(self._facts.values())
+            + list(self._dimensions.values())
+            if definition.overlaps_paths(paths)
+        ]
+
+    def dimension_for_context(self, path):
+        """The first dimension whose contexts include ``path``."""
+        for definition in self._dimensions.values():
+            if path in definition.contexts:
+                return definition
+        return None
+
+    def __repr__(self):
+        return (
+            f"Registry(facts={sorted(self._facts)}, "
+            f"dimensions={sorted(self._dimensions)})"
+        )

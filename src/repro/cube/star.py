@@ -1,0 +1,169 @@
+"""Star schema tables: facts, dimensions, and their container.
+
+Figure 3(c): the fact table for the percentage fact carries the key
+columns (country, year, import-country) plus the measure; dimension
+tables list the distinct members of each dimension.
+"""
+
+
+class DimensionTable:
+    """One dimension's member list."""
+
+    __slots__ = ("name", "members")
+
+    def __init__(self, name, members):
+        self.name = name
+        self.members = sorted(set(members))
+
+    def __len__(self):
+        return len(self.members)
+
+    def __contains__(self, member):
+        return member in self.members
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def __repr__(self):
+        return f"DimensionTable({self.name!r}, members={len(self.members)})"
+
+
+class FactTable:
+    """One fact table: key columns + one or more measure columns.
+
+    ``key_columns`` name the dimension columns (in key order);
+    ``measures`` name the measure columns; ``rows`` are tuples laid out
+    as ``key values + measure values``.  Fact tables sharing the same
+    key columns can be merged (the paper's optimization).
+    """
+
+    def __init__(self, name, key_columns, measures, rows):
+        self.name = name
+        self.key_columns = list(key_columns)
+        self.measures = list(measures)
+        self.rows = list(rows)
+
+    @property
+    def columns(self):
+        return self.key_columns + self.measures
+
+    def key_of(self, row):
+        return tuple(row[: len(self.key_columns)])
+
+    def measures_of(self, row):
+        return tuple(row[len(self.key_columns):])
+
+    def has_primary_key(self):
+        """True when the key columns uniquely identify every row."""
+        seen = set()
+        for row in self.rows:
+            key = self.key_of(row)
+            if key in seen:
+                return False
+            seen.add(key)
+        return True
+
+    def merge_with(self, other, merged_name=None):
+        """Merge another fact table with identical key columns.
+
+        "As an optimization, we merge fact tables if they have the same
+        keys."  Measures become side-by-side columns, outer-joined on
+        the key (missing measures are ``None``).
+        """
+        if self.key_columns != other.key_columns:
+            raise ValueError(
+                f"cannot merge fact tables with different keys: "
+                f"{self.key_columns} vs {other.key_columns}"
+            )
+        by_key = {}
+        blank_left = (None,) * len(self.measures)
+        blank_right = (None,) * len(other.measures)
+        for row in self.rows:
+            by_key[self.key_of(row)] = [self.measures_of(row), blank_right]
+        for row in other.rows:
+            entry = by_key.setdefault(other.key_of(row), [blank_left, blank_right])
+            entry[1] = other.measures_of(row)
+        rows = [
+            key + tuple(left) + tuple(right)
+            for key, (left, right) in sorted(by_key.items(),
+                                             key=lambda kv: str(kv[0]))
+        ]
+        return FactTable(
+            merged_name or f"{self.name}+{other.name}",
+            self.key_columns,
+            self.measures + other.measures,
+            rows,
+        )
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __repr__(self):
+        return (
+            f"FactTable({self.name!r}, key={self.key_columns}, "
+            f"measures={self.measures}, rows={len(self.rows)})"
+        )
+
+
+class StarSchema:
+    """The generated star schema: fact tables plus dimension tables."""
+
+    def __init__(self, fact_tables, dimension_tables):
+        self.fact_tables = {table.name: table for table in fact_tables}
+        self.dimension_tables = {table.name: table for table in dimension_tables}
+
+    def fact(self, name):
+        return self.fact_tables[name]
+
+    def dimension(self, name):
+        return self.dimension_tables[name]
+
+    def merge_compatible_facts(self):
+        """Apply the same-key fact-table merge optimization in place."""
+        by_key = {}
+        for table in self.fact_tables.values():
+            by_key.setdefault(tuple(table.key_columns), []).append(table)
+        merged_tables = {}
+        for tables in by_key.values():
+            merged = tables[0]
+            for other in tables[1:]:
+                merged = merged.merge_with(other)
+            merged_tables[merged.name] = merged
+        self.fact_tables = merged_tables
+        return self
+
+    def sql_statements(self):
+        """DDL-ish rendering of the schema (the paper generates SQL/XML
+        to populate the tables; we render the equivalent for docs)."""
+        statements = []
+        for table in self.dimension_tables.values():
+            statements.append(
+                f"CREATE TABLE dim_{_identifier(table.name)} "
+                f"({_identifier(table.name)} VARCHAR);"
+            )
+        for table in self.fact_tables.values():
+            columns = ", ".join(
+                f"{_identifier(column)} VARCHAR" for column in table.key_columns
+            )
+            measures = ", ".join(
+                f"{_identifier(measure)} DOUBLE" for measure in table.measures
+            )
+            statements.append(
+                f"CREATE TABLE fact_{_identifier(table.name)} "
+                f"({columns}, {measures});"
+            )
+        return statements
+
+    def __repr__(self):
+        return (
+            f"StarSchema(facts={sorted(self.fact_tables)}, "
+            f"dimensions={sorted(self.dimension_tables)})"
+        )
+
+
+def _identifier(name):
+    """A SQL-safe identifier from a fact/dimension name."""
+    return "".join(ch if ch.isalnum() else "_" for ch in name).strip("_").lower()

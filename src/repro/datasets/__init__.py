@@ -1,0 +1,30 @@
+"""Synthetic datasets calibrated to the paper's published statistics.
+
+The paper evaluates on four collections (Table 1) that are not
+redistributable or offline-available: a Google Base snapshot, Mondial,
+RecipeML, and World Factbook 2002-2007.  Each generator here is a
+deterministic synthetic equivalent that preserves the *structural
+heterogeneity* driving every experiment:
+
+* per-dataset dataguide-merge behaviour (documents-to-guides ratios of
+  Table 1);
+* context ambiguity ("United States" in many distinct paths, the long
+  tail of infrequent paths);
+* schema evolution (``GDP`` pre-2005 vs ``GDP_ppp`` from 2005 on);
+* cross-document links (Mondial's geography relationships).
+
+All generators take a ``scale`` in (0, 1] so tests can run on small
+slices while benchmarks use paper-scale collections.
+"""
+
+from repro.datasets.factbook import FactbookGenerator
+from repro.datasets.googlebase import GoogleBaseGenerator
+from repro.datasets.mondial import MondialGenerator
+from repro.datasets.recipeml import RecipeMLGenerator
+
+__all__ = [
+    "FactbookGenerator",
+    "GoogleBaseGenerator",
+    "MondialGenerator",
+    "RecipeMLGenerator",
+]

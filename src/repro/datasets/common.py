@@ -1,0 +1,70 @@
+"""Shared helpers for the dataset generators."""
+
+import random
+
+from repro.xmlio.dom import Element
+
+WORDS = (
+    "alpine arid basin canal coastal delta dune estuary fjord glacier "
+    "grassland gulf harbor highland island isthmus jungle lagoon lake "
+    "lowland marsh mesa oasis peninsula plain plateau prairie reef ridge "
+    "river savanna sea steppe strait summit swamp taiga terrace tundra "
+    "valley volcano watershed wetland"
+).split()
+
+
+class DeterministicRandom(random.Random):
+    """A seeded RNG; exists to make the determinism contract explicit."""
+
+
+def make_rng(seed):
+    return DeterministicRandom(seed)
+
+
+def random_words(rng, count):
+    """Space-joined pseudo-content words."""
+    return " ".join(rng.choice(WORDS) for _ in range(count))
+
+
+def build_tree_from_paths(root_tag, leaf_paths, leaf_value):
+    """Construct an :class:`Element` tree realizing a set of leaf paths.
+
+    ``leaf_paths`` are full paths starting with ``/root_tag``;
+    ``leaf_value(path)`` supplies the text of each leaf.  Interior
+    nodes are created once per distinct prefix, so the resulting
+    document's node-path set is exactly the prefix closure of
+    ``leaf_paths``.
+    """
+    root = Element(root_tag)
+    by_prefix = {f"/{root_tag}": root}
+    for path in sorted(leaf_paths):
+        steps = path.split("/")[1:]
+        if steps[0] != root_tag:
+            raise ValueError(
+                f"leaf path {path!r} does not start at /{root_tag}"
+            )
+        prefix = f"/{root_tag}"
+        node = root
+        for step in steps[1:]:
+            prefix = f"{prefix}/{step}"
+            existing = by_prefix.get(prefix)
+            if existing is None:
+                existing = node.element(step)
+                by_prefix[prefix] = existing
+            node = existing
+        value = leaf_value(path)
+        if value:
+            node.append(str(value))
+    return root
+
+
+def prefix_closure(paths):
+    """All prefixes of the given slash paths (including themselves)."""
+    closed = set()
+    for path in paths:
+        steps = path.split("/")[1:]
+        prefix = ""
+        for step in steps:
+            prefix = f"{prefix}/{step}"
+            closed.add(prefix)
+    return closed

@@ -1,0 +1,537 @@
+"""Synthetic World Factbook 2002-2007 (+ Mondial-style links).
+
+Calibrated to the paper's published statistics at ``scale=1.0``:
+
+* 1600 documents, of which 1577 are ``/country`` documents ("/country
+  ... occurs in 1577 out of 1600 documents") and 23 have other roots
+  (seas, organizations);
+* roughly 1984 distinct root-to-leaf paths with a long tail of
+  infrequent ones;
+* the phrase "United States" occurring in 27 distinct paths (Section
+  1: the query term ``(*, "United States")`` "actually matches not 3,
+  but 27 paths");
+* ``/country/transnational_issues/refugees/country_of_origin`` in 186
+  documents;
+* schema evolution: documents before 2005 carry
+  ``/country/economy/GDP``, later ones ``/country/economy/GDP_ppp``;
+* the exact Example 1 / Figure 2 / Figure 3 data for United States and
+  Mexico, so the Query 1 walk-through reproduces the paper's tables.
+
+The optional-section machinery is tuned so that greedy dataguide
+merging at the 40% threshold lands near the paper's 500 guides.
+"""
+
+from repro.cube.keys import RelativeKey
+from repro.datasets import common
+from repro.model.collection import DocumentCollection
+from repro.model.links import ValueLinkSpec
+from repro.xmlio.dom import Element
+
+YEARS = (2002, 2003, 2004, 2005, 2006, 2007)
+
+COUNTRY_NAMES = (
+    "United States", "China", "Canada", "Mexico", "Germany", "France",
+    "Italy", "Spain", "Portugal", "Romania", "Hungary", "Poland",
+    "Austria", "Belgium", "Netherlands", "Denmark", "Norway", "Sweden",
+    "Finland", "Iceland", "Ireland", "United Kingdom", "Switzerland",
+    "Greece", "Turkey", "Russia", "Ukraine", "Belarus", "Georgia",
+    "Armenia", "Azerbaijan", "Kazakhstan", "Uzbekistan", "India",
+    "Pakistan", "Bangladesh", "Nepal", "Bhutan", "Sri Lanka", "Myanmar",
+    "Thailand", "Vietnam", "Laos", "Cambodia", "Malaysia", "Singapore",
+    "Indonesia", "Philippines", "Japan", "Mongolia", "Australia",
+    "Argentina", "Brazil", "Chile", "Peru", "Bolivia", "Colombia",
+    "Venezuela", "Ecuador", "Uruguay", "Paraguay", "Egypt", "Libya",
+    "Tunisia", "Algeria", "Morocco", "Nigeria", "Ghana", "Kenya",
+    "Ethiopia", "Tanzania", "Uganda", "Senegal", "Mali", "Chad",
+    "Sudan", "Angola", "Zambia", "Zimbabwe", "Botswana", "Namibia",
+    "Mozambique", "Madagascar", "Cameroon", "Gabon", "Congo",
+    "South Africa", "Israel", "Jordan", "Lebanon", "Syria", "Iraq",
+    "Iran", "Kuwait", "Qatar", "Bahrain", "Oman", "Yemen",
+    "Saudi Arabia", "Afghanistan", "Tajikistan", "Kyrgyzstan",
+    "Turkmenistan", "Estonia", "Latvia", "Lithuania", "Moldova",
+    "Slovakia", "Slovenia", "Croatia", "Serbia", "Albania", "Macedonia",
+    "Bulgaria", "Cyprus", "Malta", "Luxembourg", "Panama", "Cuba",
+    "Haiti", "Jamaica", "Honduras", "Guatemala", "Nicaragua", "Belize",
+    "Costa Rica", "El Salvador", "Dominican Republic", "Bahamas",
+    "Barbados", "Trinidad", "Guyana", "Suriname", "Fiji", "Samoa",
+    "Tonga", "Vanuatu", "Palau", "Micronesia", "Kiribati", "Tuvalu",
+    "Nauru", "Maldives", "Seychelles", "Mauritius", "Comoros",
+    "Djibouti", "Eritrea", "Somalia", "Rwanda", "Burundi", "Malawi",
+    "Lesotho", "Swaziland", "Gambia", "Guinea", "Liberia",
+    "Sierra Leone", "Togo", "Benin", "Niger", "Mauritania",
+    "Burkina Faso", "Ivory Coast", "Cape Verde", "San Marino",
+    "Monaco", "Liechtenstein", "Andorra", "Vatican", "Greenland",
+    "Taiwan", "South Korea", "North Korea", "Brunei", "East Timor",
+    "Papua New Guinea", "Solomon Islands", "New Zealand", "Bosnia",
+    "Montenegro", "Kosovo", "Czech Republic", "Antarctica", "Aruba",
+    "Bermuda", "Gibraltar", "Guam", "Puerto Rico", "Martinique",
+    "Reunion", "Mayotte", "Curacao", "Anguilla", "Montserrat",
+    "Dominica", "Grenada", "Saint Lucia", "Saint Vincent", "Tokelau",
+    "Niue", "Pitcairn", "Wallis and Futuna", "French Polynesia",
+    "New Caledonia", "Cook Islands", "Norfolk Island",
+    "Christmas Island", "Cocos Islands", "Faroe Islands",
+    "Isle of Man", "Jersey", "Guernsey", "Svalbard", "Western Sahara",
+    "Falkland Islands", "Saint Helena", "American Samoa",
+    "Northern Mariana Islands", "Marshall Islands", "Cayman Islands",
+    "Turks and Caicos", "British Virgin Islands", "US Virgin Islands",
+    "Saint Kitts", "Equatorial Guinea", "Guinea-Bissau",
+    "Sao Tome", "Central African Republic", "Democratic Congo",
+    "South Sudan", "Abkhazia", "Transnistria", "Hong Kong", "Macau",
+)
+
+# The 27 distinct contexts in which the phrase "United States" occurs
+# at full scale.  The first six arise organically from the data
+# scenario (Figures 1-2); the rest are the long tail of references the
+# paper alludes to (matches 27 paths in the full dataset).
+US_CONTEXT_PATHS = (
+    "/country",
+    "/country/economy/import_partners/item/trade_country",
+    "/country/economy/export_partners/item/trade_country",
+    "/country/transnational_issues/refugees/country_of_origin",
+    "/country/geography/neighbors/neighbor",
+    "/country/transnational_issues/disputes/with_country",
+    "/country/economy/aid/donor",
+    "/country/economy/aid/recipient_of",
+    "/country/economy/currency/pegged_to",
+    "/country/people/migration/destination",
+    "/country/people/migration/origin",
+    "/country/people/diaspora/host_country",
+    "/country/government/treaties/treaty/signatory",
+    "/country/government/embassies/embassy/host",
+    "/country/government/allies/ally",
+    "/country/military/alliances/member_with",
+    "/country/military/bases/base/host_nation",
+    "/country/transport/airlines/route/destination_country",
+    "/country/transport/shipping/registered_in",
+    "/country/communications/satellites/operated_with",
+    "/country/history/colonial/administered_by",
+    "/country/history/independence/independence_from",
+    "/country/trade_agreements/agreement/partner",
+    "/sea/bordering/country_name",
+    "/organization/members/member",
+    "/organization/headquarters/host_country",
+    "/country/geography/maritime_claims/disputed_with",
+)
+
+# Figure 3(c): the United States import-partner fact rows.
+US_IMPORT_PARTNERS = {
+    2002: (("Canada", "17.8%"), ("China", "11.1%")),
+    2003: (("Canada", "17.4%"), ("China", "12.1%")),
+    2004: (("China", "12.5%"), ("Mexico", "10.7%")),
+    2005: (("China", "13.8%"), ("Mexico", "10.3%")),
+    2006: (("China", "15%"), ("Canada", "16.9%")),
+    2007: (("China", "16.9%"), ("Canada", "15.7%")),
+}
+
+US_EXPORT_PARTNERS = {
+    2002: (("Canada", "23.2%"),),
+    2003: (("Canada", "23.4%"),),
+    2004: (("Canada", "23.1%"),),
+    2005: (("Canada", "23.4%"),),
+    2006: (("Canada", "23.4%"),),  # Figure 1
+    2007: (("Canada", "21.4%"),),
+}
+
+US_GDP = {
+    2002: "10.082T",  # Figure 2(a)
+    2003: "10.98T",
+    2004: "11.71T",
+    2005: "12.46T",
+    2006: "12.31T",  # Figure 1 (GDP_ppp)
+    2007: "13.86T",
+}
+
+# Figure 2(b)/(c): Mexico.
+MEXICO_DATA = {
+    2003: {
+        "gdp": "924.4B",
+        "imports": (("United States", "70.6%"), ("Germany", "3.5%")),
+        "exports": (("United States", "87.6%"),),
+    },
+    2005: {
+        "gdp": "1.006T",
+        "imports": (("United States", "53.4%"), ("China", "8.0%")),
+        "exports": (("United States", "15.3%"),),
+    },
+}
+
+_SECTIONS = (
+    ("geography", ("terrain", "climate", "elevation", "rivers", "lakes",
+                   "mountains", "forests", "deserts", "coastline",
+                   "irrigation", "land_use", "hazards", "volcanoes")),
+    ("people", ("age_structure", "growth_rate", "birth_rate", "death_rate",
+                "literacy", "languages", "religions", "urbanization",
+                "health", "education", "nutrition", "life_expectancy",
+                "censuses")),
+    ("economy", ("inflation", "unemployment", "budget", "industries",
+                 "agriculture", "exports_total", "imports_total", "debt",
+                 "reserves", "labor_force", "poverty", "taxes",
+                 "trade_balance")),
+    ("government", ("capital", "type", "constitution", "suffrage",
+                    "executive", "legislative", "judicial", "parties",
+                    "elections", "flag", "anthem", "holidays")),
+    ("communications", ("telephones", "mobile", "internet_users",
+                        "broadcast", "newspapers", "postal", "isps",
+                        "broadband", "radio", "television")),
+    ("transport", ("airports", "railways", "roadways", "waterways",
+                   "ports", "pipelines", "merchant_marine", "heliports")),
+    ("military", ("branches", "service_age", "expenditures", "manpower",
+                  "conscription", "reserves_force")),
+    ("energy", ("electricity", "oil_production", "oil_consumption",
+                "gas_production", "gas_consumption", "renewables",
+                "nuclear", "coal", "imports_energy", "exports_energy")),
+    ("environment", ("issues", "agreements", "emissions", "protected_areas",
+                     "biodiversity", "water_resources", "air_quality")),
+    ("culture", ("cuisine", "festivals", "sports", "music", "literature",
+                 "heritage_sites", "museums", "media")),
+)
+
+_SUBLEAVES = ("overview", "detail", "rank", "note", "trend", "source",
+              "estimate", "comparison", "history", "forecast", "regional",
+              "per_capita", "percentile", "methodology", "definition",
+              "update", "footnote", "audit")
+
+
+class FactbookGenerator:
+    """Deterministic World Factbook generator.
+
+    ``scale`` scales document counts; the Example 1 / Figure 2 / Figure
+    3 scenario documents (United States x 6 years, Mexico 2003/2005)
+    are always included so the paper's walk-through works at any scale.
+    """
+
+    def __init__(self, seed=2009, scale=1.0, sections_low=2,
+                 sections_high=5, leaf_probability=0.55,
+                 popularity_bias=3.0):
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+        self.seed = seed
+        self.scale = scale
+        self.sections_low = sections_low
+        self.sections_high = sections_high
+        self.leaf_probability = leaf_probability
+        self.popularity_bias = popularity_bias
+        self._optional_universe = self._build_universe()
+
+    # -- the optional-path universe ------------------------------------------
+
+    @staticmethod
+    def _build_universe():
+        """Optional leaf paths grouped by (section, variant) topic."""
+        universe = []
+        for section, subsections in _SECTIONS:
+            for subsection in subsections:
+                group = []
+                for leaf in _SUBLEAVES:
+                    group.append(
+                        f"/country/{section}/{subsection}/{leaf}"
+                    )
+                universe.append((section, group))
+        return universe
+
+    # -- document construction ---------------------------------------------------
+
+    def country_count(self):
+        return max(2, round(1577 * self.scale))
+
+    def other_count(self):
+        return max(1, round(23 * self.scale))
+
+    def refugee_count(self):
+        return max(1, round(186 * self.scale))
+
+    def documents(self):
+        """Yield ``(name, Element)`` for the whole collection."""
+        rng = common.make_rng(self.seed)
+        total = self.country_count()
+        refugee_budget = self.refugee_count()
+
+        produced = 0
+        # Scenario documents first: United States (all years), Mexico.
+        for year in YEARS:
+            yield f"united-states-{year}", self._us_document(year)
+            produced += 1
+        for year in sorted(MEXICO_DATA):
+            yield f"mexico-{year}", self._mexico_document(year)
+            produced += 1
+
+        # Remaining country documents cycle countries x years.
+        names = [
+            name for name in COUNTRY_NAMES
+            if name not in ("United States", "Mexico")
+        ]
+        pairs = [
+            (name, year) for year in YEARS for name in names
+        ]
+        index = 0
+        us_paths_pending = [
+            path for path in US_CONTEXT_PATHS
+            if path.startswith("/country/")
+            and path not in (
+                "/country/economy/import_partners/item/trade_country",
+                "/country/economy/export_partners/item/trade_country",
+                "/country/geography/neighbors/neighbor",
+                "/country/transnational_issues/refugees/country_of_origin",
+            )
+        ]
+        refugee_seeded = False
+        while produced < total:
+            name, year = pairs[index % len(pairs)]
+            suffix = index // len(pairs)
+            doc_name = f"{name.lower().replace(' ', '-')}-{year}"
+            if suffix:
+                doc_name = f"{doc_name}-{suffix}"
+            include_refugees = refugee_budget > 0 and rng.random() < (
+                refugee_budget / max(1, total - produced)
+            )
+            if include_refugees:
+                refugee_budget -= 1
+            refugee_origin = None
+            if include_refugees and not refugee_seeded:
+                # Guarantee the country_of_origin context carries the
+                # phrase at least once (one of the 27 US contexts).
+                refugee_origin = "United States"
+                refugee_seeded = True
+            us_path = None
+            if us_paths_pending and produced % 7 == 3:
+                us_path = us_paths_pending.pop()
+            yield doc_name, self._country_document(
+                rng, name, year, include_refugees, us_path, refugee_origin
+            )
+            produced += 1
+            index += 1
+
+        # Non-country documents: seas and organizations.
+        for i in range(self.other_count()):
+            if i % 2 == 0:
+                yield f"sea-{i}", self._sea_document(rng, i)
+            else:
+                yield f"organization-{i}", self._organization_document(rng, i)
+
+    def build_collection(self):
+        """A fully-populated :class:`DocumentCollection`."""
+        collection = DocumentCollection(name="world-factbook")
+        for name, root in self.documents():
+            collection.add_document(root, name=name)
+        return collection
+
+    # -- scenario documents --------------------------------------------------------
+
+    def _economy(self, country, year, gdp, imports, exports):
+        economy = Element("economy")
+        gdp_tag = "GDP" if year < 2005 else "GDP_ppp"
+        economy.element(gdp_tag, text=gdp)
+        import_partners = economy.element("import_partners")
+        for partner, percentage in imports:
+            item = import_partners.element("item")
+            item.element("trade_country", text=partner)
+            item.element("percentage", text=percentage)
+        export_partners = economy.element("export_partners")
+        for partner, percentage in exports:
+            item = export_partners.element("item")
+            item.element("trade_country", text=partner)
+            item.element("percentage", text=percentage)
+        return economy
+
+    def _country_base(self, name, year, gdp, imports, exports):
+        root = Element("country")
+        root.append(name)
+        root.element("year", text=str(year))
+        root.append(self._economy(name, year, gdp, imports, exports))
+        geography = root.element("geography")
+        geography.element("location", text=_REGION_OF.get(name, "World"))
+        people = root.element("people")
+        people.element("population", text=str(1_000_000 + (sum(ord(c) for c in name) * 7919) % 100_000_000))
+        return root
+
+    def _us_document(self, year):
+        root = self._country_base(
+            "United States", year, US_GDP[year],
+            US_IMPORT_PARTNERS[year], US_EXPORT_PARTNERS[year],
+        )
+        geography = root.find("geography")
+        neighbors = geography.element("neighbors")
+        neighbors.element("neighbor", text="Canada")
+        neighbors.element("neighbor", text="Mexico")
+        return root
+
+    def _mexico_document(self, year):
+        data = MEXICO_DATA[year]
+        root = self._country_base(
+            "Mexico", year, data["gdp"], data["imports"], data["exports"]
+        )
+        geography = root.find("geography")
+        neighbors = geography.element("neighbors")
+        neighbors.element("neighbor", text="United States")
+        neighbors.element("neighbor", text="Guatemala")
+        return root
+
+    # -- generated country documents ---------------------------------------------------
+
+    def _country_document(self, rng, name, year, include_refugees, us_path,
+                          refugee_origin=None):
+        gdp = f"{rng.uniform(0.5, 999):.1f}B"
+        partners = rng.sample(COUNTRY_NAMES[:60], 4)
+        imports = tuple(
+            (partner, f"{rng.uniform(1, 40):.1f}%") for partner in partners[:2]
+        )
+        exports = tuple(
+            (partner, f"{rng.uniform(1, 40):.1f}%") for partner in partners[2:]
+        )
+        root = self._country_base(name, year, gdp, imports, exports)
+
+        if include_refugees:
+            issues = root.element("transnational_issues")
+            refugees = issues.element("refugees")
+            refugees.element(
+                "country_of_origin",
+                text=refugee_origin or rng.choice(COUNTRY_NAMES[:40]),
+            )
+
+        # Optional sections: the dataguide-diversity machinery.  The
+        # Zipf-like bias concentrates documents on popular topic groups,
+        # which is what lets greedy merging find partners (and what
+        # produces the long tail of rare paths the paper observes).
+        section_count = rng.randint(self.sections_low, self.sections_high)
+        universe = self._optional_universe
+        chosen = []
+        seen = set()
+        while len(chosen) < section_count:
+            # Inverse-CDF sample of a Zipf-ish rank distribution.
+            rank = int(len(universe) * (rng.random() ** self.popularity_bias))
+            if rank in seen:
+                continue
+            seen.add(rank)
+            chosen.append(universe[rank])
+        leaf_paths = []
+        for _section, group in chosen:
+            for leaf_path in group:
+                if rng.random() < self.leaf_probability:
+                    leaf_paths.append(leaf_path)
+        self._graft_leaf_paths(root, leaf_paths, rng)
+
+        if us_path is not None and us_path.startswith("/country/"):
+            self._graft_leaf_paths(root, [us_path], rng,
+                                   fixed_text="United States")
+        return root
+
+    def _graft_leaf_paths(self, root, leaf_paths, rng, fixed_text=None):
+        """Attach leaf paths (under /country) onto an existing root."""
+        by_prefix = {"/country": root}
+        for path in sorted(leaf_paths):
+            steps = path.split("/")[2:]
+            node = root
+            prefix = "/country"
+            for step in steps:
+                prefix = f"{prefix}/{step}"
+                existing = by_prefix.get(prefix)
+                if existing is None:
+                    existing = node.find(step)
+                if existing is None:
+                    existing = node.element(step)
+                by_prefix[prefix] = existing
+                node = existing
+            if fixed_text is not None:
+                node.append(fixed_text)
+            elif rng.random() < 0.5:
+                node.append(common.random_words(rng, 2))
+            else:
+                node.append(f"{rng.uniform(0, 1000):.1f}")
+
+    # -- non-country documents -------------------------------------------------------------
+
+    def _sea_document(self, rng, index):
+        root = Element("sea")
+        names = ("Pacific Ocean", "China sea", "Baltic Sea", "North Sea",
+                 "Caribbean Sea", "Mediterranean Sea", "Black Sea",
+                 "Red Sea", "Coral Sea", "Bering Sea", "Arabian Sea",
+                 "Caspian Sea")
+        root.element("name", text=names[index % len(names)])
+        root.element("depth", text=f"{rng.randint(200, 11000)}")
+        bordering = root.element("bordering")
+        bordering.element("country_name", text="United States"
+                          if index == 0 else rng.choice(COUNTRY_NAMES[:30]))
+        bordering.element("country_name", text=rng.choice(COUNTRY_NAMES[:30]))
+        return root
+
+    def _organization_document(self, rng, index):
+        root = Element("organization")
+        names = ("United Nations", "World Trade Organization", "NATO",
+                 "European Union", "African Union", "OPEC", "ASEAN",
+                 "Mercosur", "Arab League", "Commonwealth", "G7")
+        root.element("name", text=names[index % len(names)])
+        members = root.element("members")
+        members.element("member", text="United States" if index == 1
+                        else rng.choice(COUNTRY_NAMES[:30]))
+        members.element("member", text=rng.choice(COUNTRY_NAMES[:30]))
+        headquarters = root.element("headquarters")
+        headquarters.element(
+            "host_country",
+            text="United States" if index == 3 else rng.choice(
+                COUNTRY_NAMES[:30]
+            ),
+        )
+        return root
+
+    # -- cube registry seeds (Figure 3(b)) ---------------------------------------------------
+
+    @staticmethod
+    def register_standard_definitions(registry):
+        """Install the Figure 3(b) facts and dimensions into ``registry``."""
+        country_key = RelativeKey(["/country", "/country/year"])
+        registry.add_dimension("country", [("/country", country_key)])
+        registry.add_dimension("year", [("/country/year", country_key)])
+        registry.add_dimension(
+            "import-country",
+            [(
+                "/country/economy/import_partners/item/trade_country",
+                RelativeKey(["/country", "/country/year", "."]),
+            )],
+        )
+        registry.add_fact(
+            "import-trade-percentage",
+            [(
+                "/country/economy/import_partners/item/percentage",
+                RelativeKey(["/country", "/country/year", "../trade_country"]),
+            )],
+        )
+        registry.add_fact(
+            "GDP",
+            [
+                ("/country/economy/GDP", country_key),
+                ("/country/economy/GDP_ppp", country_key),
+            ],
+        )
+        return registry
+
+    @staticmethod
+    def value_link_specs():
+        """Value-based PK/FK links (Definition 2, item 4): trade-partner
+        names point back to the country documents, as in Figure 1."""
+        return [
+            ValueLinkSpec(
+                primary_path="/country",
+                foreign_path="/country/economy/import_partners/item/trade_country",
+                label="trade partner",
+            ),
+            ValueLinkSpec(
+                primary_path="/country",
+                foreign_path="/country/geography/neighbors/neighbor",
+                label="bordering",
+            ),
+            ValueLinkSpec(
+                primary_path="/country",
+                foreign_path="/sea/bordering/country_name",
+                label="bordering",
+            ),
+        ]
+
+
+_REGION_OF = {
+    "United States": "America",
+    "Canada": "America",
+    "Mexico": "America",
+    "China": "Asia",
+    "Philippines": "Asia",
+    "Germany": "Europe",
+}

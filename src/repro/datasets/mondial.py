@@ -1,0 +1,168 @@
+"""Synthetic Mondial collection (Table 1, row 2) with cross-doc links.
+
+The paper: 5563 documents, 86 dataguides at the 40% threshold.  The
+real Mondial is "a rich compilation of geographical Web data sources"
+-- countries, cities, provinces, seas, rivers, organizations -- and
+supplies the non-tree relationship edges of Figure 1 (``bordering``,
+membership, capital-of).
+
+The generator emits one document per geographic entity across several
+root types; each root type has a handful of structural variants (e.g.
+cities with/without demographics) whose path sets overlap below the
+threshold across variants and far above it within one.  Root-type x
+variant combinations are calibrated to land near 86 guides.
+
+IDREF attributes (``country="c17"`` style) connect cities, provinces,
+seas, and organization memberships to country documents; the link
+discoverer turns them into data-graph edges.
+"""
+
+from repro.datasets import common
+from repro.model.collection import DocumentCollection
+from repro.xmlio.dom import Element
+
+# (root tag, number of structural variants, share of documents)
+_ROOT_TYPES = (
+    ("country", 12, 0.042),
+    ("city", 20, 0.560),
+    ("province", 16, 0.250),
+    ("sea", 8, 0.020),
+    ("river", 10, 0.050),
+    ("lake", 6, 0.020),
+    ("mountain", 6, 0.025),
+    ("island", 4, 0.015),
+    ("organization", 4, 0.018),
+)
+
+_VARIANT_FIELDS = (
+    "population", "area", "elevation", "coordinates", "climate",
+    "founded", "mayor", "districts", "economy_profile", "twin_city",
+    "airport", "university", "heritage", "industry", "port",
+    "depth", "length", "discharge", "salinity", "basin",
+    "height", "range_name", "first_ascent", "volcanic",
+    "abbreviation", "established", "seat", "member_count",
+)
+
+
+class MondialGenerator:
+    """Deterministic Mondial-like generator."""
+
+    def __init__(self, seed=1998, scale=1.0):
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+        self.seed = seed
+        self.scale = scale
+
+    def document_count(self):
+        return max(20, round(5563 * self.scale))
+
+    def country_count(self):
+        return max(4, round(_ROOT_TYPES[0][2] * self.document_count()))
+
+    # -- variant schemas -----------------------------------------------------
+
+    def _variant_fields(self, root_tag, variant):
+        """The field set of one (root type, variant) combination.
+
+        Variants of one root type share a small core (name + country
+        reference); each variant adds ten *variant-exclusive* fields
+        (suffixed with the variant number), keeping cross-variant
+        overlap below the 40% merge threshold while within-variant
+        documents overlap heavily.
+        """
+        core = ("name", "country_ref")
+        # Countries carry a larger shared core (capital, population,
+        # borders), so they need more exclusive fields to stay apart.
+        width = 16 if root_tag == "country" else 10
+        exclusive = [
+            f"{_VARIANT_FIELDS[(variant * 3 + offset) % len(_VARIANT_FIELDS)]}"
+            f"_v{variant}"
+            for offset in range(width)
+        ]
+        return core, exclusive
+
+    def documents(self):
+        """Yield ``(name, Element)``; countries first (link targets)."""
+        rng = common.make_rng(self.seed)
+        total = self.document_count()
+        countries = self.country_count()
+
+        for index in range(countries):
+            yield f"country-{index}", self._country(rng, index)
+
+        emitted = countries
+        type_cycle = []
+        for root_tag, variants, share in _ROOT_TYPES[1:]:
+            count = max(1, round(share * total))
+            type_cycle.append([root_tag, variants, count, 0])
+        position = 0
+        city_count = 0
+        while emitted < total:
+            entry = type_cycle[position % len(type_cycle)]
+            root_tag, variants, count, produced = entry
+            if count > 0:
+                # Per-type counters drive the variant so every variant
+                # of every root type is instantiated (a global counter
+                # would alias with the type rotation).
+                variant = produced % variants
+                yield (
+                    f"{root_tag}-{emitted}",
+                    self._entity(rng, root_tag, variant, emitted, countries),
+                )
+                entry[2] -= 1
+                entry[3] += 1
+                if root_tag == "city":
+                    city_count += 1
+                emitted += 1
+            position += 1
+            if all(entry[2] <= 0 for entry in type_cycle):
+                # Exhausted shares; top up with cities.
+                while emitted < total:
+                    yield (
+                        f"city-{emitted}",
+                        self._entity(rng, "city", city_count % 20, emitted,
+                                     countries),
+                    )
+                    city_count += 1
+                    emitted += 1
+
+    def build_collection(self):
+        collection = DocumentCollection(name="mondial")
+        for name, root in self.documents():
+            collection.add_document(root, name=name)
+        return collection
+
+    # -- documents ---------------------------------------------------------------
+
+    def _country(self, rng, index):
+        variant = index % _ROOT_TYPES[0][1]
+        root = Element("country", {"id": f"c{index}"})
+        root.element("name", text=f"Country {index}")
+        root.element("capital", text=common.random_words(rng, 1))
+        root.element("population", text=str(rng.randint(10_000, 900_000_000)))
+        _core, exclusive = self._variant_fields("country", variant)
+        # The first 13 exclusive fields are mandatory: a sparse document
+        # would otherwise overlap a foreign variant above the merge
+        # threshold and collapse two guides into one.
+        for position, field in enumerate(exclusive):
+            if position < 13 or rng.random() < 0.85:
+                root.element(field, text=common.random_words(rng, 2))
+        borders = root.element("borders")
+        for _ in range(rng.randint(0, 3)):
+            borders.element(
+                "border", {"ref": f"c{rng.randrange(max(1, index))}"},
+                text=str(rng.randint(10, 4000)),
+            )
+        return root
+
+    def _entity(self, rng, root_tag, variant, index, countries):
+        root = Element(root_tag, {"id": f"{root_tag[0]}{index}"})
+        root.element("name", text=f"{root_tag.title()} {index}")
+        country_ref = f"c{rng.randrange(countries)}"
+        root.element("country_ref", {"ref": country_ref})
+        _core, exclusive = self._variant_fields(root_tag, variant)
+        # First 7 fields mandatory; see _country for the rationale.
+        for position, field in enumerate(exclusive):
+            if position < 7 or rng.random() < 0.85:
+                root.element(field, text=common.random_words(rng, 2))
+        return root

@@ -1,0 +1,142 @@
+"""Synthetic RecipeML collection (Table 1, row 3).
+
+The paper: 10988 documents collapsing to just 3 dataguides at the 40%
+threshold -- RecipeML documents are highly regular, with three broad
+structural variants.  The generator emits three templates (a basic
+recipe, a detailed recipe with nutrition, and a menu of sub-recipes);
+within a template, documents drop a few optional leaves (staying far
+above the merge threshold), while the templates pairwise overlap below
+it.
+"""
+
+from repro.datasets import common
+from repro.model.collection import DocumentCollection
+from repro.xmlio.dom import Element
+
+_INGREDIENTS = (
+    "flour sugar butter salt yeast milk egg vanilla cinnamon nutmeg "
+    "basil oregano thyme garlic onion tomato pepper olive chicken beef "
+    "pork lamb rice pasta bean lentil carrot celery potato leek"
+).split()
+
+
+class RecipeMLGenerator:
+    """Deterministic RecipeML-like generator with 3 structural variants."""
+
+    def __init__(self, seed=3, scale=1.0):
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+        self.seed = seed
+        self.scale = scale
+
+    def document_count(self):
+        return max(3, round(10988 * self.scale))
+
+    def documents(self):
+        rng = common.make_rng(self.seed)
+        total = self.document_count()
+        builders = (self._basic, self._detailed, self._menu)
+        for index in range(total):
+            builder = builders[index % 3]
+            yield f"recipe-{index}", builder(rng, index)
+
+    def build_collection(self):
+        collection = DocumentCollection(name="recipeml")
+        for name, root in self.documents():
+            collection.add_document(root, name=name)
+        return collection
+
+    # -- templates ----------------------------------------------------------
+
+    def _head(self, rng, root):
+        head = root.element("head")
+        head.element("title", text=common.random_words(rng, 3))
+        head.element("source", text=common.random_words(rng, 2))
+        return head
+
+    def _ingredients(self, rng, parent, detailed):
+        ingredients = parent.element("ing-div")
+        for _ in range(rng.randint(3, 6)):
+            ing = ingredients.element("ing")
+            amount = ing.element("amt")
+            amount.element("qty", text=str(rng.randint(1, 500)))
+            amount.element("unit", text=rng.choice(("g", "ml", "cup", "tsp")))
+            ing.element("item", text=rng.choice(_INGREDIENTS))
+            if detailed and rng.random() < 0.7:
+                ing.element("prep", text=rng.choice(
+                    ("chopped", "diced", "minced", "sliced")
+                ))
+        return ingredients
+
+    def _directions(self, rng, parent):
+        directions = parent.element("directions")
+        for _ in range(rng.randint(2, 5)):
+            directions.element("step", text=common.random_words(rng, 8))
+        return directions
+
+    def _basic(self, rng, index):
+        """Variant 1: head + ingredients + directions.
+
+        ``yield`` is always present (and absent from variant 2) so that
+        a basic document is never a path-subset of the detailed guide,
+        which would silently absorb it and distort the Table 1 counts.
+        """
+        root = Element("recipeml")
+        recipe = root.element("recipe")
+        self._head(rng, recipe)
+        self._ingredients(rng, recipe, detailed=False)
+        self._directions(rng, recipe)
+        recipe.element("yield", text=str(rng.randint(2, 12)))
+        if rng.random() < 0.5:
+            recipe.element("note", text=common.random_words(rng, 4))
+        return root
+
+    def _detailed(self, rng, index):
+        """Variant 2: nutrition (value/unit leaves) and equipment.
+
+        The nutrition subtree is deliberately deep (each field carries
+        ``value`` and ``unit`` children) so that the detailed variant's
+        path set is large enough to keep its overlap with the basic
+        variant below the 40% merge threshold, mirroring the real
+        RecipeML DTD's optional nutrition block.
+        """
+        root = Element("recipeml")
+        recipe = root.element("recipe")
+        self._head(rng, recipe)
+        self._ingredients(rng, recipe, detailed=True)
+        self._directions(rng, recipe)
+        nutrition = recipe.element("nutrition")
+        for field in ("calories", "fat", "protein", "carbohydrates",
+                      "sodium", "fiber", "cholesterol"):
+            if rng.random() < 0.9:
+                entry = nutrition.element(field)
+                entry.element("value", text=f"{rng.uniform(0, 900):.0f}")
+                entry.element("unit", text=rng.choice(("g", "mg", "kcal")))
+        equipment = recipe.element("equipment")
+        for _ in range(rng.randint(1, 3)):
+            equipment.element("tool", text=rng.choice(
+                ("whisk", "skillet", "oven", "blender", "dutch-oven")
+            ))
+        recipe.element("preptime", text=f"{rng.randint(5, 90)} min")
+        recipe.element("cooktime", text=f"{rng.randint(5, 240)} min")
+        return root
+
+    def _menu(self, rng, index):
+        """Variant 3: a menu composed of brief course entries."""
+        root = Element("recipeml")
+        menu = root.element("menu")
+        head = menu.element("head")
+        head.element("title", text=common.random_words(rng, 3))
+        head.element("cuisine", text=rng.choice(
+            ("french", "italian", "thai", "mexican", "indian")
+        ))
+        for _ in range(rng.randint(2, 4)):
+            course = menu.element("course")
+            course.element("name", text=common.random_words(rng, 2))
+            course.element("serving", text=str(rng.randint(1, 8)))
+            if rng.random() < 0.6:
+                course.element("wine-pairing", text=common.random_words(rng, 2))
+        menu.element("occasion", text=rng.choice(
+            ("dinner", "brunch", "banquet", "picnic")
+        ))
+        return root

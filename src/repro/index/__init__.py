@@ -1,0 +1,23 @@
+"""Indexing substrate: SEDA's stand-in for Lucene (Figure 4, Section 5).
+
+Two indexes back the system:
+
+* :class:`InvertedIndex` -- node-level full-text index.  Posting lists
+  map terms to the data nodes whose direct text contains them, in
+  global Dewey order, with in-node positions for phrase queries and
+  term frequencies for ranking.  This feeds the top-k search unit.
+* :class:`PathIndex` -- the Figure 8 index.  Every distinct
+  root-to-leaf path is a "virtual document"; posting lists map content
+  keywords (and tag names) to the set of paths they occur in.  Per the
+  paper's stated design choice, per-path occurrence counts are *not*
+  duplicated into the posting lists -- they live in the document store
+  (our :class:`~repro.model.collection.DocumentCollection` path table).
+
+:class:`IndexBuilder` populates both from a collection in one pass.
+"""
+
+from repro.index.builder import IndexBuilder
+from repro.index.inverted import InvertedIndex, Posting
+from repro.index.path_index import PathIndex
+
+__all__ = ["IndexBuilder", "InvertedIndex", "PathIndex", "Posting"]

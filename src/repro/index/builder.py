@@ -1,0 +1,30 @@
+"""Single-pass construction of both SEDA indexes."""
+
+from repro.index.inverted import InvertedIndex
+from repro.index.path_index import PathIndex
+from repro.text import Analyzer
+
+
+class IndexBuilder:
+    """Builds the inverted index and path index for a collection.
+
+    Incremental: ``build()`` indexes only documents added since the
+    previous call, so datasets can be streamed in.
+    """
+
+    def __init__(self, collection, analyzer=None):
+        self.collection = collection
+        self.analyzer = analyzer or Analyzer()
+        self.inverted = InvertedIndex(self.analyzer)
+        self.paths = PathIndex(self.analyzer)
+        self._built_upto = 0
+
+    def build(self):
+        """Index pending documents; returns (inverted, path) indexes."""
+        for document in self.collection.documents[self._built_upto :]:
+            for node in document.nodes:
+                self.paths.add_node(node.path, node.tag, node.direct_text)
+                if node.direct_text:
+                    self.inverted.add_node(node.node_id, node.direct_text)
+        self._built_upto = len(self.collection.documents)
+        return self.inverted, self.paths

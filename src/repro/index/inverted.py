@@ -1,0 +1,130 @@
+"""Node-level inverted index with positional postings."""
+
+import math
+
+
+class Posting:
+    """One node's occurrence list for one term.
+
+    ``positions`` are token ordinals within the node's analyzed direct
+    text, enabling exact phrase matching.
+    """
+
+    __slots__ = ("node_id", "positions")
+
+    def __init__(self, node_id, positions):
+        self.node_id = node_id
+        self.positions = tuple(positions)
+
+    @property
+    def term_frequency(self):
+        return len(self.positions)
+
+    def __eq__(self, other):
+        if not isinstance(other, Posting):
+            return NotImplemented
+        return self.node_id == other.node_id and self.positions == other.positions
+
+    def __repr__(self):
+        return f"Posting(node={self.node_id}, positions={self.positions})"
+
+
+class InvertedIndex:
+    """Term -> Dewey-ordered posting list over data nodes.
+
+    Global node ids are assigned in document order as documents are
+    added, so posting lists sorted by node id are automatically in
+    global Dewey order -- the order the twig processor consumes.
+    """
+
+    def __init__(self, analyzer):
+        self.analyzer = analyzer
+        self._postings = {}
+        self._indexed_nodes = 0
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, node_id, text):
+        """Index one node's direct text; no-op for empty text."""
+        tokens = self.analyzer.analyze(text)
+        if not tokens:
+            return
+        by_term = {}
+        for token in tokens:
+            by_term.setdefault(token.text, []).append(token.position)
+        for term, positions in by_term.items():
+            self._postings.setdefault(term, []).append(
+                Posting(node_id, positions)
+            )
+        self._indexed_nodes += 1
+
+    # -- lookups -----------------------------------------------------------
+
+    def postings(self, term):
+        """The posting list for an already-analyzed term (may be empty)."""
+        return self._postings.get(term, [])
+
+    def document_frequency(self, term):
+        """Number of nodes whose direct text contains ``term``."""
+        return len(self._postings.get(term, ()))
+
+    def inverse_document_frequency(self, term):
+        """Smoothed idf; unknown terms get the maximum idf."""
+        df = self.document_frequency(term)
+        return math.log((self._indexed_nodes + 1) / (df + 1)) + 1.0
+
+    def vocabulary(self):
+        return sorted(self._postings)
+
+    @property
+    def indexed_nodes(self):
+        return self._indexed_nodes
+
+    # -- matching helpers ------------------------------------------------------
+
+    def nodes_with_term(self, term):
+        """Node ids containing ``term``, in Dewey order."""
+        return [posting.node_id for posting in self.postings(term)]
+
+    def nodes_with_phrase(self, terms):
+        """Node ids whose direct text contains the exact phrase ``terms``.
+
+        Classic positional intersection: candidate nodes must contain
+        every term, with positions increasing by one across the phrase.
+        """
+        if not terms:
+            return []
+        if len(terms) == 1:
+            return self.nodes_with_term(terms[0])
+        lists = [self.postings(term) for term in terms]
+        if any(not plist for plist in lists):
+            return []
+        # Intersect on node_id (all lists are sorted by node_id).
+        result = []
+        cursors = [0] * len(lists)
+        while all(cursors[i] < len(lists[i]) for i in range(len(lists))):
+            current = [lists[i][cursors[i]].node_id for i in range(len(lists))]
+            high = max(current)
+            if all(value == high for value in current):
+                postings = [lists[i][cursors[i]] for i in range(len(lists))]
+                if self._phrase_at(postings):
+                    result.append(high)
+                cursors = [cursor + 1 for cursor in cursors]
+            else:
+                for i in range(len(lists)):
+                    while (
+                        cursors[i] < len(lists[i])
+                        and lists[i][cursors[i]].node_id < high
+                    ):
+                        cursors[i] += 1
+        return result
+
+    @staticmethod
+    def _phrase_at(postings):
+        """True when the postings (one per phrase term, same node) align."""
+        first = set(postings[0].positions)
+        for offset, posting in enumerate(postings[1:], start=1):
+            first &= {position - offset for position in posting.positions}
+            if not first:
+                return False
+        return True

@@ -1,0 +1,79 @@
+"""The Figure 8 path full-text index.
+
+"This full-text index contains all keywords that appear in the data set
+as content, as well as all the tag names.  Each distinct path is
+treated as a virtual document.  Hence, the posting lists contain all
+the paths a given word appears in.  We store the count of occurrences
+of each path in the document store."  (Section 5)
+
+Accordingly, this index stores only term -> set-of-paths; occurrence
+counts are fetched from the collection's path table when a summary
+needs them.  Tag names are indexed separately from content keywords so
+that probing by tag (context = node name) does not collide with a data
+value that happens to equal a tag name.
+"""
+
+
+class PathIndex:
+    """Keyword/tag -> distinct root-to-leaf paths."""
+
+    def __init__(self, analyzer):
+        self.analyzer = analyzer
+        self._content_paths = {}
+        self._tag_paths = {}
+        self._all_paths = set()
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, path, tag, text):
+        """Register one node's path under its tag and content terms."""
+        self._all_paths.add(path)
+        self._tag_paths.setdefault(tag, set()).add(path)
+        if text:
+            for token in self.analyzer.analyze(text):
+                self._content_paths.setdefault(token.text, set()).add(path)
+
+    # -- probes (Section 5's three usage modes) ------------------------------
+
+    def paths_for_term(self, term):
+        """Distinct paths whose node content contains the analyzed term."""
+        return set(self._content_paths.get(term, ()))
+
+    def paths_for_tag(self, tag):
+        """Distinct paths whose *leaf* node name is ``tag``.
+
+        Supports ``*`` wildcards (e.g. ``trade*``): per Definition 3 the
+        context of a query term may be a keyword query over tag names,
+        allowing wildcards.
+        """
+        if "*" not in tag:
+            return set(self._tag_paths.get(tag, ()))
+        import fnmatch
+
+        matched = set()
+        for candidate, paths in self._tag_paths.items():
+            if fnmatch.fnmatchcase(candidate, tag):
+                matched |= paths
+        return matched
+
+    def paths_for_path(self, path):
+        """Probe with a full root-to-leaf path (Section 5: use the last
+        tag name of the path, then confirm the full path)."""
+        leaf = path.rsplit("/", 1)[-1]
+        return {
+            candidate
+            for candidate in self._tag_paths.get(leaf, ())
+            if candidate == path
+        }
+
+    def all_paths(self):
+        return set(self._all_paths)
+
+    def tags(self):
+        return sorted(self._tag_paths)
+
+    def vocabulary(self):
+        return sorted(self._content_paths)
+
+    def __len__(self):
+        return len(self._all_paths)

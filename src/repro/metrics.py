@@ -1,0 +1,159 @@
+"""Effectiveness metrics for SEDA-style exploration (Section 8).
+
+The paper's closing future-work item: "defining proper metrics to
+evaluate a system like SEDA in terms of its effectiveness."  This
+module proposes and implements the natural candidates, used by the
+evaluation harness:
+
+* **Result quality** against a ground-truth tuple set: precision,
+  recall, F1 (:func:`precision_recall`), plus rank-aware variants for
+  top-k output (:func:`average_precision`, :func:`reciprocal_rank`).
+* **Disambiguation effort**: how much interpretation ambiguity the
+  summaries remove, measured as the log-reduction in term-context
+  combinations between exploration steps
+  (:func:`disambiguation_gain`), and how many user choices a session
+  took (:class:`SessionEffort`).
+* **Summary fidelity**: the share of presented connections that are
+  real (instantiated by some result) rather than dataguide-merge
+  artifacts (:func:`connection_precision`).
+"""
+
+import math
+
+
+# -- result quality -----------------------------------------------------------
+
+def precision_recall(retrieved, relevant):
+    """``(precision, recall, f1)`` over tuple sets.
+
+    ``retrieved`` and ``relevant`` are iterables of hashable result
+    identifiers (e.g. node-id tuples).  Empty retrieved sets have
+    precision 1.0 by convention only when nothing is relevant.
+    """
+    retrieved = set(retrieved)
+    relevant = set(relevant)
+    hits = len(retrieved & relevant)
+    if not retrieved:
+        precision = 1.0 if not relevant else 0.0
+    else:
+        precision = hits / len(retrieved)
+    if not relevant:
+        recall = 1.0
+    else:
+        recall = hits / len(relevant)
+    if precision + recall == 0.0:
+        f1 = 0.0
+    else:
+        f1 = 2 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def average_precision(ranked, relevant):
+    """AP of a ranked result list against a relevant set.
+
+    Each relevant item is credited at its first occurrence only, so a
+    ranking that repeats an answer cannot inflate the score.
+    """
+    relevant = set(relevant)
+    if not relevant:
+        return 1.0
+    hits = 0
+    precision_sum = 0.0
+    credited = set()
+    for rank, item in enumerate(ranked, start=1):
+        if item in relevant and item not in credited:
+            credited.add(item)
+            hits += 1
+            precision_sum += hits / rank
+    if hits == 0:
+        return 0.0
+    return precision_sum / len(relevant)
+
+
+def reciprocal_rank(ranked, relevant):
+    """1 / rank of the first relevant item (0 when none appears)."""
+    relevant = set(relevant)
+    for rank, item in enumerate(ranked, start=1):
+        if item in relevant:
+            return 1.0 / rank
+    return 0.0
+
+
+# -- disambiguation effort -------------------------------------------------------
+
+def combination_count(context_summary):
+    """Number of term-context combinations a summary presents."""
+    return context_summary.combination_count()
+
+
+def disambiguation_gain(before_combinations, after_combinations):
+    """Bits of interpretation ambiguity removed by a refinement step.
+
+    Example 1's twelve combinations collapsing to one is
+    ``log2(12) - log2(1) ~ 3.58`` bits of gain.
+    """
+    if before_combinations < 1 or after_combinations < 1:
+        raise ValueError("combination counts must be >= 1")
+    return math.log2(before_combinations) - math.log2(after_combinations)
+
+
+class SessionEffort:
+    """Counts the user interactions a SEDA session consumed.
+
+    Effectiveness is not only answer quality but how *few* choices the
+    user had to make to reach a precise query -- the system's core
+    pitch.  Track with :meth:`record_context_choice` /
+    :meth:`record_connection_choice` and read the totals.
+    """
+
+    def __init__(self):
+        self.context_choices = 0
+        self.connection_choices = 0
+        self.searches = 1
+
+    def record_search(self):
+        self.searches += 1
+
+    def record_context_choice(self, count=1):
+        self.context_choices += count
+
+    def record_connection_choice(self, count=1):
+        self.connection_choices += count
+
+    @property
+    def total_interactions(self):
+        return self.context_choices + self.connection_choices
+
+    def summary(self):
+        return {
+            "searches": self.searches,
+            "context_choices": self.context_choices,
+            "connection_choices": self.connection_choices,
+            "total_interactions": self.total_interactions,
+        }
+
+
+# -- summary fidelity --------------------------------------------------------------
+
+def connection_precision(presented, instantiated):
+    """Share of presented connections that are real.
+
+    ``presented`` is the connection list shown to the user;
+    ``instantiated`` the subset confirmed by actual result tuples.  The
+    complement is the Section 6.1 false-positive rate caused by
+    dataguide merging.
+    """
+    presented = list(presented)
+    if not presented:
+        return 1.0
+    instantiated = set(instantiated)
+    real = sum(1 for connection in presented if connection in instantiated)
+    return real / len(presented)
+
+
+def dataguide_false_positive_rate(dataguide_set):
+    """The Section 6.1 merge-artifact rate for a dataguide set."""
+    false_pairs, total_pairs = dataguide_set.false_positive_pairs()
+    if total_pairs == 0:
+        return 0.0
+    return false_pairs / total_pairs

@@ -1,0 +1,27 @@
+"""SEDA data model: Dewey IDs, data nodes, documents, and the data graph.
+
+Implements Section 3 of the paper (Definitions 2-4): XML collections are
+modeled as a directed graph whose nodes are element and attribute nodes
+and whose edges capture four relationship kinds -- parent/child, IDREF,
+XLink/XPointer, and value-based (primary key / foreign key).
+"""
+
+from repro.model.collection import DocumentCollection
+from repro.model.dewey import DeweyID
+from repro.model.document import Document
+from repro.model.graph import DataGraph, Edge, EdgeKind
+from repro.model.links import LinkDiscoverer, ValueLinkSpec
+from repro.model.node import DataNode, NodeKind
+
+__all__ = [
+    "DataGraph",
+    "DataNode",
+    "DeweyID",
+    "Document",
+    "DocumentCollection",
+    "Edge",
+    "EdgeKind",
+    "LinkDiscoverer",
+    "NodeKind",
+    "ValueLinkSpec",
+]

@@ -1,0 +1,98 @@
+"""A single XML document materialized as data nodes."""
+
+from repro.model.dewey import DeweyID
+from repro.model.node import DataNode, NodeKind, attribute_step, join_path
+from repro.xmlio.dom import Element
+
+
+class Document:
+    """One document of a collection, flattened into data nodes.
+
+    Nodes are stored in document order; ``nodes[0]`` is the root.  The
+    document also keeps a Dewey -> node map so that node references from
+    query results can be resolved in O(1).
+    """
+
+    __slots__ = ("doc_id", "name", "nodes", "_by_dewey")
+
+    def __init__(self, doc_id, name):
+        self.doc_id = doc_id
+        self.name = name
+        self.nodes = []
+        self._by_dewey = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_element(cls, doc_id, name, root, id_allocator):
+        """Build a document from a parsed :class:`Element` tree.
+
+        ``id_allocator`` is a callable returning fresh global node ids;
+        the collection passes its own counter so that node ids are unique
+        across documents.
+        """
+        if not isinstance(root, Element):
+            raise TypeError("document root must be an Element")
+        document = cls(doc_id, name)
+        document._build(root, DeweyID.root(), None, "", id_allocator)
+        return document
+
+    def _build(self, element, dewey, parent_id, parent_path, id_allocator):
+        path = join_path(parent_path, element.tag)
+        node = DataNode(
+            node_id=id_allocator(),
+            doc_id=self.doc_id,
+            dewey=dewey,
+            tag=element.tag,
+            kind=NodeKind.ELEMENT,
+            path=path,
+            parent_id=parent_id,
+            direct_text=element.text,
+        )
+        self._register(node)
+        ordinal = 0
+        for name, value in element.attributes.items():
+            ordinal += 1
+            attr = DataNode(
+                node_id=id_allocator(),
+                doc_id=self.doc_id,
+                dewey=dewey.child(ordinal),
+                tag=attribute_step(name),
+                kind=NodeKind.ATTRIBUTE,
+                path=join_path(path, attribute_step(name)),
+                parent_id=node.node_id,
+                direct_text=value,
+            )
+            self._register(attr)
+            node.child_ids.append(attr.node_id)
+        for child in element.iter_elements():
+            ordinal += 1
+            child_node = self._build(
+                child, dewey.child(ordinal), node.node_id, path, id_allocator
+            )
+            node.child_ids.append(child_node.node_id)
+        return node
+
+    def _register(self, node):
+        self.nodes.append(node)
+        self._by_dewey[node.dewey] = node
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def root(self):
+        return self.nodes[0]
+
+    def node_at(self, dewey):
+        """The node with the given :class:`DeweyID`, or ``None``."""
+        return self._by_dewey.get(dewey)
+
+    def paths(self):
+        """The set of distinct root-to-leaf context paths in this document."""
+        return {node.path for node in self.nodes}
+
+    def __len__(self):
+        return len(self.nodes)
+
+    def __repr__(self):
+        return f"Document(id={self.doc_id}, name={self.name!r}, nodes={len(self.nodes)})"

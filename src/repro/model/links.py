@@ -1,0 +1,178 @@
+"""Discovery of non-tree edges: IDREF, XLink/XPointer, and value links.
+
+The paper assumes value-based relationships "are provided as input into
+the system" (Section 3) and notes that ID/IDREF and XLink edges require
+preprocessing of the XML data.  This module is that preprocessing step:
+
+* :meth:`LinkDiscoverer.discover_idrefs` wires ``idref``/``idrefs``
+  attributes to the elements carrying the matching ``id`` attribute.
+* :meth:`LinkDiscoverer.discover_xlinks` resolves ``xlink:href``-style
+  fragment pointers, within and across documents.
+* :meth:`LinkDiscoverer.apply_value_links` materializes caller-provided
+  primary-key/foreign-key specs (:class:`ValueLinkSpec`) by joining on
+  equal content, mirroring Definition 2(4).
+"""
+
+import collections
+
+from repro.model.graph import EdgeKind
+
+ID_ATTRIBUTE_NAMES = frozenset({"id", "ID", "xml:id"})
+IDREF_ATTRIBUTE_NAMES = frozenset({"idref", "IDREF", "ref"})
+IDREFS_ATTRIBUTE_NAMES = frozenset({"idrefs", "IDREFS", "refs"})
+XLINK_ATTRIBUTE_NAMES = frozenset({"xlink:href", "href", "xpointer"})
+
+
+class ValueLinkSpec:
+    """A caller-provided value-based relationship (Definition 2, item 4).
+
+    ``primary_path`` identifies primary-key nodes; ``foreign_path``
+    identifies foreign-key nodes.  An edge is added from every foreign
+    node to every primary node whose content is equal.  ``label`` names
+    the relationship (cf. the dashed, labeled edges of Figure 1).
+    """
+
+    __slots__ = ("primary_path", "foreign_path", "label")
+
+    def __init__(self, primary_path, foreign_path, label=None):
+        self.primary_path = primary_path
+        self.foreign_path = foreign_path
+        self.label = label
+
+    def __repr__(self):
+        return (
+            f"ValueLinkSpec(primary={self.primary_path!r}, "
+            f"foreign={self.foreign_path!r}, label={self.label!r})"
+        )
+
+
+class LinkDiscoverer:
+    """Adds non-tree edges to a :class:`~repro.model.graph.DataGraph`."""
+
+    def __init__(self, graph):
+        self.graph = graph
+        self.collection = graph.collection
+
+    # -- ID / IDREF ---------------------------------------------------------
+
+    def _id_table(self):
+        """Map attribute id value -> element node id (collection-wide)."""
+        table = {}
+        for node in self.collection.iter_nodes():
+            if not node.is_attribute:
+                continue
+            name = node.tag.lstrip("@")
+            if name in ID_ATTRIBUTE_NAMES and node.direct_text:
+                # First definition wins, as in DTD ID semantics.
+                table.setdefault(node.direct_text, node.parent_id)
+        return table
+
+    def discover_idrefs(self):
+        """Wire idref/idrefs attributes to their targets; returns edges."""
+        ids = self._id_table()
+        edges = []
+        for node in self.collection.iter_nodes():
+            if not node.is_attribute or not node.direct_text:
+                continue
+            name = node.tag.lstrip("@")
+            if name in IDREF_ATTRIBUTE_NAMES:
+                values = [node.direct_text]
+            elif name in IDREFS_ATTRIBUTE_NAMES:
+                values = node.direct_text.split()
+            else:
+                continue
+            for value in values:
+                target = ids.get(value)
+                if target is not None and target != node.parent_id:
+                    edges.append(
+                        self.graph.add_edge(
+                            node.parent_id, target, EdgeKind.IDREF, label=name
+                        )
+                    )
+        return edges
+
+    # -- XLink / XPointer --------------------------------------------------------
+
+    def discover_xlinks(self):
+        """Resolve fragment-style XLink/XPointer hrefs; returns edges.
+
+        Supported forms: ``#fragment`` (same collection, by id) and
+        ``document-name#fragment``.  Anything else (external URLs) is
+        ignored -- SEDA only adds edges between nodes it stores.
+        """
+        ids = self._id_table()
+        by_doc_name = {}
+        for document in self.collection.documents:
+            by_doc_name[document.name] = document
+        edges = []
+        for node in self.collection.iter_nodes():
+            if not node.is_attribute or not node.direct_text:
+                continue
+            name = node.tag.lstrip("@")
+            if name not in XLINK_ATTRIBUTE_NAMES:
+                continue
+            href = node.direct_text
+            if "#" not in href:
+                continue
+            doc_name, fragment = href.split("#", 1)
+            if not fragment:
+                continue
+            target = None
+            if not doc_name:
+                target = ids.get(fragment)
+            elif doc_name in by_doc_name:
+                target = ids.get(fragment)
+                if target is not None:
+                    owner = self.collection.node(target).doc_id
+                    if self.collection.document(owner).name != doc_name:
+                        target = None
+            if target is not None and target != node.parent_id:
+                edges.append(
+                    self.graph.add_edge(
+                        node.parent_id, target, EdgeKind.XLINK, label=name
+                    )
+                )
+        return edges
+
+    # -- value-based links --------------------------------------------------------
+
+    def apply_value_links(self, specs):
+        """Materialize value-based PK/FK edges from ``specs``.
+
+        Uses a hash join on node content: O(P + F) per spec where P and F
+        are the node counts on the primary and foreign paths.
+        """
+        edges = []
+        by_path = collections.defaultdict(list)
+        wanted = set()
+        for spec in specs:
+            wanted.add(spec.primary_path)
+            wanted.add(spec.foreign_path)
+        for node in self.collection.iter_nodes():
+            if node.path in wanted:
+                by_path[node.path].append(node)
+        for spec in specs:
+            primaries = collections.defaultdict(list)
+            for node in by_path.get(spec.primary_path, ()):
+                if node.value:
+                    primaries[node.value].append(node)
+            for foreign in by_path.get(spec.foreign_path, ()):
+                for primary in primaries.get(foreign.value, ()):
+                    if primary.node_id == foreign.node_id:
+                        continue
+                    edges.append(
+                        self.graph.add_edge(
+                            foreign.node_id,
+                            primary.node_id,
+                            EdgeKind.VALUE,
+                            label=spec.label,
+                        )
+                    )
+        return edges
+
+    def discover_all(self, value_specs=()):
+        """Run all discovery passes; returns the list of added edges."""
+        edges = self.discover_idrefs()
+        edges.extend(self.discover_xlinks())
+        edges.extend(self.apply_value_links(value_specs))
+        return edges

@@ -1,0 +1,94 @@
+"""Data nodes: the vertices of the SEDA data graph.
+
+A data node is an XML element or attribute (the paper treats
+element-attribute relationships as a special case of parent/child,
+footnote 6).  Every node carries its *context* -- the root-to-leaf path
+of tag names -- and exposes its *content* -- the concatenation of all
+descendant text (Section 3).
+"""
+
+import enum
+
+
+class NodeKind(enum.Enum):
+    """Kind of a data node."""
+
+    ELEMENT = "element"
+    ATTRIBUTE = "attribute"
+
+
+class DataNode:
+    """One element or attribute node inside a document.
+
+    Identity is the global integer ``node_id`` assigned by the collection;
+    position is the pair ``(doc_id, dewey)``.  ``path`` is the paper's
+    ``context(n)`` as a string such as ``/country/economy/GDP`` (attribute
+    nodes use an ``@`` prefix on the last step, e.g. ``/country/@name``).
+    """
+
+    __slots__ = (
+        "node_id",
+        "doc_id",
+        "dewey",
+        "tag",
+        "kind",
+        "path",
+        "parent_id",
+        "child_ids",
+        "direct_text",
+        "_content",
+    )
+
+    def __init__(self, node_id, doc_id, dewey, tag, kind, path, parent_id,
+                 direct_text=""):
+        self.node_id = node_id
+        self.doc_id = doc_id
+        self.dewey = dewey
+        self.tag = tag
+        self.kind = kind
+        self.path = path
+        self.parent_id = parent_id
+        self.child_ids = []
+        self.direct_text = direct_text
+        self._content = None
+
+    @property
+    def is_attribute(self):
+        return self.kind is NodeKind.ATTRIBUTE
+
+    @property
+    def value(self):
+        """The node's *own* value: its direct text, stripped.
+
+        Distinct from the paper's ``content(n)`` (all descendant text,
+        used for search): value extraction -- cube measures, dimension
+        members, value-based joins -- reads the node's own text, which
+        is what Figure 2's graphs display next to each node (the
+        ``country`` node's value is "United States", not the whole
+        document's text).
+        """
+        return self.direct_text.strip()
+
+    @property
+    def is_root(self):
+        return self.parent_id is None
+
+    def ref(self):
+        """The ``(doc_id, dewey)`` node reference used in result tuples."""
+        return (self.doc_id, self.dewey)
+
+    def __repr__(self):
+        return (
+            f"DataNode(id={self.node_id}, doc={self.doc_id}, "
+            f"dewey={self.dewey}, path={self.path!r})"
+        )
+
+
+def attribute_step(name):
+    """The path step used for an attribute node named ``name``."""
+    return f"@{name}"
+
+
+def join_path(parent_path, step):
+    """Append ``step`` to a parent context path."""
+    return f"{parent_path}/{step}"

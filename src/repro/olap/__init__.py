@@ -1,0 +1,15 @@
+"""A small OLAP engine: the "off-the-shelf OLAP tool" of the paper.
+
+SEDA's final step feeds star-schema tables "into an OLAP tool to
+compute the data cubes, one per fact table, and the desired aggregation
+functions for further analysis".  This package is that consumer: it
+builds a :class:`Cube` per fact table and supports roll-up,
+drill-down, slice, dice, and pivot with the standard aggregates.
+"""
+
+from repro.olap.aggregates import AGGREGATES, aggregate
+from repro.olap.cube import Cube
+from repro.olap.engine import OLAPEngine
+from repro.olap.hierarchy import Hierarchy
+
+__all__ = ["AGGREGATES", "Cube", "Hierarchy", "OLAPEngine", "aggregate"]

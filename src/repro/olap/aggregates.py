@@ -1,0 +1,55 @@
+"""Aggregation functions over measure value lists.
+
+``None`` values (unparseable or missing measures) are skipped, matching
+SQL aggregate NULL semantics.
+"""
+
+
+def _clean(values):
+    return [value for value in values if isinstance(value, (int, float))]
+
+
+def agg_sum(values):
+    cleaned = _clean(values)
+    return sum(cleaned) if cleaned else None
+
+
+def agg_count(values):
+    return len(_clean(values))
+
+
+def agg_avg(values):
+    cleaned = _clean(values)
+    if not cleaned:
+        return None
+    return sum(cleaned) / len(cleaned)
+
+
+def agg_min(values):
+    cleaned = _clean(values)
+    return min(cleaned) if cleaned else None
+
+
+def agg_max(values):
+    cleaned = _clean(values)
+    return max(cleaned) if cleaned else None
+
+
+AGGREGATES = {
+    "sum": agg_sum,
+    "count": agg_count,
+    "avg": agg_avg,
+    "min": agg_min,
+    "max": agg_max,
+}
+
+
+def aggregate(name, values):
+    """Apply the named aggregate; raises ``KeyError`` on unknown names."""
+    try:
+        function = AGGREGATES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown aggregate {name!r}; choose from {sorted(AGGREGATES)}"
+        ) from None
+    return function(values)

@@ -1,0 +1,130 @@
+"""Data cubes over fact tables."""
+
+from repro.olap.aggregates import aggregate
+
+
+class Cube:
+    """A cube: dimension coordinates -> measure value lists.
+
+    Built from a :class:`~repro.cube.star.FactTable`; one cube per fact
+    table, as in the paper's final step.  All operations return plain
+    data or new :class:`Cube` instances -- cubes are immutable.
+    """
+
+    def __init__(self, dimensions, measure, cells):
+        self.dimensions = list(dimensions)
+        self.measure = measure
+        # cells: {coordinate tuple (aligned with dimensions): [values]}
+        self._cells = cells
+
+    @classmethod
+    def from_fact_table(cls, fact_table, measure=None):
+        """Build a cube from a fact table (first measure by default)."""
+        if measure is None:
+            measure = fact_table.measures[0]
+        measure_pos = len(fact_table.key_columns) + fact_table.measures.index(
+            measure
+        )
+        cells = {}
+        for row in fact_table.rows:
+            coordinate = fact_table.key_of(row)
+            cells.setdefault(coordinate, []).append(row[measure_pos])
+        return cls(fact_table.key_columns, measure, cells)
+
+    # -- inspection -----------------------------------------------------------
+
+    def members(self, dimension):
+        """Distinct coordinate values along one dimension."""
+        axis = self._axis(dimension)
+        return sorted(
+            {coordinate[axis] for coordinate in self._cells},
+            key=lambda value: (value is None, str(value)),
+        )
+
+    def cell_count(self):
+        return len(self._cells)
+
+    def _axis(self, dimension):
+        try:
+            return self.dimensions.index(dimension)
+        except ValueError:
+            raise KeyError(
+                f"unknown dimension {dimension!r}; cube has {self.dimensions}"
+            ) from None
+
+    # -- OLAP operations ----------------------------------------------------------
+
+    def slice(self, dimension, value):
+        """Fix one dimension to a value; the dimension is removed."""
+        axis = self._axis(dimension)
+        cells = {}
+        for coordinate, values in self._cells.items():
+            if coordinate[axis] != value:
+                continue
+            reduced = coordinate[:axis] + coordinate[axis + 1 :]
+            cells.setdefault(reduced, []).extend(values)
+        dimensions = [d for d in self.dimensions if d != dimension]
+        return Cube(dimensions, self.measure, cells)
+
+    def dice(self, dimension, values):
+        """Keep only cells whose coordinate is in ``values``."""
+        axis = self._axis(dimension)
+        allowed = set(values)
+        cells = {
+            coordinate: list(cell_values)
+            for coordinate, cell_values in self._cells.items()
+            if coordinate[axis] in allowed
+        }
+        return Cube(list(self.dimensions), self.measure, cells)
+
+    def rollup(self, keep_dimensions):
+        """Aggregate away all dimensions not in ``keep_dimensions``."""
+        axes = [self._axis(dimension) for dimension in keep_dimensions]
+        cells = {}
+        for coordinate, values in self._cells.items():
+            reduced = tuple(coordinate[axis] for axis in axes)
+            cells.setdefault(reduced, []).extend(values)
+        return Cube(list(keep_dimensions), self.measure, cells)
+
+    def drilldown_from(self, coarse_dimensions):
+        """Return this cube's dimensions finer than a rolled-up view.
+
+        Drill-down is re-expansion toward the base cube; callers keep
+        the base cube around and roll up less aggressively.
+        """
+        return [d for d in self.dimensions if d not in coarse_dimensions]
+
+    # -- aggregation -------------------------------------------------------------
+
+    def aggregate(self, agg="sum", group_by=None):
+        """Aggregate the measure, optionally grouped.
+
+        Without ``group_by`` returns a scalar; with it, a dict mapping
+        group coordinates (tuples) to aggregated values.
+        """
+        if group_by is None:
+            all_values = []
+            for values in self._cells.values():
+                all_values.extend(values)
+            return aggregate(agg, all_values)
+        rolled = self.rollup(group_by)
+        return {
+            coordinate: aggregate(agg, values)
+            for coordinate, values in rolled._cells.items()
+        }
+
+    def pivot(self, row_dimension, column_dimension, agg="sum"):
+        """A 2-D pivot table: {row: {column: aggregated value}}."""
+        grouped = self.aggregate(
+            agg=agg, group_by=[row_dimension, column_dimension]
+        )
+        table = {}
+        for (row_value, column_value), value in grouped.items():
+            table.setdefault(row_value, {})[column_value] = value
+        return table
+
+    def __repr__(self):
+        return (
+            f"Cube(dimensions={self.dimensions}, measure={self.measure!r}, "
+            f"cells={len(self._cells)})"
+        )

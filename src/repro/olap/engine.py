@@ -1,0 +1,61 @@
+"""The OLAP engine facade: cubes from a star schema, plus rendering."""
+
+from repro.olap.cube import Cube
+
+
+class OLAPEngine:
+    """Consumes a :class:`~repro.cube.star.StarSchema`.
+
+    One cube per fact table ("we feed these tables into an OLAP-tool to
+    compute the data cubes, one per fact table").  Cubes are built
+    lazily and cached per (fact, measure).
+    """
+
+    def __init__(self, star_schema):
+        self.star_schema = star_schema
+        self._cubes = {}
+
+    def cube(self, fact_name, measure=None):
+        """The cube for one fact table (first measure by default)."""
+        table = self.star_schema.fact(fact_name)
+        if measure is None:
+            measure = table.measures[0]
+        key = (fact_name, measure)
+        if key not in self._cubes:
+            self._cubes[key] = Cube.from_fact_table(table, measure)
+        return self._cubes[key]
+
+    def cubes(self):
+        """All cubes, one per fact table."""
+        return [self.cube(name) for name in self.star_schema.fact_tables]
+
+    def report(self, fact_name, group_by, agg="sum", measure=None):
+        """Grouped aggregate rows, sorted: ``[(coordinate..., value)]``."""
+        cube = self.cube(fact_name, measure)
+        grouped = cube.aggregate(agg=agg, group_by=group_by)
+        return [
+            coordinate + (value,)
+            for coordinate, value in sorted(
+                grouped.items(), key=lambda item: tuple(map(str, item[0]))
+            )
+        ]
+
+    @staticmethod
+    def render_pivot(pivot, row_label="", float_format="{:.2f}"):
+        """Plain-text rendering of a :meth:`Cube.pivot` table."""
+        columns = sorted(
+            {column for row in pivot.values() for column in row},
+            key=str,
+        )
+        header = [row_label] + [str(column) for column in columns]
+        lines = ["\t".join(header)]
+        for row_value in sorted(pivot, key=str):
+            cells = [str(row_value)]
+            for column in columns:
+                value = pivot[row_value].get(column)
+                if isinstance(value, float):
+                    cells.append(float_format.format(value))
+                else:
+                    cells.append("" if value is None else str(value))
+            lines.append("\t".join(cells))
+        return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Dimension hierarchies for multi-level roll-ups.
+
+A hierarchy maps members of a base dimension to coarser levels (e.g.
+country -> continent -> all).  SEDA's generated dimensions are flat;
+hierarchies let the OLAP layer support the customary drill paths on
+top of them.
+"""
+
+
+class Hierarchy:
+    """Named levels over one dimension.
+
+    ``levels`` is an ordered list of ``(level_name, mapping)`` pairs
+    from finest to coarsest; each mapping takes a base member to its
+    ancestor at that level (dict or callable).  Unmapped members roll
+    into ``other``.
+    """
+
+    def __init__(self, dimension, levels, other="(other)"):
+        self.dimension = dimension
+        self.levels = []
+        self.other = other
+        for name, mapping in levels:
+            if callable(mapping):
+                self.levels.append((name, mapping))
+            else:
+                table = dict(mapping)
+                self.levels.append(
+                    (name, lambda member, table=table: table.get(member))
+                )
+        self._level_names = [name for name, _ in self.levels]
+
+    def level_names(self):
+        return list(self._level_names)
+
+    def map_member(self, member, level_name):
+        """The ancestor of ``member`` at ``level_name``."""
+        for name, mapping in self.levels:
+            if name == level_name:
+                value = mapping(member)
+                return value if value is not None else self.other
+        raise KeyError(
+            f"unknown level {level_name!r}; hierarchy has {self._level_names}"
+        )
+
+    def rollup_cube(self, cube, level_name):
+        """A new cube with this hierarchy's dimension coarsened.
+
+        The dimension keeps its position but its coordinates become
+        level members; cells merge accordingly.
+        """
+        from repro.olap.cube import Cube
+
+        axis = cube.dimensions.index(self.dimension)
+        cells = {}
+        for coordinate, values in cube._cells.items():
+            mapped = self.map_member(coordinate[axis], level_name)
+            new_coordinate = (
+                coordinate[:axis] + (mapped,) + coordinate[axis + 1 :]
+            )
+            cells.setdefault(new_coordinate, []).extend(values)
+        dimensions = list(cube.dimensions)
+        dimensions[axis] = f"{self.dimension}:{level_name}"
+        return Cube(dimensions, cube.measure, cells)

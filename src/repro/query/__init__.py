@@ -1,0 +1,57 @@
+"""SEDA query language (Section 3, Definitions 3-4).
+
+A query is a set of *query terms*; each term is a pair
+``(context, search_query)``:
+
+* ``search_query`` is a full-text expression -- keywords, ``"quoted
+  phrases"``, ``AND`` / ``OR`` / ``NOT``, parentheses, or ``*`` for
+  "any content".
+* ``context`` is empty (``*``), a root-to-leaf path (``/country/year``),
+  a tag-name pattern with wildcards (``trade*``), or a ``|``-separated
+  disjunction of those.
+
+:class:`TermMatcher` evaluates terms against the indexes and implements
+the Definition 3 satisfaction test.
+"""
+
+from repro.query.ast import (
+    And,
+    Keyword,
+    MatchAll,
+    Not,
+    Or,
+    Phrase,
+    QuerySyntaxError,
+)
+from repro.query.matcher import TermMatcher
+from repro.query.parser import parse_query_text
+from repro.query.term import (
+    Context,
+    ContextDisjunction,
+    EmptyContext,
+    PathContext,
+    Query,
+    QueryTerm,
+    TagContext,
+    parse_context,
+)
+
+__all__ = [
+    "And",
+    "Context",
+    "ContextDisjunction",
+    "EmptyContext",
+    "Keyword",
+    "MatchAll",
+    "Not",
+    "Or",
+    "PathContext",
+    "Phrase",
+    "Query",
+    "QuerySyntaxError",
+    "QueryTerm",
+    "TagContext",
+    "TermMatcher",
+    "parse_context",
+    "parse_query_text",
+]

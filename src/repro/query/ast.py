@@ -1,0 +1,128 @@
+"""Full-text search expression AST.
+
+The search query of a query term "can be a simple bag of keywords, a
+phrase query or a boolean combination of those" (Section 3).  The AST
+mirrors that: :class:`Keyword`, :class:`Phrase`, :class:`And`,
+:class:`Or`, :class:`Not`, plus :class:`MatchAll` for the ``*`` query
+used by terms like ``(trade_country, *)`` in Query 1.
+"""
+
+
+class QuerySyntaxError(ValueError):
+    """Malformed search query text."""
+
+
+class SearchExpr:
+    """Base class for search expressions."""
+
+    def terms(self):
+        """All keyword terms mentioned (for ranking and TA streams)."""
+        raise NotImplementedError
+
+
+class MatchAll(SearchExpr):
+    """Matches every node regardless of content (the ``*`` query)."""
+
+    def terms(self):
+        return []
+
+    def __eq__(self, other):
+        return isinstance(other, MatchAll)
+
+    def __hash__(self):
+        return hash(MatchAll)
+
+    def __repr__(self):
+        return "MatchAll()"
+
+
+class Keyword(SearchExpr):
+    """A single (analyzer-normalized) keyword."""
+
+    def __init__(self, term):
+        self.term = term
+
+    def terms(self):
+        return [self.term]
+
+    def __eq__(self, other):
+        return isinstance(other, Keyword) and self.term == other.term
+
+    def __hash__(self):
+        return hash((Keyword, self.term))
+
+    def __repr__(self):
+        return f"Keyword({self.term!r})"
+
+
+class Phrase(SearchExpr):
+    """An exact phrase of consecutive terms."""
+
+    def __init__(self, words):
+        self.words = tuple(words)
+        if not self.words:
+            raise QuerySyntaxError("empty phrase")
+
+    def terms(self):
+        return list(self.words)
+
+    def __eq__(self, other):
+        return isinstance(other, Phrase) and self.words == other.words
+
+    def __hash__(self):
+        return hash((Phrase, self.words))
+
+    def __repr__(self):
+        return f"Phrase({list(self.words)!r})"
+
+
+class _Boolean(SearchExpr):
+    def __init__(self, children):
+        self.children = tuple(children)
+        if len(self.children) < 2:
+            raise QuerySyntaxError(
+                f"{type(self).__name__} needs at least two operands"
+            )
+
+    def terms(self):
+        collected = []
+        for child in self.children:
+            collected.extend(child.terms())
+        return collected
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.children == other.children
+
+    def __hash__(self):
+        return hash((type(self), self.children))
+
+    def __repr__(self):
+        return f"{type(self).__name__}({list(self.children)!r})"
+
+
+class And(_Boolean):
+    """Conjunction; a bag of keywords parses to an implicit And."""
+
+
+class Or(_Boolean):
+    """Disjunction."""
+
+
+class Not(SearchExpr):
+    """Negation; only meaningful inside a conjunction."""
+
+    def __init__(self, child):
+        self.child = child
+
+    def terms(self):
+        # Negated terms do not contribute candidate streams.
+        return []
+
+    def __eq__(self, other):
+        return isinstance(other, Not) and self.child == other.child
+
+    def __hash__(self):
+        return hash((Not, self.child))
+
+    def __repr__(self):
+        return f"Not({self.child!r})"

@@ -1,0 +1,160 @@
+"""Recursive-descent parser for search query text.
+
+Grammar (case-insensitive operators)::
+
+    expr    := or_expr
+    or_expr := and_expr ( OR and_expr )*
+    and_expr:= unary ( [AND] unary )*      # juxtaposition is AND
+    unary   := NOT unary | atom
+    atom    := '(' expr ')' | '"' words '"' | word | '*'
+
+Keywords are normalized through the analyzer at parse time so that the
+AST carries index-ready terms; a quoted phrase whose words normalize to
+several tokens each is flattened into one token sequence.
+"""
+
+from repro.query.ast import (
+    And,
+    Keyword,
+    MatchAll,
+    Not,
+    Or,
+    Phrase,
+    QuerySyntaxError,
+)
+from repro.text import Analyzer
+
+_DEFAULT_ANALYZER = Analyzer()
+
+
+def _lex(text):
+    """Split query text into operator / phrase / word tokens."""
+    tokens = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in "()":
+            tokens.append((ch, ch))
+            i += 1
+            continue
+        if ch == '"':
+            end = text.find('"', i + 1)
+            if end == -1:
+                raise QuerySyntaxError(f"unterminated phrase in {text!r}")
+            tokens.append(("phrase", text[i + 1 : end]))
+            i = end + 1
+            continue
+        start = i
+        while i < length and not text[i].isspace() and text[i] not in '()"':
+            i += 1
+        word = text[start:i]
+        upper = word.upper()
+        if upper in ("AND", "OR", "NOT"):
+            tokens.append((upper, word))
+        elif word == "*":
+            tokens.append(("star", word))
+        else:
+            tokens.append(("word", word))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens, analyzer):
+        self.tokens = tokens
+        self.pos = 0
+        self.analyzer = analyzer
+
+    def _peek(self):
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return (None, None)
+
+    def _advance(self):
+        token = self._peek()
+        self.pos += 1
+        return token
+
+    def parse(self):
+        expr = self._or_expr()
+        if self.pos != len(self.tokens):
+            kind, value = self._peek()
+            raise QuerySyntaxError(f"unexpected {value!r} in search query")
+        return expr
+
+    def _or_expr(self):
+        operands = [self._and_expr()]
+        while self._peek()[0] == "OR":
+            self._advance()
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(operands)
+
+    def _and_expr(self):
+        operands = [self._unary()]
+        while True:
+            kind, _value = self._peek()
+            if kind == "AND":
+                self._advance()
+                operands.append(self._unary())
+            elif kind in ("word", "phrase", "NOT", "(", "star"):
+                operands.append(self._unary())
+            else:
+                break
+        if len(operands) == 1:
+            return operands[0]
+        return And(operands)
+
+    def _unary(self):
+        kind, _value = self._peek()
+        if kind == "NOT":
+            self._advance()
+            return Not(self._unary())
+        return self._atom()
+
+    def _atom(self):
+        kind, value = self._advance()
+        if kind == "(":
+            expr = self._or_expr()
+            closing, _ = self._advance()
+            if closing != ")":
+                raise QuerySyntaxError("missing closing parenthesis")
+            return expr
+        if kind == "phrase":
+            words = self.analyzer.terms(value)
+            if not words:
+                raise QuerySyntaxError(f"phrase {value!r} has no terms")
+            if len(words) == 1:
+                return Keyword(words[0])
+            return Phrase(words)
+        if kind == "word":
+            words = self.analyzer.terms(value)
+            if not words:
+                raise QuerySyntaxError(
+                    f"keyword {value!r} normalizes to nothing"
+                )
+            if len(words) == 1:
+                return Keyword(words[0])
+            # A "word" like GDP_ppp may analyze into several tokens with a
+            # splitting analyzer; require them adjacent, i.e. a phrase.
+            return Phrase(words)
+        if kind == "star":
+            return MatchAll()
+        raise QuerySyntaxError(f"unexpected token {value!r} in search query")
+
+
+def parse_query_text(text, analyzer=None):
+    """Parse search query text into a :class:`SearchExpr`.
+
+    ``"*"`` and empty/whitespace text parse to :class:`MatchAll` -- a
+    term such as ``(percentage, *)`` constrains context only.
+    """
+    analyzer = analyzer or _DEFAULT_ANALYZER
+    tokens = _lex(text or "")
+    if not tokens:
+        return MatchAll()
+    return _Parser(tokens, analyzer).parse()

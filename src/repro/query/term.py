@@ -1,0 +1,193 @@
+"""Query terms, context specifications, and whole queries.
+
+Definition 3: a query term is ``(context, search_query)`` where context
+is empty, a root-to-leaf path, a keyword (tag-name) query allowing
+wildcards, or a disjunction of those.
+"""
+
+import fnmatch
+
+from repro.query.ast import MatchAll
+from repro.query.parser import parse_query_text
+
+
+class Context:
+    """Base class for context specifications."""
+
+    def matches(self, node):
+        """Definition 3 condition 2: does ``node`` satisfy this context?"""
+        raise NotImplementedError
+
+    def matches_path(self, path):
+        """Does a root-to-leaf ``path`` string satisfy this context?"""
+        raise NotImplementedError
+
+
+class EmptyContext(Context):
+    """``qt.context = empty`` -- matches every node."""
+
+    def matches(self, node):
+        return True
+
+    def matches_path(self, path):
+        return True
+
+    def __eq__(self, other):
+        return isinstance(other, EmptyContext)
+
+    def __hash__(self):
+        return hash(EmptyContext)
+
+    def __repr__(self):
+        return "EmptyContext()"
+
+
+class TagContext(Context):
+    """``qt.context = node-name(n)``; the pattern may contain ``*``."""
+
+    def __init__(self, pattern):
+        self.pattern = pattern
+        self._literal = "*" not in pattern and "?" not in pattern
+
+    def matches(self, node):
+        return self._match_name(node.tag)
+
+    def matches_path(self, path):
+        return self._match_name(path.rsplit("/", 1)[-1])
+
+    def _match_name(self, name):
+        if self._literal:
+            return name == self.pattern
+        return fnmatch.fnmatchcase(name, self.pattern)
+
+    def __eq__(self, other):
+        return isinstance(other, TagContext) and self.pattern == other.pattern
+
+    def __hash__(self):
+        return hash((TagContext, self.pattern))
+
+    def __repr__(self):
+        return f"TagContext({self.pattern!r})"
+
+
+class PathContext(Context):
+    """``qt.context = context(n)`` -- a full root-to-leaf path."""
+
+    def __init__(self, path):
+        if not path.startswith("/"):
+            raise ValueError(f"a path context must start with '/': {path!r}")
+        self.path = path
+
+    def matches(self, node):
+        return node.path == self.path
+
+    def matches_path(self, path):
+        return path == self.path
+
+    def __eq__(self, other):
+        return isinstance(other, PathContext) and self.path == other.path
+
+    def __hash__(self):
+        return hash((PathContext, self.path))
+
+    def __repr__(self):
+        return f"PathContext({self.path!r})"
+
+
+class ContextDisjunction(Context):
+    """A disjunction of path and tag contexts (Definition 3, case iii)."""
+
+    def __init__(self, alternatives):
+        self.alternatives = tuple(alternatives)
+        if not self.alternatives:
+            raise ValueError("a context disjunction needs alternatives")
+
+    def matches(self, node):
+        return any(alt.matches(node) for alt in self.alternatives)
+
+    def matches_path(self, path):
+        return any(alt.matches_path(path) for alt in self.alternatives)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ContextDisjunction)
+            and self.alternatives == other.alternatives
+        )
+
+    def __hash__(self):
+        return hash((ContextDisjunction, self.alternatives))
+
+    def __repr__(self):
+        return f"ContextDisjunction({list(self.alternatives)!r})"
+
+
+def parse_context(spec):
+    """Parse a context specification string.
+
+    ``"*"`` or ``""`` -> empty; ``"/a/b"`` -> path; ``"tag*"`` -> tag
+    pattern; ``"a|/b/c"`` -> disjunction.  An already-built
+    :class:`Context` passes through unchanged.
+    """
+    if isinstance(spec, Context):
+        return spec
+    if spec is None:
+        return EmptyContext()
+    spec = spec.strip()
+    if spec in ("", "*"):
+        return EmptyContext()
+    if "|" in spec:
+        return ContextDisjunction(
+            [parse_context(piece) for piece in spec.split("|") if piece.strip()]
+        )
+    if spec.startswith("/"):
+        return PathContext(spec)
+    return TagContext(spec)
+
+
+class QueryTerm:
+    """One ``(context, search_query)`` pair."""
+
+    def __init__(self, context, search, label=None):
+        self.context = parse_context(context)
+        if isinstance(search, str) or search is None:
+            self.search = parse_query_text(search)
+        else:
+            self.search = search
+        self.label = label
+
+    @property
+    def is_match_all(self):
+        return isinstance(self.search, MatchAll)
+
+    def __repr__(self):
+        return f"QueryTerm({self.context!r}, {self.search!r})"
+
+
+class Query:
+    """A SEDA query: an ordered set of query terms.
+
+    Order matters only for presentation -- result tuples list node
+    references in term order, as in Figure 3.
+    """
+
+    def __init__(self, terms):
+        self.terms = [
+            term if isinstance(term, QueryTerm) else QueryTerm(*term)
+            for term in terms
+        ]
+        if not self.terms:
+            raise ValueError("a query needs at least one term")
+
+    @classmethod
+    def parse(cls, pairs):
+        """Build a query from ``(context, search)`` string pairs."""
+        return cls([QueryTerm(context, search) for context, search in pairs])
+
+    def __len__(self):
+        return len(self.terms)
+
+    def __iter__(self):
+        return iter(self.terms)
+
+    def __repr__(self):
+        return f"Query({self.terms!r})"

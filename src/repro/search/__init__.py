@@ -1,0 +1,23 @@
+"""Top-k search unit (Section 4).
+
+SEDA "employs a top-k search algorithm based on the family of threshold
+algorithms (TA)" that "retrieves the results from full-text indexes and
+calculates top answers according to a ranking function which takes into
+account both the content score as well as the structural properties of
+the matched nodes".
+
+* :class:`ScoringModel` -- content score (tf-idf over node text) times
+  the structural *compactness* of the graph connecting the tuple.
+* :class:`TopKSearcher` -- the TA-style algorithm over per-term
+  score-ordered streams with early termination.
+* :class:`NaiveSearcher` -- exhaustive enumeration, used as the
+  correctness oracle and benchmark baseline.
+* :class:`ResultTuple` -- one scored m-tuple of nodes (Definition 4).
+"""
+
+from repro.search.naive import NaiveSearcher
+from repro.search.result import ResultTuple
+from repro.search.scoring import ScoringModel
+from repro.search.topk import TopKSearcher
+
+__all__ = ["NaiveSearcher", "ResultTuple", "ScoringModel", "TopKSearcher"]

@@ -1,0 +1,50 @@
+"""Exhaustive search: the correctness oracle for the TA top-k unit.
+
+Enumerates the full cross product of per-term candidate lists, scores
+every connectable combination, and returns the global top-k.  Only
+usable on small candidate sets (the cross product is capped), which is
+exactly its role: validating that the threshold algorithm returns the
+same answers, and serving as the benchmark baseline.
+"""
+
+import itertools
+
+from repro.search.result import ResultTuple
+
+
+class NaiveSearcher:
+    """Brute-force Definition 4 evaluation with ranking."""
+
+    def __init__(self, matcher, scoring, max_combinations=2_000_000):
+        self.matcher = matcher
+        self.scoring = scoring
+        self.max_combinations = max_combinations
+
+    def search(self, query, k=10):
+        """Top-k result tuples by exhaustive enumeration."""
+        candidate_lists = [self.matcher.candidates(term) for term in query]
+        total = 1
+        for candidates in candidate_lists:
+            total *= max(1, len(candidates))
+        if total > self.max_combinations:
+            raise ValueError(
+                f"cross product of {total} combinations exceeds the naive "
+                f"searcher's cap of {self.max_combinations}"
+            )
+        results = []
+        for node_ids in itertools.product(*candidate_lists):
+            if len(set(node_ids)) < len(node_ids):
+                continue  # a node cannot satisfy two terms at once
+            scored = self.scoring.score_tuple(node_ids, query.terms)
+            if scored is None:
+                continue
+            score, content_scores, compactness = scored
+            results.append(
+                ResultTuple(node_ids, content_scores, compactness, score)
+            )
+        results.sort(key=lambda r: (-r.score, r.node_ids))
+        return results[:k]
+
+    def all_results(self, query):
+        """Every connectable tuple, unranked (Definition 4's R(q))."""
+        return self.search(query, k=None)

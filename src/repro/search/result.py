@@ -1,0 +1,40 @@
+"""Result tuples: scored m-tuples of data nodes (Definition 4)."""
+
+
+class ResultTuple:
+    """One query answer: node ids in query-term order, plus scores.
+
+    ``content_scores[i]`` is the content relevance of ``node_ids[i]``
+    for term ``i``; ``compactness`` reflects the structural tightness of
+    the connecting graph; ``score`` is the combined rank key.
+    """
+
+    __slots__ = ("node_ids", "content_scores", "compactness", "score")
+
+    def __init__(self, node_ids, content_scores, compactness, score):
+        self.node_ids = tuple(node_ids)
+        self.content_scores = tuple(content_scores)
+        self.compactness = compactness
+        self.score = score
+
+    def __eq__(self, other):
+        if not isinstance(other, ResultTuple):
+            return NotImplemented
+        return self.node_ids == other.node_ids
+
+    def __hash__(self):
+        return hash(self.node_ids)
+
+    def __repr__(self):
+        return f"ResultTuple(nodes={self.node_ids}, score={self.score:.4f})"
+
+    def describe(self, collection):
+        """Human-readable rendering: (path, content) per node."""
+        parts = []
+        for node_id in self.node_ids:
+            node = collection.node(node_id)
+            content = collection.content(node_id)
+            if len(content) > 40:
+                content = content[:37] + "..."
+            parts.append(f"{node.path}={content!r}")
+        return f"[{self.score:.4f}] " + " | ".join(parts)

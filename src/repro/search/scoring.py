@@ -1,0 +1,172 @@
+"""Ranking function: content relevance x structural compactness.
+
+"The score function is based on the compactness of the graph
+representing a tuple of nodes satisfying query terms" combined with a
+content score from the full-text indexes (Section 4).  Concretely::
+
+    score(t) = mean_i(content_score(n_i, qt_i)) * compactness(t)
+    compactness(t) = 1 / (1 + steiner_size(t))
+
+where ``steiner_size`` approximates the number of edges needed to
+connect the tuple's nodes in the data graph (0 for a single node, so a
+one-term query ranks purely by content).  Tuples that cannot be
+connected within ``max_hops`` violate Definition 4 and score ``None``.
+"""
+
+
+class ScoringModel:
+    """Computes content scores, compactness, and combined tuple scores."""
+
+    def __init__(self, collection, inverted, graph, max_hops=12,
+                 content_weight=1.0, structure_weight=1.0):
+        self.collection = collection
+        self.inverted = inverted
+        self.graph = graph
+        self.max_hops = max_hops
+        self.content_weight = content_weight
+        self.structure_weight = structure_weight
+        self._doc_edge_index = None
+        self._indexed_edge_count = -1
+
+    # -- fast structural distances --------------------------------------------
+
+    def _edge_index(self):
+        """(doc_a, doc_b) -> [(source_id, target_id)] over link edges.
+
+        Rebuilt when edges were added since the last use; keeps pair
+        distance computation O(edges between the two documents) instead
+        of a breadth-first search over the whole graph (link hubs such
+        as frequently-referenced countries make BFS frontiers explode).
+        """
+        if (
+            self._doc_edge_index is None
+            or self._indexed_edge_count != len(self.graph.edges)
+        ):
+            index = {}
+            for edge in self.graph.edges:
+                source_doc = self.collection.node(edge.source_id).doc_id
+                target_doc = self.collection.node(edge.target_id).doc_id
+                index.setdefault((source_doc, target_doc), []).append(
+                    (edge.source_id, edge.target_id)
+                )
+            self._doc_edge_index = index
+            self._indexed_edge_count = len(self.graph.edges)
+        return self._doc_edge_index
+
+    def pair_distance(self, node_a, node_b):
+        """Structural distance between two nodes, or ``None``.
+
+        Same-document pairs use the exact Dewey tree distance;
+        cross-document pairs take the best single-link route
+        (tree hops to the link source, the link edge, tree hops from
+        the link target).  Multi-link routes exceed any practical
+        ``max_hops`` and are treated as disconnected for ranking.
+        """
+        first = self.collection.node(node_a)
+        second = self.collection.node(node_b)
+        if first.doc_id == second.doc_id:
+            distance = first.dewey.tree_distance(second.dewey)
+            return distance if distance <= self.max_hops else None
+        index = self._edge_index()
+        best = None
+        for source_id, target_id in index.get(
+            (first.doc_id, second.doc_id), ()
+        ):
+            candidate = self._route(first, second, source_id, target_id)
+            if candidate is not None and (best is None or candidate < best):
+                best = candidate
+        for source_id, target_id in index.get(
+            (second.doc_id, first.doc_id), ()
+        ):
+            candidate = self._route(second, first, source_id, target_id)
+            if candidate is not None and (best is None or candidate < best):
+                best = candidate
+        if best is None or best > self.max_hops:
+            return None
+        return best
+
+    def _route(self, first, second, source_id, target_id):
+        source = self.collection.node(source_id)
+        target = self.collection.node(target_id)
+        return (
+            first.dewey.tree_distance(source.dewey)
+            + 1
+            + target.dewey.tree_distance(second.dewey)
+        )
+
+    # -- content ------------------------------------------------------------
+
+    def content_score(self, node_id, term):
+        """tf-idf relevance of a node's direct text for one query term.
+
+        Match-all terms score a constant 1.0: they constrain context
+        only, so every candidate is equally relevant content-wise.
+        """
+        if term.is_match_all:
+            return 1.0
+        node = self.collection.node(node_id)
+        tokens = self.inverted.analyzer.terms(node.direct_text)
+        if not tokens:
+            return 0.0
+        norm = len(tokens) ** 0.5
+        score = 0.0
+        for word in term.search.terms():
+            tf = tokens.count(word)
+            if tf:
+                score += tf * self.inverted.inverse_document_frequency(word)
+        return score / norm
+
+    # -- structure -----------------------------------------------------------
+
+    def compactness(self, node_ids):
+        """``1 / (1 + steiner_size)``; ``None`` when not connectable.
+
+        Uses the star approximation over :meth:`pair_distance`: the sum
+        of distances from the first node to each other node.
+        """
+        ids = list(dict.fromkeys(node_ids))
+        if len(ids) <= 1:
+            return 1.0
+        anchor = ids[0]
+        total = 0
+        for other in ids[1:]:
+            distance = self.pair_distance(anchor, other)
+            if distance is None:
+                return None
+            total += distance
+        return 1.0 / (1.0 + total)
+
+    # -- combination ------------------------------------------------------------
+
+    def combine(self, content_scores, compactness):
+        """Weighted geometric combination of the two signals."""
+        if not content_scores:
+            return 0.0
+        mean_content = sum(content_scores) / len(content_scores)
+        return (
+            (mean_content ** self.content_weight)
+            * (compactness ** self.structure_weight)
+        )
+
+    def score_tuple(self, node_ids, terms, content_scores=None):
+        """Full score for a candidate tuple; ``None`` if disconnected.
+
+        Returns ``(score, content_scores, compactness)``.
+        """
+        if content_scores is None:
+            content_scores = [
+                self.content_score(node_id, term)
+                for node_id, term in zip(node_ids, terms)
+            ]
+        compactness = self.compactness(node_ids)
+        if compactness is None:
+            return None
+        return self.combine(content_scores, compactness), content_scores, compactness
+
+    def upper_bound(self, content_bounds):
+        """Best possible score given per-term content-score bounds.
+
+        Compactness is at most 1 (all nodes coincide), so the TA
+        threshold is the combined score at compactness 1.
+        """
+        return self.combine(content_bounds, 1.0)

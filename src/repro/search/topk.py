@@ -1,0 +1,183 @@
+"""Threshold-algorithm top-k search over per-term score streams.
+
+The classic TA of Fagin, Lotem and Naor [8], adapted to graph tuples as
+in the paper's top-k unit:
+
+* one sorted stream per query term, ordered by descending content score
+  (drawn from the full-text index);
+* sorted access round-robins across streams; every newly seen node is
+  combined with already-seen partner nodes of the other terms to form
+  candidate tuples, whose exact scores (content x compactness) come
+  from random access to the data graph;
+* the threshold is the score an unseen tuple could still reach: the
+  combination of the current stream frontiers at perfect compactness.
+  Once the k-th best tuple scores at or above the threshold, no unseen
+  tuple can beat it and the search stops.
+
+Partner enumeration is restricted to nodes in *reachable documents*
+(same document, or one cross-document link away): compactness is
+monotone in graph distance, and nodes further apart than ``max_hops``
+cannot form a valid tuple at all (Definition 4 connectivity).
+"""
+
+import collections
+import heapq
+import itertools
+
+from repro.search.result import ResultTuple
+
+
+class TopKSearcher:
+    """TA-style top-k evaluation of SEDA queries."""
+
+    def __init__(self, matcher, scoring, partner_limit=200,
+                 allow_repeats=False):
+        self.matcher = matcher
+        self.scoring = scoring
+        self.partner_limit = partner_limit
+        self.allow_repeats = allow_repeats
+        self.stats = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def search(self, query, k=10):
+        """Return the top-``k`` :class:`ResultTuple` list, best first."""
+        terms = query.terms
+        streams = [self._stream(term) for term in terms]
+        self.stats = {
+            "sorted_accesses": 0,
+            "tuples_scored": 0,
+            "early_stop": False,
+            "candidates": [len(stream) for stream in streams],
+        }
+        if any(not stream for stream in streams):
+            return []
+        if len(terms) == 1:
+            return self._single_term(streams[0], terms, k)
+
+        doc_reach = self._document_reachability()
+        seen_by_doc = [collections.defaultdict(list) for _ in terms]
+        seen_scores = [dict() for _ in terms]
+        frontiers = [stream[0][0] for stream in streams]
+        cursors = [0] * len(terms)
+        heap = []  # min-heap of (score, tiebreak, ResultTuple)
+        tried = set()
+        exhausted = 0
+
+        while exhausted < len(terms):
+            exhausted = 0
+            for i, stream in enumerate(streams):
+                if cursors[i] >= len(stream):
+                    exhausted += 1
+                    continue
+                score, node_id = stream[cursors[i]]
+                cursors[i] += 1
+                frontiers[i] = score
+                self.stats["sorted_accesses"] += 1
+                doc_id = self.matcher.collection.node(node_id).doc_id
+                seen_scores[i][node_id] = score
+                seen_by_doc[i][doc_id].append(node_id)
+                self._combine(
+                    i, node_id, score, terms, seen_by_doc, seen_scores,
+                    doc_reach, tried, heap, k,
+                )
+            if len(heap) >= k:
+                threshold = self.scoring.upper_bound(frontiers)
+                if heap[0][0] >= threshold:
+                    self.stats["early_stop"] = True
+                    break
+
+        results = [entry[2] for entry in heap]
+        results.sort(key=lambda r: (-r.score, r.node_ids))
+        return results
+
+    # -- internals --------------------------------------------------------------
+
+    def _stream(self, term):
+        """Sorted (content_score desc, node_id) access stream for a term."""
+        scored = []
+        for node_id in self.matcher.candidates(term):
+            score = self.scoring.content_score(node_id, term)
+            if score > 0.0:
+                scored.append((score, node_id))
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return scored
+
+    def _single_term(self, stream, terms, k):
+        """One-term queries need no combination: stream order is final.
+
+        Compactness of a singleton is 1, so the combined score is the
+        content score and the stream is already the answer.
+        """
+        results = []
+        for score, node_id in stream[: k if k is not None else None]:
+            combined = self.scoring.combine([score], 1.0)
+            results.append(ResultTuple((node_id,), (score,), 1.0, combined))
+        self.stats["early_stop"] = len(stream) > len(results)
+        return results
+
+    def _document_reachability(self):
+        """doc_id -> set of doc_ids reachable via one link edge."""
+        reach = collections.defaultdict(set)
+        collection = self.matcher.collection
+        for edge in self.scoring.graph.edges:
+            source_doc = collection.node(edge.source_id).doc_id
+            target_doc = collection.node(edge.target_id).doc_id
+            if source_doc != target_doc:
+                reach[source_doc].add(target_doc)
+                reach[target_doc].add(source_doc)
+        return reach
+
+    def _partners(self, j, docs, seen_by_doc, seen_scores):
+        """Highest-scoring seen nodes of term ``j`` within ``docs``."""
+        partners = []
+        for doc_id in docs:
+            partners.extend(seen_by_doc[j].get(doc_id, ()))
+        if len(partners) > self.partner_limit:
+            partners.sort(key=lambda node_id: -seen_scores[j][node_id])
+            partners = partners[: self.partner_limit]
+        return partners
+
+    def _combine(self, i, node_id, score, terms, seen_by_doc, seen_scores,
+                 doc_reach, tried, heap, k):
+        """Form and score all tuples that include the newly seen node."""
+        collection = self.matcher.collection
+        doc_id = collection.node(node_id).doc_id
+        docs = {doc_id} | doc_reach.get(doc_id, set())
+        partner_lists = []
+        for j in range(len(terms)):
+            if j == i:
+                partner_lists.append([node_id])
+                continue
+            partners = self._partners(j, docs, seen_by_doc, seen_scores)
+            if not partners:
+                return
+            partner_lists.append(partners)
+        for combo in itertools.product(*partner_lists):
+            if not self.allow_repeats and len(set(combo)) < len(combo):
+                continue
+            if combo in tried:
+                continue
+            tried.add(combo)
+            content_scores = [
+                seen_scores[j].get(combo[j])
+                if combo[j] in seen_scores[j]
+                else self.scoring.content_score(combo[j], terms[j])
+                for j in range(len(terms))
+            ]
+            scored = self.scoring.score_tuple(
+                combo, terms, content_scores=content_scores
+            )
+            self.stats["tuples_scored"] += 1
+            if scored is None:
+                continue
+            total, contents, compactness = scored
+            entry = (
+                total,
+                tuple(-nid for nid in combo),
+                ResultTuple(combo, contents, compactness, total),
+            )
+            if k is None or len(heap) < k:
+                heapq.heappush(heap, entry)
+            elif total > heap[0][0]:
+                heapq.heapreplace(heap, entry)

@@ -1,0 +1,20 @@
+"""Storage substrate: SEDA's stand-in for DB2 pureXML.
+
+The paper stores XML in DB2 pureXML and keeps auxiliary indexes beside
+it (Figure 4).  This package provides the operations SEDA actually
+needs from that store:
+
+* :class:`DocumentStore` -- persistent collection of documents plus
+  registered link edges (JSON-lines on disk, everything in memory at
+  runtime).
+* :class:`NodeStore` -- Dewey-ordered node streams per tag and per
+  root-to-leaf path, feeding the holistic twig joins of Section 7.
+* :class:`CollectionCatalog` -- collection statistics used by summaries
+  and by the experiment harness.
+"""
+
+from repro.storage.catalog import CollectionCatalog
+from repro.storage.document_store import DocumentStore
+from repro.storage.node_store import NodeStore
+
+__all__ = ["CollectionCatalog", "DocumentStore", "NodeStore"]

@@ -1,0 +1,118 @@
+"""Persistent document store.
+
+Documents are persisted as JSON lines -- one record per document with
+its name and serialized XML -- plus one trailing record carrying the
+collection's registered non-tree edges.  The format is deliberately
+plain: it round-trips through our own parser/writer and diffs cleanly
+in version control, which matters for the dataset fixtures.
+"""
+
+import json
+import os
+
+from repro.model.collection import DocumentCollection
+from repro.model.graph import DataGraph, EdgeKind
+from repro.xmlio import serialize
+
+
+class DocumentStore:
+    """A :class:`DocumentCollection` plus its data graph, saveable to disk."""
+
+    def __init__(self, collection=None, graph=None):
+        self.collection = collection or DocumentCollection()
+        self.graph = graph or DataGraph(self.collection)
+
+    # -- convenience ---------------------------------------------------------
+
+    def add_document(self, source, name=None):
+        return self.collection.add_document(source, name=name)
+
+    def add_edge(self, source_id, target_id, kind, label=None):
+        return self.graph.add_edge(source_id, target_id, kind, label=label)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path):
+        """Write the store to ``path`` (JSON lines)."""
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for document in self.collection.documents:
+                record = {
+                    "type": "document",
+                    "name": document.name,
+                    "xml": serialize(self._to_element(document)),
+                }
+                handle.write(json.dumps(record) + "\n")
+            edges = [
+                {
+                    "source": [
+                        self.collection.node(edge.source_id).doc_id,
+                        str(self.collection.node(edge.source_id).dewey),
+                    ],
+                    "target": [
+                        self.collection.node(edge.target_id).doc_id,
+                        str(self.collection.node(edge.target_id).dewey),
+                    ],
+                    "kind": edge.kind.value,
+                    "label": edge.label,
+                }
+                for edge in self.graph.edges
+            ]
+            handle.write(json.dumps({"type": "edges", "edges": edges}) + "\n")
+        os.replace(tmp_path, path)
+
+    @classmethod
+    def load(cls, path):
+        """Read a store previously written by :meth:`save`."""
+        from repro.model.dewey import DeweyID
+
+        store = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if record["type"] == "document":
+                    store.add_document(record["xml"], name=record["name"])
+                elif record["type"] == "edges":
+                    for edge in record["edges"]:
+                        source = store.collection.node_by_ref(
+                            edge["source"][0], DeweyID.parse(edge["source"][1])
+                        )
+                        target = store.collection.node_by_ref(
+                            edge["target"][0], DeweyID.parse(edge["target"][1])
+                        )
+                        if source is None or target is None:
+                            raise ValueError(
+                                f"dangling edge in {path!r}: {edge!r}"
+                            )
+                        store.add_edge(
+                            source.node_id,
+                            target.node_id,
+                            EdgeKind(edge["kind"]),
+                            label=edge["label"],
+                        )
+                else:
+                    raise ValueError(f"unknown record type {record['type']!r}")
+        return store
+
+    # -- reconstruction helpers -------------------------------------------------
+
+    def _to_element(self, document):
+        """Rebuild an Element tree from a document's data nodes."""
+        from repro.xmlio.dom import Element
+
+        def build(node):
+            element = Element(node.tag)
+            if node.direct_text:
+                element.append(node.direct_text)
+            for child_id in node.child_ids:
+                child = self.collection.node(child_id)
+                if child.is_attribute:
+                    element.attributes[child.tag.lstrip("@")] = child.direct_text
+                else:
+                    element.append(build(child))
+            return element
+
+        return build(document.root)

@@ -1,0 +1,82 @@
+"""Dewey-ordered node access paths.
+
+The twig processor of Section 7 consumes "data nodes from the full-text
+search results in Dewey ID order, which can be directly used by the XML
+twig processing".  The node store provides exactly those ordered
+streams: all nodes for a tag, for a root-to-leaf path, or for an
+arbitrary node-id set, each sorted by ``(doc_id, dewey)``.
+"""
+
+import bisect
+import collections
+
+
+class NodeStore:
+    """Sorted per-tag and per-path node streams over a collection."""
+
+    def __init__(self, collection):
+        self.collection = collection
+        self._by_tag = collections.defaultdict(list)
+        self._by_path = collections.defaultdict(list)
+        self._built_upto = 0
+        self.refresh()
+
+    def refresh(self):
+        """Index any documents added since the last refresh."""
+        for document in self.collection.documents[self._built_upto :]:
+            for node in document.nodes:
+                key = (node.doc_id, node.dewey)
+                self._by_tag[node.tag].append((key, node.node_id))
+                self._by_path[node.path].append((key, node.node_id))
+        self._built_upto = len(self.collection.documents)
+        # Documents are appended in order and nodes are generated in
+        # document order, so the lists are already sorted; assert cheaply.
+
+    # -- streams --------------------------------------------------------------
+
+    def by_tag(self, tag):
+        """Node ids with the given tag, in global Dewey order."""
+        return [node_id for _key, node_id in self._by_tag.get(tag, ())]
+
+    def by_path(self, path):
+        """Node ids with the given root-to-leaf path, in Dewey order."""
+        return [node_id for _key, node_id in self._by_path.get(path, ())]
+
+    def tags(self):
+        return sorted(self._by_tag)
+
+    def paths(self):
+        return sorted(self._by_path)
+
+    def sort_dewey(self, node_ids):
+        """Sort arbitrary node ids into global Dewey order."""
+        collection = self.collection
+        return sorted(
+            node_ids,
+            key=lambda node_id: (
+                collection.node(node_id).doc_id,
+                collection.node(node_id).dewey,
+            ),
+        )
+
+    def descendants_in_path(self, ancestor_id, path):
+        """Node ids on ``path`` that descend from ``ancestor_id``.
+
+        Uses a binary search over the Dewey-ordered path stream: all
+        descendants of a node are contiguous in Dewey order, directly
+        after the node itself.
+        """
+        ancestor = self.collection.node(ancestor_id)
+        stream = self._by_path.get(path, ())
+        low_key = (ancestor.doc_id, ancestor.dewey)
+        start = bisect.bisect_left(stream, (low_key, -1))
+        result = []
+        for key, node_id in stream[start:]:
+            doc_id, dewey = key
+            if doc_id != ancestor.doc_id:
+                break
+            if dewey == ancestor.dewey or ancestor.dewey.is_ancestor_of(dewey):
+                result.append(node_id)
+            else:
+                break
+        return result

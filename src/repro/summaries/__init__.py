@@ -1,0 +1,39 @@
+"""Result summaries: context discovery and relationship discovery.
+
+Sections 5 and 6 of the paper.  The *context summary* lists, per query
+term, every distinct root-to-leaf path the term matches in the whole
+collection, ordered by the path's absolute frequency.  The *connection
+summary* presents the "meaningful" pairwise connections observed in
+the top-k results, mapped onto a merged *dataguide* summary of the
+collection's structure.
+"""
+
+from repro.summaries.context import (
+    ContextBucket,
+    ContextEntry,
+    ContextSummary,
+    ContextSummaryGenerator,
+)
+from repro.summaries.dataguide import Dataguide, DataguideBuilder, DataguideSet
+from repro.summaries.connection import (
+    Connection,
+    ConnectionSummary,
+    ConnectionSummaryGenerator,
+    LinkConnection,
+    TreeConnection,
+)
+
+__all__ = [
+    "Connection",
+    "ConnectionSummary",
+    "ConnectionSummaryGenerator",
+    "ContextBucket",
+    "ContextEntry",
+    "ContextSummary",
+    "ContextSummaryGenerator",
+    "Dataguide",
+    "DataguideBuilder",
+    "DataguideSet",
+    "LinkConnection",
+    "TreeConnection",
+]

@@ -1,0 +1,298 @@
+"""Relationship discovery: the connection summary (Section 6).
+
+SEDA extracts *pairwise connections* between the nodes of the top-k
+result tuples, maps them onto the dataguide set, and presents the
+distinct connections for the user to pick or drop.  A connection is
+identified structurally, so it can later be enforced over the complete
+result set:
+
+* :class:`TreeConnection` -- two contexts meeting at a lowest common
+  ancestor path within one document (e.g. ``trade_country`` and
+  ``percentage`` meeting at ``.../item`` versus at
+  ``.../import_partners`` -- the paper's two ways of connecting them);
+* :class:`LinkConnection` -- two contexts connected through a non-tree
+  edge (IDREF / XLink / value link), such as Figure 1's ``bordering``
+  and ``trade partner`` relationships.
+
+Discovered connections are cached per (path, path) pair, as in the
+paper's optimization.
+"""
+
+import itertools
+
+from repro.model.graph import EdgeKind
+
+
+class Connection:
+    """Base class: a distinct way two query terms' nodes relate."""
+
+    def describe(self):
+        raise NotImplementedError
+
+    def matches_instance(self, collection, graph, node_a, node_b, max_hops=12):
+        """Does a concrete node pair instantiate this connection?"""
+        raise NotImplementedError
+
+
+class TreeConnection(Connection):
+    """Two paths meeting at an LCA path inside one document."""
+
+    __slots__ = ("path_a", "path_b", "lca_path")
+
+    def __init__(self, path_a, path_b, lca_path):
+        self.path_a = path_a
+        self.path_b = path_b
+        self.lca_path = lca_path
+
+    @property
+    def length(self):
+        depth = self.lca_path.count("/")
+        return (self.path_a.count("/") - depth) + (
+            self.path_b.count("/") - depth
+        )
+
+    def key(self):
+        return ("tree", self.path_a, self.path_b, self.lca_path)
+
+    def describe(self):
+        return (
+            f"{self.path_a} <-[{self.lca_path}]-> {self.path_b} "
+            f"(length {self.length})"
+        )
+
+    def matches_instance(self, collection, graph, node_a, node_b, max_hops=12):
+        first = collection.node(node_a)
+        second = collection.node(node_b)
+        if first.doc_id != second.doc_id:
+            return False
+        pair = (first.path, second.path)
+        if pair != (self.path_a, self.path_b) and pair != (
+            self.path_b, self.path_a
+        ):
+            return False
+        lca = first.dewey.common_ancestor(second.dewey)
+        lca_node = collection.node_by_ref(first.doc_id, lca)
+        return lca_node is not None and lca_node.path == self.lca_path
+
+    def __eq__(self, other):
+        return isinstance(other, TreeConnection) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def __repr__(self):
+        return f"TreeConnection({self.describe()})"
+
+
+class LinkConnection(Connection):
+    """Two paths connected through a non-tree edge.
+
+    The connection runs ``path_a .. source_path --edge--> target_path
+    .. path_b`` where the ``..`` hops are tree steps within a document.
+    """
+
+    __slots__ = ("path_a", "path_b", "source_path", "target_path", "kind",
+                 "label")
+
+    def __init__(self, path_a, path_b, source_path, target_path, kind, label):
+        self.path_a = path_a
+        self.path_b = path_b
+        self.source_path = source_path
+        self.target_path = target_path
+        self.kind = kind
+        self.label = label
+
+    def key(self):
+        return (
+            "link", self.path_a, self.path_b, self.source_path,
+            self.target_path, self.kind.value, self.label,
+        )
+
+    def describe(self):
+        label = self.label or self.kind.value
+        return (
+            f"{self.path_a} .. {self.source_path} ={label}=> "
+            f"{self.target_path} .. {self.path_b}"
+        )
+
+    def matches_instance(self, collection, graph, node_a, node_b, max_hops=12):
+        first = collection.node(node_a)
+        second = collection.node(node_b)
+        pair = (first.path, second.path)
+        if pair != (self.path_a, self.path_b) and pair != (
+            self.path_b, self.path_a
+        ):
+            return False
+        path = graph.shortest_path(node_a, node_b, max_hops=max_hops)
+        if path is None:
+            return False
+        edge = _first_link_edge(graph, path)
+        if edge is None:
+            return False
+        source = collection.node(edge.source_id)
+        target = collection.node(edge.target_id)
+        return (
+            {source.path, target.path} == {self.source_path, self.target_path}
+            and edge.kind == self.kind
+            and edge.label == self.label
+        )
+
+    def __eq__(self, other):
+        return isinstance(other, LinkConnection) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def __repr__(self):
+        return f"LinkConnection({self.describe()})"
+
+
+def _first_link_edge(graph, node_path):
+    """The first non-tree edge along a node-id path, or ``None``."""
+    for left, right in zip(node_path, node_path[1:]):
+        for edge in graph.out_edges(left):
+            if edge.target_id == right:
+                return edge
+        for edge in graph.in_edges(left):
+            if edge.source_id == right:
+                return edge
+    return None
+
+
+class ConnectionSummary:
+    """Distinct connections per term pair, with supporting-tuple counts."""
+
+    def __init__(self, query, entries):
+        self.query = query
+        # entries: {(i, j): {Connection: support_count}}
+        self.entries = entries
+
+    def connections(self, i, j):
+        """Connections between terms i and j, most supported first."""
+        bucket = self.entries.get((i, j), {})
+        return sorted(
+            bucket, key=lambda conn: (-bucket[conn], conn.describe())
+        )
+
+    def all_connections(self):
+        result = []
+        for (i, j), bucket in sorted(self.entries.items()):
+            for connection, support in sorted(
+                bucket.items(), key=lambda item: (-item[1], item[0].describe())
+            ):
+                result.append(((i, j), connection, support))
+        return result
+
+    def support(self, i, j, connection):
+        return self.entries.get((i, j), {}).get(connection, 0)
+
+    def __len__(self):
+        return sum(len(bucket) for bucket in self.entries.values())
+
+
+class ConnectionSummaryGenerator:
+    """Builds connection summaries from top-k results (Section 6.1).
+
+    Nodes of the top-k result are mapped onto the dataguide set by
+    root-to-leaf path; pairwise connections are classified as tree or
+    link connections.  "If there are multiple paths between two
+    dataguide nodes, the algorithm chooses the one with the shortest
+    path" -- we take the shortest instance path via the data graph.
+    Discovered connections are cached keyed by the node pair's paths.
+    """
+
+    def __init__(self, collection, graph, dataguides, max_hops=12):
+        self.collection = collection
+        self.graph = graph
+        self.dataguides = dataguides
+        self.max_hops = max_hops
+        self._cache = {}
+
+    def generate(self, query, results):
+        """The :class:`ConnectionSummary` for top-k ``results``."""
+        entries = {}
+        term_count = len(query.terms)
+        for result in results:
+            for i, j in itertools.combinations(range(term_count), 2):
+                connection = self.classify_pair(
+                    result.node_ids[i], result.node_ids[j]
+                )
+                if connection is None:
+                    continue
+                bucket = entries.setdefault((i, j), {})
+                bucket[connection] = bucket.get(connection, 0) + 1
+        return ConnectionSummary(query, entries)
+
+    # -- pair classification ---------------------------------------------------
+
+    def classify_pair(self, node_a, node_b):
+        """The :class:`Connection` a concrete node pair instantiates."""
+        first = self.collection.node(node_a)
+        second = self.collection.node(node_b)
+        cache_key = (first.doc_id == second.doc_id, first.path, second.path,
+                     node_a, node_b)
+        if cache_key in self._cache:
+            return self._cache[cache_key]
+        connection = self._classify(first, second, node_a, node_b)
+        self._cache[cache_key] = connection
+        return connection
+
+    def _classify(self, first, second, node_a, node_b):
+        if first.doc_id == second.doc_id:
+            # Prefer the tree interpretation when both nodes share a
+            # document and the pure tree path is no longer than the
+            # shortest graph path (the dataguide's shortest-path rule).
+            tree_distance = first.dewey.tree_distance(second.dewey)
+            graph_path = self.graph.shortest_path(
+                node_a, node_b, max_hops=min(self.max_hops, tree_distance)
+            )
+            if graph_path is not None:
+                edge = _first_link_edge(self.graph, graph_path)
+                if edge is not None and len(graph_path) - 1 < tree_distance:
+                    return self._link_connection(first, second, edge)
+            lca = first.dewey.common_ancestor(second.dewey)
+            lca_node = self.collection.node_by_ref(first.doc_id, lca)
+            if lca_node is None:
+                return None
+            return TreeConnection(first.path, second.path, lca_node.path)
+        graph_path = self.graph.shortest_path(
+            node_a, node_b, max_hops=self.max_hops
+        )
+        if graph_path is None:
+            return None
+        edge = _first_link_edge(self.graph, graph_path)
+        if edge is None:
+            return None
+        return self._link_connection(first, second, edge)
+
+    def _link_connection(self, first, second, edge):
+        source = self.collection.node(edge.source_id)
+        target = self.collection.node(edge.target_id)
+        return LinkConnection(
+            first.path, second.path, source.path, target.path,
+            edge.kind, edge.label,
+        )
+
+    # -- dataguide-level enumeration (for analysis / refinement UI) ----------------
+
+    def potential_tree_connections(self, path_a, path_b):
+        """All tree connections a merged guide implies for two paths.
+
+        Every common prefix of the two paths is a potential meeting
+        point; instances may meet at any of them (e.g. sibling
+        ``trade_country``/``percentage`` under ``item`` versus cousins
+        under ``import_partners``).  Used by the false-positive
+        analysis and to show options beyond those seen in top-k.
+        """
+        connections = []
+        for guide in self.dataguides:
+            if path_a not in guide.paths or path_b not in guide.paths:
+                continue
+            lca = guide.lca_path(path_a, path_b)
+            if lca is None:
+                continue
+            prefix = lca
+            while prefix:
+                connections.append(TreeConnection(path_a, path_b, prefix))
+                prefix = prefix.rsplit("/", 1)[0]
+        return sorted(set(connections), key=lambda c: -c.lca_path.count("/"))

@@ -1,0 +1,321 @@
+"""Dataguide summaries with similarity-based merging (Section 6.1).
+
+A dataguide [15, 9] summarizes a document as its set of full
+root-to-leaf paths.  SEDA computes one dataguide per document and
+merges it into the existing set:
+
+* if the document's dataguide is a subset of (or equal to) an existing
+  guide, it is absorbed with no further processing;
+* otherwise it is merged into the best-overlapping existing guide when
+
+      overlap(dg1, dg2) = min(|common| / |paths(dg1)|,
+                              |common| / |paths(dg2)|)
+
+  reaches the merge threshold (the paper evaluates 40%);
+* otherwise it starts a new guide.
+
+The computational cost is O(n * m) for n documents and m guides, as in
+the paper.  Merging loses precision: a merged guide may imply
+connections that no single document instantiates -- the *false
+positives* of Section 6.1, quantified by
+:meth:`DataguideSet.false_positive_pairs`.
+"""
+
+import itertools
+import json
+import os
+
+
+def overlap(paths_a, paths_b):
+    """The paper's overlap similarity between two path sets."""
+    if not paths_a or not paths_b:
+        return 0.0
+    common = len(paths_a & paths_b)
+    return min(common / len(paths_a), common / len(paths_b))
+
+
+class Dataguide:
+    """One (possibly merged) structural summary: a set of paths."""
+
+    __slots__ = ("guide_id", "paths", "document_ids", "source_path_sets")
+
+    def __init__(self, guide_id, paths, document_id):
+        self.guide_id = guide_id
+        self.paths = set(paths)
+        self.document_ids = [document_id]
+        # Per-source path sets are kept so that false-positive analysis
+        # can distinguish merged-in structure from real co-occurrence.
+        self.source_path_sets = [frozenset(paths)]
+
+    def absorb(self, paths, document_id):
+        """Merge another document's path set into this guide."""
+        self.paths |= paths
+        self.document_ids.append(document_id)
+        self.source_path_sets.append(frozenset(paths))
+
+    def is_superset_of(self, paths):
+        return paths <= self.paths
+
+    def contains_path(self, path):
+        return path in self.paths
+
+    # -- structure ----------------------------------------------------------
+
+    def lca_path(self, path_a, path_b):
+        """Longest common prefix path of two member paths, or ``None``."""
+        if path_a not in self.paths or path_b not in self.paths:
+            return None
+        steps_a = path_a.split("/")[1:]
+        steps_b = path_b.split("/")[1:]
+        common = []
+        for step_a, step_b in zip(steps_a, steps_b):
+            if step_a != step_b:
+                break
+            common.append(step_a)
+        if not common:
+            return None
+        return "/" + "/".join(common)
+
+    def tree_distance(self, path_a, path_b):
+        """Edges between two path nodes inside this guide's tree."""
+        lca = self.lca_path(path_a, path_b)
+        if lca is None:
+            return None
+        depth = lca.count("/")
+        return (path_a.count("/") - depth) + (path_b.count("/") - depth)
+
+    def co_occurs(self, path_a, path_b):
+        """True when some *source document* contained both paths.
+
+        A merged guide contains the union of its sources, so two paths
+        may both be present while never co-occurring -- the root cause
+        of false-positive connections.
+        """
+        return any(
+            path_a in source and path_b in source
+            for source in self.source_path_sets
+        )
+
+    def __len__(self):
+        return len(self.paths)
+
+    def __repr__(self):
+        return (
+            f"Dataguide(id={self.guide_id}, paths={len(self.paths)}, "
+            f"docs={len(self.document_ids)})"
+        )
+
+
+class DataguideSet:
+    """The merged dataguide collection DG plus cross-guide links."""
+
+    def __init__(self, guides, threshold):
+        self.guides = guides
+        self.threshold = threshold
+        self._guide_of_doc = {}
+        self._guides_of_path = {}
+        for guide in guides:
+            for doc_id in guide.document_ids:
+                self._guide_of_doc[doc_id] = guide
+            for path in guide.paths:
+                self._guides_of_path.setdefault(path, []).append(guide)
+        self.links = []  # (source_guide, source_path, target_guide, target_path, kind, label)
+
+    # -- lookups ------------------------------------------------------------
+
+    def guide_for_document(self, doc_id):
+        return self._guide_of_doc.get(doc_id)
+
+    def guides_for_path(self, path):
+        return list(self._guides_of_path.get(path, ()))
+
+    def __len__(self):
+        return len(self.guides)
+
+    def __iter__(self):
+        return iter(self.guides)
+
+    # -- cross-guide links -------------------------------------------------------
+
+    def add_links_from_graph(self, graph):
+        """Record dataguide-level links for every non-tree data edge.
+
+        "We first compute a collection of dataguides ... together with a
+        set of links between the dataguides corresponding to the
+        external edges between documents" (Section 6.1).  Intra-document
+        edges also register so that link connections inside one guide
+        are discoverable.
+        """
+        collection = graph.collection
+        seen = set()
+        for edge in graph.edges:
+            source = collection.node(edge.source_id)
+            target = collection.node(edge.target_id)
+            source_guide = self.guide_for_document(source.doc_id)
+            target_guide = self.guide_for_document(target.doc_id)
+            if source_guide is None or target_guide is None:
+                continue
+            key = (
+                source_guide.guide_id, source.path,
+                target_guide.guide_id, target.path,
+                edge.kind, edge.label,
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            self.links.append(
+                (source_guide, source.path, target_guide, target.path,
+                 edge.kind, edge.label)
+            )
+        return self.links
+
+    # -- quality analysis (Section 6.1) ----------------------------------------
+
+    def false_positive_pairs(self):
+        """Path pairs co-present in a merged guide but never in a source.
+
+        "Merging similar dataguides introduces some false connections.
+        Hence the higher the overlap threshold, the fewer the false
+        positive connections."  Returns ``(false_pairs, total_pairs)``
+        summed over all guides, so a rate can be derived.
+        """
+        false_pairs = 0
+        total_pairs = 0
+        for guide in self.guides:
+            if len(guide.source_path_sets) == 1:
+                # Single-source guides cannot contain merge artifacts,
+                # and their pair count can be huge; count them cheaply.
+                size = len(guide.paths)
+                total_pairs += size * (size - 1) // 2
+                continue
+            for path_a, path_b in itertools.combinations(sorted(guide.paths), 2):
+                total_pairs += 1
+                if not guide.co_occurs(path_a, path_b):
+                    false_pairs += 1
+        return false_pairs, total_pairs
+
+    def reduction_factor(self, document_count):
+        """documents / guides -- the paper's 3x to 100x reduction."""
+        if not self.guides:
+            return 0.0
+        return document_count / len(self.guides)
+
+    # -- persistence (Section 6.1) --------------------------------------------
+    #
+    # "The dataguide summary is precomputed on the entire data graph G.
+    # At query time, SEDA optimizes the use of the dataguide index by
+    # loading it into memory only once from disk."
+
+    def save(self, path):
+        """Write the dataguide set to ``path`` (JSON).
+
+        Links are stored by (guide id, path, kind, label); the caller
+        re-attaches them on load since guides are identified stably.
+        """
+        payload = {
+            "threshold": self.threshold,
+            "guides": [
+                {
+                    "guide_id": guide.guide_id,
+                    "paths": sorted(guide.paths),
+                    "document_ids": guide.document_ids,
+                    "sources": [sorted(s) for s in guide.source_path_sets],
+                }
+                for guide in self.guides
+            ],
+            "links": [
+                {
+                    "source_guide": source_guide.guide_id,
+                    "source_path": source_path,
+                    "target_guide": target_guide.guide_id,
+                    "target_path": target_path,
+                    "kind": kind.value,
+                    "label": label,
+                }
+                for source_guide, source_path, target_guide, target_path,
+                kind, label in self.links
+            ],
+        }
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, path)
+
+    @classmethod
+    def load(cls, path):
+        """Read a dataguide set previously written by :meth:`save`."""
+        from repro.model.graph import EdgeKind
+
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        guides = []
+        for record in payload["guides"]:
+            document_ids = record["document_ids"]
+            guide = Dataguide(
+                record["guide_id"], record["sources"][0], document_ids[0]
+            )
+            for source, doc_id in zip(record["sources"][1:],
+                                      document_ids[1:]):
+                guide.absorb(set(source), doc_id)
+            guides.append(guide)
+        guide_set = cls(guides, payload["threshold"])
+        by_id = {guide.guide_id: guide for guide in guides}
+        for link in payload["links"]:
+            guide_set.links.append((
+                by_id[link["source_guide"]], link["source_path"],
+                by_id[link["target_guide"]], link["target_path"],
+                EdgeKind(link["kind"]), link["label"],
+            ))
+        return guide_set
+
+
+class DataguideBuilder:
+    """Streaming construction of a :class:`DataguideSet`."""
+
+    def __init__(self, threshold=0.4):
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be within [0, 1]")
+        self.threshold = threshold
+        self._guides = []
+
+    def add_document(self, document):
+        """Merge one document's dataguide into the set."""
+        return self.add_paths(document.paths(), document.doc_id)
+
+    def add_paths(self, paths, document_id):
+        """Merge a raw path set (used by generators and tests)."""
+        paths = set(paths)
+        # Case 1: subset of or equal to an existing guide -> absorbed.
+        for guide in self._guides:
+            if guide.is_superset_of(paths):
+                guide.absorb(paths, document_id)
+                return guide
+        # Case 2: merge with the best-overlapping guide over the threshold.
+        best_guide = None
+        best_overlap = 0.0
+        for guide in self._guides:
+            score = overlap(guide.paths, paths)
+            if score > best_overlap:
+                best_overlap = score
+                best_guide = guide
+        if best_guide is not None and best_overlap >= self.threshold:
+            best_guide.absorb(paths, document_id)
+            return best_guide
+        # Case 3: a brand-new guide.
+        guide = Dataguide(len(self._guides), paths, document_id)
+        self._guides.append(guide)
+        return guide
+
+    def build(self, collection=None, graph=None):
+        """Finish: optionally ingest a collection, then freeze the set."""
+        if collection is not None:
+            for document in collection.documents:
+                self.add_document(document)
+        guide_set = DataguideSet(list(self._guides), self.threshold)
+        if graph is not None:
+            guide_set.add_links_from_graph(graph)
+        return guide_set
+
+    @property
+    def guide_count(self):
+        return len(self._guides)

@@ -1,0 +1,261 @@
+"""The SEDA system facade: Search, Explore, Discover, Analyze.
+
+Wires every component of Figure 4 together and drives the Figure 6
+control flow::
+
+    seda = Seda.from_documents(docs, value_links=links)
+    session = seda.search([("*", '"United States"'),
+                           ("trade_country", "*"),
+                           ("percentage", "*")], k=10)
+    session.context_summary          # Section 5 panel
+    session = session.refine_contexts({0: ["/country"], ...})
+    session.connection_summary       # Section 6 panel
+    session = session.refine_connections([...])
+    table = session.complete_results()          # Section 7
+    schema = session.build_cube(table)           # star schema
+    engine = session.olap(schema)                # analysis
+
+Each ``SedaSession`` is immutable; refinements return new sessions, so
+the exploration history stays inspectable (the GUI's back button).
+"""
+
+from repro.cube.augment import Augmenter
+from repro.cube.extract import TableExtractor
+from repro.cube.matching import ResultMatcher
+from repro.cube.registry import Registry
+from repro.index.builder import IndexBuilder
+from repro.metrics import SessionEffort
+from repro.model.collection import DocumentCollection
+from repro.model.graph import DataGraph
+from repro.model.links import LinkDiscoverer
+from repro.olap.engine import OLAPEngine
+from repro.query.matcher import TermMatcher
+from repro.query.term import Query
+from repro.search.scoring import ScoringModel
+from repro.search.topk import TopKSearcher
+from repro.storage.node_store import NodeStore
+from repro.summaries.connection import ConnectionSummaryGenerator
+from repro.summaries.context import ContextSummaryGenerator
+from repro.summaries.dataguide import DataguideBuilder
+from repro.twig.complete import CompleteResultGenerator
+
+
+class Seda:
+    """One SEDA instance over a document collection."""
+
+    def __init__(self, collection, value_links=(), dataguide_threshold=0.4,
+                 analyzer=None, max_hops=12):
+        self.collection = collection
+        self.graph = DataGraph(collection)
+        discoverer = LinkDiscoverer(self.graph)
+        discoverer.discover_all(value_specs=value_links)
+
+        builder = IndexBuilder(collection, analyzer=analyzer)
+        self.inverted, self.path_index = builder.build()
+        self.node_store = NodeStore(collection)
+        self.matcher = TermMatcher(
+            collection, self.inverted, self.path_index, self.node_store
+        )
+        self.scoring = ScoringModel(
+            collection, self.inverted, self.graph, max_hops=max_hops
+        )
+        self.topk = TopKSearcher(self.matcher, self.scoring)
+
+        self.dataguides = DataguideBuilder(dataguide_threshold).build(
+            collection=collection, graph=self.graph
+        )
+        self.context_generator = ContextSummaryGenerator(self.matcher)
+        self.connection_generator = ConnectionSummaryGenerator(
+            collection, self.graph, self.dataguides, max_hops=max_hops
+        )
+        self.complete_generator = CompleteResultGenerator(
+            collection, self.graph, self.node_store, self.matcher,
+            max_hops=max_hops,
+        )
+        self.registry = Registry()
+        self.max_hops = max_hops
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_documents(cls, documents, value_links=(), name="collection",
+                       **kwargs):
+        """Build a SEDA instance from ``(name, xml-or-element)`` pairs
+        or bare XML strings / elements."""
+        collection = DocumentCollection(name=name)
+        for document in documents:
+            if isinstance(document, tuple):
+                doc_name, source = document
+                collection.add_document(source, name=doc_name)
+            else:
+                collection.add_document(document)
+        return cls(collection, value_links=value_links, **kwargs)
+
+    # -- the entry point ----------------------------------------------------------
+
+    def search(self, query, k=10):
+        """Submit a query; returns a :class:`SedaSession`.
+
+        ``query`` is a :class:`Query` or a list of ``(context, search)``
+        pairs.
+        """
+        if not isinstance(query, Query):
+            query = Query.parse(query)
+        results = self.topk.search(query, k=k)
+        return SedaSession(self, query, k, results, effort=SessionEffort())
+
+
+class SedaSession:
+    """One step of the Figure 6 exploration loop."""
+
+    def __init__(self, system, query, k, results, chosen_connections=None,
+                 effort=None):
+        self.system = system
+        self.query = query
+        self.k = k
+        self.results = results
+        self.chosen_connections = list(chosen_connections or [])
+        # Effort tracking (a Section 8 effectiveness metric): refinement
+        # steps share the tracker so a whole exploration is accounted.
+        self.effort = effort if effort is not None else SessionEffort()
+        self._context_summary = None
+        self._connection_summary = None
+
+    # -- summaries (computed lazily, cached per session) -----------------------
+
+    @property
+    def context_summary(self):
+        if self._context_summary is None:
+            self._context_summary = self.system.context_generator.generate(
+                self.query
+            )
+        return self._context_summary
+
+    @property
+    def connection_summary(self):
+        if self._connection_summary is None:
+            self._connection_summary = (
+                self.system.connection_generator.generate(
+                    self.query, self.results
+                )
+            )
+        return self._connection_summary
+
+    # -- refinement (each returns a NEW session) ----------------------------------
+
+    def refine_contexts(self, selections):
+        """Restrict term contexts and re-run top-k (first feedback loop).
+
+        ``selections`` maps term index -> list of chosen paths.
+        """
+        refined = self.system.context_generator.refine(self.query, selections)
+        results = self.system.topk.search(refined, k=self.k)
+        self.effort.record_search()
+        self.effort.record_context_choice(
+            sum(len(paths) for paths in selections.values())
+        )
+        return SedaSession(self.system, refined, self.k, results,
+                          self.chosen_connections, effort=self.effort)
+
+    def refine_connections(self, connections):
+        """Select the relevant connections (second feedback loop).
+
+        ``connections`` is a list of ``((i, j), Connection)`` pairs,
+        typically picked from :attr:`connection_summary`.  The top-k
+        results are filtered to tuples instantiating every selected
+        connection.
+        """
+        system = self.system
+        filtered = []
+        for result in self.results:
+            keep = True
+            for (i, j), connection in connections:
+                if not connection.matches_instance(
+                    system.collection, system.graph,
+                    result.node_ids[i], result.node_ids[j],
+                    max_hops=system.max_hops,
+                ):
+                    keep = False
+                    break
+            if keep:
+                filtered.append(result)
+        self.effort.record_connection_choice(len(connections))
+        return SedaSession(system, self.query, self.k, filtered, connections,
+                          effort=self.effort)
+
+    # -- complete results and cube construction --------------------------------------
+
+    def term_paths(self):
+        """Chosen (or unambiguous) context path per term, if determinable.
+
+        A term has a determined path when its context is a single
+        :class:`PathContext` or when all its top-k bindings share one
+        path.  Raises otherwise -- the caller must refine first.
+        """
+        from repro.query.term import PathContext
+
+        paths = {}
+        for index, term in enumerate(self.query.terms):
+            if isinstance(term.context, PathContext):
+                paths[index] = term.context.path
+                continue
+            bound = {
+                self.system.collection.node(result.node_ids[index]).path
+                for result in self.results
+            }
+            if len(bound) == 1:
+                paths[index] = bound.pop()
+            else:
+                raise ValueError(
+                    f"term {index} is ambiguous across paths {sorted(bound)}; "
+                    "refine contexts before requesting complete results"
+                )
+        return paths
+
+    def complete_results(self, term_paths=None, connections=None):
+        """Materialize the full R(q) (Section 7)."""
+        if term_paths is None:
+            term_paths = self.term_paths()
+        if connections is None:
+            connections = self.chosen_connections
+        return self.system.complete_generator.generate(
+            self.query, term_paths, connections
+        )
+
+    # -- cube pipeline ------------------------------------------------------------------
+
+    def match_cube(self, result_table):
+        """Step 1: match result columns against the registry."""
+        return ResultMatcher(self.system.registry).match(result_table)
+
+    def build_cube(self, result_table, facts=None, dimensions=None,
+                   merge_facts=True):
+        """Steps 1-3: match, augment, extract; returns a StarSchema.
+
+        ``facts``/``dimensions`` override the automatic match (the
+        user's manual adjustment); defaults are the matched sets Fq and
+        Dq.
+        """
+        report = self.match_cube(result_table)
+        if facts is None:
+            facts = report.facts
+        if dimensions is None:
+            dimensions = report.dimensions
+        augmenter = Augmenter(
+            self.system.collection, self.system.node_store,
+            self.system.registry,
+        )
+        augmented = augmenter.augment(result_table, facts, dimensions)
+        final_dimensions = list(dimensions) + augmented.auto_dimensions
+        extractor = TableExtractor(
+            self.system.collection, self.system.node_store,
+            self.system.registry,
+        )
+        return extractor.extract(
+            augmented, facts, final_dimensions, merge_facts=merge_facts
+        )
+
+    @staticmethod
+    def olap(star_schema):
+        """An :class:`OLAPEngine` over the generated star schema."""
+        return OLAPEngine(star_schema)

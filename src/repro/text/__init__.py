@@ -1,0 +1,15 @@
+"""Text analysis substrate (the role Lucene analyzers play in the paper).
+
+Provides tokenization, normalization, stopword filtering, and a
+from-scratch Porter stemmer.  The default :class:`Analyzer` used by the
+indexes lower-cases and keeps stopwords (SEDA queries are short and
+data-oriented -- e.g. ``"United States"`` -- so recall matters more than
+index size); stemming and stopword removal are opt-in.
+"""
+
+from repro.text.analyzer import Analyzer
+from repro.text.stemmer import PorterStemmer
+from repro.text.stopwords import STOPWORDS
+from repro.text.tokenizer import Token, tokenize
+
+__all__ = ["Analyzer", "PorterStemmer", "STOPWORDS", "Token", "tokenize"]

@@ -1,0 +1,57 @@
+"""Analyzer pipeline: tokenize -> normalize -> filter -> (optionally) stem."""
+
+from repro.text.stemmer import PorterStemmer
+from repro.text.stopwords import STOPWORDS
+from repro.text.tokenizer import Token, tokenize
+
+
+class Analyzer:
+    """Turns raw text into index/search terms.
+
+    The same analyzer instance must be used at index and query time so
+    that normalization agrees.  With default settings, terms are
+    lower-cased tokens; stopword filtering and Porter stemming can be
+    enabled where a caller needs them.
+    """
+
+    def __init__(self, lowercase=True, remove_stopwords=False, stem=False,
+                 stopwords=STOPWORDS):
+        self.lowercase = lowercase
+        self.remove_stopwords = remove_stopwords
+        self.stopwords = stopwords
+        self._stemmer = PorterStemmer() if stem else None
+
+    def analyze(self, text):
+        """Return the list of analyzed :class:`Token` objects for ``text``.
+
+        Token positions are preserved from the raw token stream (holes
+        where stopwords were removed), so phrase queries remain exact.
+        """
+        output = []
+        for token in tokenize(text):
+            term = token.text.lower() if self.lowercase else token.text
+            if self.remove_stopwords and term in self.stopwords:
+                continue
+            if self._stemmer is not None:
+                term = self._stemmer.stem(term)
+            output.append(Token(term, token.start, token.end, token.position))
+        return output
+
+    def terms(self, text):
+        """The analyzed term strings only (no offsets)."""
+        return [token.text for token in self.analyze(text)]
+
+    def term(self, word):
+        """Analyze a single query word; returns ``None`` if it vanishes.
+
+        Used by the query parser: a query keyword that normalizes to a
+        stopword (when filtering is on) cannot match anything.
+        """
+        analyzed = self.analyze(word)
+        if not analyzed:
+            return None
+        if len(analyzed) == 1:
+            return analyzed[0].text
+        # A "word" that splits into several tokens (e.g. "GDP_ppp" with a
+        # different analyzer) is treated as a phrase by the caller.
+        return [token.text for token in analyzed]

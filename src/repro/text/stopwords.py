@@ -1,0 +1,13 @@
+"""A small English stopword list.
+
+Kept deliberately short: SEDA queries target data values and tag names,
+and an aggressive stopword list would make terms like ``"us"`` (a
+country code) unsearchable.  The set mirrors the classic Lucene default.
+"""
+
+STOPWORDS = frozenset(
+    """
+    a an and are as at be but by for if in into is it no not of on or
+    such that the their then there these they this to was will with
+    """.split()
+)

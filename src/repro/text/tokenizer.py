@@ -1,0 +1,78 @@
+"""Word tokenizer for XML text content.
+
+Splits on non-alphanumeric boundaries but keeps numbers with embedded
+punctuation together (``12.31T``, ``16.9%``, ``2,450``) because the
+World Factbook / Mondial content SEDA indexes is full of such values
+and they must remain searchable as single terms.
+"""
+
+
+class Token:
+    """A token with its character offsets and ordinal position."""
+
+    __slots__ = ("text", "start", "end", "position")
+
+    def __init__(self, text, start, end, position):
+        self.text = text
+        self.start = start
+        self.end = end
+        self.position = position
+
+    def __eq__(self, other):
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (
+            self.text == other.text
+            and self.start == other.start
+            and self.end == other.end
+            and self.position == other.position
+        )
+
+    def __repr__(self):
+        return f"Token({self.text!r}, {self.start}:{self.end}, pos={self.position})"
+
+
+_WORD_PUNCT = set(".,%$'-_")
+
+
+def _is_word_char(ch):
+    return ch.isalnum()
+
+
+def tokenize(text):
+    """Yield :class:`Token` objects for ``text``.
+
+    A token is a maximal run of alphanumerics, possibly containing
+    internal punctuation from ``.,%$'-_`` when both neighbors keep the
+    run going (so ``GDP_ppp`` and ``12.31`` are single tokens while a
+    sentence-final period is not).  Trailing ``%`` and ``$`` signs are
+    kept (``16.9%``), matching how measure values appear in the data.
+    """
+    tokens = []
+    i = 0
+    length = len(text)
+    position = 0
+    while i < length:
+        if not _is_word_char(text[i]):
+            i += 1
+            continue
+        start = i
+        i += 1
+        while i < length:
+            ch = text[i]
+            if _is_word_char(ch):
+                i += 1
+                continue
+            if ch in _WORD_PUNCT:
+                # Keep the punctuation when it glues two word chars or is
+                # a trailing %/$ unit marker.
+                if i + 1 < length and _is_word_char(text[i + 1]):
+                    i += 2
+                    continue
+                if ch in "%$":
+                    i += 1
+                break
+            break
+        tokens.append(Token(text[start:i], start, i, position))
+        position += 1
+    return tokens

@@ -1,0 +1,34 @@
+"""Complete result computation via holistic twig joins (Section 7).
+
+"We partition each connection graph into twigs.  Each twig is a query
+pattern tree, which includes the connection nodes and parent/child
+edges within the same document.  The remaining edges are called
+cross-twig joins...  We retrieve the data nodes from the full-text
+search results in Dewey ID order, which can be directly used by the
+XML twig processing.  After we compute the results of each twig query,
+we join the results from different twigs according to the cross-twig
+join edges."
+
+* :class:`TwigPattern` / :class:`TwigNode` -- query pattern trees.
+* :class:`TwigStackJoin` -- the holistic TwigStack algorithm [4] over
+  Dewey-ordered streams.
+* :class:`CrossTwigJoiner` -- hash joins across twigs along link edges.
+* :class:`CompleteResultGenerator` -- end-to-end R(q) materialization
+  honoring the user's chosen contexts and connections.
+* :class:`ResultTable` -- the Figure 3 result relation
+  ``<nodeid1, path1, ..., nodeidm, pathm>``.
+"""
+
+from repro.twig.complete import CompleteResultGenerator, ResultTable
+from repro.twig.joins import CrossTwigJoiner
+from repro.twig.pattern import TwigNode, TwigPattern
+from repro.twig.twigstack import TwigStackJoin
+
+__all__ = [
+    "CompleteResultGenerator",
+    "CrossTwigJoiner",
+    "ResultTable",
+    "TwigNode",
+    "TwigPattern",
+    "TwigStackJoin",
+]

@@ -1,0 +1,124 @@
+"""Query pattern trees (twigs).
+
+A twig is a rooted tree of :class:`TwigNode` objects; each node carries
+the full root-to-leaf path it matches, so structural containment can
+be checked with Dewey prefixes alone.  Twigs are built from the query
+terms' chosen context paths by prefix-merging the paths into one tree
+and recording, per term, which node returns its bindings.
+"""
+
+
+class TwigNode:
+    """One node of a twig pattern.
+
+    ``path`` is the full root-to-path-prefix for this node; ``term_index``
+    is the query-term whose bindings this node produces (``None`` for
+    purely structural internal nodes).
+    """
+
+    __slots__ = ("path", "tag", "term_index", "children", "parent")
+
+    def __init__(self, path, term_index=None):
+        self.path = path
+        self.tag = path.rsplit("/", 1)[-1]
+        self.term_index = term_index
+        self.children = []
+        self.parent = None
+
+    def add_child(self, child):
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def iter_subtree(self):
+        """This node and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    @property
+    def is_leaf(self):
+        return not self.children
+
+    def __repr__(self):
+        term = f", term={self.term_index}" if self.term_index is not None else ""
+        return f"TwigNode({self.path!r}{term})"
+
+
+class TwigPattern:
+    """A twig: the prefix-tree of a set of output paths."""
+
+    def __init__(self, root):
+        self.root = root
+
+    @classmethod
+    def from_paths(cls, term_paths):
+        """Build a twig from ``{term_index: path}``.
+
+        All paths must share the same root step (they come from
+        documents matched by one connection graph component).  Internal
+        prefix nodes are created as needed; when two terms share a full
+        path, each gets its own pattern node under the same parent so
+        that bindings remain per-term.
+        """
+        if not term_paths:
+            raise ValueError("a twig needs at least one output path")
+        roots = {path.split("/")[1] for path in term_paths.values()}
+        if len(roots) != 1:
+            raise ValueError(
+                f"twig paths must share a root element, got {sorted(roots)}"
+            )
+        root_tag = next(iter(roots))
+        root_path = f"/{root_tag}"
+        root_terms = [
+            index for index, path in term_paths.items() if path == root_path
+        ]
+        root = TwigNode(
+            root_path, root_terms[0] if root_terms else None
+        )
+        by_prefix = {root_path: root}
+        for term_index, path in sorted(term_paths.items()):
+            if path == root_path:
+                if root.term_index is None:
+                    root.term_index = term_index
+                elif root.term_index != term_index:
+                    # Second term bound to the very root: dedicated child
+                    # nodes are impossible (the root has no parent), so
+                    # such queries must bind at most one term to the root.
+                    raise ValueError(
+                        "at most one query term may bind the twig root"
+                    )
+                continue
+            steps = path.split("/")[1:]
+            prefix = root_path
+            node = root
+            for step in steps[1:-1]:
+                prefix = f"{prefix}/{step}"
+                existing = by_prefix.get(prefix)
+                if existing is None:
+                    existing = node.add_child(TwigNode(prefix))
+                    by_prefix[prefix] = existing
+                node = existing
+            # The leaf (output) node: always a dedicated node per term.
+            leaf = node.add_child(TwigNode(path, term_index))
+        return cls(root)
+
+    # -- inspection --------------------------------------------------------
+
+    def nodes(self):
+        return list(self.root.iter_subtree())
+
+    def output_nodes(self):
+        """Pattern nodes bound to query terms, in term order."""
+        outputs = [
+            node for node in self.root.iter_subtree()
+            if node.term_index is not None
+        ]
+        outputs.sort(key=lambda node: node.term_index)
+        return outputs
+
+    def term_indexes(self):
+        return [node.term_index for node in self.output_nodes()]
+
+    def __repr__(self):
+        return f"TwigPattern(nodes={len(self.nodes())}, outputs={self.term_indexes()})"

@@ -1,0 +1,108 @@
+"""Text renderings of the SEDA GUI panels (Figures 5 and 7).
+
+The paper's user interface has five panels -- query, context summary,
+connection summary, results, and the data-cube screen.  This module
+renders each as plain text so that examples, notebooks, and logs can
+show the same information the GUI would; every function takes the
+corresponding object from the programmatic API.
+"""
+
+
+def render_query(query):
+    """The query panel: one line per (context, search) term."""
+    lines = ["Query:"]
+    for index, term in enumerate(query.terms, start=1):
+        lines.append(f"  {index}. context={term.context!r}  "
+                     f"search={term.search!r}")
+    return "\n".join(lines)
+
+
+def render_results(results, collection, limit=10):
+    """The result panel: ranked tuples with paths and values."""
+    lines = [f"Top-{min(limit, len(results))} results:"]
+    if not results:
+        lines.append("  (no results)")
+    for rank, result in enumerate(results[:limit], start=1):
+        lines.append(f"  {rank:2d}. {result.describe(collection)}")
+    return "\n".join(lines)
+
+
+def render_context_summary(summary, limit_per_term=8):
+    """The context summary panel: per-term path buckets with counts."""
+    lines = ["Context summary (choose the contexts you mean):"]
+    for index, bucket in enumerate(summary, start=1):
+        lines.append(f"  term {index}: {len(bucket)} context(s)")
+        for entry in bucket.entries[:limit_per_term]:
+            lines.append(
+                f"    [{entry.occurrences:6d} nodes, "
+                f"{entry.document_frequency:5d} docs]  {entry.path}"
+            )
+        hidden = len(bucket) - limit_per_term
+        if hidden > 0:
+            lines.append(f"    ... {hidden} more")
+    lines.append(
+        f"  ({summary.combination_count()} term-context combinations)"
+    )
+    return "\n".join(lines)
+
+
+def render_connection_summary(summary, limit=10):
+    """The connection summary panel: pick-or-drop relationship list."""
+    lines = ["Connection summary (pick the relationships you mean):"]
+    connections = summary.all_connections()
+    if not connections:
+        lines.append("  (no connections among the top-k results)")
+    for (i, j), connection, support in connections[:limit]:
+        lines.append(
+            f"  terms {i + 1}-{j + 1} [{support:3d} tuples]  "
+            f"{connection.describe()}"
+        )
+    hidden = len(connections) - limit
+    if hidden > 0:
+        lines.append(f"  ... {hidden} more")
+    return "\n".join(lines)
+
+
+def render_result_table(table, limit=10):
+    """The Figure 3(a) full query result R(q)."""
+    lines = [f"R(q): {len(table)} tuples, columns {table.schema}"]
+    for row in table.display_rows()[:limit]:
+        lines.append("  " + " | ".join(row))
+    hidden = len(table) - limit
+    if hidden > 0:
+        lines.append(f"  ... {hidden} more rows")
+    return "\n".join(lines)
+
+
+def render_star_schema(schema, row_limit=10):
+    """The data-cube panel (Figure 7): fact and dimension tables."""
+    lines = ["Star schema:"]
+    for name, fact in sorted(schema.fact_tables.items()):
+        lines.append(f"  fact {name} ({', '.join(fact.columns)}): "
+                     f"{len(fact)} rows")
+        for row in fact.rows[:row_limit]:
+            lines.append("    " + " | ".join(str(cell) for cell in row))
+        hidden = len(fact) - row_limit
+        if hidden > 0:
+            lines.append(f"    ... {hidden} more rows")
+    for name, dimension in sorted(schema.dimension_tables.items()):
+        members = ", ".join(list(dimension)[:8])
+        suffix = ", ..." if len(dimension) > 8 else ""
+        lines.append(f"  dimension {name}: {{{members}{suffix}}} "
+                     f"({len(dimension)} members)")
+    return "\n".join(lines)
+
+
+def render_session(session, limit=10):
+    """All panels of one exploration step, stacked (Figure 5 layout)."""
+    collection = session.system.collection
+    parts = [
+        render_query(session.query),
+        "",
+        render_results(session.results, collection, limit=limit),
+        "",
+        render_context_summary(session.context_summary),
+        "",
+        render_connection_summary(session.connection_summary, limit=limit),
+    ]
+    return "\n".join(parts)

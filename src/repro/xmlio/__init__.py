@@ -1,0 +1,28 @@
+"""From-scratch XML toolkit used as SEDA's parsing substrate.
+
+The paper stores XML in DB2 pureXML; this package provides the part of
+that substrate SEDA actually exercises: turning XML text into a document
+tree that the data-graph layer (:mod:`repro.model`) consumes.
+
+Public surface:
+
+* :func:`parse` / :func:`parse_file` -- parse XML text into a :class:`Element`.
+* :class:`Element`, :class:`Comment`, :class:`ProcessingInstruction` -- DOM.
+* :func:`serialize` -- render a DOM tree back to XML text.
+* :class:`XMLSyntaxError` -- raised on malformed input.
+"""
+
+from repro.xmlio.dom import Comment, Element, ProcessingInstruction
+from repro.xmlio.errors import XMLSyntaxError
+from repro.xmlio.parser import parse, parse_file
+from repro.xmlio.writer import serialize
+
+__all__ = [
+    "Comment",
+    "Element",
+    "ProcessingInstruction",
+    "XMLSyntaxError",
+    "parse",
+    "parse_file",
+    "serialize",
+]

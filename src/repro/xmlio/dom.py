@@ -1,0 +1,129 @@
+"""A small document object model for parsed XML.
+
+The model is intentionally narrower than W3C DOM: SEDA's data-graph layer
+needs elements, attributes, and text, with document order preserved.
+Comments and processing instructions are kept so that serialization
+round-trips, but the data-graph builder skips them.
+"""
+
+
+class Node:
+    """Base class for all DOM nodes."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self):
+        self.parent = None
+
+
+class Element(Node):
+    """An XML element: tag, attributes, and ordered children.
+
+    ``children`` holds :class:`Element`, :class:`Comment`,
+    :class:`ProcessingInstruction`, and plain ``str`` text nodes, in
+    document order.
+    """
+
+    __slots__ = ("tag", "attributes", "children")
+
+    def __init__(self, tag, attributes=None, children=None):
+        super().__init__()
+        self.tag = tag
+        self.attributes = dict(attributes) if attributes else {}
+        self.children = []
+        for child in children or []:
+            self.append(child)
+
+    def append(self, child):
+        """Append a child node (or text string) and set its parent link."""
+        if isinstance(child, Node):
+            child.parent = self
+        self.children.append(child)
+        return child
+
+    def element(self, tag, attributes=None, text=None):
+        """Create, append, and return a child element (builder helper)."""
+        child = Element(tag, attributes)
+        if text is not None:
+            child.append(str(text))
+        return self.append(child)
+
+    # -- navigation ------------------------------------------------------
+
+    def iter_elements(self):
+        """Yield child elements only, in document order."""
+        for child in self.children:
+            if isinstance(child, Element):
+                yield child
+
+    def iter_descendants(self):
+        """Yield this element and all descendant elements, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(list(node.iter_elements())))
+
+    def find(self, tag):
+        """Return the first child element with ``tag``, or ``None``."""
+        for child in self.iter_elements():
+            if child.tag == tag:
+                return child
+        return None
+
+    def find_all(self, tag):
+        """Return all child elements with ``tag``."""
+        return [child for child in self.iter_elements() if child.tag == tag]
+
+    # -- content ---------------------------------------------------------
+
+    @property
+    def text(self):
+        """Concatenated direct text children (not descendants)."""
+        return "".join(c for c in self.children if isinstance(c, str))
+
+    def text_content(self):
+        """Concatenated text of all descendants, in document order.
+
+        This is the paper's ``content(n)``: "the concatenation of all the
+        text node descendants of n by traversing parent/child edges only".
+        """
+        parts = []
+        stack = list(reversed(self.children))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, str):
+                parts.append(node)
+            elif isinstance(node, Element):
+                stack.extend(reversed(node.children))
+        return "".join(parts)
+
+    def __repr__(self):
+        return f"Element({self.tag!r}, attrs={len(self.attributes)}, children={len(self.children)})"
+
+
+class Comment(Node):
+    """An XML comment; preserved for round-tripping only."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text):
+        super().__init__()
+        self.text = text
+
+    def __repr__(self):
+        return f"Comment({self.text!r})"
+
+
+class ProcessingInstruction(Node):
+    """A processing instruction such as ``<?xml-stylesheet ...?>``."""
+
+    __slots__ = ("target", "data")
+
+    def __init__(self, target, data=""):
+        super().__init__()
+        self.target = target
+        self.data = data
+
+    def __repr__(self):
+        return f"ProcessingInstruction({self.target!r}, {self.data!r})"

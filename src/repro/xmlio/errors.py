@@ -1,0 +1,30 @@
+"""Errors raised by the XML toolkit."""
+
+
+class XMLSyntaxError(ValueError):
+    """Malformed XML input.
+
+    Carries the character ``position`` (0-based offset into the source
+    text) and the ``line``/``column`` (1-based) where the problem was
+    detected, so callers can produce useful diagnostics for hand-written
+    test documents and generated datasets alike.
+    """
+
+    def __init__(self, message, position=None, line=None, column=None):
+        location = ""
+        if line is not None and column is not None:
+            location = f" at line {line}, column {column}"
+        elif position is not None:
+            location = f" at offset {position}"
+        super().__init__(f"{message}{location}")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+def syntax_error(source, message, position):
+    """Build an :class:`XMLSyntaxError` with line/column from an offset."""
+    prefix = source[:position]
+    line = prefix.count("\n") + 1
+    column = position - (prefix.rfind("\n") + 1) + 1
+    return XMLSyntaxError(message, position=position, line=line, column=column)

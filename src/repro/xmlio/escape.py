@@ -1,0 +1,86 @@
+"""Entity escaping and unescaping for XML text and attribute values."""
+
+from repro.xmlio.errors import XMLSyntaxError
+
+# The five predefined XML entities.
+_NAMED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def escape_text(value):
+    """Escape ``value`` for use as XML element text content."""
+    out = []
+    for ch in value:
+        out.append(_TEXT_ESCAPES.get(ch, ch))
+    return "".join(out)
+
+
+def escape_attribute(value):
+    """Escape ``value`` for use inside a double-quoted attribute."""
+    out = []
+    for ch in value:
+        out.append(_ATTR_ESCAPES.get(ch, ch))
+    return "".join(out)
+
+
+def resolve_entity(name, position=None):
+    """Resolve an entity reference body (without ``&`` and ``;``).
+
+    Supports the five predefined entities plus decimal (``#65``) and
+    hexadecimal (``#x41``) character references.  Raises
+    :class:`XMLSyntaxError` for anything else: SEDA documents never use
+    DTD-defined entities, so an unknown name is always an input error.
+    """
+    if name in _NAMED_ENTITIES:
+        return _NAMED_ENTITIES[name]
+    if name.startswith("#x") or name.startswith("#X"):
+        digits = name[2:]
+        try:
+            return chr(int(digits, 16))
+        except (ValueError, OverflowError):
+            raise XMLSyntaxError(
+                f"invalid hexadecimal character reference &{name};",
+                position=position,
+            ) from None
+    if name.startswith("#"):
+        digits = name[1:]
+        try:
+            return chr(int(digits, 10))
+        except (ValueError, OverflowError):
+            raise XMLSyntaxError(
+                f"invalid decimal character reference &{name};",
+                position=position,
+            ) from None
+    raise XMLSyntaxError(f"unknown entity &{name};", position=position)
+
+
+def unescape(value, position=None):
+    """Replace all entity references in ``value`` with their characters."""
+    if "&" not in value:
+        return value
+    out = []
+    i = 0
+    length = len(value)
+    while i < length:
+        ch = value[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = value.find(";", i + 1)
+        if end == -1:
+            raise XMLSyntaxError(
+                "unterminated entity reference", position=position
+            )
+        name = value[i + 1 : end]
+        out.append(resolve_entity(name, position=position))
+        i = end + 1
+    return "".join(out)

@@ -1,0 +1,227 @@
+"""Tokenizer for the XML parser.
+
+Produces a flat stream of tokens -- start tags, end tags, text, CDATA,
+comments, processing instructions, and document-type declarations --
+leaving tree construction to :mod:`repro.xmlio.parser`.
+"""
+
+from repro.xmlio.errors import XMLSyntaxError
+from repro.xmlio.escape import unescape
+
+# Token kinds.
+START_TAG = "start"
+END_TAG = "end"
+EMPTY_TAG = "empty"
+TEXT = "text"
+CDATA = "cdata"
+COMMENT = "comment"
+PI = "pi"
+DOCTYPE = "doctype"
+
+_WHITESPACE = set(" \t\r\n")
+
+
+def _is_name_start(ch):
+    """XML name start characters: letters (any script), '_', ':'."""
+    return ch.isalpha() or ch in "_:"
+
+
+def _is_name_char(ch):
+    """XML name characters: name starts plus digits, '.', '-'."""
+    return ch.isalnum() or ch in "_:.-"
+
+
+class Token:
+    """A single lexical token.
+
+    ``kind`` is one of the module-level kind constants.  For tags,
+    ``value`` is the tag name and ``attributes`` the attribute dict; for
+    text-like tokens ``value`` is the (already unescaped) text.
+    """
+
+    __slots__ = ("kind", "value", "attributes", "position")
+
+    def __init__(self, kind, value, attributes=None, position=0):
+        self.kind = kind
+        self.value = value
+        self.attributes = attributes
+        self.position = position
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r})"
+
+
+class Lexer:
+    """Single-pass XML tokenizer over an in-memory string."""
+
+    def __init__(self, source):
+        self.source = source
+        self.pos = 0
+        self.length = len(source)
+
+    # -- error helpers ----------------------------------------------------
+
+    def _error(self, message, position=None):
+        position = self.pos if position is None else position
+        prefix = self.source[:position]
+        line = prefix.count("\n") + 1
+        column = position - (prefix.rfind("\n") + 1) + 1
+        raise XMLSyntaxError(message, position=position, line=line, column=column)
+
+    # -- character helpers -------------------------------------------------
+
+    def _peek(self):
+        if self.pos < self.length:
+            return self.source[self.pos]
+        return ""
+
+    def _expect(self, literal):
+        if not self.source.startswith(literal, self.pos):
+            self._error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def _skip_whitespace(self):
+        while self.pos < self.length and self.source[self.pos] in _WHITESPACE:
+            self.pos += 1
+
+    def _read_name(self):
+        start = self.pos
+        if self.pos >= self.length or not _is_name_start(
+            self.source[self.pos]
+        ):
+            self._error("expected an XML name")
+        self.pos += 1
+        while self.pos < self.length and _is_name_char(self.source[self.pos]):
+            self.pos += 1
+        return self.source[start : self.pos]
+
+    # -- token readers ------------------------------------------------------
+
+    def tokens(self):
+        """Yield all tokens in the source."""
+        while self.pos < self.length:
+            if self._peek() == "<":
+                yield self._read_markup()
+            else:
+                token = self._read_text()
+                if token is not None:
+                    yield token
+
+    def _read_text(self):
+        start = self.pos
+        end = self.source.find("<", self.pos)
+        if end == -1:
+            end = self.length
+        raw = self.source[start:end]
+        self.pos = end
+        return Token(TEXT, unescape(raw, position=start), position=start)
+
+    def _read_markup(self):
+        start = self.pos
+        if self.source.startswith("<!--", self.pos):
+            return self._read_comment(start)
+        if self.source.startswith("<![CDATA[", self.pos):
+            return self._read_cdata(start)
+        if self.source.startswith("<!DOCTYPE", self.pos):
+            return self._read_doctype(start)
+        if self.source.startswith("<?", self.pos):
+            return self._read_pi(start)
+        if self.source.startswith("</", self.pos):
+            return self._read_end_tag(start)
+        return self._read_start_tag(start)
+
+    def _read_comment(self, start):
+        self.pos += len("<!--")
+        end = self.source.find("-->", self.pos)
+        if end == -1:
+            self._error("unterminated comment", position=start)
+        body = self.source[self.pos : end]
+        if "--" in body:
+            self._error("'--' not allowed inside a comment", position=start)
+        self.pos = end + len("-->")
+        return Token(COMMENT, body, position=start)
+
+    def _read_cdata(self, start):
+        self.pos += len("<![CDATA[")
+        end = self.source.find("]]>", self.pos)
+        if end == -1:
+            self._error("unterminated CDATA section", position=start)
+        body = self.source[self.pos : end]
+        self.pos = end + len("]]>")
+        return Token(CDATA, body, position=start)
+
+    def _read_doctype(self, start):
+        # SEDA data never carries a DTD subset with markup declarations,
+        # so we accept a simple (possibly bracketed) DOCTYPE and skip it.
+        self.pos += len("<!DOCTYPE")
+        depth = 0
+        while self.pos < self.length:
+            ch = self.source[self.pos]
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == ">" and depth == 0:
+                body = self.source[start + len("<!DOCTYPE") : self.pos]
+                self.pos += 1
+                return Token(DOCTYPE, body.strip(), position=start)
+            self.pos += 1
+        self._error("unterminated DOCTYPE", position=start)
+
+    def _read_pi(self, start):
+        self.pos += len("<?")
+        target = self._read_name()
+        end = self.source.find("?>", self.pos)
+        if end == -1:
+            self._error("unterminated processing instruction", position=start)
+        data = self.source[self.pos : end].strip()
+        self.pos = end + len("?>")
+        return Token(PI, target, attributes={"data": data}, position=start)
+
+    def _read_end_tag(self, start):
+        self.pos += len("</")
+        name = self._read_name()
+        self._skip_whitespace()
+        self._expect(">")
+        return Token(END_TAG, name, position=start)
+
+    def _read_start_tag(self, start):
+        self._expect("<")
+        name = self._read_name()
+        attributes = self._read_attributes()
+        self._skip_whitespace()
+        if self.source.startswith("/>", self.pos):
+            self.pos += 2
+            return Token(EMPTY_TAG, name, attributes=attributes, position=start)
+        self._expect(">")
+        return Token(START_TAG, name, attributes=attributes, position=start)
+
+    def _read_attributes(self):
+        attributes = {}
+        while True:
+            before = self.pos
+            self._skip_whitespace()
+            ch = self._peek()
+            if ch in ("", ">", "/"):
+                self.pos = before if ch == "" else self.pos
+                return attributes
+            if self.pos == before:
+                self._error("expected whitespace before attribute")
+            name = self._read_name()
+            self._skip_whitespace()
+            self._expect("=")
+            self._skip_whitespace()
+            quote = self._peek()
+            if quote not in ("'", '"'):
+                self._error("attribute value must be quoted")
+            self.pos += 1
+            end = self.source.find(quote, self.pos)
+            if end == -1:
+                self._error("unterminated attribute value")
+            raw = self.source[self.pos : end]
+            if "<" in raw:
+                self._error("'<' not allowed in attribute value")
+            if name in attributes:
+                self._error(f"duplicate attribute {name!r}")
+            attributes[name] = unescape(raw, position=self.pos)
+            self.pos = end + 1

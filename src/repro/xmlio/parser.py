@@ -1,0 +1,93 @@
+"""Tree construction on top of the XML lexer."""
+
+from repro.xmlio import lexer as lx
+from repro.xmlio.dom import Comment, Element, ProcessingInstruction
+from repro.xmlio.errors import XMLSyntaxError, syntax_error
+
+
+def parse(source, keep_comments=True, keep_pis=True, strip_whitespace=True):
+    """Parse XML text into the root :class:`Element`.
+
+    ``strip_whitespace`` drops text nodes that are purely inter-element
+    whitespace (the overwhelmingly common case for data-oriented XML such
+    as the World Factbook / Mondial collections).  Mixed content is kept
+    verbatim.
+    """
+    tokens = lx.Lexer(source).tokens()
+    root = None
+    stack = []
+    for token in tokens:
+        if token.kind == lx.TEXT:
+            text = token.value
+            if strip_whitespace and not text.strip():
+                continue
+            if not stack:
+                if text.strip():
+                    raise syntax_error(
+                        source,
+                        "text content outside of the root element",
+                        token.position,
+                    )
+                continue
+            stack[-1].append(text)
+        elif token.kind == lx.CDATA:
+            if not stack:
+                raise syntax_error(
+                    source, "CDATA outside of the root element", token.position
+                )
+            stack[-1].append(token.value)
+        elif token.kind in (lx.START_TAG, lx.EMPTY_TAG):
+            element = Element(token.value, token.attributes)
+            if stack:
+                stack[-1].append(element)
+            elif root is None:
+                root = element
+            else:
+                raise syntax_error(
+                    source, "multiple root elements", token.position
+                )
+            if token.kind == lx.START_TAG:
+                stack.append(element)
+        elif token.kind == lx.END_TAG:
+            if not stack:
+                raise syntax_error(
+                    source,
+                    f"unexpected closing tag </{token.value}>",
+                    token.position,
+                )
+            open_element = stack.pop()
+            if open_element.tag != token.value:
+                raise syntax_error(
+                    source,
+                    f"mismatched closing tag </{token.value}>; "
+                    f"expected </{open_element.tag}>",
+                    token.position,
+                )
+        elif token.kind == lx.COMMENT:
+            if keep_comments and stack:
+                stack[-1].append(Comment(token.value))
+        elif token.kind == lx.PI:
+            if keep_pis and stack:
+                stack[-1].append(
+                    ProcessingInstruction(token.value, token.attributes["data"])
+                )
+        elif token.kind == lx.DOCTYPE:
+            if stack or root is not None:
+                raise syntax_error(
+                    source,
+                    "DOCTYPE must precede the root element",
+                    token.position,
+                )
+        else:  # pragma: no cover - the lexer only emits the kinds above
+            raise XMLSyntaxError(f"unknown token kind {token.kind}")
+    if stack:
+        raise XMLSyntaxError(f"unclosed element <{stack[-1].tag}>")
+    if root is None:
+        raise XMLSyntaxError("document has no root element")
+    return root
+
+
+def parse_file(path, **kwargs):
+    """Parse the XML file at ``path``; see :func:`parse` for options."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse(handle.read(), **kwargs)

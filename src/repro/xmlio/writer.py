@@ -1,0 +1,51 @@
+"""Serialization of DOM trees back to XML text."""
+
+from repro.xmlio.dom import Comment, Element, ProcessingInstruction
+from repro.xmlio.escape import escape_attribute, escape_text
+
+
+def serialize(node, indent=None, _depth=0):
+    """Render ``node`` (an :class:`Element` tree) as XML text.
+
+    With ``indent`` (e.g. ``"  "``) the output is pretty-printed;
+    pretty-printing is only applied to element-only content so that
+    mixed content round-trips byte-identically.
+    """
+    parts = []
+    _write(node, parts, indent, _depth)
+    return "".join(parts)
+
+
+def _write(node, parts, indent, depth):
+    if isinstance(node, str):
+        parts.append(escape_text(node))
+        return
+    if isinstance(node, Comment):
+        parts.append(f"<!--{node.text}-->")
+        return
+    if isinstance(node, ProcessingInstruction):
+        data = f" {node.data}" if node.data else ""
+        parts.append(f"<?{node.target}{data}?>")
+        return
+    if not isinstance(node, Element):
+        raise TypeError(f"cannot serialize {type(node).__name__}")
+
+    attrs = "".join(
+        f' {name}="{escape_attribute(value)}"'
+        for name, value in node.attributes.items()
+    )
+    if not node.children:
+        parts.append(f"<{node.tag}{attrs}/>")
+        return
+
+    parts.append(f"<{node.tag}{attrs}>")
+    element_only = indent is not None and all(
+        not isinstance(child, str) for child in node.children
+    )
+    for child in node.children:
+        if element_only:
+            parts.append("\n" + indent * (depth + 1))
+        _write(child, parts, indent, depth + 1)
+    if element_only:
+        parts.append("\n" + indent * depth)
+    parts.append(f"</{node.tag}>")

@@ -1,0 +1,219 @@
+"""The LCA-family heuristics and the [22]-style failure scenarios."""
+
+import pytest
+
+from repro.baselines.compactness import CompactnessRanker
+from repro.baselines.elca import elca
+from repro.baselines.lca import KeywordMatcher, lca_dewey
+from repro.baselines.mlca import mlca, mlca_pairs
+from repro.baselines.slca import slca
+from repro.index.builder import IndexBuilder
+from repro.model.collection import DocumentCollection
+from repro.model.dewey import DeweyID
+
+
+def _setup(*documents):
+    collection = DocumentCollection()
+    for document in documents:
+        collection.add_document(document)
+    inverted, _paths = IndexBuilder(collection).build()
+    return collection, inverted
+
+
+class TestLcaDewey:
+    def test_pairwise(self):
+        assert lca_dewey([DeweyID((1, 2, 1)), DeweyID((1, 3))]) == DeweyID((1,))
+
+    def test_single(self):
+        assert lca_dewey([DeweyID((1, 2))]) == DeweyID((1, 2))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            lca_dewey([])
+
+
+class TestKeywordMatcher:
+    def test_match_sets_grouped_by_doc(self):
+        collection, inverted = _setup(
+            "<a><x>apple</x><y>banana</y></a>",
+            "<a><x>apple</x></a>",
+        )
+        matcher = KeywordMatcher(collection, inverted)
+        sets = matcher.match_sets(["apple", "banana"])
+        assert list(sets) == [0]  # doc 1 lacks banana
+
+    def test_multi_token_keyword_rejected(self):
+        collection, inverted = _setup("<a>x</a>")
+        matcher = KeywordMatcher(collection, inverted)
+        with pytest.raises(ValueError):
+            matcher.match_sets(["two words"])
+
+
+class TestSlca:
+    def test_basic_smallest(self):
+        collection, inverted = _setup(
+            """<bib>
+                 <book><title>xml</title><author>chen</author></book>
+                 <book><title>db</title><author>smith</author></book>
+               </bib>"""
+        )
+        answers = slca(collection, inverted, ["xml", "chen"])
+        # The first book is the smallest subtree with both keywords.
+        assert answers == [(0, DeweyID((1, 1)))]
+
+    def test_root_excluded_when_smaller_exists(self):
+        collection, inverted = _setup(
+            """<bib>
+                 <book><title>xml</title><author>chen</author></book>
+                 <book><title>xml</title><author>chen</author></book>
+               </bib>"""
+        )
+        answers = slca(collection, inverted, ["xml", "chen"])
+        assert (0, DeweyID((1,))) not in answers
+        assert len(answers) == 2
+
+    def test_cross_subtree_falls_to_root(self):
+        collection, inverted = _setup(
+            """<bib>
+                 <book><title>xml</title></book>
+                 <book><author>chen</author></book>
+               </bib>"""
+        )
+        answers = slca(collection, inverted, ["xml", "chen"])
+        assert answers == [(0, DeweyID((1,)))]
+
+    def test_single_keyword_returns_matches(self):
+        collection, inverted = _setup("<a><b>x</b><c>x</c></a>")
+        answers = slca(collection, inverted, ["x"])
+        assert len(answers) == 2
+
+    def test_multiple_documents(self):
+        collection, inverted = _setup(
+            "<a><b>x</b><c>y</c></a>",
+            "<a><b>x</b></a>",
+            "<a><b>x y</b></a>",
+        )
+        answers = slca(collection, inverted, ["x", "y"])
+        docs = {doc for doc, _dewey in answers}
+        assert docs == {0, 2}
+
+
+class TestElca:
+    def test_elca_includes_root_with_own_witness(self):
+        """The classic ELCA vs SLCA example: the root has its own
+        keyword witnesses besides the self-sufficient child."""
+        collection, inverted = _setup(
+            """<bib>
+                 <book><title>xml</title><author>chen</author></book>
+                 <title>xml</title>
+                 <author>chen</author>
+               </bib>"""
+        )
+        answers = elca(collection, inverted, ["xml", "chen"])
+        deweys = {dewey for _doc, dewey in answers}
+        assert DeweyID((1, 1)) in deweys  # the book
+        assert DeweyID((1,)) in deweys    # the root, via its own children
+
+    def test_elca_excludes_root_without_witness(self):
+        collection, inverted = _setup(
+            """<bib>
+                 <book><title>xml</title><author>chen</author></book>
+                 <note>other</note>
+               </bib>"""
+        )
+        answers = elca(collection, inverted, ["xml", "chen"])
+        assert answers == [(0, DeweyID((1, 1)))]
+
+    def test_elca_superset_of_slca(self):
+        collection, inverted = _setup(
+            """<r>
+                 <a><x>k1</x><y>k2</y></a>
+                 <x>k1</x><y>k2</y>
+               </r>""",
+            "<r><x>k1</x><y>k2</y></r>",
+        )
+        slca_set = set(slca(collection, inverted, ["k1", "k2"]))
+        elca_set = set(elca(collection, inverted, ["k1", "k2"]))
+        assert slca_set <= elca_set
+
+
+class TestMlca:
+    def test_meaningful_pairs_prefer_closest(self):
+        collection, inverted = _setup(
+            """<dept>
+                 <group>
+                   <name>alpha</name><lead>chen</lead>
+                 </group>
+                 <group>
+                   <name>beta</name><lead>smith</lead>
+                 </group>
+               </dept>"""
+        )
+        answers = mlca(collection, inverted, ["alpha", "chen"])
+        assert len(answers) == 1
+        _doc, lca, nodes = answers[0]
+        assert lca == DeweyID((1, 1))
+
+    def test_cross_group_pair_rejected(self):
+        collection, inverted = _setup(
+            """<dept>
+                 <group><name>alpha</name><lead>chen</lead></group>
+                 <group><name>beta</name><lead>smith</lead></group>
+               </dept>"""
+        )
+        answers = mlca(collection, inverted, ["alpha", "smith"])
+        # alpha's closest lead is chen, so (alpha, smith) is NOT
+        # meaningful -- the classic false-negative of the heuristic.
+        assert answers == []
+
+    def test_mlca_pairs_symmetric_check(self):
+        collection, inverted = _setup(
+            "<r><a><x>k</x><y>v</y></a><y>v</y></r>"
+        )
+        matcher = KeywordMatcher(collection, inverted)
+        sets = matcher.match_sets(["k", "v"])
+        pairs = mlca_pairs(sets[0][0], sets[0][1])
+        # x pairs only with its sibling y, not the top-level y.
+        assert len(pairs) == 1
+        assert pairs[0][1].dewey == DeweyID((1, 1, 2))
+
+
+class TestHeuristicsFailureScenario:
+    """The [22]-style scenario where tree heuristics drop answers that
+    SEDA keeps (and lets the user disambiguate)."""
+
+    DOCUMENT = """
+    <country>
+      <name>mexico</name>
+      <import_partners>
+        <item><partner>usa</partner><share>70</share></item>
+        <item><partner>germany</partner><share>3</share></item>
+      </import_partners>
+      <export_partners>
+        <item><partner>usa</partner><share>88</share></item>
+      </export_partners>
+    </country>
+    """
+
+    def test_mlca_misses_export_pair(self):
+        collection, inverted = _setup(self.DOCUMENT)
+        answers = mlca(collection, inverted, ["mexico", "usa"])
+        # Both usa nodes tie on distance to the name node, so MLCA
+        # keeps both here; but (germany, usa) style cross-pairs vanish:
+        pairs = mlca(collection, inverted, ["germany", "usa"])
+        # germany's nearest usa is the import sibling; the export usa
+        # pair is dropped even though it is a real relationship.
+        assert len(pairs) == 1
+
+    def test_compactness_keeps_all_pairs_ranked(self):
+        collection, inverted = _setup(self.DOCUMENT)
+        ranker = CompactnessRanker(collection, inverted)
+        ranked = ranker.rank_pairs("germany", "usa")
+        assert len(ranked) == 2  # both usa contexts survive, ranked
+        assert ranked[0][2] <= ranked[1][2]
+
+    def test_slca_collapses_contexts(self):
+        collection, inverted = _setup(self.DOCUMENT)
+        answers = slca(collection, inverted, ["germany", "usa"])
+        # SLCA returns subtree roots, losing which usa was meant.
+        assert len(answers) == 1

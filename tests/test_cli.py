@@ -1,0 +1,101 @@
+"""The ``python -m repro`` command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import _parse_term, build_parser, main
+
+
+class TestTermParsing:
+    def test_context_and_search(self):
+        assert _parse_term("trade_country:*") == ("trade_country", "*")
+
+    def test_phrase_search(self):
+        assert _parse_term('*:"United States"') == ("*", '"United States"')
+
+    def test_bare_keyword_defaults_context(self):
+        assert _parse_term("romania") == ("*", "romania")
+
+    def test_path_context(self):
+        assert _parse_term("/country/year:2006") == ("/country/year", "2006")
+
+    def test_empty_sides_become_star(self):
+        assert _parse_term(":") == ("*", "*")
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.dataset == "factbook"
+        assert args.scale == 0.02
+
+    def test_search_terms_accumulate(self):
+        args = build_parser().parse_args(
+            ["search", "--term", "a:*", "--term", "b:*", "-k", "3"]
+        )
+        assert args.term == ["a:*", "b:*"]
+        assert args.k == 3
+
+
+class TestCommands:
+    def test_stats(self):
+        out = io.StringIO()
+        code = main(["stats", "--scale", "0.01", "--top", "3"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "documents:" in text
+        assert "distinct_paths:" in text
+        assert "/country" in text
+
+    def test_stats_from_directory(self, tmp_path):
+        (tmp_path / "one.xml").write_text("<a><b>hello</b></a>")
+        (tmp_path / "two.xml").write_text("<a><c>world</c></a>")
+        out = io.StringIO()
+        code = main(["stats", "--data", str(tmp_path)], out=out)
+        assert code == 0
+        assert "documents: 2" in out.getvalue()
+
+    def test_stats_empty_directory_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["stats", "--data", str(tmp_path)], out=io.StringIO())
+
+    def test_search(self):
+        out = io.StringIO()
+        code = main(
+            ["search", "--scale", "0.01",
+             "--term", '*:"United States"', "--term", "percentage:*",
+             "-k", "5"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "Query:" in text
+        assert "Context summary" in text
+        assert "Connection summary" in text
+
+    def test_search_without_terms_fails(self):
+        with pytest.raises(SystemExit):
+            main(["search"], out=io.StringIO())
+
+    def test_table1_small_scale(self):
+        out = io.StringIO()
+        code = main(["table1", "--scale", "0.005"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        for name in ("factbook", "mondial", "googlebase", "recipeml"):
+            assert name in text
+        assert "dataguides=" in text
+
+    def test_query1(self):
+        out = io.StringIO()
+        code = main(["query1", "--scale", "0.01"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "R(q)" in text
+        assert "fact import-trade-percentage" in text
+        assert "session effort" in text

@@ -1,0 +1,143 @@
+"""Document collections, data nodes, and path statistics."""
+
+import pytest
+
+from repro.model.collection import DocumentCollection
+from repro.model.dewey import DeweyID
+from repro.model.node import NodeKind
+
+
+class TestDocumentConstruction:
+    def test_nodes_in_document_order(self, figure2_collection):
+        document = figure2_collection.document(0)
+        deweys = [node.dewey for node in document.nodes]
+        assert deweys == sorted(deweys)
+
+    def test_root_is_first(self, figure2_collection):
+        document = figure2_collection.document(0)
+        assert document.root.tag == "country"
+        assert document.root.dewey == DeweyID.root()
+
+    def test_node_paths(self, figure2_collection):
+        document = figure2_collection.document(0)
+        assert "/country/economy/import_partners/item/percentage" in (
+            document.paths()
+        )
+
+    def test_attributes_become_nodes(self):
+        collection = DocumentCollection()
+        collection.add_document('<a x="1"><b y="2">t</b></a>')
+        paths = collection.paths()
+        assert "/a/@x" in paths
+        assert "/a/b/@y" in paths
+
+    def test_attribute_kind_and_value(self):
+        collection = DocumentCollection()
+        document = collection.add_document('<a x="1"/>')
+        attribute = document.nodes[1]
+        assert attribute.kind is NodeKind.ATTRIBUTE
+        assert attribute.value == "1"
+
+    def test_node_at_dewey(self, figure2_collection):
+        document = figure2_collection.document(0)
+        node = document.node_at(DeweyID.parse("1.2"))
+        assert node is not None
+        assert node.parent_id == document.root.node_id
+
+    def test_node_at_missing_dewey(self, figure2_collection):
+        document = figure2_collection.document(0)
+        assert document.node_at(DeweyID.parse("1.9.9")) is None
+
+
+class TestGlobalAddressing:
+    def test_node_ids_unique_across_documents(self, figure2_collection):
+        seen = set()
+        for node in figure2_collection.iter_nodes():
+            assert node.node_id not in seen
+            seen.add(node.node_id)
+
+    def test_node_ids_follow_document_order(self, figure2_collection):
+        """Global ids must increase in (doc, document-order): the index
+        and twig layers rely on id order == Dewey order."""
+        previous = None
+        for node in figure2_collection.iter_nodes():
+            key = (node.doc_id, node.dewey)
+            if previous is not None:
+                assert previous < key
+            previous = key
+
+    def test_node_lookup_roundtrip(self, figure2_collection):
+        for node in figure2_collection.iter_nodes():
+            assert figure2_collection.node(node.node_id) is node
+
+    def test_unknown_node_raises(self, figure2_collection):
+        with pytest.raises(KeyError):
+            figure2_collection.node(10**9)
+
+    def test_node_by_ref(self, figure2_collection):
+        node = figure2_collection.document(1).nodes[3]
+        assert figure2_collection.node_by_ref(1, node.dewey) is node
+
+    def test_node_by_ref_bad_doc(self, figure2_collection):
+        assert figure2_collection.node_by_ref(99, DeweyID.root()) is None
+
+
+class TestContent:
+    def test_leaf_content_is_direct_text(self, figure2_collection):
+        document = figure2_collection.document(0)
+        year = next(n for n in document.nodes if n.tag == "year")
+        assert figure2_collection.content(year.node_id) == "2006"
+
+    def test_root_content_concatenates(self, figure2_collection):
+        document = figure2_collection.document(2)
+        content = figure2_collection.content(document.root.node_id)
+        assert "Mexico" in content
+        assert "70.6%" in content
+        assert "United States" in content
+
+    def test_content_cached(self, figure2_collection):
+        document = figure2_collection.document(0)
+        root_id = document.root.node_id
+        first = figure2_collection.content(root_id)
+        assert figure2_collection.content(root_id) is first
+
+    def test_value_is_own_text_only(self, figure2_collection):
+        document = figure2_collection.document(0)
+        assert document.root.value == "United States"
+
+
+class TestPathStatistics:
+    def test_distinct_path_count(self, figure2_collection):
+        assert figure2_collection.path_count() == len(
+            set(figure2_collection.paths())
+        )
+
+    def test_occurrences_count_nodes(self, figure2_collection):
+        path = "/country/economy/import_partners/item"
+        # usa-2006 has 2 items, usa-2002 has 1, mexico-2003 has 2.
+        assert figure2_collection.path_occurrences(path) == 5
+
+    def test_document_frequency(self, figure2_collection):
+        path = "/country/economy/export_partners"
+        # Only usa-2006 and mexico-2003 have export partners.
+        assert figure2_collection.path_document_frequency(path) == 2
+
+    def test_unseen_path_zero(self, figure2_collection):
+        assert figure2_collection.path_occurrences("/nope") == 0
+        assert figure2_collection.path_document_frequency("/nope") == 0
+
+    def test_schema_evolution_paths_coexist(self, figure2_collection):
+        paths = set(figure2_collection.paths())
+        assert "/country/economy/GDP" in paths        # 2002-style
+        assert "/country/economy/GDP_ppp" in paths    # 2006-style
+
+
+class TestInputValidation:
+    def test_bad_source_type(self):
+        with pytest.raises(TypeError):
+            DocumentCollection().add_document(42)
+
+    def test_auto_names(self):
+        collection = DocumentCollection()
+        collection.add_document("<a/>")
+        assert collection.document(0).name == "doc-0"

@@ -1,0 +1,197 @@
+"""Connection summaries: tree/link classification (Section 6)."""
+
+import pytest
+
+from repro.model.graph import DataGraph, EdgeKind
+from repro.model.links import LinkDiscoverer, ValueLinkSpec
+from repro.query.term import Query
+from repro.search.scoring import ScoringModel
+from repro.search.topk import TopKSearcher
+from repro.summaries.connection import (
+    ConnectionSummaryGenerator,
+    LinkConnection,
+    TreeConnection,
+)
+from repro.summaries.dataguide import DataguideBuilder
+
+
+@pytest.fixture
+def figure2_setup(figure2_collection, figure2_matcher):
+    graph = DataGraph(figure2_collection)
+    LinkDiscoverer(graph).apply_value_links([
+        ValueLinkSpec(
+            "/country",
+            "/country/economy/import_partners/item/trade_country",
+            label="trade partner",
+        ),
+    ])
+    dataguides = DataguideBuilder(0.4).build(
+        collection=figure2_collection, graph=graph
+    )
+    generator = ConnectionSummaryGenerator(
+        figure2_collection, graph, dataguides
+    )
+    scoring = ScoringModel(figure2_collection, figure2_matcher.inverted, graph)
+    topk = TopKSearcher(figure2_matcher, scoring)
+    return graph, generator, topk
+
+
+TC_PATH = "/country/economy/import_partners/item/trade_country"
+PCT_PATH = "/country/economy/import_partners/item/percentage"
+ITEM_PATH = "/country/economy/import_partners/item"
+PARTNERS_PATH = "/country/economy/import_partners"
+
+
+def _node(collection, doc_id, tag, value=None):
+    for node in collection.iter_nodes():
+        if node.doc_id == doc_id and node.tag == tag and (
+            value is None or node.value == value
+        ):
+            return node
+    raise AssertionError(f"no node {tag}={value} in doc {doc_id}")
+
+
+class TestPairClassification:
+    def test_sibling_pair_is_tree_connection(self, figure2_collection,
+                                             figure2_setup):
+        _graph, generator, _topk = figure2_setup
+        tc = _node(figure2_collection, 0, "trade_country", "China")
+        pct = _node(figure2_collection, 0, "percentage", "15%")
+        connection = generator.classify_pair(tc.node_id, pct.node_id)
+        assert isinstance(connection, TreeConnection)
+        assert connection.lca_path == ITEM_PATH
+        assert connection.length == 2
+
+    def test_cousin_pair_meets_at_import_partners(self, figure2_collection,
+                                                  figure2_setup):
+        """The paper's two ways of connecting trade_country and
+        percentage: same item vs different items."""
+        _graph, generator, _topk = figure2_setup
+        tc = _node(figure2_collection, 0, "trade_country", "China")
+        pct = _node(figure2_collection, 0, "percentage", "16.9%")
+        connection = generator.classify_pair(tc.node_id, pct.node_id)
+        assert isinstance(connection, TreeConnection)
+        assert connection.lca_path == PARTNERS_PATH
+        assert connection.length == 4
+
+    def test_cross_document_link_connection(self, figure2_collection,
+                                            figure2_setup):
+        _graph, generator, _topk = figure2_setup
+        us_root = figure2_collection.document(0).root
+        mexico_tc = _node(figure2_collection, 2, "trade_country",
+                          "United States")
+        connection = generator.classify_pair(
+            mexico_tc.node_id, us_root.node_id
+        )
+        assert isinstance(connection, LinkConnection)
+        assert connection.kind is EdgeKind.VALUE
+        assert connection.label == "trade partner"
+
+    def test_unreachable_pair_is_none(self, figure2_collection):
+        # Without link edges, nodes of different documents never connect.
+        graph = DataGraph(figure2_collection)
+        dataguides = DataguideBuilder(0.4).build(
+            collection=figure2_collection, graph=graph
+        )
+        generator = ConnectionSummaryGenerator(
+            figure2_collection, graph, dataguides
+        )
+        usa_year = _node(figure2_collection, 0, "year")
+        mexico_year = _node(figure2_collection, 2, "year")
+        assert generator.classify_pair(
+            usa_year.node_id, mexico_year.node_id
+        ) is None
+
+    def test_connection_instance_check(self, figure2_collection,
+                                       figure2_setup):
+        graph, generator, _topk = figure2_setup
+        tc = _node(figure2_collection, 0, "trade_country", "China")
+        pct_sibling = _node(figure2_collection, 0, "percentage", "15%")
+        pct_cousin = _node(figure2_collection, 0, "percentage", "16.9%")
+        sibling = TreeConnection(TC_PATH, PCT_PATH, ITEM_PATH)
+        assert sibling.matches_instance(
+            figure2_collection, graph, tc.node_id, pct_sibling.node_id
+        )
+        assert not sibling.matches_instance(
+            figure2_collection, graph, tc.node_id, pct_cousin.node_id
+        )
+
+    def test_instance_check_symmetric(self, figure2_collection,
+                                      figure2_setup):
+        graph, _generator, _topk = figure2_setup
+        tc = _node(figure2_collection, 0, "trade_country", "China")
+        pct = _node(figure2_collection, 0, "percentage", "15%")
+        sibling = TreeConnection(TC_PATH, PCT_PATH, ITEM_PATH)
+        assert sibling.matches_instance(
+            figure2_collection, graph, pct.node_id, tc.node_id
+        )
+
+
+class TestSummaryGeneration:
+    def test_summary_from_topk(self, figure2_setup):
+        _graph, generator, topk = figure2_setup
+        query = Query.parse([("trade_country", "*"), ("percentage", "*")])
+        results = topk.search(query, k=10)
+        summary = generator.generate(query, results)
+        connections = summary.connections(0, 1)
+        assert connections
+        assert all(
+            isinstance(c, (TreeConnection, LinkConnection))
+            for c in connections
+        )
+
+    def test_support_counts_sum_to_pairs(self, figure2_setup):
+        _graph, generator, topk = figure2_setup
+        query = Query.parse([("trade_country", "*"), ("percentage", "*")])
+        results = topk.search(query, k=10)
+        summary = generator.generate(query, results)
+        total_support = sum(
+            support for _pair, _conn, support in summary.all_connections()
+        )
+        assert total_support == len(results)
+
+    def test_sibling_connection_most_supported(self, figure2_setup):
+        _graph, generator, topk = figure2_setup
+        query = Query.parse([("trade_country", "*"), ("percentage", "*")])
+        results = topk.search(query, k=10)
+        summary = generator.generate(query, results)
+        best = summary.connections(0, 1)[0]
+        assert isinstance(best, TreeConnection)
+        assert best.lca_path == ITEM_PATH
+
+
+class TestPotentialConnections:
+    def test_all_common_prefixes_enumerated(self, figure2_setup):
+        _graph, generator, _topk = figure2_setup
+        potentials = generator.potential_tree_connections(TC_PATH, PCT_PATH)
+        lcas = [connection.lca_path for connection in potentials]
+        assert ITEM_PATH in lcas
+        assert PARTNERS_PATH in lcas
+        assert "/country" in lcas
+        # Deepest (most meaningful) first.
+        assert lcas[0] == ITEM_PATH
+
+    def test_unknown_paths_empty(self, figure2_setup):
+        _graph, generator, _topk = figure2_setup
+        assert generator.potential_tree_connections("/x", "/y") == []
+
+
+class TestConnectionIdentity:
+    def test_tree_connection_equality(self):
+        a = TreeConnection("/a/b", "/a/c", "/a")
+        b = TreeConnection("/a/b", "/a/c", "/a")
+        c = TreeConnection("/a/b", "/a/c", "/a/b")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_link_connection_equality(self):
+        a = LinkConnection("/a", "/b", "/a", "/b", EdgeKind.VALUE, "x")
+        b = LinkConnection("/a", "/b", "/a", "/b", EdgeKind.VALUE, "x")
+        c = LinkConnection("/a", "/b", "/a", "/b", EdgeKind.IDREF, "x")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_describe_readable(self):
+        connection = TreeConnection(TC_PATH, PCT_PATH, ITEM_PATH)
+        text = connection.describe()
+        assert ITEM_PATH in text and "length 2" in text

@@ -1,0 +1,94 @@
+"""Context summaries (Section 5)."""
+
+from repro.query.term import PathContext, Query
+from repro.summaries.context import ContextSummaryGenerator
+
+
+QUERY_1 = [
+    ("*", '"United States"'),
+    ("trade_country", "*"),
+    ("percentage", "*"),
+]
+
+
+class TestContextBuckets:
+    def test_bucket_per_term(self, figure2_matcher):
+        generator = ContextSummaryGenerator(figure2_matcher)
+        summary = generator.generate(Query.parse(QUERY_1))
+        assert len(summary) == 3
+
+    def test_example1_contexts(self, figure2_matcher):
+        """Example 1 on the Figure 2 fragments: 3 contexts for 'United
+        States', 2 for trade_country, 2 for percentage."""
+        generator = ContextSummaryGenerator(figure2_matcher)
+        summary = generator.generate(Query.parse(QUERY_1))
+        assert [len(bucket) for bucket in summary] == [3, 2, 2]
+
+    def test_twelve_combinations(self, figure2_matcher):
+        """'This suggests 12 different ways of combining these nodes.'"""
+        generator = ContextSummaryGenerator(figure2_matcher)
+        summary = generator.generate(Query.parse(QUERY_1))
+        assert summary.combination_count() == 12
+
+    def test_sorted_by_absolute_path_frequency(self, figure2_collection,
+                                               figure2_matcher):
+        generator = ContextSummaryGenerator(figure2_matcher)
+        summary = generator.generate(Query.parse(QUERY_1))
+        bucket = summary.bucket(0)
+        frequencies = [entry.occurrences for entry in bucket]
+        assert frequencies == sorted(frequencies, reverse=True)
+        # Frequencies are collection-wide path counts, irrespective of
+        # the keyword (the paper's departure from faceted search).
+        for entry in bucket:
+            assert entry.occurrences == figure2_collection.path_occurrences(
+                entry.path
+            )
+
+    def test_document_frequency_exposed(self, figure2_collection,
+                                        figure2_matcher):
+        generator = ContextSummaryGenerator(figure2_matcher)
+        summary = generator.generate(Query.parse(QUERY_1))
+        for entry in summary.bucket(0):
+            assert (
+                entry.document_frequency
+                == figure2_collection.path_document_frequency(entry.path)
+            )
+
+
+class TestRefinement:
+    def test_refine_restricts_context(self, figure2_matcher):
+        generator = ContextSummaryGenerator(figure2_matcher)
+        query = Query.parse(QUERY_1)
+        refined = generator.refine(
+            query,
+            {1: ["/country/economy/import_partners/item/trade_country"]},
+        )
+        assert isinstance(refined.terms[1].context, PathContext)
+        # Untouched terms keep their context objects.
+        assert refined.terms[0].context is query.terms[0].context
+
+    def test_refine_multiple_paths_is_disjunction(self, figure2_matcher):
+        from repro.query.term import ContextDisjunction
+
+        generator = ContextSummaryGenerator(figure2_matcher)
+        query = Query.parse(QUERY_1)
+        refined = generator.refine(
+            query,
+            {2: [
+                "/country/economy/import_partners/item/percentage",
+                "/country/economy/export_partners/item/percentage",
+            ]},
+        )
+        assert isinstance(refined.terms[2].context, ContextDisjunction)
+
+    def test_refined_candidates_shrink(self, figure2_matcher):
+        generator = ContextSummaryGenerator(figure2_matcher)
+        query = Query.parse(QUERY_1)
+        refined = generator.refine(
+            query,
+            {0: ["/country"]},
+        )
+        before = figure2_matcher.candidates(query.terms[0])
+        after = figure2_matcher.candidates(refined.terms[0])
+        assert set(after) < set(before)
+        assert len(after) == 2  # the two US documents

@@ -1,0 +1,217 @@
+"""Dataguides: overlap, merging dynamics, false positives (Section 6.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.collection import DocumentCollection
+from repro.summaries.dataguide import Dataguide, DataguideBuilder, overlap
+
+
+class TestOverlap:
+    def test_identical_sets(self):
+        paths = {"/a", "/a/b"}
+        assert overlap(paths, paths) == 1.0
+
+    def test_disjoint_sets(self):
+        assert overlap({"/a"}, {"/b"}) == 0.0
+
+    def test_paper_formula(self):
+        dg1 = {"/a", "/a/b", "/a/c", "/a/d"}
+        dg2 = {"/a", "/a/b"}
+        # common = 2; min(2/4, 2/2) = 0.5
+        assert overlap(dg1, dg2) == 0.5
+
+    def test_empty_set(self):
+        assert overlap(set(), {"/a"}) == 0.0
+
+    def test_symmetric(self):
+        a = {"/a", "/a/b", "/a/c"}
+        b = {"/a", "/a/c", "/a/d", "/a/e"}
+        assert overlap(a, b) == overlap(b, a)
+
+
+class TestMergeCases:
+    def test_subset_absorbed_regardless_of_threshold(self):
+        """Paper: subset/equal guides need no further processing --
+        even when the overlap ratio is below the threshold."""
+        builder = DataguideBuilder(threshold=0.9)
+        big = {f"/a/p{i}" for i in range(20)} | {"/a"}
+        small = {"/a", "/a/p0"}  # overlap = 2/21 << 0.9, but a subset
+        builder.add_paths(big, 0)
+        builder.add_paths(small, 1)
+        assert builder.guide_count == 1
+
+    def test_equal_absorbed(self):
+        builder = DataguideBuilder(threshold=0.4)
+        paths = {"/a", "/a/b"}
+        builder.add_paths(paths, 0)
+        builder.add_paths(set(paths), 1)
+        assert builder.guide_count == 1
+
+    def test_overlapping_merged_above_threshold(self):
+        builder = DataguideBuilder(threshold=0.4)
+        builder.add_paths({"/a", "/a/b", "/a/c"}, 0)
+        builder.add_paths({"/a", "/a/b", "/a/d"}, 1)  # overlap 2/3
+        assert builder.guide_count == 1
+        guide = builder.build().guides[0]
+        assert guide.paths == {"/a", "/a/b", "/a/c", "/a/d"}
+
+    def test_below_threshold_new_guide(self):
+        builder = DataguideBuilder(threshold=0.8)
+        builder.add_paths({"/a", "/a/b", "/a/c"}, 0)
+        builder.add_paths({"/a", "/a/b", "/a/d"}, 1)  # overlap 2/3 < 0.8
+        assert builder.guide_count == 2
+
+    def test_merges_into_best_overlap(self):
+        builder = DataguideBuilder(threshold=0.4)
+        builder.add_paths({"/a", "/a/b", "/a/c", "/a/x1", "/a/x2"}, 0)
+        builder.add_paths({"/z", "/z/b"}, 1)
+        # Overlaps 3/5 with guide 0, 0 with guide 1.
+        builder.add_paths({"/a", "/a/b", "/a/c"}, 2)
+        guides = builder.build().guides
+        assert len(guides) == 2
+        assert 2 in guides[0].document_ids
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DataguideBuilder(threshold=1.5)
+
+    def test_higher_threshold_never_fewer_guides(self):
+        """Monotonicity on a fixed stream of path sets."""
+        streams = [
+            {"/r", "/r/a", "/r/b"},
+            {"/r", "/r/a", "/r/c"},
+            {"/r", "/r/d", "/r/e"},
+            {"/r", "/r/b", "/r/c", "/r/d"},
+        ]
+        counts = []
+        for threshold in (0.2, 0.5, 0.8):
+            builder = DataguideBuilder(threshold)
+            for doc_id, paths in enumerate(streams):
+                builder.add_paths(paths, doc_id)
+            counts.append(builder.guide_count)
+        assert counts == sorted(counts)
+
+
+class TestDataguideStructure:
+    def test_lca_path(self):
+        guide = Dataguide(0, {"/a", "/a/b", "/a/b/c", "/a/b/d"}, 0)
+        assert guide.lca_path("/a/b/c", "/a/b/d") == "/a/b"
+
+    def test_lca_of_ancestor_pair(self):
+        guide = Dataguide(0, {"/a", "/a/b"}, 0)
+        assert guide.lca_path("/a", "/a/b") == "/a"
+
+    def test_lca_unknown_path(self):
+        guide = Dataguide(0, {"/a"}, 0)
+        assert guide.lca_path("/a", "/zzz") is None
+
+    def test_tree_distance(self):
+        guide = Dataguide(0, {"/a", "/a/b", "/a/b/c", "/a/d"}, 0)
+        assert guide.tree_distance("/a/b/c", "/a/d") == 3
+
+    def test_co_occurrence_tracking(self):
+        guide = Dataguide(0, {"/a", "/a/b"}, 0)
+        guide.absorb({"/a", "/a/c"}, 1)
+        assert guide.co_occurs("/a", "/a/b")
+        assert guide.co_occurs("/a", "/a/c")
+        assert not guide.co_occurs("/a/b", "/a/c")  # merge artifact
+
+
+class TestDataguideSet:
+    def test_guide_for_document(self):
+        builder = DataguideBuilder(0.4)
+        builder.add_paths({"/a", "/a/b"}, 0)
+        builder.add_paths({"/z", "/z/y"}, 1)
+        guide_set = builder.build()
+        assert guide_set.guide_for_document(0).contains_path("/a/b")
+        assert guide_set.guide_for_document(1).contains_path("/z/y")
+
+    def test_guides_for_path(self):
+        builder = DataguideBuilder(0.4)
+        builder.add_paths({"/a", "/a/b"}, 0)
+        builder.add_paths({"/z", "/z/b"}, 1)
+        guide_set = builder.build()
+        assert len(guide_set.guides_for_path("/a/b")) == 1
+
+    def test_false_positive_pairs(self):
+        builder = DataguideBuilder(0.4)
+        builder.add_paths({"/a", "/a/b", "/a/c"}, 0)
+        builder.add_paths({"/a", "/a/b", "/a/d"}, 1)
+        guide_set = builder.build()
+        false_pairs, total_pairs = guide_set.false_positive_pairs()
+        # (c, d) never co-occur in one source document.
+        assert false_pairs == 1
+        assert total_pairs == 6  # C(4, 2)
+
+    def test_reduction_factor(self):
+        builder = DataguideBuilder(0.4)
+        for doc_id in range(10):
+            builder.add_paths({"/a", "/a/b"}, doc_id)
+        guide_set = builder.build()
+        assert guide_set.reduction_factor(10) == 10.0
+
+    def test_build_from_collection(self):
+        collection = DocumentCollection()
+        collection.add_document("<a><b>1</b></a>")
+        collection.add_document("<a><b>2</b></a>")
+        guide_set = DataguideBuilder(0.4).build(collection=collection)
+        assert len(guide_set) == 1
+
+    def test_links_from_graph(self, linked_collection):
+        collection, graph = linked_collection
+        guide_set = DataguideBuilder(0.4).build(
+            collection=collection, graph=graph
+        )
+        assert len(guide_set.links) == 1
+        source_guide, source_path, target_guide, target_path, kind, label = (
+            guide_set.links[0]
+        )
+        assert source_path == "/city/country_ref"
+        assert target_path == "/country"
+
+
+_path_sets = st.lists(
+    st.sets(
+        st.sampled_from(
+            ["/r"] + [f"/r/s{i}" for i in range(12)]
+        ).map(lambda p: p),
+        min_size=1,
+        max_size=8,
+    ).map(lambda s: s | {"/r"}),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestMergeProperties:
+    @given(_path_sets, st.sampled_from([0.0, 0.3, 0.5, 0.8, 1.0]))
+    @settings(max_examples=50, deadline=None)
+    def test_invariants(self, streams, threshold):
+        builder = DataguideBuilder(threshold)
+        for doc_id, paths in enumerate(streams):
+            builder.add_paths(paths, doc_id)
+        guide_set = builder.build()
+        # Every document is assigned to exactly one guide.
+        assigned = []
+        for guide in guide_set:
+            assigned.extend(guide.document_ids)
+        assert sorted(assigned) == list(range(len(streams)))
+        # Every document's paths are contained in its guide.
+        for doc_id, paths in enumerate(streams):
+            guide = guide_set.guide_for_document(doc_id)
+            assert paths <= guide.paths
+        # Guide paths equal the union of their sources.
+        for guide in guide_set:
+            union = set()
+            for source in guide.source_path_sets:
+                union |= source
+            assert guide.paths == union
+
+    @given(_path_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_guide_count_bounded_by_documents(self, streams):
+        builder = DataguideBuilder(0.4)
+        for doc_id, paths in enumerate(streams):
+            builder.add_paths(paths, doc_id)
+        assert 1 <= builder.guide_count <= len(streams)

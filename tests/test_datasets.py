@@ -1,0 +1,196 @@
+"""Dataset generators: determinism, calibration shape, scenario data."""
+
+import pytest
+
+from repro.datasets.factbook import (
+    FactbookGenerator,
+    MEXICO_DATA,
+    US_GDP,
+    US_IMPORT_PARTNERS,
+)
+from repro.datasets.googlebase import GoogleBaseGenerator
+from repro.datasets.mondial import MondialGenerator
+from repro.datasets.recipeml import RecipeMLGenerator
+from repro.summaries.dataguide import DataguideBuilder
+from repro.xmlio import serialize
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: FactbookGenerator(scale=0.01),
+            lambda: GoogleBaseGenerator(scale=0.01),
+            lambda: MondialGenerator(scale=0.01),
+            lambda: RecipeMLGenerator(scale=0.005),
+        ],
+    )
+    def test_same_seed_same_documents(self, factory):
+        first = [
+            (name, serialize(root)) for name, root in factory().documents()
+        ]
+        second = [
+            (name, serialize(root)) for name, root in factory().documents()
+        ]
+        assert first == second
+
+    def test_different_seed_differs(self):
+        a = [serialize(r) for _n, r in FactbookGenerator(
+            seed=1, scale=0.01).documents()]
+        b = [serialize(r) for _n, r in FactbookGenerator(
+            seed=2, scale=0.01).documents()]
+        assert a != b
+
+    def test_scale_validation(self):
+        for generator_class in (FactbookGenerator, GoogleBaseGenerator,
+                                MondialGenerator, RecipeMLGenerator):
+            with pytest.raises(ValueError):
+                generator_class(scale=0.0)
+            with pytest.raises(ValueError):
+                generator_class(scale=1.5)
+
+
+class TestFactbookScenario:
+    """The Example 1 / Figure 2 / Figure 3 documents must be exact."""
+
+    @pytest.fixture(scope="class")
+    def collection(self):
+        return FactbookGenerator(scale=0.01).build_collection()
+
+    def test_us_documents_all_years(self, collection):
+        names = {document.name for document in collection.documents}
+        for year in (2002, 2003, 2004, 2005, 2006, 2007):
+            assert f"united-states-{year}" in names
+
+    def test_schema_evolution_boundary(self, collection):
+        """Pre-2005 documents carry GDP; 2005+ carry GDP_ppp."""
+        for document in collection.documents:
+            paths = document.paths()
+            year_node = next(
+                (n for n in document.nodes if n.path == "/country/year"),
+                None,
+            )
+            if year_node is None:
+                continue
+            year = int(year_node.value)
+            if year < 2005:
+                assert "/country/economy/GDP" in paths
+                assert "/country/economy/GDP_ppp" not in paths
+            else:
+                assert "/country/economy/GDP_ppp" in paths
+                assert "/country/economy/GDP" not in paths
+
+    def test_figure2a_gdp_value(self, collection):
+        doc = next(
+            d for d in collection.documents if d.name == "united-states-2002"
+        )
+        gdp = next(n for n in doc.nodes if n.tag == "GDP")
+        assert gdp.value == US_GDP[2002] == "10.082T"
+
+    def test_figure3_import_partners(self, collection):
+        doc = next(
+            d for d in collection.documents if d.name == "united-states-2006"
+        )
+        items = [n for n in doc.nodes if n.tag == "trade_country"]
+        values = {n.value for n in items}
+        assert {"China", "Canada"} <= values
+        assert US_IMPORT_PARTNERS[2006] == (
+            ("China", "15%"), ("Canada", "16.9%")
+        )
+
+    def test_figure2b_mexico(self, collection):
+        doc = next(
+            d for d in collection.documents if d.name == "mexico-2003"
+        )
+        assert doc.root.value == "Mexico"
+        gdp = next(n for n in doc.nodes if n.tag == "GDP")
+        assert gdp.value == MEXICO_DATA[2003]["gdp"] == "924.4B"
+
+    def test_country_root_carries_name(self, collection):
+        for document in collection.documents:
+            if document.root.tag == "country":
+                assert document.root.value
+
+    def test_non_country_roots_present(self, collection):
+        roots = {document.root.tag for document in collection.documents}
+        assert "sea" in roots or "organization" in roots
+
+
+class TestCalibrationShapeSmallScale:
+    """Full-scale calibration is benchmarked (Table 1); at small scale
+    we check the *shape*: per-dataset relative reduction ordering."""
+
+    def test_reduction_ordering(self):
+        scale = 0.02
+        counts = {}
+        for name, generator in (
+            ("googlebase", GoogleBaseGenerator(scale=scale)),
+            ("recipeml", RecipeMLGenerator(scale=scale)),
+            ("factbook", FactbookGenerator(scale=scale)),
+        ):
+            collection = generator.build_collection()
+            builder = DataguideBuilder(0.4)
+            for document in collection.documents:
+                builder.add_paths(document.paths(), document.doc_id)
+            counts[name] = (len(collection), builder.guide_count)
+        # RecipeML collapses hardest, Factbook least (as in Table 1).
+        recipe_ratio = counts["recipeml"][0] / counts["recipeml"][1]
+        google_ratio = counts["googlebase"][0] / counts["googlebase"][1]
+        factbook_ratio = counts["factbook"][0] / counts["factbook"][1]
+        assert recipe_ratio > google_ratio > factbook_ratio
+
+    def test_recipeml_three_guides_any_scale(self):
+        collection = RecipeMLGenerator(scale=0.01).build_collection()
+        builder = DataguideBuilder(0.4)
+        for document in collection.documents:
+            builder.add_paths(document.paths(), document.doc_id)
+        assert builder.guide_count == 3
+
+    def test_googlebase_guides_equal_item_types(self):
+        generator = GoogleBaseGenerator(scale=0.05)
+        collection = generator.build_collection()
+        builder = DataguideBuilder(0.4)
+        for document in collection.documents:
+            builder.add_paths(document.paths(), document.doc_id)
+        assert builder.guide_count == generator.item_types
+
+
+class TestMondialLinks:
+    def test_idref_edges_discoverable(self):
+        from repro.model.graph import DataGraph
+        from repro.model.links import LinkDiscoverer
+
+        collection = MondialGenerator(scale=0.01).build_collection()
+        graph = DataGraph(collection)
+        edges = LinkDiscoverer(graph).discover_idrefs()
+        assert edges
+        # Every edge lands on a country root.
+        for edge in edges:
+            assert collection.node(edge.target_id).tag == "country"
+
+    def test_root_type_mix(self):
+        collection = MondialGenerator(scale=0.02).build_collection()
+        roots = {document.root.tag for document in collection.documents}
+        assert {"country", "city", "province"} <= roots
+
+
+class TestFactbookRegistrations:
+    def test_standard_definitions(self):
+        from repro.cube.registry import Registry
+
+        registry = FactbookGenerator.register_standard_definitions(Registry())
+        assert registry.has_fact("import-trade-percentage")
+        assert registry.has_fact("GDP")
+        assert registry.has_dimension("country")
+        assert registry.has_dimension("year")
+        assert registry.has_dimension("import-country")
+        gdp = registry.fact("GDP")
+        assert gdp.contexts == {
+            "/country/economy/GDP", "/country/economy/GDP_ppp",
+        }
+
+    def test_value_link_specs(self):
+        specs = FactbookGenerator.value_link_specs()
+        labels = {spec.label for spec in specs}
+        assert "trade partner" in labels
+        assert "bordering" in labels

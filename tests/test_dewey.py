@@ -1,0 +1,107 @@
+"""Dewey ID ordering, ancestry, and distance (with hypothesis)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model.dewey import DeweyID
+
+_components = st.lists(st.integers(min_value=1, max_value=9), min_size=1,
+                       max_size=6).map(tuple)
+
+
+class TestConstruction:
+    def test_root(self):
+        assert DeweyID.root().components == (1,)
+
+    def test_parse_roundtrip(self):
+        assert DeweyID.parse("1.2.3") == DeweyID((1, 2, 3))
+        assert str(DeweyID((1, 2, 3))) == "1.2.3"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DeweyID(())
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            DeweyID((1, 0))
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            DeweyID.parse("1.x.3")
+
+
+class TestRelationships:
+    def test_child_and_parent(self):
+        node = DeweyID.root().child(2).child(1)
+        assert node.components == (1, 2, 1)
+        assert node.parent().components == (1, 2)
+
+    def test_root_parent_is_none(self):
+        assert DeweyID.root().parent() is None
+
+    def test_ancestor_is_proper(self):
+        a = DeweyID((1, 2))
+        assert a.is_ancestor_of(DeweyID((1, 2, 3)))
+        assert not a.is_ancestor_of(a)
+        assert not a.is_ancestor_of(DeweyID((1, 3)))
+
+    def test_document_order_ancestor_first(self):
+        assert DeweyID((1, 2)) < DeweyID((1, 2, 1))
+
+    def test_document_order_siblings(self):
+        assert DeweyID((1, 1)) < DeweyID((1, 2))
+
+    def test_common_ancestor(self):
+        a = DeweyID((1, 2, 2, 1))
+        b = DeweyID((1, 2, 3))
+        assert a.common_ancestor(b) == DeweyID((1, 2))
+
+    def test_common_ancestor_of_ancestor_pair(self):
+        a = DeweyID((1, 2))
+        b = DeweyID((1, 2, 5))
+        assert a.common_ancestor(b) == a
+
+    def test_tree_distance_siblings(self):
+        assert DeweyID((1, 1)).tree_distance(DeweyID((1, 2))) == 2
+
+    def test_tree_distance_parent_child(self):
+        assert DeweyID((1, 2)).tree_distance(DeweyID((1,))) == 1
+
+    def test_tree_distance_self(self):
+        assert DeweyID((1, 2)).tree_distance(DeweyID((1, 2))) == 0
+
+
+class TestProperties:
+    @given(_components, _components)
+    def test_comparison_matches_tuple_order(self, a, b):
+        assert (DeweyID((1,) + a) < DeweyID((1,) + b)) == (
+            ((1,) + a) < ((1,) + b)
+        )
+
+    @given(_components)
+    def test_parent_child_inverse(self, components):
+        dewey = DeweyID((1,) + components)
+        assert dewey.parent().child(components[-1]) == dewey
+
+    @given(_components, _components)
+    def test_distance_symmetric(self, a, b):
+        x, y = DeweyID((1,) + a), DeweyID((1,) + b)
+        assert x.tree_distance(y) == y.tree_distance(x)
+
+    @given(_components, _components, _components)
+    def test_distance_triangle_inequality(self, a, b, c):
+        x, y, z = (DeweyID((1,) + t) for t in (a, b, c))
+        assert x.tree_distance(z) <= x.tree_distance(y) + y.tree_distance(z)
+
+    @given(_components, _components)
+    def test_lca_is_common_ancestor(self, a, b):
+        x, y = DeweyID((1,) + a), DeweyID((1,) + b)
+        lca = x.common_ancestor(y)
+        for node in (x, y):
+            assert lca == node or lca.is_ancestor_of(node)
+
+    @given(_components)
+    def test_hash_consistency(self, components):
+        assert hash(DeweyID((1,) + components)) == hash(
+            DeweyID((1,) + components)
+        )

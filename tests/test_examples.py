@@ -1,0 +1,35 @@
+"""Every example script must run cleanly (smoke integration tests)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=lambda path: path.stem
+)
+def test_example_runs(script, capsys, monkeypatch):
+    # Examples take an optional scale argument; pin a small one so the
+    # suite stays fast and deterministic.
+    monkeypatch.setattr(sys, "argv", [str(script), "0.01"])
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "factbook_trade_analysis",
+        "mondial_geography",
+        "schema_evolution_gdp",
+        "heuristics_comparison",
+        "discovery_pay_as_you_go",
+    } <= names

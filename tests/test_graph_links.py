@@ -1,0 +1,181 @@
+"""Data graph construction, link discovery, and traversal."""
+
+import pytest
+
+from repro.model.collection import DocumentCollection
+from repro.model.graph import DataGraph, Edge, EdgeKind
+from repro.model.links import LinkDiscoverer, ValueLinkSpec
+
+
+def _node_by_tag(collection, tag, doc_id=None):
+    for node in collection.iter_nodes():
+        if node.tag == tag and (doc_id is None or node.doc_id == doc_id):
+            return node
+    raise AssertionError(f"no node with tag {tag}")
+
+
+class TestGraphBasics:
+    def test_tree_neighbors(self, figure2_collection):
+        graph = DataGraph(figure2_collection)
+        root = figure2_collection.document(0).root
+        neighbors = graph.tree_neighbors(root.node_id)
+        assert set(neighbors) == set(root.child_ids)
+
+    def test_child_edges_rejected(self, figure2_collection):
+        graph = DataGraph(figure2_collection)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 1, EdgeKind.CHILD)
+
+    def test_edge_validates_endpoints(self, figure2_collection):
+        graph = DataGraph(figure2_collection)
+        with pytest.raises(KeyError):
+            graph.add_edge(0, 10**9, EdgeKind.IDREF)
+
+    def test_edge_object_in_both_adjacencies(self, figure2_collection):
+        graph = DataGraph(figure2_collection)
+        edge = graph.add_edge(0, 5, EdgeKind.VALUE, label="x")
+        assert edge in graph.out_edges(0)
+        assert edge in graph.in_edges(5)
+        assert 5 in graph.link_neighbors(0)
+        assert 0 in graph.link_neighbors(5)
+
+
+class TestShortestPaths:
+    def test_parent_child_distance(self, figure2_collection):
+        graph = DataGraph(figure2_collection)
+        root = figure2_collection.document(0).root
+        child = root.child_ids[0]
+        assert graph.distance(root.node_id, child) == 1
+
+    def test_sibling_distance(self, figure2_collection):
+        graph = DataGraph(figure2_collection)
+        item = _node_by_tag(figure2_collection, "item", doc_id=0)
+        tc, pct = item.child_ids
+        assert graph.distance(tc, pct) == 2
+
+    def test_self_distance_zero(self, figure2_collection):
+        graph = DataGraph(figure2_collection)
+        assert graph.distance(3, 3) == 0
+
+    def test_cross_document_unreachable_without_links(self, figure2_collection):
+        graph = DataGraph(figure2_collection)
+        a = figure2_collection.document(0).root.node_id
+        b = figure2_collection.document(1).root.node_id
+        assert graph.distance(a, b, max_hops=10) is None
+
+    def test_max_hops_bound(self, figure2_collection):
+        graph = DataGraph(figure2_collection)
+        root = figure2_collection.document(0).root
+        leaf = _node_by_tag(figure2_collection, "percentage", doc_id=0)
+        assert graph.distance(root.node_id, leaf.node_id, max_hops=2) is None
+        assert graph.distance(root.node_id, leaf.node_id, max_hops=6) == 4
+
+    def test_link_shortcut_used(self, linked_collection):
+        collection, graph = linked_collection
+        city_ref = _node_by_tag(collection, "country_ref")
+        city_root = collection.document(1).root
+        country = collection.document(0).root
+        # The element carrying the idref attribute (country_ref) links
+        # directly to the country root; the city root is one hop more.
+        assert graph.distance(city_ref.node_id, country.node_id) == 1
+        assert graph.distance(city_root.node_id, country.node_id) == 2
+
+
+class TestConnectivity:
+    def test_same_document_always_connects(self, figure2_collection):
+        graph = DataGraph(figure2_collection)
+        nodes = [n.node_id for n in figure2_collection.document(0).nodes[:6]]
+        assert graph.connects(nodes)
+
+    def test_cross_document_needs_links(self, figure2_collection):
+        graph = DataGraph(figure2_collection)
+        a = figure2_collection.document(0).root.node_id
+        b = figure2_collection.document(1).root.node_id
+        assert not graph.connects([a, b], max_hops=10)
+
+    def test_steiner_size_single_node(self, figure2_collection):
+        graph = DataGraph(figure2_collection)
+        assert graph.steiner_size([3]) == 0
+
+    def test_steiner_size_duplicates_ignored(self, figure2_collection):
+        graph = DataGraph(figure2_collection)
+        assert graph.steiner_size([3, 3, 3]) == 0
+
+    def test_steiner_disconnected_is_none(self, figure2_collection):
+        graph = DataGraph(figure2_collection)
+        a = figure2_collection.document(0).root.node_id
+        b = figure2_collection.document(1).root.node_id
+        assert graph.steiner_size([a, b], max_hops=8) is None
+
+
+class TestIdrefDiscovery:
+    def test_idref_edge_created(self, linked_collection):
+        collection, graph = linked_collection
+        assert len(graph.edges) == 1
+        edge = graph.edges[0]
+        assert edge.kind is EdgeKind.IDREF
+        source = collection.node(edge.source_id)
+        target = collection.node(edge.target_id)
+        assert source.tag == "country_ref"
+        assert target.tag == "country"
+
+    def test_idrefs_multi_valued(self):
+        collection = DocumentCollection()
+        collection.add_document('<a id="x"/>')
+        collection.add_document('<a id="y"/>')
+        collection.add_document('<b refs="x y z"/>')
+        graph = DataGraph(collection)
+        edges = LinkDiscoverer(graph).discover_idrefs()
+        assert len(edges) == 2  # z dangles silently
+
+    def test_dangling_idref_ignored(self):
+        collection = DocumentCollection()
+        collection.add_document('<b ref="missing"/>')
+        graph = DataGraph(collection)
+        assert LinkDiscoverer(graph).discover_idrefs() == []
+
+
+class TestXlinkDiscovery:
+    def test_fragment_href(self):
+        collection = DocumentCollection()
+        collection.add_document('<a id="t1"><name>x</name></a>')
+        collection.add_document('<b href="#t1"/>')
+        graph = DataGraph(collection)
+        edges = LinkDiscoverer(graph).discover_xlinks()
+        assert len(edges) == 1
+        assert edges[0].kind is EdgeKind.XLINK
+
+    def test_external_url_ignored(self):
+        collection = DocumentCollection()
+        collection.add_document('<b href="http://example.com/x"/>')
+        graph = DataGraph(collection)
+        assert LinkDiscoverer(graph).discover_xlinks() == []
+
+
+class TestValueLinks:
+    def test_value_join_on_node_value(self, figure2_collection):
+        graph = DataGraph(figure2_collection)
+        spec = ValueLinkSpec(
+            primary_path="/country",
+            foreign_path="/country/economy/import_partners/item/trade_country",
+            label="trade partner",
+        )
+        edges = LinkDiscoverer(graph).apply_value_links([spec])
+        # Mexico imports from the United States: 1 foreign node matches
+        # 2 US documents (2002, 2006).
+        assert len(edges) == 2
+        assert all(edge.label == "trade partner" for edge in edges)
+
+    def test_no_self_link(self):
+        collection = DocumentCollection()
+        collection.add_document("<a><x>same</x></a>")
+        graph = DataGraph(collection)
+        spec = ValueLinkSpec(primary_path="/a/x", foreign_path="/a/x")
+        assert LinkDiscoverer(graph).apply_value_links([spec]) == []
+
+    def test_edge_equality_and_hash(self):
+        a = Edge(1, 2, EdgeKind.IDREF, "l")
+        b = Edge(1, 2, EdgeKind.IDREF, "l")
+        c = Edge(1, 2, EdgeKind.VALUE, "l")
+        assert a == b and hash(a) == hash(b)
+        assert a != c

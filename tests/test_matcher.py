@@ -1,0 +1,178 @@
+"""Term evaluation: candidates, Definition 3 satisfaction, term paths."""
+
+import pytest
+
+from repro.query.ast import QuerySyntaxError
+from repro.query.parser import parse_query_text
+from repro.query.term import QueryTerm
+
+
+def _values(collection, node_ids):
+    return [collection.node(node_id).value for node_id in node_ids]
+
+
+class TestCandidates:
+    def test_phrase_candidates(self, figure2_collection, figure2_matcher):
+        term = QueryTerm("*", '"United States"')
+        candidates = figure2_matcher.candidates(term)
+        assert len(candidates) == 4
+        assert set(_values(figure2_collection, candidates)) == {
+            "United States"
+        }
+
+    def test_context_filters_candidates(self, figure2_collection,
+                                         figure2_matcher):
+        term = QueryTerm("trade_country", '"United States"')
+        candidates = figure2_matcher.candidates(term)
+        paths = {figure2_collection.node(c).path for c in candidates}
+        assert paths == {
+            "/country/economy/import_partners/item/trade_country",
+            "/country/economy/export_partners/item/trade_country",
+        }
+
+    def test_path_context_filter(self, figure2_collection, figure2_matcher):
+        term = QueryTerm(
+            "/country/economy/import_partners/item/trade_country",
+            '"United States"',
+        )
+        assert len(figure2_matcher.candidates(term)) == 1
+
+    def test_match_all_with_tag(self, figure2_collection, figure2_matcher):
+        term = QueryTerm("percentage", "*")
+        assert len(figure2_matcher.candidates(term)) == 7
+
+    def test_match_all_with_path(self, figure2_matcher):
+        term = QueryTerm(
+            "/country/economy/import_partners/item/percentage", "*"
+        )
+        assert len(figure2_matcher.candidates(term)) == 5
+
+    def test_match_all_empty_context_is_everything(self, figure2_collection,
+                                                   figure2_matcher):
+        term = QueryTerm("*", "*")
+        assert len(figure2_matcher.candidates(term)) == (
+            figure2_collection.node_count
+        )
+
+    def test_candidates_sorted(self, figure2_matcher):
+        term = QueryTerm("*", "canada")
+        candidates = figure2_matcher.candidates(term)
+        assert candidates == sorted(candidates)
+
+    def test_boolean_and(self, figure2_collection, figure2_matcher):
+        # Only the Mexico root content has both words... no single node's
+        # direct text has both, so AND over direct text gives nothing.
+        term = QueryTerm("*", "mexico germany")
+        assert figure2_matcher.candidates(term) == []
+
+    def test_boolean_or(self, figure2_collection, figure2_matcher):
+        term = QueryTerm("trade_country", "germany OR china")
+        values = set(
+            _values(figure2_collection, figure2_matcher.candidates(term))
+        )
+        assert values == {"Germany", "China"}
+
+    def test_not_inside_and(self, figure2_collection, figure2_matcher):
+        term = QueryTerm("trade_country", "united NOT germany")
+        assert len(figure2_matcher.candidates(term)) == 2
+
+    def test_top_level_not_rejected(self, figure2_matcher):
+        term = QueryTerm("*", parse_query_text("NOT x"))
+        with pytest.raises(QuerySyntaxError):
+            figure2_matcher.candidates(term)
+
+    def test_wildcard_tag_context(self, figure2_collection, figure2_matcher):
+        term = QueryTerm("GDP*", "*")
+        values = set(
+            _values(figure2_collection, figure2_matcher.candidates(term))
+        )
+        assert values == {"12.31T", "10.082T", "924.4B"}
+
+
+class TestSatisfies:
+    """The literal Definition 3 check with content(n) semantics."""
+
+    def test_leaf_satisfies(self, figure2_collection, figure2_matcher):
+        term = QueryTerm("trade_country", '"United States"')
+        node = next(
+            node for node in figure2_collection.iter_nodes()
+            if node.tag == "trade_country" and node.value == "United States"
+        )
+        assert figure2_matcher.satisfies(node.node_id, term)
+
+    def test_ancestor_satisfies_via_descendant_text(self, figure2_collection,
+                                                    figure2_matcher):
+        """content(n) includes descendant text, so the economy node of
+        the Mexico document satisfies a "United States" search."""
+        term = QueryTerm("economy", '"United States"')
+        economy = next(
+            node for node in figure2_collection.iter_nodes()
+            if node.tag == "economy" and node.doc_id == 2
+        )
+        assert figure2_matcher.satisfies(economy.node_id, term)
+
+    def test_context_mismatch_fails(self, figure2_collection, figure2_matcher):
+        term = QueryTerm("year", '"United States"')
+        node = next(
+            node for node in figure2_collection.iter_nodes()
+            if node.tag == "trade_country"
+        )
+        assert not figure2_matcher.satisfies(node.node_id, term)
+
+    def test_match_all_satisfies_context_only(self, figure2_collection,
+                                              figure2_matcher):
+        term = QueryTerm("year", "*")
+        year = next(
+            node for node in figure2_collection.iter_nodes()
+            if node.tag == "year"
+        )
+        assert figure2_matcher.satisfies(year.node_id, term)
+
+    def test_phrase_across_words(self, figure2_collection, figure2_matcher):
+        term = QueryTerm("*", '"import_partners"')
+        # No text node contains that tag name as content.
+        root = figure2_collection.document(0).root
+        assert not figure2_matcher.satisfies(root.node_id, term)
+
+    def test_candidates_all_satisfy(self, figure2_collection, figure2_matcher):
+        """Index candidates are a subset of Definition 3 satisfaction."""
+        for spec in [("*", '"United States"'), ("percentage", "*"),
+                     ("trade_country", "germany OR china")]:
+            term = QueryTerm(*spec)
+            for node_id in figure2_matcher.candidates(term):
+                assert figure2_matcher.satisfies(node_id, term)
+
+
+class TestTermPaths:
+    def test_phrase_paths_exact(self, figure2_matcher):
+        term = QueryTerm("*", '"United States"')
+        assert figure2_matcher.term_paths(term) == {
+            "/country",
+            "/country/economy/import_partners/item/trade_country",
+            "/country/economy/export_partners/item/trade_country",
+        }
+
+    def test_match_all_paths_respect_context(self, figure2_matcher):
+        term = QueryTerm("percentage", "*")
+        assert figure2_matcher.term_paths(term) == {
+            "/country/economy/import_partners/item/percentage",
+            "/country/economy/export_partners/item/percentage",
+        }
+
+    def test_or_paths_union(self, figure2_matcher):
+        term = QueryTerm("*", "germany OR 2002")
+        assert figure2_matcher.term_paths(term) == {
+            "/country/economy/import_partners/item/trade_country",
+            "/country/year",
+        }
+
+    def test_and_paths_intersection(self, figure2_matcher):
+        term = QueryTerm("*", "united states")
+        # Conjunction at path granularity: paths containing both words.
+        assert "/country" in figure2_matcher.term_paths(term)
+
+    def test_example1_three_contexts(self, figure2_matcher):
+        """Example 1: 'United States' occurs in three different contexts
+        in the Figure 2 fragments."""
+        term = QueryTerm("*", '"United States"')
+        assert len(figure2_matcher.term_paths(term)) == 3

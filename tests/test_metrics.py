@@ -1,0 +1,152 @@
+"""Effectiveness metrics (the Section 8 future-work proposal)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    SessionEffort,
+    average_precision,
+    connection_precision,
+    dataguide_false_positive_rate,
+    disambiguation_gain,
+    precision_recall,
+    reciprocal_rank,
+)
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        assert precision_recall({1, 2}, {1, 2}) == (1.0, 1.0, 1.0)
+
+    def test_half_precision(self):
+        precision, recall, f1 = precision_recall({1, 2, 3, 4}, {1, 2})
+        assert precision == 0.5
+        assert recall == 1.0
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_half_recall(self):
+        precision, recall, _f1 = precision_recall({1}, {1, 2})
+        assert precision == 1.0
+        assert recall == 0.5
+
+    def test_empty_retrieved_nothing_relevant(self):
+        assert precision_recall([], []) == (1.0, 1.0, 1.0)
+
+    def test_empty_retrieved_something_relevant(self):
+        precision, recall, f1 = precision_recall([], {1})
+        assert (precision, recall, f1) == (0.0, 0.0, 0.0)
+
+    @given(
+        st.sets(st.integers(0, 20)),
+        st.sets(st.integers(0, 20)),
+    )
+    def test_bounds(self, retrieved, relevant):
+        precision, recall, f1 = precision_recall(retrieved, relevant)
+        assert 0.0 <= precision <= 1.0
+        assert 0.0 <= recall <= 1.0
+        assert 0.0 <= f1 <= 1.0
+        # The harmonic mean lies between its inputs (up to float eps).
+        epsilon = 1e-12
+        assert (
+            min(precision, recall) - epsilon
+            <= f1
+            <= max(precision, recall) + epsilon
+        ) or f1 == 0.0
+
+
+class TestRankedMetrics:
+    def test_average_precision_perfect_prefix(self):
+        assert average_precision([1, 2, 3], {1, 2}) == 1.0
+
+    def test_average_precision_late_hit(self):
+        assert average_precision([9, 9, 1], {1}) == pytest.approx(1 / 3)
+
+    def test_average_precision_no_hits(self):
+        assert average_precision([9, 8], {1}) == 0.0
+
+    def test_average_precision_empty_relevant(self):
+        assert average_precision([1, 2], set()) == 1.0
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank([5, 1, 2], {1}) == 0.5
+        assert reciprocal_rank([1], {1}) == 1.0
+        assert reciprocal_rank([2, 3], {1}) == 0.0
+
+    @given(st.lists(st.integers(0, 10), max_size=10), st.sets(st.integers(0, 10)))
+    def test_rr_at_least_ap_for_single_relevant(self, ranked, relevant):
+        if len(relevant) == 1:
+            assert reciprocal_rank(ranked, relevant) == pytest.approx(
+                average_precision(ranked, relevant)
+            )
+
+
+class TestDisambiguation:
+    def test_example1_gain(self):
+        """Example 1: twelve combinations to one ~ 3.58 bits."""
+        assert disambiguation_gain(12, 1) == pytest.approx(math.log2(12))
+
+    def test_no_refinement_zero_gain(self):
+        assert disambiguation_gain(8, 8) == 0.0
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            disambiguation_gain(0, 1)
+
+    def test_gain_from_real_summary(self, figure2_matcher):
+        from repro.query.term import Query
+        from repro.summaries.context import ContextSummaryGenerator
+
+        generator = ContextSummaryGenerator(figure2_matcher)
+        query = Query.parse([
+            ("*", '"United States"'),
+            ("trade_country", "*"),
+            ("percentage", "*"),
+        ])
+        before = generator.generate(query).combination_count()
+        refined = generator.refine(query, {
+            0: ["/country"],
+            1: ["/country/economy/import_partners/item/trade_country"],
+            2: ["/country/economy/import_partners/item/percentage"],
+        })
+        after = generator.generate(refined).combination_count()
+        assert before == 12
+        assert after == 1
+        assert disambiguation_gain(before, after) > 3.5
+
+
+class TestSessionEffort:
+    def test_counting(self):
+        effort = SessionEffort()
+        effort.record_context_choice(3)
+        effort.record_connection_choice()
+        effort.record_search()
+        assert effort.total_interactions == 4
+        summary = effort.summary()
+        assert summary["searches"] == 2
+        assert summary["context_choices"] == 3
+
+
+class TestSummaryFidelity:
+    def test_connection_precision(self):
+        assert connection_precision(["a", "b"], ["a"]) == 0.5
+        assert connection_precision([], []) == 1.0
+        assert connection_precision(["a"], []) == 0.0
+
+    def test_dataguide_fp_rate(self):
+        from repro.summaries.dataguide import DataguideBuilder
+
+        builder = DataguideBuilder(0.4)
+        builder.add_paths({"/a", "/a/b", "/a/c"}, 0)
+        builder.add_paths({"/a", "/a/b", "/a/d"}, 1)
+        rate = dataguide_false_positive_rate(builder.build())
+        assert rate == pytest.approx(1 / 6)
+
+    def test_unmerged_guides_have_zero_rate(self):
+        from repro.summaries.dataguide import DataguideBuilder
+
+        builder = DataguideBuilder(1.0)
+        builder.add_paths({"/a", "/a/b"}, 0)
+        builder.add_paths({"/z", "/z/c"}, 1)
+        assert dataguide_false_positive_rate(builder.build()) == 0.0

@@ -1,0 +1,106 @@
+"""End-to-end over linked Mondial data: IDREF cross-document flow.
+
+Covers the graph-data side of the paper (Definition 2 edges 2-3 and
+Figure 1's dashed relationships): searching across documents, link
+connections in the summary, and complete results through an IDREF
+cross-twig join.
+"""
+
+import pytest
+
+from repro.datasets.mondial import MondialGenerator
+from repro.model.graph import EdgeKind
+from repro.summaries.connection import LinkConnection
+from repro.system import Seda
+
+
+@pytest.fixture(scope="module")
+def seda():
+    return Seda(MondialGenerator(scale=0.005).build_collection())
+
+
+@pytest.fixture(scope="module")
+def city_query(seda):
+    """A (city-name, country) query whose answers span documents."""
+    city = next(
+        document for document in seda.collection.documents
+        if document.root.tag == "city"
+    )
+    name = next(node.value for node in city.nodes if node.tag == "name")
+    return seda.search([("name", f'"{name}"'), ("/country", "*")], k=5)
+
+
+class TestLinkedSearch:
+    def test_idref_edges_discovered_at_construction(self, seda):
+        kinds = {edge.kind for edge in seda.graph.edges}
+        assert EdgeKind.IDREF in kinds
+
+    def test_cross_document_results(self, seda, city_query):
+        assert city_query.results
+        for result in city_query.results:
+            name_doc = seda.collection.node(result.node_ids[0]).doc_id
+            country_doc = seda.collection.node(result.node_ids[1]).doc_id
+            assert name_doc != country_doc
+
+    def test_connection_summary_reports_idref(self, seda, city_query):
+        connections = [
+            connection
+            for _pair, connection, _support in
+            city_query.connection_summary.all_connections()
+        ]
+        assert connections
+        assert any(
+            isinstance(connection, LinkConnection)
+            and connection.kind is EdgeKind.IDREF
+            for connection in connections
+        )
+
+
+class TestIdrefCompleteResults:
+    def test_cross_twig_join_via_idref(self, seda, city_query):
+        (pair, connection, _support) = (
+            city_query.connection_summary.all_connections()[0]
+        )
+        assert isinstance(connection, LinkConnection)
+        chosen = city_query.refine_connections([(pair, connection)])
+        assert chosen.results  # the top-k tuples instantiate the link
+        table = chosen.complete_results()
+        assert len(table) >= 1
+        # Every row respects the chosen link connection.
+        for row in table.rows:
+            assert connection.matches_instance(
+                seda.collection, seda.graph, row[0], row[1],
+                max_hops=seda.max_hops,
+            )
+
+    def test_complete_rows_join_correct_country(self, seda, city_query):
+        """The joined country must be the one the city references."""
+        (pair, connection, _support) = (
+            city_query.connection_summary.all_connections()[0]
+        )
+        chosen = city_query.refine_connections([(pair, connection)])
+        table = chosen.complete_results()
+        for name_id, country_id in table.rows:
+            name_node = seda.collection.node(name_id)
+            city_doc = seda.collection.document(name_node.doc_id)
+            ref_attr = next(
+                node for node in city_doc.nodes if node.tag == "@ref"
+            )
+            country_root = seda.collection.node(country_id)
+            id_attr = seda.collection.node(country_root.child_ids[0])
+            assert id_attr.tag == "@id"
+            assert id_attr.value == ref_attr.value
+
+
+class TestMondialDataguides:
+    def test_guides_cover_root_types(self, seda):
+        roots = {
+            sorted(guide.paths)[0].split("/")[1]
+            for guide in seda.dataguides
+        }
+        assert {"city", "country"} <= roots
+
+    def test_links_lifted_to_guides(self, seda):
+        assert seda.dataguides.links
+        kinds = {link[4] for link in seda.dataguides.links}
+        assert EdgeKind.IDREF in kinds

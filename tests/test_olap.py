@@ -1,0 +1,163 @@
+"""OLAP engine: cube operations, aggregates, hierarchies."""
+
+import pytest
+
+from repro.cube.star import FactTable, StarSchema
+from repro.olap.aggregates import AGGREGATES, aggregate
+from repro.olap.cube import Cube
+from repro.olap.engine import OLAPEngine
+from repro.olap.hierarchy import Hierarchy
+
+
+@pytest.fixture
+def trade_fact():
+    return FactTable(
+        "pct", ["country", "year", "partner"], ["pct"],
+        [
+            ("United States", "2004", "China", 12.5),
+            ("United States", "2004", "Mexico", 10.7),
+            ("United States", "2005", "China", 13.8),
+            ("United States", "2005", "Mexico", 10.3),
+            ("United States", "2006", "China", 15.0),
+            ("United States", "2006", "Canada", 16.9),
+            ("Mexico", "2003", "United States", 70.6),
+        ],
+    )
+
+
+@pytest.fixture
+def cube(trade_fact):
+    return Cube.from_fact_table(trade_fact)
+
+
+class TestAggregates:
+    def test_all_aggregates_present(self):
+        assert set(AGGREGATES) == {"sum", "count", "avg", "min", "max"}
+
+    def test_sum_skips_none(self):
+        assert aggregate("sum", [1.0, None, 2.0]) == 3.0
+
+    def test_count_counts_numbers_only(self):
+        assert aggregate("count", [1.0, None, "x", 2.0]) == 2
+
+    def test_avg(self):
+        assert aggregate("avg", [1.0, 3.0]) == 2.0
+
+    def test_empty_aggregates(self):
+        assert aggregate("sum", []) is None
+        assert aggregate("avg", [None]) is None
+        assert aggregate("count", []) == 0
+
+    def test_min_max(self):
+        assert aggregate("min", [3.0, 1.0]) == 1.0
+        assert aggregate("max", [3.0, 1.0]) == 3.0
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            aggregate("median", [1.0])
+
+
+class TestCubeOps:
+    def test_members(self, cube):
+        assert cube.members("year") == ["2003", "2004", "2005", "2006"]
+
+    def test_unknown_dimension(self, cube):
+        with pytest.raises(KeyError):
+            cube.members("nope")
+
+    def test_slice_removes_dimension(self, cube):
+        sliced = cube.slice("year", "2006")
+        assert sliced.dimensions == ["country", "partner"]
+        assert sliced.aggregate("sum") == pytest.approx(31.9)
+
+    def test_dice_keeps_dimension(self, cube):
+        diced = cube.dice("partner", ["China"])
+        assert diced.dimensions == cube.dimensions
+        assert diced.aggregate("count") == 3
+
+    def test_rollup(self, cube):
+        rolled = cube.rollup(["partner"])
+        totals = rolled.aggregate("sum", group_by=["partner"])
+        assert totals[("China",)] == pytest.approx(41.3)
+
+    def test_rollup_to_nothing_is_grand_total(self, cube):
+        assert cube.rollup([]).aggregate("sum") == pytest.approx(
+            cube.aggregate("sum")
+        )
+
+    def test_group_by_aggregate(self, cube):
+        by_year = cube.aggregate("avg", group_by=["year"])
+        assert by_year[("2006",)] == pytest.approx(15.95)
+
+    def test_pivot(self, cube):
+        pivot = cube.pivot("year", "partner")
+        assert pivot["2006"]["China"] == pytest.approx(15.0)
+        assert "Canada" not in pivot["2005"]
+
+    def test_operations_do_not_mutate(self, cube):
+        before = cube.cell_count()
+        cube.slice("year", "2006")
+        cube.dice("partner", ["China"])
+        cube.rollup(["year"])
+        assert cube.cell_count() == before
+
+    def test_drilldown_from(self, cube):
+        finer = cube.drilldown_from(["year"])
+        assert finer == ["country", "partner"]
+
+
+class TestHierarchy:
+    def test_rollup_along_hierarchy(self, cube):
+        hierarchy = Hierarchy(
+            "partner",
+            [("continent", {"China": "Asia", "Mexico": "America",
+                            "Canada": "America",
+                            "United States": "America"})],
+        )
+        rolled = hierarchy.rollup_cube(cube, "continent")
+        assert "partner:continent" in rolled.dimensions
+        by_continent = rolled.aggregate("sum", group_by=["partner:continent"])
+        assert by_continent[("Asia",)] == pytest.approx(41.3)
+
+    def test_unmapped_goes_to_other(self, cube):
+        hierarchy = Hierarchy("partner", [("continent", {"China": "Asia"})])
+        rolled = hierarchy.rollup_cube(cube, "continent")
+        members = rolled.members("partner:continent")
+        assert "(other)" in members
+
+    def test_callable_level(self, cube):
+        hierarchy = Hierarchy(
+            "year", [("decade", lambda year: year[:3] + "0s")]
+        )
+        rolled = hierarchy.rollup_cube(cube, "decade")
+        assert rolled.members("year:decade") == ["2000s"]
+
+    def test_unknown_level_raises(self):
+        hierarchy = Hierarchy("d", [("l", {})])
+        with pytest.raises(KeyError):
+            hierarchy.map_member("x", "nope")
+
+
+class TestEngine:
+    def test_cube_per_fact_table(self, trade_fact):
+        other = FactTable("gdp", ["country"], ["gdp"], [("US", 12.0)])
+        engine = OLAPEngine(StarSchema([trade_fact, other], []))
+        assert len(engine.cubes()) == 2
+
+    def test_cube_cached(self, trade_fact):
+        engine = OLAPEngine(StarSchema([trade_fact], []))
+        assert engine.cube("pct") is engine.cube("pct")
+
+    def test_report_rows_sorted(self, trade_fact):
+        engine = OLAPEngine(StarSchema([trade_fact], []))
+        rows = engine.report("pct", ["year"], agg="sum")
+        years = [row[0] for row in rows]
+        assert years == sorted(years)
+
+    def test_render_pivot(self, trade_fact):
+        engine = OLAPEngine(StarSchema([trade_fact], []))
+        pivot = engine.cube("pct").pivot("year", "partner")
+        text = engine.render_pivot(pivot, row_label="year")
+        assert "China" in text
+        assert "2006" in text
+        assert "15.00" in text

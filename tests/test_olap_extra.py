@@ -1,0 +1,97 @@
+"""Additional OLAP invariants (property-based) and star-schema checks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cube.star import FactTable
+from repro.olap.cube import Cube
+
+_members = st.sampled_from(["a", "b", "c", "d"])
+_rows = st.lists(
+    st.tuples(_members, _members, st.floats(
+        min_value=-1000, max_value=1000, allow_nan=False
+    )),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _cube(rows):
+    return Cube.from_fact_table(
+        FactTable("f", ["x", "y"], ["f"], rows)
+    )
+
+
+class TestCubeInvariants:
+    @given(_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_group_sums_add_to_total(self, rows):
+        cube = _cube(rows)
+        total = cube.aggregate("sum")
+        grouped = cube.aggregate("sum", group_by=["x"])
+        assert sum(grouped.values()) == pytest.approx(total)
+
+    @given(_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_rollup_preserves_sum(self, rows):
+        cube = _cube(rows)
+        assert cube.rollup(["x"]).aggregate("sum") == pytest.approx(
+            cube.aggregate("sum")
+        )
+
+    @given(_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_slices_partition_the_cube(self, rows):
+        cube = _cube(rows)
+        total = cube.aggregate("count")
+        slice_total = sum(
+            cube.slice("x", member).aggregate("count")
+            for member in cube.members("x")
+        )
+        assert slice_total == total
+
+    @given(_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_dice_with_all_members_is_identity(self, rows):
+        cube = _cube(rows)
+        diced = cube.dice("y", cube.members("y"))
+        assert diced.aggregate("sum") == pytest.approx(cube.aggregate("sum"))
+        assert diced.cell_count() == cube.cell_count()
+
+    @given(_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_min_max_bound_avg(self, rows):
+        cube = _cube(rows)
+        low = cube.aggregate("min")
+        high = cube.aggregate("max")
+        mean = cube.aggregate("avg")
+        assert low - 1e-9 <= mean <= high + 1e-9
+
+    @given(_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_pivot_cells_match_grouped_aggregate(self, rows):
+        cube = _cube(rows)
+        pivot = cube.pivot("x", "y")
+        grouped = cube.aggregate("sum", group_by=["x", "y"])
+        for (x, y), value in grouped.items():
+            assert pivot[x][y] == pytest.approx(value)
+
+
+class TestFactTableInvariants:
+    @given(_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_with_self_preserves_keys(self, rows):
+        table = FactTable("f", ["x", "y"], ["f"], rows)
+        merged = table.merge_with(
+            FactTable("g", ["x", "y"], ["g"], rows)
+        )
+        assert set(merged.key_of(row) for row in merged.rows) == set(
+            table.key_of(row) for row in table.rows
+        )
+
+    @given(_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_primary_key_detection_matches_definition(self, rows):
+        table = FactTable("f", ["x", "y"], ["f"], rows)
+        keys = [table.key_of(row) for row in table.rows]
+        assert table.has_primary_key() == (len(keys) == len(set(keys)))

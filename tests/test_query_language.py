@@ -1,0 +1,173 @@
+"""Query language: full-text parser, context specs, Definition 3."""
+
+import pytest
+
+from repro.query.ast import (
+    And,
+    Keyword,
+    MatchAll,
+    Not,
+    Or,
+    Phrase,
+    QuerySyntaxError,
+)
+from repro.query.parser import parse_query_text
+from repro.query.term import (
+    ContextDisjunction,
+    EmptyContext,
+    PathContext,
+    Query,
+    QueryTerm,
+    TagContext,
+    parse_context,
+)
+
+
+class TestSearchParser:
+    def test_single_keyword(self):
+        assert parse_query_text("Romania") == Keyword("romania")
+
+    def test_bag_of_keywords_is_and(self):
+        expr = parse_query_text("united import")
+        assert expr == And([Keyword("united"), Keyword("import")])
+
+    def test_phrase(self):
+        assert parse_query_text('"United States"') == Phrase(
+            ["united", "states"]
+        )
+
+    def test_single_word_phrase_is_keyword(self):
+        assert parse_query_text('"Romania"') == Keyword("romania")
+
+    def test_explicit_and(self):
+        assert parse_query_text("a AND b") == And([Keyword("a"), Keyword("b")])
+
+    def test_or(self):
+        assert parse_query_text("a OR b") == Or([Keyword("a"), Keyword("b")])
+
+    def test_precedence_and_binds_tighter(self):
+        expr = parse_query_text("a b OR c")
+        assert expr == Or([And([Keyword("a"), Keyword("b")]), Keyword("c")])
+
+    def test_parentheses(self):
+        expr = parse_query_text("a (b OR c)")
+        assert expr == And([Keyword("a"), Or([Keyword("b"), Keyword("c")])])
+
+    def test_not(self):
+        expr = parse_query_text("a NOT b")
+        assert expr == And([Keyword("a"), Not(Keyword("b"))])
+
+    def test_star_is_match_all(self):
+        assert parse_query_text("*") == MatchAll()
+
+    def test_empty_is_match_all(self):
+        assert parse_query_text("") == MatchAll()
+        assert parse_query_text(None) == MatchAll()
+
+    def test_operators_case_insensitive(self):
+        assert parse_query_text("a and b") == And([Keyword("a"), Keyword("b")])
+
+    @pytest.mark.parametrize("source", ['"unterminated', "a )", "( a", "AND"])
+    def test_malformed_raises(self, source):
+        with pytest.raises(QuerySyntaxError):
+            parse_query_text(source)
+
+    def test_terms_collected(self):
+        expr = parse_query_text('"united states" AND import NOT export')
+        assert expr.terms() == ["united", "states", "import"]
+
+
+class TestContextParsing:
+    def test_star_is_empty(self):
+        assert parse_context("*") == EmptyContext()
+        assert parse_context("") == EmptyContext()
+        assert parse_context(None) == EmptyContext()
+
+    def test_path(self):
+        context = parse_context("/country/year")
+        assert context == PathContext("/country/year")
+
+    def test_tag(self):
+        assert parse_context("percentage") == TagContext("percentage")
+
+    def test_disjunction(self):
+        context = parse_context("trade_country|/country/year")
+        assert isinstance(context, ContextDisjunction)
+        assert context.alternatives == (
+            TagContext("trade_country"),
+            PathContext("/country/year"),
+        )
+
+    def test_existing_context_passthrough(self):
+        context = PathContext("/a")
+        assert parse_context(context) is context
+
+    def test_path_requires_leading_slash(self):
+        with pytest.raises(ValueError):
+            PathContext("country/year")
+
+
+class TestContextMatching:
+    def test_empty_matches_everything(self, figure2_collection):
+        context = EmptyContext()
+        assert all(
+            context.matches(node) for node in figure2_collection.iter_nodes()
+        )
+
+    def test_tag_matches_node_name(self, figure2_collection):
+        context = TagContext("percentage")
+        matched = [
+            node for node in figure2_collection.iter_nodes()
+            if context.matches(node)
+        ]
+        assert len(matched) == 7  # 5 import + 2 export percentages... no:
+        # usa-2006: 2 import + 1 export; usa-2002: 1 import;
+        # mexico: 2 import + 1 export = 7 total.
+
+    def test_tag_wildcard(self, figure2_collection):
+        context = TagContext("GDP*")
+        matched = {
+            node.tag for node in figure2_collection.iter_nodes()
+            if context.matches(node)
+        }
+        assert matched == {"GDP", "GDP_ppp"}
+
+    def test_path_matches_full_context(self, figure2_collection):
+        context = PathContext("/country/economy/GDP")
+        matched = [
+            node for node in figure2_collection.iter_nodes()
+            if context.matches(node)
+        ]
+        assert len(matched) == 2  # usa-2002, mexico-2003
+
+    def test_matches_path_string(self):
+        assert TagContext("b").matches_path("/a/b")
+        assert not TagContext("a").matches_path("/a/b")
+        assert PathContext("/a/b").matches_path("/a/b")
+        assert EmptyContext().matches_path("/anything")
+
+    def test_disjunction_matches_any(self):
+        context = parse_context("year|percentage")
+        assert context.matches_path("/country/year")
+        assert context.matches_path("/c/e/i/i/percentage")
+        assert not context.matches_path("/country/economy")
+
+
+class TestQueryConstruction:
+    def test_parse_pairs(self):
+        query = Query.parse([("*", '"United States"'), ("percentage", "*")])
+        assert len(query) == 2
+        assert query.terms[0].context == EmptyContext()
+        assert query.terms[1].is_match_all
+
+    def test_term_from_tuple(self):
+        query = Query([("country", "Romania")])
+        assert isinstance(query.terms[0], QueryTerm)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            Query([])
+
+    def test_prebuilt_search_expr(self):
+        term = QueryTerm("*", Phrase(["united", "states"]))
+        assert term.search == Phrase(["united", "states"])

@@ -1,0 +1,210 @@
+"""Top-k search: scoring, the TA algorithm, and naive equivalence."""
+
+import pytest
+
+from repro.model.graph import DataGraph
+from repro.model.links import LinkDiscoverer
+from repro.query.term import Query
+from repro.search.naive import NaiveSearcher
+from repro.search.scoring import ScoringModel
+from repro.search.topk import TopKSearcher
+
+
+@pytest.fixture
+def searchers(figure2_collection, figure2_matcher):
+    graph = DataGraph(figure2_collection)
+    scoring = ScoringModel(
+        figure2_collection, figure2_matcher.inverted, graph
+    )
+    return (
+        TopKSearcher(figure2_matcher, scoring),
+        NaiveSearcher(figure2_matcher, scoring),
+        scoring,
+    )
+
+
+QUERY_1 = [
+    ("*", '"United States"'),
+    ("trade_country", "*"),
+    ("percentage", "*"),
+]
+
+
+class TestScoring:
+    def test_match_all_scores_one(self, figure2_collection, searchers):
+        _topk, _naive, scoring = searchers
+        query = Query.parse([("percentage", "*")])
+        node = next(
+            n for n in figure2_collection.iter_nodes() if n.tag == "percentage"
+        )
+        assert scoring.content_score(node.node_id, query.terms[0]) == 1.0
+
+    def test_content_score_positive_on_match(self, figure2_collection,
+                                             searchers):
+        _topk, _naive, scoring = searchers
+        query = Query.parse([("*", "germany")])
+        node = next(
+            n for n in figure2_collection.iter_nodes()
+            if n.value == "Germany"
+        )
+        assert scoring.content_score(node.node_id, query.terms[0]) > 0.0
+
+    def test_content_score_zero_without_match(self, figure2_collection,
+                                              searchers):
+        _topk, _naive, scoring = searchers
+        query = Query.parse([("*", "germany")])
+        node = next(
+            n for n in figure2_collection.iter_nodes() if n.value == "China"
+        )
+        assert scoring.content_score(node.node_id, query.terms[0]) == 0.0
+
+    def test_compactness_decreases_with_distance(self, figure2_collection,
+                                                 searchers):
+        _topk, _naive, scoring = searchers
+        document = figure2_collection.document(0)
+        item = next(n for n in document.nodes if n.tag == "item")
+        tc, pct = item.child_ids
+        siblings = scoring.compactness([tc, pct])
+        far = scoring.compactness([document.root.node_id, pct])
+        assert siblings > far
+
+    def test_compactness_singleton_is_one(self, searchers):
+        _topk, _naive, scoring = searchers
+        assert scoring.compactness([5]) == 1.0
+
+    def test_disconnected_scores_none(self, figure2_collection, searchers):
+        _topk, _naive, scoring = searchers
+        a = figure2_collection.document(0).root.node_id
+        b = figure2_collection.document(1).root.node_id
+        assert scoring.compactness([a, b]) is None
+
+    def test_upper_bound_at_perfect_compactness(self, searchers):
+        _topk, _naive, scoring = searchers
+        assert scoring.upper_bound([2.0, 2.0]) == pytest.approx(2.0)
+
+
+class TestTopK:
+    def test_single_term_ranked_by_content(self, figure2_collection,
+                                           searchers):
+        topk, _naive, _scoring = searchers
+        results = topk.search(Query.parse([("*", '"United States"')]), k=10)
+        assert len(results) == 4
+        scores = [result.score for result in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_limits_results(self, searchers):
+        topk, _naive, _scoring = searchers
+        results = topk.search(Query.parse([("*", "canada")]), k=2)
+        assert len(results) == 2
+
+    def test_empty_stream_no_results(self, searchers):
+        topk, _naive, _scoring = searchers
+        assert topk.search(Query.parse([("*", "atlantis")]), k=5) == []
+
+    def test_multi_term_results_connected(self, figure2_collection,
+                                          searchers):
+        topk, _naive, scoring = searchers
+        results = topk.search(Query.parse(QUERY_1), k=10)
+        assert results
+        for result in results:
+            assert scoring.graph.connects(result.node_ids, max_hops=12)
+
+    def test_multi_term_nodes_distinct(self, searchers):
+        topk, _naive, _scoring = searchers
+        for result in topk.search(Query.parse(QUERY_1), k=10):
+            assert len(set(result.node_ids)) == len(result.node_ids)
+
+    def test_sibling_pairs_rank_above_cousins(self, figure2_collection,
+                                              searchers):
+        """Compactness: trade_country and its sibling percentage must
+        outrank a pairing across different items."""
+        topk, _naive, _scoring = searchers
+        query = Query.parse(
+            [("trade_country", "china"), ("percentage", "*")]
+        )
+        results = topk.search(query, k=10)
+        best = results[0]
+        tc, pct = (
+            figure2_collection.node(best.node_ids[0]),
+            figure2_collection.node(best.node_ids[1]),
+        )
+        assert tc.parent_id == pct.parent_id  # same item
+        assert figure2_collection.node(pct.node_id).value == "15%"
+
+    def test_stats_populated(self, searchers):
+        topk, _naive, _scoring = searchers
+        topk.search(Query.parse(QUERY_1), k=3)
+        assert topk.stats["sorted_accesses"] > 0
+        assert topk.stats["tuples_scored"] > 0
+
+
+class TestTopKAgainstNaive:
+    """TA must agree with exhaustive search on its top-k scores."""
+
+    @pytest.mark.parametrize(
+        "pairs,k",
+        [
+            ([("*", '"United States"')], 3),
+            ([("trade_country", "*"), ("percentage", "*")], 5),
+            ([("*", "canada"), ("year", "*")], 4),
+            (QUERY_1, 5),
+        ],
+    )
+    def test_same_scores(self, searchers, pairs, k):
+        topk, naive, _scoring = searchers
+        query = Query.parse(pairs)
+        ta_results = topk.search(query, k=k)
+        naive_results = naive.search(query, k=k)
+        ta_scores = [round(r.score, 9) for r in ta_results]
+        naive_scores = [round(r.score, 9) for r in naive_results]
+        assert ta_scores == naive_scores
+
+    def test_same_tuples_when_unique_scores(self, searchers):
+        topk, naive, _scoring = searchers
+        query = Query.parse([("trade_country", "germany"), ("percentage", "*")])
+        ta_results = topk.search(query, k=3)
+        naive_results = naive.search(query, k=3)
+        assert [r.node_ids for r in ta_results] == [
+            r.node_ids for r in naive_results
+        ]
+
+
+class TestNaiveGuards:
+    def test_cross_product_cap(self, figure2_matcher, searchers):
+        _topk, naive, _scoring = searchers
+        naive.max_combinations = 10
+        query = Query.parse([("*", "*"), ("*", "*")])
+        with pytest.raises(ValueError):
+            naive.search(query, k=1)
+
+
+class TestCrossDocumentSearch:
+    def test_link_tuples_found(self, figure2_collection, figure2_matcher):
+        """With a trade-partner value link, 'United States' as another
+        country's import partner connects to the US documents."""
+        from repro.model.links import ValueLinkSpec
+
+        graph = DataGraph(figure2_collection)
+        LinkDiscoverer(graph).apply_value_links([
+            ValueLinkSpec(
+                "/country",
+                "/country/economy/import_partners/item/trade_country",
+                label="trade partner",
+            )
+        ])
+        scoring = ScoringModel(
+            figure2_collection, figure2_matcher.inverted, graph
+        )
+        topk = TopKSearcher(figure2_matcher, scoring)
+        query = Query.parse(
+            [("/country", '"United States"'), ("trade_country", '"United States"')]
+        )
+        results = topk.search(query, k=5)
+        assert results
+        docs = {
+            (figure2_collection.node(r.node_ids[0]).doc_id,
+             figure2_collection.node(r.node_ids[1]).doc_id)
+            for r in results
+        }
+        # The US root lives in docs 0/1; the matching trade_country in doc 2.
+        assert all(a != b for a, b in docs)

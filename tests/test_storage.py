@@ -1,0 +1,154 @@
+"""Document store persistence, node store streams, catalog statistics."""
+
+import pytest
+
+from repro.model.dewey import DeweyID
+from repro.model.graph import EdgeKind
+from repro.storage.catalog import CollectionCatalog
+from repro.storage.document_store import DocumentStore
+from repro.storage.node_store import NodeStore
+from tests.conftest import MEXICO_2003, USA_2002, USA_2006
+
+
+class TestDocumentStorePersistence:
+    def _populated_store(self):
+        store = DocumentStore()
+        store.add_document(USA_2006, name="usa-2006")
+        store.add_document(MEXICO_2003, name="mexico-2003")
+        # A value edge: Mexico's first trade_country -> USA root.
+        tc = next(
+            node for node in store.collection.iter_nodes()
+            if node.tag == "trade_country" and node.doc_id == 1
+        )
+        store.add_edge(tc.node_id, 0, EdgeKind.VALUE, label="trade partner")
+        return store
+
+    def test_save_load_roundtrip(self, tmp_path):
+        store = self._populated_store()
+        path = tmp_path / "store.jsonl"
+        store.save(path)
+        loaded = DocumentStore.load(path)
+        assert len(loaded.collection) == 2
+        assert loaded.collection.document(0).name == "usa-2006"
+        assert loaded.collection.paths() == store.collection.paths()
+
+    def test_edges_survive_roundtrip(self, tmp_path):
+        store = self._populated_store()
+        path = tmp_path / "store.jsonl"
+        store.save(path)
+        loaded = DocumentStore.load(path)
+        assert len(loaded.graph.edges) == 1
+        edge = loaded.graph.edges[0]
+        assert edge.kind is EdgeKind.VALUE
+        assert edge.label == "trade partner"
+        assert loaded.collection.node(edge.source_id).tag == "trade_country"
+
+    def test_content_survives_roundtrip(self, tmp_path):
+        store = self._populated_store()
+        path = tmp_path / "store.jsonl"
+        store.save(path)
+        loaded = DocumentStore.load(path)
+        root = loaded.collection.document(0).root
+        assert root.value == "United States"
+
+    def test_attributes_survive_roundtrip(self, tmp_path):
+        store = DocumentStore()
+        store.add_document('<a x="1"><b y="&lt;2&gt;">t</b></a>', name="attrs")
+        path = tmp_path / "store.jsonl"
+        store.save(path)
+        loaded = DocumentStore.load(path)
+        assert "/a/b/@y" in loaded.collection.paths()
+        attr = next(
+            node for node in loaded.collection.iter_nodes()
+            if node.tag == "@y"
+        )
+        assert attr.value == "<2>"
+
+    def test_load_rejects_unknown_record(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ValueError):
+            DocumentStore.load(path)
+
+
+class TestNodeStore:
+    def test_by_tag_dewey_order(self, figure2_collection):
+        store = NodeStore(figure2_collection)
+        items = store.by_tag("item")
+        keys = [
+            (figure2_collection.node(i).doc_id, figure2_collection.node(i).dewey)
+            for i in items
+        ]
+        assert keys == sorted(keys)
+        assert len(items) == 7  # 3 usa-2006, 1 usa-2002, 3 mexico-2003
+
+    def test_by_path(self, figure2_collection):
+        store = NodeStore(figure2_collection)
+        path = "/country/economy/import_partners/item/percentage"
+        assert len(store.by_path(path)) == 5
+
+    def test_unknown_tag_empty(self, figure2_collection):
+        store = NodeStore(figure2_collection)
+        assert store.by_tag("nope") == []
+
+    def test_refresh_picks_up_new_documents(self, figure2_collection):
+        store = NodeStore(figure2_collection)
+        before = len(store.by_tag("country"))
+        figure2_collection.add_document("<country>Narnia</country>")
+        store.refresh()
+        assert len(store.by_tag("country")) == before + 1
+
+    def test_descendants_in_path(self, figure2_collection):
+        store = NodeStore(figure2_collection)
+        root = figure2_collection.document(0).root
+        path = "/country/economy/import_partners/item/trade_country"
+        descendants = store.descendants_in_path(root.node_id, path)
+        assert len(descendants) == 2
+        values = {figure2_collection.node(d).value for d in descendants}
+        assert values == {"China", "Canada"}
+
+    def test_descendants_scoped_to_subtree(self, figure2_collection):
+        store = NodeStore(figure2_collection)
+        document = figure2_collection.document(0)
+        import_partners = next(
+            node for node in document.nodes if node.tag == "import_partners"
+        )
+        path = "/country/economy/import_partners/item/percentage"
+        under = store.descendants_in_path(import_partners.node_id, path)
+        assert len(under) == 2  # not the export percentage
+
+    def test_sort_dewey(self, figure2_collection):
+        store = NodeStore(figure2_collection)
+        ids = [node.node_id for node in figure2_collection.iter_nodes()]
+        shuffled = list(reversed(ids))
+        assert store.sort_dewey(shuffled) == ids
+
+
+class TestCatalog:
+    def test_summary(self, figure2_collection):
+        summary = CollectionCatalog(figure2_collection).summary()
+        assert summary["documents"] == 3
+        assert summary["nodes"] == figure2_collection.node_count
+        assert summary["distinct_paths"] == figure2_collection.path_count()
+
+    def test_path_frequencies_sorted(self, figure2_collection):
+        rows = CollectionCatalog(figure2_collection).path_frequencies()
+        counts = [row[1] for row in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_long_tail(self, figure2_collection):
+        tail = CollectionCatalog(figure2_collection).long_tail(
+            document_threshold=2
+        )
+        paths = [path for path, _df in tail]
+        # GDP_ppp appears only in the 2006 document.
+        assert "/country/economy/GDP_ppp" in paths
+
+    def test_depth_histogram(self, figure2_collection):
+        histogram = CollectionCatalog(figure2_collection).depth_histogram()
+        assert histogram[1] == 1  # /country
+        assert sum(histogram.values()) == figure2_collection.path_count()
+
+    def test_tag_histogram(self, figure2_collection):
+        histogram = CollectionCatalog(figure2_collection).tag_histogram()
+        assert histogram["percentage"] == 2  # import + export contexts

@@ -1,0 +1,227 @@
+"""End-to-end SEDA: the Figure 6 control flow on generated Factbook."""
+
+import pytest
+
+from repro.datasets.factbook import FactbookGenerator
+from repro.summaries.connection import TreeConnection
+from repro.system import Seda
+
+TC_PATH = "/country/economy/import_partners/item/trade_country"
+PCT_PATH = "/country/economy/import_partners/item/percentage"
+ITEM_PATH = "/country/economy/import_partners/item"
+
+QUERY_1 = [
+    ("*", '"United States"'),
+    ("trade_country", "*"),
+    ("percentage", "*"),
+]
+
+FIGURE3_CONNECTIONS = [
+    ((0, 1), TreeConnection("/country", TC_PATH, "/country")),
+    ((1, 2), TreeConnection(TC_PATH, PCT_PATH, ITEM_PATH)),
+]
+
+
+@pytest.fixture(scope="module")
+def seda():
+    generator = FactbookGenerator(scale=0.02)
+    system = Seda(
+        generator.build_collection(),
+        value_links=FactbookGenerator.value_link_specs(),
+    )
+    FactbookGenerator.register_standard_definitions(system.registry)
+    return system
+
+
+@pytest.fixture(scope="module")
+def figure3_schema(seda):
+    """The full Figure 6 flow driven to the Figure 3 star schema."""
+    session = seda.search(QUERY_1, k=10)
+    refined = session.refine_contexts({
+        0: ["/country"], 1: [TC_PATH], 2: [PCT_PATH],
+    })
+    chosen = refined.refine_connections(FIGURE3_CONNECTIONS)
+    table = chosen.complete_results()
+    return chosen.build_cube(table), table
+
+
+class TestSearchStage:
+    def test_topk_returns_results(self, seda):
+        session = seda.search(QUERY_1, k=10)
+        assert 0 < len(session.results) <= 10
+
+    def test_results_sorted_by_score(self, seda):
+        session = seda.search(QUERY_1, k=10)
+        scores = [result.score for result in session.results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_context_summary_buckets(self, seda):
+        session = seda.search(QUERY_1, k=10)
+        summary = session.context_summary
+        assert len(summary) == 3
+        assert "/country" in summary.bucket(0).paths
+        assert TC_PATH in summary.bucket(1).paths
+
+    def test_connection_summary_nonempty(self, seda):
+        session = seda.search(QUERY_1, k=10)
+        assert len(session.connection_summary) > 0
+
+
+class TestRefinementStage:
+    def test_context_refinement_narrows(self, seda):
+        session = seda.search(QUERY_1, k=10)
+        refined = session.refine_contexts({0: ["/country"]})
+        paths = {
+            seda.collection.node(result.node_ids[0]).path
+            for result in refined.results
+        }
+        assert paths == {"/country"}
+
+    def test_connection_refinement_filters(self, seda):
+        session = seda.search(QUERY_1, k=10)
+        refined = session.refine_contexts({
+            0: ["/country"], 1: [TC_PATH], 2: [PCT_PATH],
+        })
+        chosen = refined.refine_connections([FIGURE3_CONNECTIONS[1]])
+        for result in chosen.results:
+            tc = seda.collection.node(result.node_ids[1])
+            pct = seda.collection.node(result.node_ids[2])
+            assert tc.parent_id == pct.parent_id
+
+    def test_sessions_immutable(self, seda):
+        session = seda.search(QUERY_1, k=10)
+        refined = session.refine_contexts({0: ["/country"]})
+        assert refined is not session
+        assert session.query.terms[0].context != (
+            refined.query.terms[0].context
+        )
+
+    def test_ambiguous_term_paths_raise(self):
+        # Two "price" contexts in the top-k make the term ambiguous.
+        system = Seda.from_documents([
+            "<shop><book><price>10</price></book>"
+            "<cd><price>10</price></cd></shop>",
+        ])
+        session = system.search([("price", "10")], k=10)
+        bound = {
+            system.collection.node(result.node_ids[0]).path
+            for result in session.results
+        }
+        assert len(bound) == 2
+        with pytest.raises(ValueError):
+            session.term_paths()
+
+
+class TestCompleteAndCube:
+    def test_complete_results_us_only(self, seda, figure3_schema):
+        _schema, table = figure3_schema
+        assert len(table) > 0
+        for row in table.rows:
+            country = seda.collection.node(row[0])
+            assert country.value == "United States"
+
+    def test_figure3_fact_rows(self, seda, figure3_schema):
+        """The paper's fact-table rows for 2004-2006 must be present."""
+        schema, _table = figure3_schema
+        fact = schema.fact("import-trade-percentage")
+        rows = set(fact.rows)
+        assert ("United States", "2004", "China", 12.5) in rows
+        assert ("United States", "2004", "Mexico", 10.7) in rows
+        assert ("United States", "2005", "China", 13.8) in rows
+        assert ("United States", "2005", "Mexico", 10.3) in rows
+        assert ("United States", "2006", "China", 15.0) in rows
+        assert ("United States", "2006", "Canada", 16.9) in rows
+
+    def test_fact_table_columns_match_figure3(self, figure3_schema):
+        schema, _table = figure3_schema
+        fact = schema.fact("import-trade-percentage")
+        assert fact.key_columns == ["country", "year", "import-country"]
+        assert fact.has_primary_key()
+
+    def test_year_dimension_auto_added(self, figure3_schema):
+        """Figure 3: the year dimension joins via key augmentation."""
+        schema, _table = figure3_schema
+        years = set(schema.dimension("year"))
+        assert {"2002", "2003", "2004", "2005", "2006", "2007"} <= years
+
+    def test_dimension_tables_populated(self, figure3_schema):
+        schema, _table = figure3_schema
+        assert list(schema.dimension("country")) == ["United States"]
+        members = set(schema.dimension("import-country"))
+        assert {"China", "Canada", "Mexico"} <= members
+
+    def test_olap_average_by_partner(self, seda, figure3_schema):
+        schema, _table = figure3_schema
+        engine = seda.search(QUERY_1).olap(schema)
+        cube = engine.cube("import-trade-percentage")
+        by_partner = cube.aggregate("avg", group_by=["import-country"])
+        assert by_partner[("China",)] == pytest.approx(
+            (11.1 + 12.1 + 12.5 + 13.8 + 15.0 + 16.9) / 6
+        )
+
+    def test_without_year_no_primary_key(self, seda, figure3_schema):
+        """The paper: 'without the year dimension, the fact table would
+        not have a primary key'."""
+        _schema, table = figure3_schema
+        from repro.olap.cube import Cube
+
+        schema, _ = figure3_schema
+        fact = schema.fact("import-trade-percentage")
+        cube = Cube.from_fact_table(fact)
+        rolled = cube.rollup(["country", "import-country"])
+        # Rolling year away collapses distinct (China 15, China 13.8...)
+        # rows into shared cells -- the ambiguity the paper warns about.
+        assert rolled.cell_count() < fact.has_primary_key() * len(fact) or (
+            rolled.cell_count() < len(fact)
+        )
+
+
+class TestGdpFactAcrossSchemaEvolution:
+    def test_gdp_cube_spans_both_contexts(self, seda):
+        session = seda.search([("GDP|GDP_ppp", "*")], k=10)
+        # Complete results over one chosen context at a time, then the
+        # GDP fact matches both contexts via its ContextList.
+        table = session.complete_results(
+            term_paths={0: "/country/economy/GDP"}
+        )
+        schema = session.build_cube(table)
+        fact = schema.fact("GDP")
+        assert len(fact) > 0
+        years = {row[1] for row in fact.rows}
+        assert years <= {"2002", "2003", "2004"}  # GDP is pre-2005 only
+
+
+class TestSedaConstruction:
+    def test_from_documents_pairs(self):
+        seda = Seda.from_documents([
+            ("a", "<x><y>hello</y></x>"),
+            ("b", "<x><y>world</y></x>"),
+        ])
+        assert len(seda.collection) == 2
+        session = seda.search([("y", "hello")], k=5)
+        assert len(session.results) == 1
+
+    def test_from_documents_bare_strings(self):
+        seda = Seda.from_documents(["<x>one</x>", "<x>two</x>"])
+        assert len(seda.collection) == 2
+
+    def test_dataguides_built(self, seda):
+        assert len(seda.dataguides) >= 1
+        assert seda.dataguides.threshold == 0.4
+
+
+class TestSessionEffort:
+    def test_effort_accumulates_across_refinements(self, seda):
+        session = seda.search(QUERY_1, k=10)
+        assert session.effort.total_interactions == 0
+        refined = session.refine_contexts({
+            0: ["/country"], 1: [TC_PATH], 2: [PCT_PATH],
+        })
+        assert refined.effort is session.effort
+        assert refined.effort.context_choices == 3
+        assert refined.effort.searches == 2
+        chosen = refined.refine_connections(FIGURE3_CONNECTIONS)
+        assert chosen.effort.connection_choices == 2
+        assert chosen.effort.total_interactions == 5
+        summary = chosen.effort.summary()
+        assert summary["total_interactions"] == 5

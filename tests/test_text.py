@@ -1,0 +1,177 @@
+"""Tokenizer, analyzer, and Porter stemmer (with hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.text.analyzer import Analyzer
+from repro.text.stemmer import PorterStemmer
+from repro.text.tokenizer import tokenize
+
+
+class TestTokenizer:
+    def test_simple_words(self):
+        assert [t.text for t in tokenize("hello world")] == ["hello", "world"]
+
+    def test_positions_sequential(self):
+        tokens = tokenize("a b c")
+        assert [t.position for t in tokens] == [0, 1, 2]
+
+    def test_offsets_match_source(self):
+        text = "alpha  beta"
+        for token in tokenize(text):
+            assert text[token.start:token.end] == token.text
+
+    def test_percentage_value_single_token(self):
+        assert [t.text for t in tokenize("16.9%")] == ["16.9%"]
+
+    def test_magnitude_suffix(self):
+        assert [t.text for t in tokenize("12.31T")] == ["12.31T"]
+
+    def test_thousands_separator(self):
+        assert [t.text for t in tokenize("2,450 people")] == ["2,450", "people"]
+
+    def test_underscore_tag_names(self):
+        assert [t.text for t in tokenize("GDP_ppp")] == ["GDP_ppp"]
+
+    def test_trailing_punctuation_dropped(self):
+        assert [t.text for t in tokenize("end.")] == ["end"]
+
+    def test_hyphenated_word(self):
+        assert [t.text for t in tokenize("Guinea-Bissau")] == ["Guinea-Bissau"]
+
+    def test_empty_and_punctuation_only(self):
+        assert tokenize("") == []
+        assert tokenize("... !!! ---") == []
+
+    @given(st.text(max_size=200))
+    def test_never_hangs_or_misaligns(self, text):
+        for token in tokenize(text):
+            assert 0 <= token.start < token.end <= len(text)
+            assert text[token.start:token.end] == token.text
+
+    @given(st.text(alphabet="ab-.% $", max_size=50))
+    def test_punctuation_boundaries(self, text):
+        tokens = tokenize(text)
+        positions = [t.position for t in tokens]
+        assert positions == list(range(len(tokens)))
+
+
+class TestAnalyzer:
+    def test_lowercases_by_default(self):
+        assert Analyzer().terms("United States") == ["united", "states"]
+
+    def test_no_lowercase_option(self):
+        analyzer = Analyzer(lowercase=False)
+        assert analyzer.terms("United") == ["United"]
+
+    def test_stopword_removal_preserves_positions(self):
+        analyzer = Analyzer(remove_stopwords=True)
+        tokens = analyzer.analyze("the quick fox")
+        assert [t.text for t in tokens] == ["quick", "fox"]
+        assert [t.position for t in tokens] == [1, 2]
+
+    def test_stopwords_kept_by_default(self):
+        assert "the" in Analyzer().terms("the fox")
+
+    def test_stemming(self):
+        analyzer = Analyzer(stem=True)
+        assert analyzer.terms("connections") == ["connect"]
+
+    def test_term_single(self):
+        assert Analyzer().term("Romania") == "romania"
+
+    def test_term_vanishing(self):
+        analyzer = Analyzer(remove_stopwords=True)
+        assert analyzer.term("the") is None
+
+
+class TestPorterStemmer:
+    def test_classic_examples(self):
+        stemmer = PorterStemmer()
+        expected = {
+            "caresses": "caress",
+            "ponies": "poni",
+            "caress": "caress",
+            "cats": "cat",
+            "feed": "feed",
+            "agreed": "agre",
+            "plastered": "plaster",
+            "motoring": "motor",
+            "sing": "sing",
+            "conflated": "conflat",
+            "troubling": "troubl",
+            "sized": "size",
+            "hopping": "hop",
+            "falling": "fall",
+            "hissing": "hiss",
+            "happy": "happi",
+            "relational": "relat",
+            "conditional": "condit",
+            "valency": "valenc",
+            "digitizer": "digit",
+            "conformably": "conform",
+            "radically": "radic",
+            "differently": "differ",
+            "analogously": "analog",
+            "vietnamization": "vietnam",
+            "predication": "predic",
+            "operator": "oper",
+            "feudalism": "feudal",
+            "decisiveness": "decis",
+            "hopefulness": "hope",
+            "callousness": "callous",
+            "formality": "formal",
+            "sensitivity": "sensit",
+            "sensibility": "sensibl",
+            "triplicate": "triplic",
+            "formative": "form",
+            "formalize": "formal",
+            "electricity": "electr",
+            "electrical": "electr",
+            "hopeful": "hope",
+            "goodness": "good",
+            "revival": "reviv",
+            "allowance": "allow",
+            "inference": "infer",
+            "airliner": "airlin",
+            "adjustable": "adjust",
+            "defensible": "defens",
+            "irritant": "irrit",
+            "replacement": "replac",
+            "adjustment": "adjust",
+            "dependent": "depend",
+            "adoption": "adopt",
+            "communism": "commun",
+            "activate": "activ",
+            "angularity": "angular",
+            "homologous": "homolog",
+            "effective": "effect",
+            "bowdlerize": "bowdler",
+            "probate": "probat",
+            "rate": "rate",
+            "cease": "ceas",
+            "controll": "control",
+            "roll": "roll",
+        }
+        failures = {
+            word: (stemmer.stem(word), stem)
+            for word, stem in expected.items()
+            if stemmer.stem(word) != stem
+        }
+        assert not failures
+
+    def test_short_words_untouched(self):
+        stemmer = PorterStemmer()
+        assert stemmer.stem("at") == "at"
+        assert stemmer.stem("of") == "of"
+
+    @given(st.from_regex(r"[a-z]{1,20}", fullmatch=True))
+    def test_idempotent_on_stems(self, word):
+        stemmer = PorterStemmer()
+        once = stemmer.stem(word)
+        assert stemmer.stem(once) == stemmer.stem(once)
+
+    @given(st.from_regex(r"[a-zA-Z]{1,20}", fullmatch=True))
+    def test_output_nonempty_lowercase(self, word):
+        stem = PorterStemmer().stem(word)
+        assert stem
+        assert stem == stem.lower()

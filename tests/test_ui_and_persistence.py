@@ -1,0 +1,200 @@
+"""UI panel rendering, dataguide persistence, and the XSEarch baseline."""
+
+import pytest
+
+from repro import ui
+from repro.baselines.xsearch import interconnected, xsearch
+from repro.index.builder import IndexBuilder
+from repro.model.collection import DocumentCollection
+from repro.summaries.dataguide import DataguideBuilder, DataguideSet
+from repro.system import Seda
+
+
+@pytest.fixture(scope="module")
+def session():
+    seda = Seda.from_documents([
+        ("usa", "<country>United States<year>2006</year>"
+                "<economy><import_partners>"
+                "<item><trade_country>China</trade_country>"
+                "<percentage>15%</percentage></item>"
+                "</import_partners></economy></country>"),
+    ])
+    return seda.search([("*", '"United States"'), ("percentage", "*")], k=5)
+
+
+class TestPanels:
+    def test_render_query(self, session):
+        text = ui.render_query(session.query)
+        assert "context=" in text and "search=" in text
+        assert text.count("\n") == len(session.query.terms)
+
+    def test_render_results(self, session):
+        text = ui.render_results(session.results, session.system.collection)
+        assert "1." in text
+        assert "/country" in text
+
+    def test_render_results_empty(self, session):
+        text = ui.render_results([], session.system.collection)
+        assert "(no results)" in text
+
+    def test_render_context_summary(self, session):
+        text = ui.render_context_summary(session.context_summary)
+        assert "term 1" in text
+        assert "combinations" in text
+        assert "/country" in text
+
+    def test_render_connection_summary(self, session):
+        text = ui.render_connection_summary(session.connection_summary)
+        assert "Connection summary" in text
+
+    def test_render_result_table(self, session):
+        table = session.complete_results(
+            term_paths={
+                0: "/country",
+                1: "/country/economy/import_partners/item/percentage",
+            }
+        )
+        text = ui.render_result_table(table)
+        assert "R(q)" in text
+        assert "nodeid1" in text
+
+    def test_render_star_schema(self, session):
+        from repro.cube.star import DimensionTable, FactTable, StarSchema
+
+        schema = StarSchema(
+            [FactTable("f", ["k"], ["f"], [("a", 1.0)])],
+            [DimensionTable("d", ["x", "y"])],
+        )
+        text = ui.render_star_schema(schema)
+        assert "fact f" in text
+        assert "dimension d" in text
+
+    def test_render_session_combines_panels(self, session):
+        text = ui.render_session(session)
+        assert "Query:" in text
+        assert "Context summary" in text
+        assert "Connection summary" in text
+
+    def test_limits_respected(self, session):
+        table = session.complete_results(
+            term_paths={
+                0: "/country",
+                1: "/country/economy/import_partners/item/percentage",
+            }
+        )
+        text = ui.render_result_table(table, limit=0)
+        assert "more rows" in text or len(table) == 0
+
+
+class TestDataguidePersistence:
+    def _build(self):
+        collection = DocumentCollection()
+        collection.add_document('<a id="x"><b>1</b><c>2</c></a>')
+        collection.add_document('<a id="y"><b>3</b><d>4</d></a>')
+        collection.add_document('<z href="#x"><w>5</w></z>')
+        from repro.model.graph import DataGraph
+        from repro.model.links import LinkDiscoverer
+
+        graph = DataGraph(collection)
+        LinkDiscoverer(graph).discover_xlinks()
+        builder = DataguideBuilder(0.4)
+        return builder.build(collection=collection, graph=graph)
+
+    def test_roundtrip_guides(self, tmp_path):
+        guide_set = self._build()
+        path = tmp_path / "guides.json"
+        guide_set.save(path)
+        loaded = DataguideSet.load(path)
+        assert len(loaded) == len(guide_set)
+        assert loaded.threshold == guide_set.threshold
+        for original, restored in zip(guide_set.guides, loaded.guides):
+            assert original.paths == restored.paths
+            assert original.document_ids == restored.document_ids
+            assert original.source_path_sets == restored.source_path_sets
+
+    def test_roundtrip_links(self, tmp_path):
+        guide_set = self._build()
+        path = tmp_path / "guides.json"
+        guide_set.save(path)
+        loaded = DataguideSet.load(path)
+        assert len(loaded.links) == len(guide_set.links) == 1
+        _sg, source_path, _tg, target_path, kind, _label = loaded.links[0]
+        assert source_path == "/z"
+        assert target_path == "/a"
+
+    def test_loaded_set_answers_queries(self, tmp_path):
+        guide_set = self._build()
+        path = tmp_path / "guides.json"
+        guide_set.save(path)
+        loaded = DataguideSet.load(path)
+        assert loaded.guide_for_document(0) is not None
+        assert loaded.guides_for_path("/a/b")
+        false_pairs, total = loaded.false_positive_pairs()
+        original = guide_set.false_positive_pairs()
+        assert (false_pairs, total) == original
+
+
+class TestXSearch:
+    def _setup(self, *documents):
+        collection = DocumentCollection()
+        for document in documents:
+            collection.add_document(document)
+        inverted, _paths = IndexBuilder(collection).build()
+        return collection, inverted
+
+    def test_sibling_pair_interconnected(self):
+        collection, inverted = self._setup(
+            "<r><item><partner>usa</partner><share>70</share></item></r>"
+        )
+        answers = xsearch(collection, inverted, ["usa", "70"])
+        assert len(answers) == 1
+
+    def test_cross_item_pair_rejected(self):
+        """The defining XSEarch behaviour: the path between nodes of two
+        different items passes two 'item' tags -> not interconnected."""
+        collection, inverted = self._setup(
+            "<r>"
+            "<item><partner>usa</partner><share>70</share></item>"
+            "<item><partner>germany</partner><share>3</share></item>"
+            "</r>"
+        )
+        answers = xsearch(collection, inverted, ["usa", "3"])
+        assert answers == []
+
+    def test_interconnected_direct_check(self):
+        collection, inverted = self._setup(
+            "<r><a><x>k1</x></a><b><y>k2</y></b></r>"
+        )
+        nodes = list(collection.iter_nodes())
+        x = next(node for node in nodes if node.tag == "x")
+        y = next(node for node in nodes if node.tag == "y")
+        assert interconnected(collection, x, y)
+
+    def test_ancestor_descendant_interconnected(self):
+        collection, inverted = self._setup("<r><a><b>k1 k2</b></a></r>")
+        answers = xsearch(collection, inverted, ["k1", "k2"])
+        assert len(answers) == 1
+
+    def test_cross_document_not_interconnected(self):
+        collection, inverted = self._setup(
+            "<r><x>k1</x></r>", "<r><x>k2</x></r>"
+        )
+        assert xsearch(collection, inverted, ["k1", "k2"]) == []
+
+    def test_seda_cousin_connection_is_what_xsearch_drops(self):
+        """The paper's two trade_country/percentage connections: the
+        sibling one survives XSEarch, the cousin one cannot."""
+        collection, inverted = self._setup(
+            "<country>"
+            "<import_partners>"
+            "<item><trade_country>china</trade_country>"
+            "<percentage>15</percentage></item>"
+            "<item><trade_country>canada</trade_country>"
+            "<percentage>16.9</percentage></item>"
+            "</import_partners>"
+            "</country>"
+        )
+        sibling = xsearch(collection, inverted, ["china", "15"])
+        cousin = xsearch(collection, inverted, ["china", "16.9"])
+        assert len(sibling) == 1
+        assert cousin == []

@@ -1,0 +1,84 @@
+"""Entity escaping and unescaping."""
+
+import pytest
+
+from repro.xmlio.errors import XMLSyntaxError
+from repro.xmlio.escape import (
+    escape_attribute,
+    escape_text,
+    resolve_entity,
+    unescape,
+)
+
+
+class TestEscapeText:
+    def test_plain_text_unchanged(self):
+        assert escape_text("hello world") == "hello world"
+
+    def test_ampersand(self):
+        assert escape_text("a & b") == "a &amp; b"
+
+    def test_angle_brackets(self):
+        assert escape_text("<tag>") == "&lt;tag&gt;"
+
+    def test_quotes_not_escaped_in_text(self):
+        assert escape_text('say "hi"') == 'say "hi"'
+
+
+class TestEscapeAttribute:
+    def test_double_quote_escaped(self):
+        assert escape_attribute('a "b"') == "a &quot;b&quot;"
+
+    def test_ampersand_and_brackets(self):
+        assert escape_attribute("<&>") == "&lt;&amp;&gt;"
+
+
+class TestResolveEntity:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("lt", "<"), ("gt", ">"), ("amp", "&"), ("apos", "'"),
+         ("quot", '"')],
+    )
+    def test_named_entities(self, name, expected):
+        assert resolve_entity(name) == expected
+
+    def test_decimal_reference(self):
+        assert resolve_entity("#65") == "A"
+
+    def test_hex_reference(self):
+        assert resolve_entity("#x41") == "A"
+
+    def test_hex_uppercase_marker(self):
+        assert resolve_entity("#X41") == "A"
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            resolve_entity("nbsp")
+
+    def test_bad_decimal_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            resolve_entity("#xyz")
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            resolve_entity("#99999999999")
+
+
+class TestUnescape:
+    def test_no_entities_fast_path(self):
+        text = "plain text"
+        assert unescape(text) is text
+
+    def test_mixed_entities(self):
+        assert unescape("a &lt;b&gt; &amp; c") == "a <b> & c"
+
+    def test_character_references(self):
+        assert unescape("&#72;&#x69;") == "Hi"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            unescape("a &amp b")
+
+    def test_roundtrip_with_escape(self):
+        original = 'x < y & "z" > w'
+        assert unescape(escape_attribute(original).replace("&quot;", '"')) == original

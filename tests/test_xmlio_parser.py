@@ -1,0 +1,141 @@
+"""XML lexer and parser behaviour."""
+
+import pytest
+
+from repro.xmlio import parse, XMLSyntaxError
+from repro.xmlio.dom import Comment, Element, ProcessingInstruction
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        root = parse("<a/>")
+        assert root.tag == "a"
+        assert root.children == []
+
+    def test_text_content(self):
+        root = parse("<a>hello</a>")
+        assert root.text == "hello"
+
+    def test_nested_elements(self):
+        root = parse("<a><b><c>x</c></b></a>")
+        assert root.find("b").find("c").text == "x"
+
+    def test_attributes(self):
+        root = parse('<a x="1" y="two"/>')
+        assert root.attributes == {"x": "1", "y": "two"}
+
+    def test_single_quoted_attributes(self):
+        root = parse("<a x='1'/>")
+        assert root.attributes == {"x": "1"}
+
+    def test_entity_in_text(self):
+        root = parse("<a>x &amp; y</a>")
+        assert root.text == "x & y"
+
+    def test_entity_in_attribute(self):
+        root = parse('<a v="&lt;3"/>')
+        assert root.attributes["v"] == "<3"
+
+    def test_cdata_preserved_verbatim(self):
+        root = parse("<a><![CDATA[<not-a-tag> & raw]]></a>")
+        assert root.text == "<not-a-tag> & raw"
+
+    def test_mixed_content_order(self):
+        root = parse("<a>one<b/>two</a>")
+        assert root.children[0] == "one"
+        assert isinstance(root.children[1], Element)
+        assert root.children[2] == "two"
+
+    def test_whitespace_between_elements_stripped(self):
+        root = parse("<a>\n  <b/>\n  <c/>\n</a>")
+        assert all(not isinstance(child, str) for child in root.children)
+
+    def test_whitespace_kept_when_disabled(self):
+        root = parse("<a>\n  <b/>\n</a>", strip_whitespace=False)
+        assert any(isinstance(child, str) for child in root.children)
+
+    def test_xml_declaration_pi(self):
+        root = parse('<?xml version="1.0"?><a/>')
+        assert root.tag == "a"
+
+    def test_doctype_skipped(self):
+        root = parse("<!DOCTYPE a><a/>")
+        assert root.tag == "a"
+
+    def test_doctype_with_internal_subset(self):
+        root = parse("<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>")
+        assert root.tag == "a"
+
+    def test_comment_kept(self):
+        root = parse("<a><!--note--></a>")
+        assert isinstance(root.children[0], Comment)
+        assert root.children[0].text == "note"
+
+    def test_comment_dropped_when_disabled(self):
+        root = parse("<a><!--note--></a>", keep_comments=False)
+        assert root.children == []
+
+    def test_processing_instruction_kept(self):
+        root = parse('<a><?target data="1"?></a>')
+        pi = root.children[0]
+        assert isinstance(pi, ProcessingInstruction)
+        assert pi.target == "target"
+
+    def test_tag_names_with_punctuation(self):
+        root = parse("<ns:a-b._c/>")
+        assert root.tag == "ns:a-b._c"
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "<a>",                      # unclosed
+            "<a></b>",                  # mismatch
+            "</a>",                     # close without open
+            "<a/><b/>",                 # two roots
+            "",                         # empty
+            "just text",                # no element
+            "<a x=1/>",                 # unquoted attribute
+            '<a x="1" x="2"/>',         # duplicate attribute
+            "<a><!--unterminated</a>",  # comment
+            "<a><![CDATA[open</a>",     # cdata
+            '<a x="<"/>',               # < in attribute
+            "<a>&unknown;</a>",         # entity
+            "<1tag/>",                  # bad name start
+        ],
+    )
+    def test_malformed_raises(self, source):
+        with pytest.raises(XMLSyntaxError):
+            parse(source)
+
+    def test_error_carries_location(self):
+        with pytest.raises(XMLSyntaxError) as excinfo:
+            parse("<a>\n<b></c></a>")
+        assert excinfo.value.line == 2
+
+
+class TestElementNavigation:
+    def test_find_returns_first(self):
+        root = parse("<a><b>1</b><b>2</b></a>")
+        assert root.find("b").text == "1"
+
+    def test_find_missing_returns_none(self):
+        assert parse("<a/>").find("zzz") is None
+
+    def test_find_all(self):
+        root = parse("<a><b>1</b><c/><b>2</b></a>")
+        assert [element.text for element in root.find_all("b")] == ["1", "2"]
+
+    def test_iter_descendants_preorder(self):
+        root = parse("<a><b><c/></b><d/></a>")
+        tags = [element.tag for element in root.iter_descendants()]
+        assert tags == ["a", "b", "c", "d"]
+
+    def test_text_content_concatenates_descendants(self):
+        root = parse("<a>x<b>y<c>z</c></b>w</a>")
+        assert root.text_content() == "xyzw"
+
+    def test_parent_links(self):
+        root = parse("<a><b/></a>")
+        assert root.find("b").parent is root

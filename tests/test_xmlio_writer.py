@@ -1,0 +1,106 @@
+"""Serialization and parse/serialize round-trips (with hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.xmlio import parse, serialize
+from repro.xmlio.dom import Comment, Element, ProcessingInstruction
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(Element("a")) == "<a/>"
+
+    def test_text_escaped(self):
+        element = Element("a", children=["x < y & z"])
+        assert serialize(element) == "<a>x &lt; y &amp; z</a>"
+
+    def test_attributes_escaped(self):
+        element = Element("a", {"v": 'say "hi" & <bye>'})
+        assert 'v="say &quot;hi&quot; &amp; &lt;bye&gt;"' in serialize(element)
+
+    def test_comment(self):
+        element = Element("a", children=[Comment("note")])
+        assert serialize(element) == "<a><!--note--></a>"
+
+    def test_processing_instruction(self):
+        element = Element("a", children=[ProcessingInstruction("t", "d")])
+        assert serialize(element) == "<a><?t d?></a>"
+
+    def test_pretty_printing_element_only(self):
+        root = Element("a")
+        root.element("b", text="x")
+        pretty = serialize(root, indent="  ")
+        assert pretty == "<a>\n  <b>x</b>\n</a>"
+
+    def test_pretty_printing_preserves_mixed_content(self):
+        root = Element("a", children=["text"])
+        root.element("b")
+        # Mixed content must not gain whitespace.
+        assert serialize(root, indent="  ") == "<a>text<b/></a>"
+
+
+_tag_names = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_.-]{0,8}", fullmatch=True)
+_texts = st.text(
+    alphabet=st.characters(
+        codec="utf-8",
+        categories=("L", "N", "P", "Zs"),
+        exclude_characters="<>&\"'\r",
+    ),
+    min_size=1,
+    max_size=30,
+).filter(lambda s: s.strip())
+
+
+@st.composite
+def _elements(draw, depth=0):
+    element = Element(draw(_tag_names))
+    for name in draw(st.lists(_tag_names, max_size=3, unique=True)):
+        element.attributes[name] = draw(_texts)
+    if depth < 3:
+        for child in draw(
+            st.lists(
+                st.one_of(
+                    _texts,
+                    st.deferred(lambda: _elements(depth + 1)),  # noqa: B023
+                ),
+                max_size=3,
+            )
+        ):
+            element.append(child)
+    return element
+
+
+def _normalize(element):
+    """Shape signature for comparison: tags, attrs, merged text runs."""
+    children = []
+    buffer = []
+    for child in element.children:
+        if isinstance(child, str):
+            buffer.append(child)
+        elif isinstance(child, Element):
+            if buffer:
+                children.append("".join(buffer))
+                buffer = []
+            children.append(_normalize(child))
+    if buffer:
+        children.append("".join(buffer))
+    return (element.tag, tuple(sorted(element.attributes.items())), tuple(children))
+
+
+class TestRoundTrip:
+    @given(_elements())
+    def test_parse_of_serialize_is_identity(self, element):
+        reparsed = parse(serialize(element), strip_whitespace=False)
+        assert _normalize(reparsed) == _normalize(element)
+
+    @given(_elements())
+    def test_serialize_is_stable(self, element):
+        once = serialize(element)
+        assert serialize(parse(once, strip_whitespace=False)) == once
+
+    def test_figure2_style_document_roundtrip(self):
+        source = (
+            "<country>United States<year>2006</year>"
+            "<economy><GDP_ppp>12.31T</GDP_ppp></economy></country>"
+        )
+        assert serialize(parse(source)) == source
