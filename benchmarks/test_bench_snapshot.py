@@ -1,0 +1,121 @@
+"""XIV -- snapshot cold starts: ``Seda.load`` vs. full construction.
+
+The paper's prototype precomputes indexes and dataguides and loads
+them "into memory only once from disk" (Section 6.1).  This module
+measures that cold-start contract end to end on the Factbook dataset:
+full construction (parse XML from disk, discover links, build both
+indexes, mine dataguides) against ``Seda.load`` of a whole-system
+snapshot, asserting the >= 5x speedup the snapshot subsystem exists
+for, plus byte-identical top-k results for the Figure 3 query.
+"""
+
+import gc
+import json
+import os
+import time
+
+import pytest
+
+from repro.datasets.factbook import FactbookGenerator
+from repro.system import Seda
+from repro.xmlio import serialize
+
+SCALE = float(os.environ.get("SEDA_BENCH_SCALE", "1.0"))
+
+QUERY_1 = [
+    ("*", '"United States"'),
+    ("trade_country", "*"),
+    ("percentage", "*"),
+]
+
+
+def _topk_bytes(system, k=10):
+    results = system.search(QUERY_1, k=k).results
+    return json.dumps([
+        [list(r.node_ids), list(r.content_scores), r.compactness, r.score]
+        for r in results
+    ]).encode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def xml_dir(tmp_path_factory):
+    """The Factbook as XML files on disk -- what a cold start reads."""
+    directory = tmp_path_factory.mktemp("factbook-xml")
+    for name, root in FactbookGenerator(scale=SCALE).documents():
+        (directory / f"{name}.xml").write_text(
+            serialize(root), encoding="utf-8"
+        )
+    return directory
+
+
+def _cold_construct(xml_dir):
+    documents = [
+        (path.stem, path.read_text(encoding="utf-8"))
+        for path in sorted(xml_dir.glob("*.xml"))
+    ]
+    return Seda.from_documents(
+        documents,
+        value_links=FactbookGenerator.value_link_specs(),
+        name="world-factbook",
+    )
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(tmp_path_factory, xml_dir):
+    seda = _cold_construct(xml_dir)
+    FactbookGenerator.register_standard_definitions(seda.registry)
+    path = tmp_path_factory.mktemp("snapshot") / "factbook.snapshot"
+    seda.save(path)
+    return path
+
+
+def test_snapshot_save(benchmark, xml_dir, tmp_path):
+    seda = _cold_construct(xml_dir)
+    path = tmp_path / "factbook.snapshot"
+    benchmark.pedantic(seda.save, args=(path,), rounds=2, iterations=1)
+    print(f"\nscale={SCALE}: snapshot bytes={path.stat().st_size}")
+    assert path.stat().st_size > 0
+
+
+def test_snapshot_load(benchmark, snapshot_path):
+    seda = benchmark.pedantic(
+        Seda.load, args=(snapshot_path,), rounds=3, iterations=1
+    )
+    print(f"\nscale={SCALE}: {len(seda.collection)} docs, "
+          f"{seda.collection.node_count} nodes")
+    assert len(seda.search(QUERY_1, k=10).results) > 0
+
+
+def test_cold_start_speedup_and_identical_results(snapshot_path, xml_dir):
+    """The acceptance contract: load >= 5x faster, results byte-identical."""
+
+    def timed(callable_, rounds):
+        best = None
+        for _ in range(rounds):
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                value = callable_()
+                elapsed = time.perf_counter() - start
+            finally:
+                gc.enable()
+            if best is None or elapsed < best[0]:
+                best = (elapsed, value)
+        return best
+
+    cold_seconds, cold = timed(lambda: _cold_construct(xml_dir), rounds=2)
+    cold_bytes = _topk_bytes(cold)
+    del cold  # keep the heap small while timing loads
+
+    load_seconds, loaded = timed(lambda: Seda.load(snapshot_path), rounds=3)
+    speedup = cold_seconds / load_seconds
+    print(f"\nscale={SCALE}: cold={cold_seconds:.3f}s "
+          f"load={load_seconds:.3f}s speedup={speedup:.1f}x")
+
+    assert _topk_bytes(loaded) == cold_bytes
+    assert speedup >= 5.0, (
+        f"snapshot load must be >= 5x faster than cold construction, "
+        f"got {speedup:.1f}x (cold {cold_seconds:.3f}s, "
+        f"load {load_seconds:.3f}s)"
+    )

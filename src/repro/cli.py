@@ -7,19 +7,26 @@ Subcommands::
         --term '*:"United States"' --term 'trade_country:*' -k 10
     python -m repro table1  --threshold 0.4 --scale 1.0
     python -m repro query1  --scale 0.05
+    python -m repro snapshot save seda.snapshot --dataset factbook
+    python -m repro snapshot load seda.snapshot --term 'percentage:*'
+    python -m repro snapshot info seda.snapshot
 
 ``--data DIR`` loads ``*.xml`` files from a directory instead of a
 generated dataset, so the CLI works on user collections too.  Terms
 are written ``context:search`` (first colon splits); ``*`` on either
-side means "any".
+side means "any".  ``snapshot save`` persists a fully built system to
+one versioned file; ``snapshot load`` cold-starts from it without
+re-parsing or re-indexing.
 """
 
 import argparse
+import os
 import pathlib
 import sys
 
 from repro import ui
 from repro.storage.catalog import CollectionCatalog
+from repro.storage.snapshot import SnapshotError, snapshot_info
 from repro.summaries.dataguide import DataguideBuilder
 from repro.system import Seda
 
@@ -157,6 +164,54 @@ def cmd_query1(args, out):
     return 0
 
 
+def cmd_snapshot_save(args, out):
+    seda = _build_seda(args)
+    seda.save(args.path)
+    print(f"saved snapshot to {args.path}", file=out)
+    print(f"  documents: {len(seda.collection)}", file=out)
+    print(f"  nodes: {seda.collection.node_count}", file=out)
+    print(f"  bytes: {os.path.getsize(args.path)}", file=out)
+    return 0
+
+
+def _read_snapshot_or_exit(reader, path):
+    """Run ``reader(path)``, turning file problems into clean exits."""
+    try:
+        return reader(path)
+    except FileNotFoundError:
+        raise SystemExit(f"no snapshot file at {path}")
+    except SnapshotError as error:
+        raise SystemExit(str(error))
+
+
+def cmd_snapshot_load(args, out):
+    seda = _read_snapshot_or_exit(Seda.load, args.path)
+    print(f"loaded snapshot {args.path}", file=out)
+    print(f"  collection: {seda.collection.name}", file=out)
+    print(f"  documents: {len(seda.collection)}", file=out)
+    print(f"  nodes: {seda.collection.node_count}", file=out)
+    print(f"  link edges: {len(seda.graph.edges)}", file=out)
+    print(f"  dataguides: {len(seda.dataguides)}", file=out)
+    if args.term:
+        pairs = [_parse_term(term) for term in args.term]
+        session = seda.search(pairs, k=args.k)
+        print("", file=out)
+        print(ui.render_session(session), file=out)
+    return 0
+
+
+def cmd_snapshot_info(args, out):
+    info = _read_snapshot_or_exit(snapshot_info, args.path)
+    print(f"snapshot {args.path}", file=out)
+    for key, value in info["meta"].items():
+        print(f"  {key}: {value}", file=out)
+    print("  records:", file=out)
+    for name, size in info["records"]:
+        print(f"    {size:10d} bytes  {name}", file=out)
+    print(f"  total: {info['total_bytes']} bytes", file=out)
+    return 0
+
+
 # -- argument parsing -------------------------------------------------------------
 
 def build_parser():
@@ -201,6 +256,34 @@ def build_parser():
     query1.add_argument("--scale", type=float, default=0.05)
     query1.add_argument("-k", type=int, default=10)
     query1.set_defaults(handler=cmd_query1)
+
+    snapshot = subparsers.add_parser(
+        "snapshot", help="save, load, or inspect whole-system snapshots"
+    )
+    snap_sub = snapshot.add_subparsers(dest="snapshot_command", required=True)
+
+    snap_save = snap_sub.add_parser(
+        "save", help="build a system and persist it to one snapshot file"
+    )
+    add_source_options(snap_save)
+    snap_save.add_argument("path", help="snapshot file to write")
+    snap_save.set_defaults(handler=cmd_snapshot_save)
+
+    snap_load = snap_sub.add_parser(
+        "load", help="cold-start from a snapshot (optionally run a query)"
+    )
+    snap_load.add_argument("path", help="snapshot file to read")
+    snap_load.add_argument("--term", action="append", default=[],
+                           metavar="CONTEXT:SEARCH",
+                           help="query term to run after loading; repeatable")
+    snap_load.add_argument("-k", type=int, default=10, help="top-k size")
+    snap_load.set_defaults(handler=cmd_snapshot_load)
+
+    snap_info = snap_sub.add_parser(
+        "info", help="print snapshot metadata and record sizes"
+    )
+    snap_info.add_argument("path", help="snapshot file to inspect")
+    snap_info.set_defaults(handler=cmd_snapshot_info)
 
     return parser
 

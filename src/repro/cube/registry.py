@@ -64,6 +64,30 @@ class CubeDefinition:
         intersection = set(paths) & self.contexts
         return bool(intersection) and not set(paths) <= self.contexts
 
+    # -- snapshot serialization ---------------------------------------------
+
+    def to_dict(self):
+        """Snapshot form: name, kind, and the full context list."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "context_list": [
+                [context, list(key.components)]
+                for context, key in self.context_list
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(
+            payload["name"],
+            payload["kind"],
+            [
+                (context, RelativeKey(components))
+                for context, components in payload["context_list"]
+            ],
+        )
+
     def __repr__(self):
         return (
             f"CubeDefinition({self.name!r}, {self.kind}, "
@@ -96,6 +120,31 @@ class Registry:
 
     def remove_dimension(self, name):
         del self._dimensions[name]
+
+    # -- snapshot serialization ----------------------------------------------
+
+    def to_dict(self):
+        """Snapshot form: every registered fact and dimension."""
+        return {
+            "facts": [
+                definition.to_dict() for definition in self._facts.values()
+            ],
+            "dimensions": [
+                definition.to_dict()
+                for definition in self._dimensions.values()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        registry = cls()
+        for record in payload["facts"]:
+            definition = CubeDefinition.from_dict(record)
+            registry._facts[definition.name] = definition
+        for record in payload["dimensions"]:
+            definition = CubeDefinition.from_dict(record)
+            registry._dimensions[definition.name] = definition
+        return registry
 
     # -- lookups -------------------------------------------------------------
 

@@ -12,12 +12,18 @@ class IndexBuilder:
     previous call, so datasets can be streamed in.
     """
 
-    def __init__(self, collection, analyzer=None):
+    def __init__(self, collection, analyzer=None, inverted=None, paths=None,
+                 built_upto=0):
+        """``inverted``/``paths``/``built_upto`` re-attach prebuilt indexes
+        (the snapshot-restore path) so that later :meth:`build` calls stay
+        incremental instead of re-indexing from scratch."""
         self.collection = collection
         self.analyzer = analyzer or Analyzer()
-        self.inverted = InvertedIndex(self.analyzer)
-        self.paths = PathIndex(self.analyzer)
-        self._built_upto = 0
+        self.inverted = (
+            inverted if inverted is not None else InvertedIndex(self.analyzer)
+        )
+        self.paths = paths if paths is not None else PathIndex(self.analyzer)
+        self._built_upto = built_upto
 
     def build(self):
         """Index pending documents; returns (inverted, path) indexes."""

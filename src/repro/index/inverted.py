@@ -40,6 +40,10 @@ class InvertedIndex:
     def __init__(self, analyzer):
         self.analyzer = analyzer
         self._postings = {}
+        # Raw snapshot records pending materialization; posting lists are
+        # rebuilt per term on first access so that loading a snapshot does
+        # not pay for vocabulary the session never queries.
+        self._raw_postings = None
         self._indexed_nodes = 0
 
     # -- construction -------------------------------------------------------
@@ -53,20 +57,70 @@ class InvertedIndex:
         for token in tokens:
             by_term.setdefault(token.text, []).append(token.position)
         for term, positions in by_term.items():
-            self._postings.setdefault(term, []).append(
-                Posting(node_id, positions)
-            )
+            self._materialized(term).append(Posting(node_id, positions))
         self._indexed_nodes += 1
+
+    def _materialized(self, term):
+        """The mutable posting list for ``term``, creating it if needed."""
+        plist = self._postings.get(term)
+        if plist is None:
+            raw = (
+                self._raw_postings.pop(term, None)
+                if self._raw_postings
+                else None
+            )
+            if raw is None:
+                plist = self._postings[term] = []
+            else:
+                plist = self._postings[term] = [
+                    Posting(node_id, positions) for node_id, positions in raw
+                ]
+        return plist
+
+    # -- snapshot serialization ---------------------------------------------
+
+    def to_dict(self):
+        """Snapshot form: the postings table plus the node counter."""
+        postings = {
+            term: [
+                [posting.node_id, list(posting.positions)]
+                for posting in plist
+            ]
+            for term, plist in self._postings.items()
+        }
+        if self._raw_postings:
+            # Never-touched terms from a previous snapshot pass through.
+            postings.update(self._raw_postings)
+        return {"indexed_nodes": self._indexed_nodes, "postings": postings}
+
+    @classmethod
+    def from_dict(cls, payload, analyzer):
+        """Rebuild an index from :meth:`to_dict` without re-tokenizing.
+
+        Posting lists stay in their raw serialized form until a term is
+        first looked up (or extended by :meth:`add_node`).
+        """
+        index = cls(analyzer)
+        index._indexed_nodes = payload["indexed_nodes"]
+        index._raw_postings = payload["postings"]
+        return index
 
     # -- lookups -----------------------------------------------------------
 
     def postings(self, term):
         """The posting list for an already-analyzed term (may be empty)."""
+        if self._raw_postings and term not in self._postings:
+            if term not in self._raw_postings:
+                return []
+            return self._materialized(term)
         return self._postings.get(term, [])
 
     def document_frequency(self, term):
         """Number of nodes whose direct text contains ``term``."""
-        return len(self._postings.get(term, ()))
+        plist = self._postings.get(term)
+        if plist is None and self._raw_postings:
+            plist = self._raw_postings.get(term)
+        return len(plist) if plist is not None else 0
 
     def inverse_document_frequency(self, term):
         """Smoothed idf; unknown terms get the maximum idf."""
@@ -74,6 +128,8 @@ class InvertedIndex:
         return math.log((self._indexed_nodes + 1) / (df + 1)) + 1.0
 
     def vocabulary(self):
+        if self._raw_postings:
+            return sorted(set(self._postings) | set(self._raw_postings))
         return sorted(self._postings)
 
     @property

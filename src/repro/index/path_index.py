@@ -11,7 +11,14 @@ counts are fetched from the collection's path table when a summary
 needs them.  Tag names are indexed separately from content keywords so
 that probing by tag (context = node name) does not collide with a data
 value that happens to equal a tag name.
+
+Snapshot restore keeps the serialized tables (path-table indexes, not
+strings) and materializes each term's or tag's path set on first use,
+so loading a snapshot does not pay for vocabulary a session never
+probes.
 """
+
+import fnmatch
 
 
 class PathIndex:
@@ -22,22 +29,93 @@ class PathIndex:
         self._content_paths = {}
         self._tag_paths = {}
         self._all_paths = set()
+        # Snapshot state: the ordered path table raw index lists decode
+        # against, plus raw per-term/per-tag index lists awaiting
+        # materialization.  None outside the restore path.
+        self._path_list = None
+        self._raw_content = None
+        self._raw_tags = None
 
     # -- construction ------------------------------------------------------
 
     def add_node(self, path, tag, text):
         """Register one node's path under its tag and content terms."""
         self._all_paths.add(path)
-        self._tag_paths.setdefault(tag, set()).add(path)
+        self._entry(self._tag_paths, self._raw_tags, tag).add(path)
         if text:
             for token in self.analyzer.analyze(text):
-                self._content_paths.setdefault(token.text, set()).add(path)
+                self._entry(
+                    self._content_paths, self._raw_content, token.text
+                ).add(path)
+
+    # -- lazy materialization ------------------------------------------------
+
+    def _entry(self, table, raw, key):
+        """The mutable path set for ``key``, creating it if needed."""
+        paths = self._lookup(table, raw, key)
+        if paths is None:
+            paths = table[key] = set()
+        return paths
+
+    def _lookup(self, table, raw, key):
+        """The path set for ``key``, or ``None``; materializes raw entries."""
+        paths = table.get(key)
+        if paths is not None:
+            return paths
+        ids = raw.pop(key, None) if raw else None
+        if ids is None:
+            return None
+        path_list = self._path_list
+        paths = table[key] = {path_list[i] for i in ids}
+        return paths
+
+    # -- snapshot serialization ----------------------------------------------
+
+    def to_dict(self):
+        """Snapshot form: both tables coded as indexes into ``all_paths``.
+
+        Index coding keeps the record small (every path string appears
+        once) and decodes fast.  Still-raw entries from a restored
+        snapshot are materialized first so that their indexes are
+        expressed against the current path table.
+        """
+        path_list = sorted(self._all_paths)
+        index_of = {path: i for i, path in enumerate(path_list)}
+
+        def encode(table, raw):
+            names = set(table)
+            if raw:
+                names |= set(raw)
+            return {
+                name: sorted(
+                    index_of[path]
+                    for path in self._lookup(table, raw, name)
+                )
+                for name in names
+            }
+
+        return {
+            "all_paths": path_list,
+            "content": encode(self._content_paths, self._raw_content),
+            "tags": encode(self._tag_paths, self._raw_tags),
+        }
+
+    @classmethod
+    def from_dict(cls, payload, analyzer):
+        """Rebuild a path index from :meth:`to_dict`, lazily."""
+        index = cls(analyzer)
+        index._path_list = payload["all_paths"]
+        index._all_paths = set(payload["all_paths"])
+        index._raw_content = payload["content"]
+        index._raw_tags = payload["tags"]
+        return index
 
     # -- probes (Section 5's three usage modes) ------------------------------
 
     def paths_for_term(self, term):
         """Distinct paths whose node content contains the analyzed term."""
-        return set(self._content_paths.get(term, ()))
+        paths = self._lookup(self._content_paths, self._raw_content, term)
+        return set(paths) if paths else set()
 
     def paths_for_tag(self, tag):
         """Distinct paths whose *leaf* node name is ``tag``.
@@ -47,13 +125,16 @@ class PathIndex:
         allowing wildcards.
         """
         if "*" not in tag:
-            return set(self._tag_paths.get(tag, ()))
-        import fnmatch
-
+            paths = self._lookup(self._tag_paths, self._raw_tags, tag)
+            return set(paths) if paths else set()
+        names = set(self._tag_paths)
+        if self._raw_tags:
+            names |= set(self._raw_tags)
         matched = set()
-        for candidate, paths in self._tag_paths.items():
+        for candidate in names:
             if fnmatch.fnmatchcase(candidate, tag):
-                matched |= paths
+                matched |= self._lookup(self._tag_paths, self._raw_tags,
+                                        candidate)
         return matched
 
     def paths_for_path(self, path):
@@ -62,7 +143,7 @@ class PathIndex:
         leaf = path.rsplit("/", 1)[-1]
         return {
             candidate
-            for candidate in self._tag_paths.get(leaf, ())
+            for candidate in self.paths_for_tag(leaf)
             if candidate == path
         }
 
@@ -70,10 +151,16 @@ class PathIndex:
         return set(self._all_paths)
 
     def tags(self):
-        return sorted(self._tag_paths)
+        names = set(self._tag_paths)
+        if self._raw_tags:
+            names |= set(self._raw_tags)
+        return sorted(names)
 
     def vocabulary(self):
-        return sorted(self._content_paths)
+        terms = set(self._content_paths)
+        if self._raw_content:
+            terms |= set(self._raw_content)
+        return sorted(terms)
 
     def __len__(self):
         return len(self._all_paths)

@@ -76,19 +76,79 @@ class DocumentCollection:
             return len(self._nodes) - 1
 
         document = Document.from_element(doc_id, name, root, allocate)
+        return self._ingest(document)
+
+    def _ingest(self, document):
+        """Register a freshly built document's nodes and path stats."""
+        path_stats = self._path_stats
         for node in document.nodes:
             self._nodes[node.node_id] = node
-            stats = self._path_stats.get(node.path)
+            if path_stats is None:
+                continue  # stats deferred; _stats_table rebuilds in full
+            stats = path_stats.get(node.path)
             if stats is None:
-                stats = self._path_stats[node.path] = PathStats(node.path)
+                stats = path_stats[node.path] = PathStats(node.path)
             stats.occurrences += 1
-            stats.document_ids.add(doc_id)
+            stats.document_ids.add(document.doc_id)
         self.documents.append(document)
         return document
+
+    def _stats_table(self):
+        """The path-statistics map, rebuilt on demand after a restore."""
+        if self._path_stats is None:
+            path_stats = self._path_stats = {}
+            for document in self.documents:
+                doc_id = document.doc_id
+                for node in document.nodes:
+                    stats = path_stats.get(node.path)
+                    if stats is None:
+                        stats = path_stats[node.path] = PathStats(node.path)
+                    stats.occurrences += 1
+                    stats.document_ids.add(doc_id)
+        return self._path_stats
 
     def add_documents(self, sources):
         """Add many documents; returns the list of created documents."""
         return [self.add_document(source) for source in sources]
+
+    # -- snapshot serialization ----------------------------------------------
+
+    def to_dict(self):
+        """Snapshot form: columnar document records over a shared tag table."""
+        tag_ids = {}
+        documents = [document.to_dict(tag_ids) for document in self.documents]
+        return {
+            "name": self.name,
+            "tag_table": list(tag_ids),
+            "documents": documents,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a collection from :meth:`to_dict`, without parsing XML.
+
+        Node ids are re-assigned in document order, which reproduces the
+        original ids exactly (the collection allocates sequentially), so
+        indexes and graph edges serialized by node id stay valid.
+        """
+        from repro.model.node import NodeKind
+
+        collection = cls(name=payload["name"])
+        collection._path_stats = None  # rebuilt lazily by _stats_table
+        tag_table = payload["tag_table"]
+        kind_table = [
+            NodeKind.ATTRIBUTE if tag[0] == "@" else NodeKind.ELEMENT
+            for tag in tag_table
+        ]
+        nodes = collection._nodes
+        for record in payload["documents"]:
+            doc_id = len(collection.documents)
+            document = Document.from_dict(
+                doc_id, record, len(nodes), tag_table, kind_table
+            )
+            nodes.extend(document.nodes)
+            collection.documents.append(document)
+        return collection
 
     # -- node access ---------------------------------------------------------
 
@@ -142,22 +202,22 @@ class DocumentCollection:
 
     def paths(self):
         """All distinct root-to-leaf paths, sorted."""
-        return sorted(self._path_stats)
+        return sorted(self._stats_table())
 
     def path_stats(self, path):
         """The :class:`PathStats` for a path, or ``None`` if unseen."""
-        return self._path_stats.get(path)
+        return self._stats_table().get(path)
 
     def path_count(self):
         """Number of distinct root-to-leaf paths in the collection."""
-        return len(self._path_stats)
+        return len(self._stats_table())
 
     def path_occurrences(self, path):
-        stats = self._path_stats.get(path)
+        stats = self._stats_table().get(path)
         return stats.occurrences if stats else 0
 
     def path_document_frequency(self, path):
-        stats = self._path_stats.get(path)
+        stats = self._stats_table().get(path)
         return stats.document_frequency if stats else 0
 
     # -- sizing ------------------------------------------------------------------

@@ -77,6 +77,96 @@ class Document:
         self.nodes.append(node)
         self._by_dewey[node.dewey] = node
 
+    # -- snapshot serialization ---------------------------------------------
+
+    def to_dict(self, tag_ids):
+        """Columnar node-record form for system snapshots.
+
+        Nodes are stored in document order as three parallel columns:
+        the parent's position within this document (-1 for the root),
+        the tag as an index into the collection's shared tag table
+        (``tag_ids`` maps tag -> index, extended on demand), and the
+        direct text.  Dewey IDs, kinds, paths, child lists, and node
+        ids are all derivable on load -- node ids are contiguous per
+        document, and child ordinals are assigned in document order.
+        """
+        base = self.nodes[0].node_id
+        parents = []
+        tags = []
+        texts = []
+        for node in self.nodes:
+            parents.append(
+                -1 if node.parent_id is None else node.parent_id - base
+            )
+            tag_index = tag_ids.get(node.tag)
+            if tag_index is None:
+                tag_index = tag_ids[node.tag] = len(tag_ids)
+            tags.append(tag_index)
+            texts.append(node.direct_text)
+        return {
+            "name": self.name,
+            "parents": parents,
+            "tags": tags,
+            "texts": texts,
+        }
+
+    @classmethod
+    def from_dict(cls, doc_id, payload, base_node_id, tag_table, kind_table):
+        """Rebuild a document from :meth:`to_dict` records.
+
+        Bypasses the XML parser entirely: data nodes are materialized
+        straight from the flat columns, which is what makes snapshot
+        loading fast.  Node ids are assigned sequentially from
+        ``base_node_id``, reproducing the collection's original
+        allocation; ``kind_table`` is the per-tag :class:`NodeKind`
+        list aligned with ``tag_table``.
+        """
+        document = cls(doc_id, payload["name"])
+        nodes = document.nodes
+        child_counts = []
+        next_id = base_node_id
+        # The loop below constructs ~every object in a restored system;
+        # it bypasses DataNode/DeweyID __init__ (object.__new__ plus
+        # direct slot assignment) because the per-node call overhead is
+        # measurable at collection scale and the inputs are derived from
+        # already-validated structures.
+        new = object.__new__
+        for parent_index, tag_index, direct_text in zip(
+            payload["parents"], payload["tags"], payload["texts"]
+        ):
+            tag = tag_table[tag_index]
+            dewey = new(DeweyID)
+            if parent_index < 0:
+                parent = None
+                dewey.components = (1,)
+                path = "/" + tag
+                parent_id = None
+            else:
+                parent = nodes[parent_index]
+                ordinal = child_counts[parent_index] + 1
+                child_counts[parent_index] = ordinal
+                dewey.components = parent.dewey.components + (ordinal,)
+                path = parent.path + "/" + tag
+                parent_id = parent.node_id
+            node = new(DataNode)
+            node.node_id = next_id
+            node.doc_id = doc_id
+            node.dewey = dewey
+            node.tag = tag
+            node.kind = kind_table[tag_index]
+            node.path = path
+            node.parent_id = parent_id
+            node.child_ids = []
+            node.direct_text = direct_text
+            node._content = None
+            next_id += 1
+            nodes.append(node)
+            child_counts.append(0)
+            if parent is not None:
+                parent.child_ids.append(next_id - 1)
+        document._by_dewey = None  # built lazily on first node_at
+        return document
+
     # -- access ------------------------------------------------------------
 
     @property
@@ -85,6 +175,10 @@ class Document:
 
     def node_at(self, dewey):
         """The node with the given :class:`DeweyID`, or ``None``."""
+        if self._by_dewey is None:
+            # Snapshot-restored documents defer this map; most loads
+            # never resolve nodes by Dewey ID, so build it on demand.
+            self._by_dewey = {node.dewey: node for node in self.nodes}
         return self._by_dewey.get(dewey)
 
     def paths(self):

@@ -89,6 +89,40 @@ class DataGraph:
         self.edges.append(edge)
         return edge
 
+    # -- snapshot serialization -------------------------------------------------
+
+    def to_dict(self):
+        """Snapshot form: every non-tree edge as node-id endpoints.
+
+        Node ids are stable across snapshot round-trips (they are
+        re-assigned deterministically in document order), so edges are
+        stored by raw id rather than ``(doc, dewey)`` references.
+        """
+        return {
+            "edges": [
+                [edge.source_id, edge.target_id, edge.kind.value, edge.label]
+                for edge in self.edges
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, payload, collection):
+        """Rebuild a graph over ``collection`` from :meth:`to_dict`.
+
+        Skips :meth:`add_edge`'s per-edge endpoint validation: snapshot
+        edges were validated when first added, and node ids restore
+        deterministically alongside them.
+        """
+        graph = cls(collection)
+        kind_of = {kind.value: kind for kind in EdgeKind}
+        out_table, in_table, edges = graph._out, graph._in, graph.edges
+        for source_id, target_id, kind, label in payload["edges"]:
+            edge = Edge(source_id, target_id, kind_of[kind], label)
+            out_table[source_id].append(edge)
+            in_table[target_id].append(edge)
+            edges.append(edge)
+        return graph
+
     # -- neighborhoods ----------------------------------------------------------
 
     def tree_neighbors(self, node_id):

@@ -39,6 +39,18 @@ class ValueLinkSpec:
         self.foreign_path = foreign_path
         self.label = label
 
+    def to_dict(self):
+        """Snapshot form, so future incremental loads can re-apply specs."""
+        return {
+            "primary": self.primary_path,
+            "foreign": self.foreign_path,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(payload["primary"], payload["foreign"], payload["label"])
+
     def __repr__(self):
         return (
             f"ValueLinkSpec(primary={self.primary_path!r}, "
@@ -47,11 +59,32 @@ class ValueLinkSpec:
 
 
 class LinkDiscoverer:
-    """Adds non-tree edges to a :class:`~repro.model.graph.DataGraph`."""
+    """Adds non-tree edges to a :class:`~repro.model.graph.DataGraph`.
 
-    def __init__(self, graph):
+    With ``skip_existing=True`` the discoverer seeds a seen-set from the
+    graph's current edges and silently skips duplicates, which makes
+    discovery re-runnable after documents are added incrementally
+    (:meth:`repro.system.Seda.add_documents`).
+    """
+
+    def __init__(self, graph, skip_existing=False):
         self.graph = graph
         self.collection = graph.collection
+        self._seen = None
+        if skip_existing:
+            self._seen = {
+                (edge.source_id, edge.target_id, edge.kind, edge.label)
+                for edge in graph.edges
+            }
+
+    def _add(self, source_id, target_id, kind, label):
+        """Add one edge, honoring the optional dedup mode; None if skipped."""
+        if self._seen is not None:
+            key = (source_id, target_id, kind, label)
+            if key in self._seen:
+                return None
+            self._seen.add(key)
+        return self.graph.add_edge(source_id, target_id, kind, label=label)
 
     # -- ID / IDREF ---------------------------------------------------------
 
@@ -84,11 +117,11 @@ class LinkDiscoverer:
             for value in values:
                 target = ids.get(value)
                 if target is not None and target != node.parent_id:
-                    edges.append(
-                        self.graph.add_edge(
-                            node.parent_id, target, EdgeKind.IDREF, label=name
-                        )
+                    edge = self._add(
+                        node.parent_id, target, EdgeKind.IDREF, name
                     )
+                    if edge is not None:
+                        edges.append(edge)
         return edges
 
     # -- XLink / XPointer --------------------------------------------------------
@@ -127,11 +160,9 @@ class LinkDiscoverer:
                     if self.collection.document(owner).name != doc_name:
                         target = None
             if target is not None and target != node.parent_id:
-                edges.append(
-                    self.graph.add_edge(
-                        node.parent_id, target, EdgeKind.XLINK, label=name
-                    )
-                )
+                edge = self._add(node.parent_id, target, EdgeKind.XLINK, name)
+                if edge is not None:
+                    edges.append(edge)
         return edges
 
     # -- value-based links --------------------------------------------------------
@@ -160,14 +191,14 @@ class LinkDiscoverer:
                 for primary in primaries.get(foreign.value, ()):
                     if primary.node_id == foreign.node_id:
                         continue
-                    edges.append(
-                        self.graph.add_edge(
-                            foreign.node_id,
-                            primary.node_id,
-                            EdgeKind.VALUE,
-                            label=spec.label,
-                        )
+                    edge = self._add(
+                        foreign.node_id,
+                        primary.node_id,
+                        EdgeKind.VALUE,
+                        spec.label,
                     )
+                    if edge is not None:
+                        edges.append(edge)
         return edges
 
     def discover_all(self, value_specs=()):

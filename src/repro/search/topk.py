@@ -37,6 +37,8 @@ class TopKSearcher:
         self.partner_limit = partner_limit
         self.allow_repeats = allow_repeats
         self.stats = {}
+        self._doc_reach = None
+        self._reach_edge_count = -1
 
     # -- public API -----------------------------------------------------------
 
@@ -117,16 +119,27 @@ class TopKSearcher:
         return results
 
     def _document_reachability(self):
-        """doc_id -> set of doc_ids reachable via one link edge."""
-        reach = collections.defaultdict(set)
-        collection = self.matcher.collection
-        for edge in self.scoring.graph.edges:
-            source_doc = collection.node(edge.source_id).doc_id
-            target_doc = collection.node(edge.target_id).doc_id
-            if source_doc != target_doc:
-                reach[source_doc].add(target_doc)
-                reach[target_doc].add(source_doc)
-        return reach
+        """doc_id -> set of doc_ids reachable via one link edge.
+
+        Cached across queries and invalidated by edge count: edges are
+        append-only, so a changed count is exactly "the graph grew"
+        (``Seda.add_documents`` discovering links on new documents).
+        Recomputing this map per query used to dominate repeated-search
+        workloads on link-heavy collections.
+        """
+        edge_count = len(self.scoring.graph.edges)
+        if self._doc_reach is None or self._reach_edge_count != edge_count:
+            reach = collections.defaultdict(set)
+            collection = self.matcher.collection
+            for edge in self.scoring.graph.edges:
+                source_doc = collection.node(edge.source_id).doc_id
+                target_doc = collection.node(edge.target_id).doc_id
+                if source_doc != target_doc:
+                    reach[source_doc].add(target_doc)
+                    reach[target_doc].add(source_doc)
+            self._doc_reach = reach
+            self._reach_edge_count = edge_count
+        return self._doc_reach
 
     def _partners(self, j, docs, seen_by_doc, seen_scores):
         """Highest-scoring seen nodes of term ``j`` within ``docs``."""

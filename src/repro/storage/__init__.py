@@ -11,10 +11,32 @@ needs from that store:
   root-to-leaf path, feeding the holistic twig joins of Section 7.
 * :class:`CollectionCatalog` -- collection statistics used by summaries
   and by the experiment harness.
+* :mod:`~repro.storage.snapshot` -- whole-system snapshots: one
+  versioned JSON-lines file holding every Figure 4 component
+  (collection nodes, data-graph edges, both full-text indexes, the
+  node store, dataguides, and the cube registry) behind a header record
+  carrying a format string and version number.  ``Seda.save``/
+  ``Seda.load`` ride on it so a cold start skips parsing, link
+  discovery, index building, and dataguide mining entirely; see the
+  module docstring for the record-by-record format specification.
 """
 
 from repro.storage.catalog import CollectionCatalog
 from repro.storage.document_store import DocumentStore
 from repro.storage.node_store import NodeStore
+from repro.storage.snapshot import (
+    SnapshotError,
+    read_snapshot,
+    snapshot_info,
+    write_snapshot,
+)
 
-__all__ = ["CollectionCatalog", "DocumentStore", "NodeStore"]
+__all__ = [
+    "CollectionCatalog",
+    "DocumentStore",
+    "NodeStore",
+    "SnapshotError",
+    "read_snapshot",
+    "snapshot_info",
+    "write_snapshot",
+]

@@ -18,6 +18,10 @@ class NodeStore:
         self.collection = collection
         self._by_tag = collections.defaultdict(list)
         self._by_path = collections.defaultdict(list)
+        # Snapshot state: raw node-id lists awaiting materialization into
+        # keyed entries; None outside the restore path.
+        self._raw_by_tag = None
+        self._raw_by_path = None
         self._built_upto = 0
         self.refresh()
 
@@ -26,27 +30,107 @@ class NodeStore:
         for document in self.collection.documents[self._built_upto :]:
             for node in document.nodes:
                 key = (node.doc_id, node.dewey)
-                self._by_tag[node.tag].append((key, node.node_id))
-                self._by_path[node.path].append((key, node.node_id))
+                self._entries(self._by_tag, self._raw_by_tag, node.tag).append(
+                    (key, node.node_id)
+                )
+                self._entries(
+                    self._by_path, self._raw_by_path, node.path
+                ).append((key, node.node_id))
         self._built_upto = len(self.collection.documents)
         # Documents are appended in order and nodes are generated in
         # document order, so the lists are already sorted; assert cheaply.
 
+    def _entries(self, table, raw, key):
+        """The mutable entry list for ``key``, materializing raw streams.
+
+        Streams restored from a snapshot carry node ids only; the
+        ``(doc_id, dewey)`` sort keys are recomputed here, per stream,
+        on first use.
+        """
+        entries = table.get(key)
+        if entries is None:
+            ids = raw.pop(key, None) if raw else None
+            if ids is None:
+                entries = table[key]  # defaultdict creates the list
+            else:
+                node = self.collection.node
+                entries = []
+                for node_id in ids:
+                    data_node = node(node_id)
+                    entries.append(
+                        ((data_node.doc_id, data_node.dewey), node_id)
+                    )
+                table[key] = entries
+        return entries
+
+    # -- snapshot serialization -----------------------------------------------
+
+    def to_dict(self):
+        """Snapshot form: ordered node-id streams per tag and per path.
+
+        The ``(doc_id, dewey)`` sort keys are omitted -- they are
+        recomputed from the collection on load, per stream, on first
+        use, keeping the snapshot compact and the restore lazy.
+        """
+        by_tag = {
+            tag: [node_id for _key, node_id in entries]
+            for tag, entries in self._by_tag.items()
+        }
+        if self._raw_by_tag:
+            by_tag.update(self._raw_by_tag)
+        by_path = {
+            path: [node_id for _key, node_id in entries]
+            for path, entries in self._by_path.items()
+        }
+        if self._raw_by_path:
+            by_path.update(self._raw_by_path)
+        return {
+            "built_upto": self._built_upto,
+            "by_tag": by_tag,
+            "by_path": by_path,
+        }
+
+    @classmethod
+    def from_dict(cls, payload, collection):
+        """Rebuild a node store from :meth:`to_dict` over ``collection``."""
+        store = cls.__new__(cls)
+        store.collection = collection
+        store._by_tag = collections.defaultdict(list)
+        store._by_path = collections.defaultdict(list)
+        store._raw_by_tag = payload["by_tag"]
+        store._raw_by_path = payload["by_path"]
+        store._built_upto = payload["built_upto"]
+        return store
+
     # -- streams --------------------------------------------------------------
+
+    def _stream(self, table, raw, key):
+        """Entries for ``key`` without creating an empty list on misses."""
+        if key in table or (raw and key in raw):
+            return self._entries(table, raw, key)
+        return ()
 
     def by_tag(self, tag):
         """Node ids with the given tag, in global Dewey order."""
-        return [node_id for _key, node_id in self._by_tag.get(tag, ())]
+        stream = self._stream(self._by_tag, self._raw_by_tag, tag)
+        return [node_id for _key, node_id in stream]
 
     def by_path(self, path):
         """Node ids with the given root-to-leaf path, in Dewey order."""
-        return [node_id for _key, node_id in self._by_path.get(path, ())]
+        stream = self._stream(self._by_path, self._raw_by_path, path)
+        return [node_id for _key, node_id in stream]
 
     def tags(self):
-        return sorted(self._by_tag)
+        names = set(self._by_tag)
+        if self._raw_by_tag:
+            names |= set(self._raw_by_tag)
+        return sorted(names)
 
     def paths(self):
-        return sorted(self._by_path)
+        names = set(self._by_path)
+        if self._raw_by_path:
+            names |= set(self._raw_by_path)
+        return sorted(names)
 
     def sort_dewey(self, node_ids):
         """Sort arbitrary node ids into global Dewey order."""
@@ -67,7 +151,7 @@ class NodeStore:
         after the node itself.
         """
         ancestor = self.collection.node(ancestor_id)
-        stream = self._by_path.get(path, ())
+        stream = self._stream(self._by_path, self._raw_by_path, path)
         low_key = (ancestor.doc_id, ancestor.dewey)
         start = bisect.bisect_left(stream, (low_key, -1))
         result = []

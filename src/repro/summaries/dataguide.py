@@ -53,6 +53,16 @@ class Dataguide:
         self.document_ids.append(document_id)
         self.source_path_sets.append(frozenset(paths))
 
+    @classmethod
+    def _restore(cls, guide_id, paths, document_ids, source_path_sets):
+        """Snapshot fast path: rebuild without replaying the merges."""
+        guide = object.__new__(cls)
+        guide.guide_id = guide_id
+        guide.paths = paths
+        guide.document_ids = document_ids
+        guide.source_path_sets = source_path_sets
+        return guide
+
     def is_superset_of(self, paths):
         return paths <= self.paths
 
@@ -206,67 +216,94 @@ class DataguideSet:
     # At query time, SEDA optimizes the use of the dataguide index by
     # loading it into memory only once from disk."
 
-    def save(self, path):
-        """Write the dataguide set to ``path`` (JSON).
+    def to_dict(self):
+        """Snapshot form (also the on-disk JSON format of :meth:`save`).
 
-        Links are stored by (guide id, path, kind, label); the caller
-        re-attaches them on load since guides are identified stably.
+        Per-source path sets are coded as indexes into the guide's
+        sorted path list, so each path string is stored once per guide
+        however many source documents contain it.  Links are stored by
+        (guide id, path, kind, label); guides are identified stably so
+        links re-attach on load.
         """
-        payload = {
+        guides = []
+        path_ids = {}  # guide_id -> {path: index}
+        for guide in self.guides:
+            paths = sorted(guide.paths)
+            index_of = path_ids[guide.guide_id] = {
+                path: i for i, path in enumerate(paths)
+            }
+            guides.append({
+                "guide_id": guide.guide_id,
+                "paths": paths,
+                "document_ids": guide.document_ids,
+                "sources": [
+                    sorted(index_of[path] for path in source)
+                    for source in guide.source_path_sets
+                ],
+            })
+        return {
             "threshold": self.threshold,
-            "guides": [
-                {
-                    "guide_id": guide.guide_id,
-                    "paths": sorted(guide.paths),
-                    "document_ids": guide.document_ids,
-                    "sources": [sorted(s) for s in guide.source_path_sets],
-                }
-                for guide in self.guides
-            ],
+            "guides": guides,
+            # Compact positional form; link endpoints are coded as
+            # indexes into the owning guide's path list.
             "links": [
-                {
-                    "source_guide": source_guide.guide_id,
-                    "source_path": source_path,
-                    "target_guide": target_guide.guide_id,
-                    "target_path": target_path,
-                    "kind": kind.value,
-                    "label": label,
-                }
+                [
+                    source_guide.guide_id,
+                    path_ids[source_guide.guide_id][source_path],
+                    target_guide.guide_id,
+                    path_ids[target_guide.guide_id][target_path],
+                    kind.value,
+                    label,
+                ]
                 for source_guide, source_path, target_guide, target_path,
                 kind, label in self.links
             ],
         }
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a dataguide set from :meth:`to_dict`."""
+        from repro.model.graph import EdgeKind
+
+        guides = []
+        for record in payload["guides"]:
+            paths = record["paths"]
+            guides.append(Dataguide._restore(
+                record["guide_id"],
+                set(paths),
+                list(record["document_ids"]),
+                [
+                    frozenset(paths[i] for i in source)
+                    for source in record["sources"]
+                ],
+            ))
+        guide_set = cls(guides, payload["threshold"])
+        by_id = {guide.guide_id: guide for guide in guides}
+        paths_of = {
+            record["guide_id"]: record["paths"]
+            for record in payload["guides"]
+        }
+        kind_of = {kind.value: kind for kind in EdgeKind}
+        for sg, sp, tg, tp, kind, label in payload["links"]:
+            guide_set.links.append((
+                by_id[sg], paths_of[sg][sp],
+                by_id[tg], paths_of[tg][tp],
+                kind_of[kind], label,
+            ))
+        return guide_set
+
+    def save(self, path):
+        """Write the dataguide set to ``path`` (JSON), atomically."""
         tmp_path = f"{path}.tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+            json.dump(self.to_dict(), handle)
         os.replace(tmp_path, path)
 
     @classmethod
     def load(cls, path):
         """Read a dataguide set previously written by :meth:`save`."""
-        from repro.model.graph import EdgeKind
-
         with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
-        guides = []
-        for record in payload["guides"]:
-            document_ids = record["document_ids"]
-            guide = Dataguide(
-                record["guide_id"], record["sources"][0], document_ids[0]
-            )
-            for source, doc_id in zip(record["sources"][1:],
-                                      document_ids[1:]):
-                guide.absorb(set(source), doc_id)
-            guides.append(guide)
-        guide_set = cls(guides, payload["threshold"])
-        by_id = {guide.guide_id: guide for guide in guides}
-        for link in payload["links"]:
-            guide_set.links.append((
-                by_id[link["source_guide"]], link["source_path"],
-                by_id[link["target_guide"]], link["target_path"],
-                EdgeKind(link["kind"]), link["label"],
-            ))
-        return guide_set
+            return cls.from_dict(json.load(handle))
 
 
 class DataguideBuilder:
@@ -277,6 +314,18 @@ class DataguideBuilder:
             raise ValueError("threshold must be within [0, 1]")
         self.threshold = threshold
         self._guides = []
+
+    @classmethod
+    def from_set(cls, guide_set):
+        """A builder resuming from an existing :class:`DataguideSet`.
+
+        Used after a snapshot restore: the builder adopts the loaded
+        guides (shared, not copied) so that later documents merge into
+        the same mined structure instead of starting from scratch.
+        """
+        builder = cls(guide_set.threshold)
+        builder._guides = list(guide_set.guides)
+        return builder
 
     def add_document(self, document):
         """Merge one document's dataguide into the set."""

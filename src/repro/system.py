@@ -24,19 +24,23 @@ from repro.cube.extract import TableExtractor
 from repro.cube.matching import ResultMatcher
 from repro.cube.registry import Registry
 from repro.index.builder import IndexBuilder
+from repro.index.inverted import InvertedIndex
+from repro.index.path_index import PathIndex
 from repro.metrics import SessionEffort
 from repro.model.collection import DocumentCollection
 from repro.model.graph import DataGraph
-from repro.model.links import LinkDiscoverer
+from repro.model.links import LinkDiscoverer, ValueLinkSpec
 from repro.olap.engine import OLAPEngine
 from repro.query.matcher import TermMatcher
 from repro.query.term import Query
 from repro.search.scoring import ScoringModel
 from repro.search.topk import TopKSearcher
 from repro.storage.node_store import NodeStore
+from repro.storage.snapshot import read_snapshot, write_snapshot
 from repro.summaries.connection import ConnectionSummaryGenerator
 from repro.summaries.context import ContextSummaryGenerator
-from repro.summaries.dataguide import DataguideBuilder
+from repro.summaries.dataguide import DataguideBuilder, DataguideSet
+from repro.text import Analyzer
 from repro.twig.complete import CompleteResultGenerator
 
 
@@ -45,35 +49,56 @@ class Seda:
 
     def __init__(self, collection, value_links=(), dataguide_threshold=0.4,
                  analyzer=None, max_hops=12):
-        self.collection = collection
-        self.graph = DataGraph(collection)
-        discoverer = LinkDiscoverer(self.graph)
+        graph = DataGraph(collection)
+        discoverer = LinkDiscoverer(graph)
         discoverer.discover_all(value_specs=value_links)
 
         builder = IndexBuilder(collection, analyzer=analyzer)
-        self.inverted, self.path_index = builder.build()
-        self.node_store = NodeStore(collection)
-        self.matcher = TermMatcher(
-            collection, self.inverted, self.path_index, self.node_store
+        inverted, path_index = builder.build()
+        node_store = NodeStore(collection)
+        dataguide_builder = DataguideBuilder(dataguide_threshold)
+        dataguides = dataguide_builder.build(collection=collection, graph=graph)
+        self._wire(
+            collection=collection, graph=graph, builder=builder,
+            inverted=inverted, path_index=path_index, node_store=node_store,
+            dataguide_builder=dataguide_builder, dataguides=dataguides,
+            registry=Registry(), value_links=value_links, max_hops=max_hops,
         )
+
+    def _wire(self, *, collection, graph, builder, inverted, path_index,
+              node_store, dataguide_builder, dataguides, registry,
+              value_links, max_hops):
+        """Attach fully built components (shared by ``__init__``/``load``)."""
+        self.collection = collection
+        self.graph = graph
+        self._builder = builder
+        self.analyzer = builder.analyzer
+        self.inverted = inverted
+        self.path_index = path_index
+        self.node_store = node_store
+        self._dataguide_builder = dataguide_builder
+        self.dataguides = dataguides
+        self.registry = registry
+        self.value_links = tuple(value_links)
+        self.max_hops = max_hops
+        self.matcher = TermMatcher(collection, inverted, path_index, node_store)
         self.scoring = ScoringModel(
-            collection, self.inverted, self.graph, max_hops=max_hops
+            collection, inverted, graph, max_hops=max_hops
         )
         self.topk = TopKSearcher(self.matcher, self.scoring)
-
-        self.dataguides = DataguideBuilder(dataguide_threshold).build(
-            collection=collection, graph=self.graph
-        )
         self.context_generator = ContextSummaryGenerator(self.matcher)
+        self._refresh_generators()
+
+    def _refresh_generators(self):
+        """(Re)create the generators that capture mutable components."""
         self.connection_generator = ConnectionSummaryGenerator(
-            collection, self.graph, self.dataguides, max_hops=max_hops
+            self.collection, self.graph, self.dataguides,
+            max_hops=self.max_hops,
         )
         self.complete_generator = CompleteResultGenerator(
-            collection, self.graph, self.node_store, self.matcher,
-            max_hops=max_hops,
+            self.collection, self.graph, self.node_store, self.matcher,
+            max_hops=self.max_hops,
         )
-        self.registry = Registry()
-        self.max_hops = max_hops
 
     # -- construction ---------------------------------------------------------
 
@@ -90,6 +115,103 @@ class Seda:
             else:
                 collection.add_document(document)
         return cls(collection, value_links=value_links, **kwargs)
+
+    # -- incremental ingestion ---------------------------------------------------
+
+    def add_documents(self, documents, value_links=None):
+        """Ingest documents into the live system without a full rebuild.
+
+        ``documents`` takes the same forms as :meth:`from_documents`.
+        ``value_links`` defaults to the specs the system was built with;
+        pass a sequence to extend them.  Each component is extended
+        incrementally: the index builder picks up only the new
+        documents, link discovery skips already-present edges, the new
+        dataguides merge into the mined set, and search caches keyed on
+        graph size invalidate automatically.
+        """
+        added = []
+        for document in documents:
+            if isinstance(document, tuple):
+                doc_name, source = document
+                added.append(self.collection.add_document(source, name=doc_name))
+            else:
+                added.append(self.collection.add_document(document))
+        if value_links:
+            self.value_links = self.value_links + tuple(value_links)
+        discoverer = LinkDiscoverer(self.graph, skip_existing=True)
+        discoverer.discover_all(value_specs=self.value_links)
+        self._builder.build()  # incremental: only the documents added above
+        self.node_store.refresh()
+        for document in added:
+            self._dataguide_builder.add_document(document)
+        self.dataguides = self._dataguide_builder.build(graph=self.graph)
+        self._refresh_generators()
+        return added
+
+    # -- snapshots -------------------------------------------------------------
+
+    def save(self, path):
+        """Persist the whole system to one versioned snapshot file.
+
+        See :mod:`repro.storage.snapshot` for the format.  Everything a
+        cold start would otherwise recompute -- parsed nodes, link
+        edges, both indexes, the node store, dataguides, and the cube
+        registry -- is written out, so :meth:`load` restores in one pass.
+        """
+        meta = {
+            "collection": self.collection.name,
+            "max_hops": self.max_hops,
+            "dataguide_threshold": self.dataguides.threshold,
+            "analyzer": self.analyzer.to_dict(),
+            "value_links": [spec.to_dict() for spec in self.value_links],
+        }
+        records = {
+            "collection": self.collection.to_dict(),
+            "graph": self.graph.to_dict(),
+            "inverted": self.inverted.to_dict(),
+            "path_index": self.path_index.to_dict(),
+            "node_store": self.node_store.to_dict(),
+            "dataguides": self.dataguides.to_dict(),
+            "registry": self.registry.to_dict(),
+        }
+        write_snapshot(path, meta, records)
+
+    @classmethod
+    def load(cls, path):
+        """Restore a system saved by :meth:`save`.
+
+        Bypasses XML parsing, link discovery, index building, and
+        dataguide mining entirely: every component is reconstructed
+        from its serialized form.  Raises
+        :class:`~repro.storage.snapshot.SnapshotError` on incompatible
+        or torn files.
+        """
+        meta, records = read_snapshot(path)
+        analyzer = Analyzer.from_dict(meta["analyzer"])
+        collection = DocumentCollection.from_dict(records["collection"])
+        graph = DataGraph.from_dict(records["graph"], collection)
+        inverted = InvertedIndex.from_dict(records["inverted"], analyzer)
+        path_index = PathIndex.from_dict(records["path_index"], analyzer)
+        node_store = NodeStore.from_dict(records["node_store"], collection)
+        dataguides = DataguideSet.from_dict(records["dataguides"])
+        registry = Registry.from_dict(records["registry"])
+        builder = IndexBuilder(
+            collection, analyzer=analyzer, inverted=inverted,
+            paths=path_index, built_upto=len(collection.documents),
+        )
+        value_links = tuple(
+            ValueLinkSpec.from_dict(record)
+            for record in meta.get("value_links", ())
+        )
+        system = cls.__new__(cls)
+        system._wire(
+            collection=collection, graph=graph, builder=builder,
+            inverted=inverted, path_index=path_index, node_store=node_store,
+            dataguide_builder=DataguideBuilder.from_set(dataguides),
+            dataguides=dataguides, registry=registry,
+            value_links=value_links, max_hops=meta["max_hops"],
+        )
+        return system
 
     # -- the entry point ----------------------------------------------------------
 

@@ -21,6 +21,32 @@ class Analyzer:
         self.stopwords = stopwords
         self._stemmer = PorterStemmer() if stem else None
 
+    def to_dict(self):
+        """Snapshot form of the analyzer configuration.
+
+        Custom stopword sets are persisted only when they differ from the
+        built-in list, keeping the common case to three booleans.
+        """
+        payload = {
+            "lowercase": self.lowercase,
+            "remove_stopwords": self.remove_stopwords,
+            "stem": self._stemmer is not None,
+        }
+        if set(self.stopwords) != set(STOPWORDS):
+            payload["stopwords"] = sorted(self.stopwords)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild an equivalently configured analyzer."""
+        custom = payload.get("stopwords")
+        return cls(
+            lowercase=payload["lowercase"],
+            remove_stopwords=payload["remove_stopwords"],
+            stem=payload["stem"],
+            stopwords=frozenset(custom) if custom is not None else STOPWORDS,
+        )
+
     def analyze(self, text):
         """Return the list of analyzed :class:`Token` objects for ``text``.
 

@@ -99,3 +99,49 @@ class TestCommands:
         assert "R(q)" in text
         assert "fact import-trade-percentage" in text
         assert "session effort" in text
+
+
+class TestSnapshotCommands:
+    def test_save_load_info(self, tmp_path):
+        path = tmp_path / "factbook.snapshot"
+        out = io.StringIO()
+        code = main(
+            ["snapshot", "save", str(path), "--scale", "0.01"], out=out
+        )
+        assert code == 0
+        assert "saved snapshot" in out.getvalue()
+        assert path.exists()
+
+        out = io.StringIO()
+        code = main(["snapshot", "info", str(path)], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "collection: world-factbook" in text
+        assert "inverted" in text
+        assert "dataguides" in text
+
+        out = io.StringIO()
+        code = main(
+            ["snapshot", "load", str(path),
+             "--term", '*:"United States"', "--term", "percentage:*"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "loaded snapshot" in text
+        assert "Context summary" in text
+
+    def test_load_rejects_bad_file(self, tmp_path):
+        bad = tmp_path / "bad.snapshot"
+        bad.write_text('{"record": "header", "format": "nope", "version": 1}\n')
+        with pytest.raises(SystemExit, match="seda-snapshot"):
+            main(["snapshot", "load", str(bad)], out=io.StringIO())
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="no snapshot file"):
+            main(["snapshot", "info", str(tmp_path / "nope")],
+                 out=io.StringIO())
+
+    def test_snapshot_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["snapshot"])
