@@ -1,0 +1,119 @@
+"""SV -- the serving layer: batch throughput vs sequential, cache effect.
+
+The paper's experiments measure one interactive user; the ROADMAP's
+north star is a serving layer under heavy traffic.  The series of
+interest here are (a) batched+cached throughput against the seed's
+sequential serving path on a hot-query workload (every production
+query log is skewed: a few distinct queries dominate), (b) the fully
+cached steady state, and (c) the contract that makes caching and
+concurrency admissible at all: byte-identical answers on every path,
+tied scores included.
+"""
+
+import json
+import time
+
+from repro.query.term import Query
+from repro.search.topk import TopKSearcher
+from repro.service.query_service import QueryService
+
+#: The Factbook query set: the paper's Query 1 terms and variants.  The
+#: match-all pairs produce large runs of tied scores, so this set also
+#: exercises deterministic tie-breaking under eviction.
+QUERY_SET = [
+    [("*", '"United States"'), ("trade_country", "*")],
+    [("trade_country", "*"), ("percentage", "*")],
+    [("*", '"United States"'), ("trade_country", "*"), ("percentage", "*")],
+    [("*", "canada"), ("year", "*")],
+    [("*", "germany"), ("percentage", "*")],
+]
+
+#: Hot-query skew: each distinct query is served this many times.
+HOT_REPEAT = 6
+
+K = 10
+
+
+def _workload():
+    return [Query.parse(pairs) for _ in range(HOT_REPEAT)
+            for pairs in QUERY_SET]
+
+
+def _canonical(results):
+    """Byte-exact serialization of one query's full result list."""
+    return json.dumps(
+        [
+            [list(r.node_ids), list(r.content_scores), r.compactness,
+             r.score]
+            for r in results
+        ],
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def test_batch_throughput_and_identical_results(factbook_seda):
+    """4-worker batched serving must beat the sequential seed path by
+    >= 2x on the hot-query workload, byte-identically."""
+    queries = _workload()
+
+    # The seed's serving path: one searcher, one query at a time, no
+    # result cache (the reachability cache is warmed outside the clock,
+    # as a long-running single-threaded server would have it).
+    searcher = TopKSearcher(factbook_seda.matcher,
+                            factbook_seda.scoring).warm()
+    start = time.perf_counter()
+    sequential = [searcher.search(query, k=K) for query in queries]
+    seq_time = time.perf_counter() - start
+
+    service = QueryService(factbook_seda, workers=4)
+    start = time.perf_counter()
+    batched, stats = service.execute_batch(queries, k=K)
+    batch_time = time.perf_counter() - start
+
+    # Steady state: the whole workload served from the result cache.
+    cached, cached_stats = service.execute_batch(queries, k=K)
+
+    sequential_bytes = [_canonical(r) for r in sequential]
+    assert [_canonical(r) for r in batched] == sequential_bytes
+    assert [_canonical(r) for r in cached] == sequential_bytes
+    assert cached_stats.cache_hits == len(queries)
+
+    speedup = seq_time / batch_time
+    print(
+        f"\nsequential: {len(queries) / seq_time:8.0f} q/s "
+        f"({seq_time * 1000:.1f}ms)"
+        f"\nbatch     : {stats.summary()}"
+        f"\ncached    : {cached_stats.summary()}"
+        f"\nspeedup   : {speedup:.2f}x"
+    )
+    assert speedup >= 2.0, (
+        f"batched serving only {speedup:.2f}x sequential "
+        f"({seq_time * 1000:.1f}ms vs {batch_time * 1000:.1f}ms)"
+    )
+
+
+def test_worker_count_does_not_change_answers(factbook_seda):
+    """1 vs 4 workers: identical bytes (scheduling must not leak)."""
+    queries = _workload()
+    single, _ = QueryService(factbook_seda, workers=1).execute_batch(
+        queries, k=K
+    )
+    multi, _ = QueryService(factbook_seda, workers=4).execute_batch(
+        queries, k=K
+    )
+    assert [_canonical(r) for r in single] == [_canonical(r) for r in multi]
+
+
+def test_cached_batch_throughput(benchmark, factbook_seda):
+    """Steady-state serving rate with a warm result cache."""
+    queries = _workload()
+    service = QueryService(factbook_seda, workers=4)
+    service.execute_batch(queries, k=K)  # fill the cache
+
+    def serve():
+        results, stats = service.execute_batch(queries, k=K)
+        return results, stats
+
+    results, stats = benchmark(serve)
+    assert stats.hit_rate == 1.0
+    print(f"\ncached steady state: {stats.summary()}")

@@ -17,8 +17,12 @@ Entry point::
 """
 
 from repro.query.term import Query, QueryTerm
+from repro.service.query_service import QueryService
 from repro.system import Seda, SedaSession
 
 __version__ = "1.0.0"
 
-__all__ = ["Query", "QueryTerm", "Seda", "SedaSession", "__version__"]
+__all__ = [
+    "Query", "QueryService", "QueryTerm", "Seda", "SedaSession",
+    "__version__",
+]

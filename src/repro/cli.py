@@ -10,6 +10,8 @@ Subcommands::
     python -m repro snapshot save seda.snapshot --dataset factbook
     python -m repro snapshot load seda.snapshot --term 'percentage:*'
     python -m repro snapshot info seda.snapshot
+    python -m repro serve-batch --queries queries.txt --workers 4
+    python -m repro bench-queries --workers 4 --repeat 5
 
 ``--data DIR`` loads ``*.xml`` files from a directory instead of a
 generated dataset, so the CLI works on user collections too.  Terms
@@ -17,14 +19,31 @@ are written ``context:search`` (first colon splits); ``*`` on either
 side means "any".  ``snapshot save`` persists a fully built system to
 one versioned file; ``snapshot load`` cold-starts from it without
 re-parsing or re-indexing.
+
+``serve-batch`` and ``bench-queries`` exercise the concurrent query
+service.  A query file holds one query per line, terms separated by
+``;;`` (blank lines and ``#`` comments are skipped)::
+
+    *:"United States" ;; trade_country:*
+    trade_country:* ;; percentage:*
+
+Without ``--queries`` both commands fall back to a built-in Factbook
+query set.  ``bench-queries`` runs every query sequentially through
+the bare top-k searcher and then as one concurrent batch through the
+service, verifies the two answer sets are identical, and reports both
+throughputs -- it exits non-zero on any mismatch, which CI uses as a
+serving-path smoke check.
 """
 
 import argparse
+import json
 import os
 import pathlib
 import sys
+import time
 
 from repro import ui
+from repro.query.term import Query
 from repro.storage.catalog import CollectionCatalog
 from repro.storage.snapshot import SnapshotError, snapshot_info
 from repro.summaries.dataguide import DataguideBuilder
@@ -89,6 +108,55 @@ def _parse_term(text):
     else:
         context, search = "*", text
     return context.strip() or "*", search.strip() or "*"
+
+
+def _parse_query_line(line):
+    """One query file line -> a list of (context, search) pairs."""
+    return [
+        _parse_term(piece.strip())
+        for piece in line.split(";;")
+        if piece.strip()
+    ]
+
+
+#: Fallback query set for serve-batch/bench-queries without --queries:
+#: the paper's Query 1 terms and variants, including match-all pairs
+#: whose tuples tie on score (exercising deterministic tie-breaking).
+_FACTBOOK_QUERY_SET = (
+    '*:"United States" ;; trade_country:*',
+    "trade_country:* ;; percentage:*",
+    '*:"United States" ;; trade_country:* ;; percentage:*',
+    "*:canada ;; year:*",
+    "*:germany ;; percentage:*",
+)
+
+
+def _load_queries(args):
+    """The batch described by --queries, or the built-in query set."""
+    if args.queries:
+        with open(args.queries, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = _FACTBOOK_QUERY_SET
+    queries = []
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        pairs = _parse_query_line(line)
+        if pairs:
+            queries.append(pairs)
+    if not queries:
+        raise SystemExit("the query file contains no queries")
+    return queries
+
+
+def _canonical_results(results):
+    """Byte-exact serialization of one query's results, for comparison."""
+    return json.dumps(
+        [[list(r.node_ids), round(r.score, 12)] for r in results],
+        separators=(",", ":"),
+    )
 
 
 # -- subcommands -----------------------------------------------------------
@@ -161,6 +229,71 @@ def cmd_query1(args, out):
     print(ui.render_star_schema(schema), file=out)
     print("", file=out)
     print(f"session effort: {chosen.effort.summary()}", file=out)
+    return 0
+
+
+def cmd_serve_batch(args, out):
+    """Run one concurrent batch and print per-query results."""
+    seda = _build_seda(args)
+    queries = _load_queries(args)
+    service = seda.query_service(workers=args.workers)
+    results, stats = service.execute_batch(queries, k=args.k)
+    for pairs, result, query_stats in zip(queries, results, stats.per_query):
+        rendered = " ;; ".join(f"{c}:{s}" for c, s in pairs)
+        source = "cache" if query_stats.cache_hit else "topk"
+        print(f"query [{source}] {rendered}", file=out)
+        if not result:
+            print("  (no results)", file=out)
+        for entry in result:
+            print(f"  {entry.describe(seda.collection)}", file=out)
+    print("", file=out)
+    print(f"batch: {stats.summary()}", file=out)
+    return 0
+
+
+def cmd_bench_queries(args, out):
+    """Sequential vs batched serving throughput, with an equality gate."""
+    from repro.search.topk import TopKSearcher
+
+    seda = _build_seda(args)
+    base = _load_queries(args)
+    # Model hot-query skew: every distinct query repeated --repeat times.
+    queries = [pairs for _ in range(args.repeat) for pairs in base]
+
+    searcher = TopKSearcher(seda.matcher, seda.scoring).warm()
+    start = time.perf_counter()
+    sequential = [searcher.search(Query.parse(q), k=args.k) for q in queries]
+    seq_time = time.perf_counter() - start
+
+    service = seda.query_service(workers=args.workers)
+    start = time.perf_counter()
+    batched, stats = service.execute_batch(queries, k=args.k)
+    batch_time = time.perf_counter() - start
+
+    cached, cached_stats = service.execute_batch(queries, k=args.k)
+
+    print(f"{len(base)} distinct queries x{args.repeat} "
+          f"= {len(queries)} served, k={args.k}", file=out)
+    print(f"  sequential: {len(queries) / seq_time:10.0f} q/s "
+          f"({seq_time * 1000:.1f}ms)", file=out)
+    print(f"  batch     : {stats.throughput:10.0f} q/s "
+          f"({stats.summary()})", file=out)
+    print(f"  cached    : {cached_stats.throughput:10.0f} q/s "
+          f"({cached_stats.summary()})", file=out)
+    if batch_time > 0:
+        print(f"  speedup   : {seq_time / batch_time:.2f}x", file=out)
+
+    mismatches = sum(
+        _canonical_results(a) != _canonical_results(b)
+        for pair in ((sequential, batched), (sequential, cached))
+        for a, b in zip(*pair)
+    )
+    if mismatches:
+        print(f"MISMATCH: {mismatches} result lists differ between the "
+              f"sequential and batched/cached paths", file=out)
+        return 1
+    print("  results   : batched and cached answers identical to "
+          "sequential", file=out)
     return 0
 
 
@@ -256,6 +389,33 @@ def build_parser():
     query1.add_argument("--scale", type=float, default=0.05)
     query1.add_argument("-k", type=int, default=10)
     query1.set_defaults(handler=cmd_query1)
+
+    def add_service_options(sub):
+        sub.add_argument("--queries", default=None, metavar="FILE",
+                         help="query file (one query per line, terms "
+                              "separated by ';;'); built-in set if omitted")
+        sub.add_argument("--workers", type=int, default=4,
+                         help="concurrent worker searchers (default 4)")
+        sub.add_argument("-k", type=int, default=10, help="top-k size")
+
+    serve = subparsers.add_parser(
+        "serve-batch", help="serve a batch of queries concurrently"
+    )
+    add_source_options(serve)
+    add_service_options(serve)
+    serve.set_defaults(handler=cmd_serve_batch)
+
+    bench = subparsers.add_parser(
+        "bench-queries",
+        help="compare sequential vs batched serving throughput "
+             "(fails on any result mismatch)",
+    )
+    add_source_options(bench)
+    add_service_options(bench)
+    bench.add_argument("--repeat", type=int, default=5,
+                       help="repetitions of each query, modelling "
+                            "hot-query skew (default 5)")
+    bench.set_defaults(handler=cmd_bench_queries)
 
     snapshot = subparsers.add_parser(
         "snapshot", help="save, load, or inspect whole-system snapshots"

@@ -1,6 +1,7 @@
 """Node-level inverted index with positional postings."""
 
 import math
+import threading
 
 
 class Posting:
@@ -42,8 +43,11 @@ class InvertedIndex:
         self._postings = {}
         # Raw snapshot records pending materialization; posting lists are
         # rebuilt per term on first access so that loading a snapshot does
-        # not pay for vocabulary the session never queries.
+        # not pay for vocabulary the session never queries.  The lock
+        # serializes that pop-and-rebuild step: concurrent query workers
+        # racing on the same term must not lose the raw record.
         self._raw_postings = None
+        self._materialize_lock = threading.Lock()
         self._indexed_nodes = 0
 
     # -- construction -------------------------------------------------------
@@ -61,20 +65,33 @@ class InvertedIndex:
         self._indexed_nodes += 1
 
     def _materialized(self, term):
-        """The mutable posting list for ``term``, creating it if needed."""
+        """The mutable posting list for ``term``, creating it if needed.
+
+        Thread-safe via double-checked locking: the fast path is one
+        (GIL-atomic) dict read; only the first access per term pays for
+        the lock and the rebuild.
+        """
         plist = self._postings.get(term)
         if plist is None:
-            raw = (
-                self._raw_postings.pop(term, None)
-                if self._raw_postings
-                else None
-            )
-            if raw is None:
-                plist = self._postings[term] = []
-            else:
-                plist = self._postings[term] = [
-                    Posting(node_id, positions) for node_id, positions in raw
-                ]
+            with self._materialize_lock:
+                plist = self._postings.get(term)
+                if plist is None:
+                    raw = (
+                        self._raw_postings.get(term)
+                        if self._raw_postings
+                        else None
+                    )
+                    if raw is None:
+                        plist = self._postings[term] = []
+                    else:
+                        # Assign before discarding the raw record, so
+                        # lock-free readers always find the term in at
+                        # least one of the two tables.
+                        plist = self._postings[term] = [
+                            Posting(node_id, positions)
+                            for node_id, positions in raw
+                        ]
+                        self._raw_postings.pop(term, None)
         return plist
 
     # -- snapshot serialization ---------------------------------------------
@@ -108,10 +125,18 @@ class InvertedIndex:
     # -- lookups -----------------------------------------------------------
 
     def postings(self, term):
-        """The posting list for an already-analyzed term (may be empty)."""
-        if self._raw_postings and term not in self._postings:
-            if term not in self._raw_postings:
-                return []
+        """The posting list for an already-analyzed term (may be empty).
+
+        Lock-free reads check the materialized table, then the raw
+        table, then the materialized table again: a concurrent
+        materializer assigns before popping, so a term that misses both
+        of the first two lookups (it moved in between) is guaranteed to
+        be found by the final re-check.
+        """
+        plist = self._postings.get(term)
+        if plist is not None:
+            return plist
+        if self._raw_postings and term in self._raw_postings:
             return self._materialized(term)
         return self._postings.get(term, [])
 
@@ -120,6 +145,10 @@ class InvertedIndex:
         plist = self._postings.get(term)
         if plist is None and self._raw_postings:
             plist = self._raw_postings.get(term)
+            if plist is None:
+                # Moved by a concurrent materializer between the two
+                # lookups (it assigns before popping): re-check.
+                plist = self._postings.get(term)
         return len(plist) if plist is not None else 0
 
     def inverse_document_frequency(self, term):
@@ -129,7 +158,11 @@ class InvertedIndex:
 
     def vocabulary(self):
         if self._raw_postings:
-            return sorted(set(self._postings) | set(self._raw_postings))
+            # Copy under the lock: materialization inserts into
+            # _postings concurrently, and iterating a dict while it
+            # grows raises RuntimeError.
+            with self._materialize_lock:
+                return sorted(set(self._postings) | set(self._raw_postings))
         return sorted(self._postings)
 
     @property

@@ -19,6 +19,7 @@ probes.
 """
 
 import fnmatch
+import threading
 
 
 class PathIndex:
@@ -35,6 +36,8 @@ class PathIndex:
         self._path_list = None
         self._raw_content = None
         self._raw_tags = None
+        # Serializes raw-entry materialization for concurrent readers.
+        self._materialize_lock = threading.Lock()
 
     # -- construction ------------------------------------------------------
 
@@ -58,16 +61,43 @@ class PathIndex:
         return paths
 
     def _lookup(self, table, raw, key):
-        """The path set for ``key``, or ``None``; materializes raw entries."""
+        """The path set for ``key``, or ``None``; materializes raw entries.
+
+        Thread-safe via double-checked locking: concurrent query workers
+        racing on the same key must not lose the raw record to a second
+        ``pop``.
+        """
         paths = table.get(key)
         if paths is not None:
             return paths
-        ids = raw.pop(key, None) if raw else None
-        if ids is None:
+        if not raw:
             return None
-        path_list = self._path_list
-        paths = table[key] = {path_list[i] for i in ids}
+        with self._materialize_lock:
+            paths = table.get(key)
+            if paths is not None:
+                return paths
+            ids = raw.get(key)
+            if ids is None:
+                return None
+            path_list = self._path_list
+            # Assign before discarding the raw record, so lock-free
+            # readers always find the key in at least one table.
+            paths = table[key] = {path_list[i] for i in ids}
+            raw.pop(key, None)
         return paths
+
+    def _known_keys(self, table, raw):
+        """A stable copy of ``table``'s and ``raw``'s keys.
+
+        Taken under the lock: materialization inserts into ``table``
+        concurrently, and iterating a dict while it grows raises
+        RuntimeError.
+        """
+        with self._materialize_lock:
+            names = set(table)
+            if raw:
+                names |= set(raw)
+        return names
 
     # -- snapshot serialization ----------------------------------------------
 
@@ -127,9 +157,7 @@ class PathIndex:
         if "*" not in tag:
             paths = self._lookup(self._tag_paths, self._raw_tags, tag)
             return set(paths) if paths else set()
-        names = set(self._tag_paths)
-        if self._raw_tags:
-            names |= set(self._raw_tags)
+        names = self._known_keys(self._tag_paths, self._raw_tags)
         matched = set()
         for candidate in names:
             if fnmatch.fnmatchcase(candidate, tag):
@@ -151,16 +179,12 @@ class PathIndex:
         return set(self._all_paths)
 
     def tags(self):
-        names = set(self._tag_paths)
-        if self._raw_tags:
-            names |= set(self._raw_tags)
-        return sorted(names)
+        return sorted(self._known_keys(self._tag_paths, self._raw_tags))
 
     def vocabulary(self):
-        terms = set(self._content_paths)
-        if self._raw_content:
-            terms |= set(self._raw_content)
-        return sorted(terms)
+        return sorted(
+            self._known_keys(self._content_paths, self._raw_content)
+        )
 
     def __len__(self):
         return len(self._all_paths)

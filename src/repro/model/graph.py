@@ -76,6 +76,12 @@ class DataGraph:
         self._out = collections.defaultdict(list)
         self._in = collections.defaultdict(list)
         self.edges = []
+        #: Monotonic mutation counter.  Every change to the graph's edge
+        #: set bumps it, so caches derived from the graph (document
+        #: reachability, per-document edge indexes, query result caches)
+        #: key on ``version`` instead of ``len(edges)`` -- an edge count
+        #: cannot distinguish "one edge replaced" from "nothing changed".
+        self.version = 0
 
     # -- construction ---------------------------------------------------------
 
@@ -87,7 +93,19 @@ class DataGraph:
         self._out[source_id].append(edge)
         self._in[target_id].append(edge)
         self.edges.append(edge)
+        self.version += 1
         return edge
+
+    def bump_version(self):
+        """Mark the graph as mutated without adding an edge.
+
+        Callers that change what the graph means through a side door --
+        ingesting documents (new implicit tree edges), or editing the
+        edge list in place -- must bump so that version-keyed caches
+        rebuild.  Returns the new version.
+        """
+        self.version += 1
+        return self.version
 
     # -- snapshot serialization -------------------------------------------------
 
@@ -99,10 +117,11 @@ class DataGraph:
         stored by raw id rather than ``(doc, dewey)`` references.
         """
         return {
+            "version": self.version,
             "edges": [
                 [edge.source_id, edge.target_id, edge.kind.value, edge.label]
                 for edge in self.edges
-            ]
+            ],
         }
 
     @classmethod
@@ -121,6 +140,9 @@ class DataGraph:
             out_table[source_id].append(edge)
             in_table[target_id].append(edge)
             edges.append(edge)
+        # Pre-version snapshots carry no counter; seed it at the edge
+        # count, which is what add_edge would have left behind.
+        graph.version = payload.get("version", len(edges))
         return graph
 
     # -- neighborhoods ----------------------------------------------------------

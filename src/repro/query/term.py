@@ -159,6 +159,16 @@ class QueryTerm:
     def is_match_all(self):
         return isinstance(self.search, MatchAll)
 
+    def cache_key(self):
+        """Canonical hashable form of this term, for result-cache keys.
+
+        Context and search-AST reprs are complete and deterministic, so
+        two spellings that parse to the same normalized term (e.g. the
+        ``"*"`` and ``""`` contexts, or differently spaced keyword
+        bags) share one key.
+        """
+        return (repr(self.context), repr(self.search))
+
     def __repr__(self):
         return f"QueryTerm({self.context!r}, {self.search!r})"
 
@@ -182,6 +192,11 @@ class Query:
     def parse(cls, pairs):
         """Build a query from ``(context, search)`` string pairs."""
         return cls([QueryTerm(context, search) for context, search in pairs])
+
+    def cache_key(self):
+        """Canonical hashable form of the whole query (term order kept:
+        it determines result-tuple column order)."""
+        return tuple(term.cache_key() for term in self.terms)
 
     def __len__(self):
         return len(self.terms)

@@ -26,22 +26,22 @@ class ScoringModel:
         self.content_weight = content_weight
         self.structure_weight = structure_weight
         self._doc_edge_index = None
-        self._indexed_edge_count = -1
+        self._indexed_version = -1
 
     # -- fast structural distances --------------------------------------------
 
     def _edge_index(self):
         """(doc_a, doc_b) -> [(source_id, target_id)] over link edges.
 
-        Rebuilt when edges were added since the last use; keeps pair
-        distance computation O(edges between the two documents) instead
-        of a breadth-first search over the whole graph (link hubs such
-        as frequently-referenced countries make BFS frontiers explode).
+        Rebuilt when the graph mutated since the last use (keyed on
+        :attr:`DataGraph.version`, so any mutation invalidates -- not
+        just ones that change the edge count); keeps pair distance
+        computation O(edges between the two documents) instead of a
+        breadth-first search over the whole graph (link hubs such as
+        frequently-referenced countries make BFS frontiers explode).
         """
-        if (
-            self._doc_edge_index is None
-            or self._indexed_edge_count != len(self.graph.edges)
-        ):
+        version = self.graph.version
+        if self._doc_edge_index is None or self._indexed_version != version:
             index = {}
             for edge in self.graph.edges:
                 source_doc = self.collection.node(edge.source_id).doc_id
@@ -50,7 +50,7 @@ class ScoringModel:
                     (edge.source_id, edge.target_id)
                 )
             self._doc_edge_index = index
-            self._indexed_edge_count = len(self.graph.edges)
+            self._indexed_version = version
         return self._doc_edge_index
 
     def pair_distance(self, node_a, node_b):

@@ -38,20 +38,24 @@ class TopKSearcher:
         self.allow_repeats = allow_repeats
         self.stats = {}
         self._doc_reach = None
-        self._reach_edge_count = -1
+        self._reach_version = -1
 
     # -- public API -----------------------------------------------------------
 
     def search(self, query, k=10):
         """Return the top-``k`` :class:`ResultTuple` list, best first."""
         terms = query.terms
-        streams = [self._stream(term) for term in terms]
+        # Reset stats before any work so that every entry -- including
+        # queries that bail out on an empty stream below -- leaves this
+        # query's numbers behind, never the previous query's.
         self.stats = {
             "sorted_accesses": 0,
             "tuples_scored": 0,
             "early_stop": False,
-            "candidates": [len(stream) for stream in streams],
+            "candidates": [],
         }
+        streams = [self._stream(term) for term in terms]
+        self.stats["candidates"] = [len(stream) for stream in streams]
         if any(not stream for stream in streams):
             return []
         if len(terms) == 1:
@@ -121,14 +125,14 @@ class TopKSearcher:
     def _document_reachability(self):
         """doc_id -> set of doc_ids reachable via one link edge.
 
-        Cached across queries and invalidated by edge count: edges are
-        append-only, so a changed count is exactly "the graph grew"
-        (``Seda.add_documents`` discovering links on new documents).
-        Recomputing this map per query used to dominate repeated-search
-        workloads on link-heavy collections.
+        Cached across queries and keyed on the graph's monotonic
+        :attr:`~repro.model.graph.DataGraph.version`, so *any* edge
+        mutation invalidates it -- not only mutations that happen to
+        change the edge count.  Recomputing this map per query used to
+        dominate repeated-search workloads on link-heavy collections.
         """
-        edge_count = len(self.scoring.graph.edges)
-        if self._doc_reach is None or self._reach_edge_count != edge_count:
+        version = self.scoring.graph.version
+        if self._doc_reach is None or self._reach_version != version:
             reach = collections.defaultdict(set)
             collection = self.matcher.collection
             for edge in self.scoring.graph.edges:
@@ -138,8 +142,31 @@ class TopKSearcher:
                     reach[source_doc].add(target_doc)
                     reach[target_doc].add(source_doc)
             self._doc_reach = reach
-            self._reach_edge_count = edge_count
+            self._reach_version = version
         return self._doc_reach
+
+    def warm(self):
+        """Precompute the shared read-only caches this searcher uses.
+
+        Builds the document-reachability map and the scoring model's
+        per-document edge index for the current graph version.  The
+        query service calls this once before dispatching work so that
+        concurrent workers only ever *read* the shared structures.
+        """
+        self._document_reachability()
+        self.scoring._edge_index()
+        return self
+
+    def share_read_caches(self, source):
+        """Adopt ``source``'s computed document-reachability cache.
+
+        The map is read-only during search, so worker searchers in a
+        query service share one instance instead of each building an
+        identical copy.
+        """
+        self._doc_reach = source._doc_reach
+        self._reach_version = source._reach_version
+        return self
 
     def _partners(self, j, docs, seen_by_doc, seen_scores):
         """Highest-scoring seen nodes of term ``j`` within ``docs``."""
@@ -147,7 +174,11 @@ class TopKSearcher:
         for doc_id in docs:
             partners.extend(seen_by_doc[j].get(doc_id, ()))
         if len(partners) > self.partner_limit:
-            partners.sort(key=lambda node_id: -seen_scores[j][node_id])
+            # Tie-break by node id so that which tied-score partners
+            # survive the cap never depends on stream arrival order.
+            partners.sort(
+                key=lambda node_id: (-seen_scores[j][node_id], node_id)
+            )
             partners = partners[: self.partner_limit]
         return partners
 
@@ -192,5 +223,9 @@ class TopKSearcher:
             )
             if k is None or len(heap) < k:
                 heapq.heappush(heap, entry)
-            elif total > heap[0][0]:
+            elif (total, entry[1]) > (heap[0][0], heap[0][1]):
+                # Compare the tiebreak too, not just the score: among
+                # equal-score tuples the survivor must be decided by the
+                # deterministic key (lexicographically smaller node ids
+                # win), never by stream arrival order.
                 heapq.heapreplace(heap, entry)

@@ -1,0 +1,7 @@
+"""The serving layer: concurrent batch queries with result caching."""
+
+from repro.service.cache import ResultCache
+from repro.service.query_service import QueryService
+from repro.service.stats import BatchStats, QueryStats
+
+__all__ = ["BatchStats", "QueryService", "QueryStats", "ResultCache"]

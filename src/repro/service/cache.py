@@ -1,0 +1,78 @@
+"""Thread-safe LRU cache for top-k result lists.
+
+Keys are ``(query_cache_key, k, graph_version)``: the normalized query
+(see :meth:`repro.query.term.Query.cache_key`), the requested ``k``,
+and the data-graph version the results were computed against.  Because
+the graph version is part of the key, a mutation (``Seda.add_documents``
+bumps :attr:`~repro.model.graph.DataGraph.version`) makes every
+previously cached entry unreachable without a sweep; the LRU discipline
+then ages the dead entries out.  :meth:`invalidate` additionally drops
+everything eagerly, which ``Seda.add_documents`` uses to reclaim the
+memory immediately.
+
+Values are stored as tuples of :class:`~repro.search.result.ResultTuple`
+-- immutable enough to hand to concurrent readers without copying.
+"""
+
+import collections
+import threading
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU map from cache keys to result tuples."""
+
+    def __init__(self, max_entries=256):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries = collections.OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        """The cached result tuple for ``key``, or ``None``; counts the
+        lookup as a hit or miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key, results):
+        """Store ``results`` under ``key``; returns the stored tuple."""
+        stored = tuple(results)
+        with self._lock:
+            self._entries[key] = stored
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return stored
+
+    def invalidate(self):
+        """Drop every entry (hit/miss counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self):
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key):
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self):
+        return (
+            f"ResultCache(entries={len(self)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,189 @@
+"""Concurrent batch query execution with result caching.
+
+The ROADMAP's north star is a serving layer, not a single-user
+prototype: many queries in flight, repeated hot queries answered from
+memory, and no per-request rebuilding of read structures.  This module
+is that layer, as a facade over one built :class:`~repro.system.Seda`
+instance.
+
+Threading model
+---------------
+
+* Every worker gets its **own** :class:`TopKSearcher` -- the searcher
+  carries per-query mutable state (``stats``) and must not be shared.
+* All workers **share** the system's immutable read structures: the
+  term matcher, the scoring model, both full-text indexes, and the node
+  store.  The lazily materialized snapshot structures behind them are
+  protected by per-structure locks (see ``InvertedIndex``,
+  ``PathIndex``, ``NodeStore``).
+* The two derived caches the top-k unit depends on -- the
+  document-reachability map and the scoring model's per-document edge
+  index -- are computed **once**, before any worker runs
+  (:meth:`TopKSearcher.warm`), then shared read-only.
+* Results are cached in a thread-safe LRU keyed on
+  ``(normalized query, k, graph version)``.  ``Seda.add_documents``
+  bumps the graph version and invalidates the cache, so mutation and
+  serving never mix stale answers in.  Mutations themselves must be
+  externally serialized with query execution (the usual single-writer /
+  many-readers discipline).
+
+Determinism: identical batches produce byte-identical results for any
+worker count.  Duplicate queries within a batch are computed exactly
+once (the others are served from the shared computation), and the top-k
+unit breaks score ties deterministically, so neither scheduling nor
+arrival order leaks into answers.
+"""
+
+import concurrent.futures
+import queue
+import threading
+import time
+
+from repro.query.term import Query
+from repro.search.topk import TopKSearcher
+from repro.service.cache import ResultCache
+from repro.service.stats import BatchStats, QueryStats
+
+
+class QueryService:
+    """Concurrent, caching query execution over one SEDA system."""
+
+    def __init__(self, system, workers=4, cache_size=256):
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.system = system
+        self.workers = workers
+        self.cache = ResultCache(cache_size)
+        self._pool = [
+            TopKSearcher(system.matcher, system.scoring)
+            for _ in range(workers)
+        ]
+        self._warm_lock = threading.Lock()
+        self._warm_version = None
+        self._refresh_shared_caches()
+        self._searchers = queue.SimpleQueue()
+        for searcher in self._pool:
+            self._searchers.put(searcher)
+
+    def _refresh_shared_caches(self):
+        """(Re)compute the shared caches for the current graph version.
+
+        Runs at construction and again on the first query after a graph
+        mutation -- without it every worker would rebuild a private
+        reachability map post-mutation, violating the read-only-sharing
+        invariant.  Mutations are externally serialized with queries
+        (single writer / many readers), so no search is in flight when
+        the version actually changes; the lock only collapses duplicate
+        refreshes from concurrent first queries.
+        """
+        version = self.system.graph.version
+        if self._warm_version == version:
+            return
+        with self._warm_lock:
+            if self._warm_version == version:
+                return
+            lead = self._pool[0]
+            lead.warm()
+            for searcher in self._pool[1:]:
+                searcher.share_read_caches(lead)
+            self._warm_version = version
+
+    # -- single queries -------------------------------------------------------
+
+    def execute(self, query, k=10):
+        """Serve one query; returns ``(results, QueryStats)``.
+
+        ``query`` is a :class:`Query` or a list of ``(context, search)``
+        pairs.  Results come from the LRU cache when the same normalized
+        query was served at the current graph version; otherwise a
+        worker searcher computes and caches them.
+        """
+        query = self._as_query(query)
+        self._refresh_shared_caches()
+        key = (query.cache_key(), k, self.system.graph.version)
+        start = time.perf_counter()
+        cached = self.cache.get(key)
+        if cached is not None:
+            stats = QueryStats(
+                key, k, time.perf_counter() - start, cache_hit=True
+            )
+            return list(cached), stats
+        return self._compute(query, k, key, start)
+
+    def _compute(self, query, k, key, start):
+        searcher = self._searchers.get()
+        try:
+            results = searcher.search(query, k=k)
+            raw = searcher.stats
+            stats = QueryStats(
+                key, k, 0.0, cache_hit=False,
+                sorted_accesses=raw["sorted_accesses"],
+                tuples_scored=raw["tuples_scored"],
+                early_stop=raw["early_stop"],
+            )
+        finally:
+            self._searchers.put(searcher)
+        stored = self.cache.put(key, results)
+        stats.latency = time.perf_counter() - start
+        return list(stored), stats
+
+    # -- batches --------------------------------------------------------------
+
+    def execute_batch(self, queries, k=10):
+        """Serve a batch concurrently; ``(results_per_query, BatchStats)``.
+
+        Results are returned in input order.  Duplicate queries within
+        the batch are computed once and fanned out; the extra
+        occurrences count as cache hits in the batch statistics.
+        """
+        parsed = [self._as_query(query) for query in queries]
+        self._refresh_shared_caches()
+        version = self.system.graph.version
+        keys = [(query.cache_key(), k, version) for query in parsed]
+        start = time.perf_counter()
+        unique = {}
+        for query, key in zip(parsed, keys):
+            unique.setdefault(key, query)
+        outcomes = {}
+        if len(unique) == 1 or self.workers == 1:
+            for key, query in unique.items():
+                outcomes[key] = self.execute(query, k=k)
+        else:
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.workers
+            ) as executor:
+                futures = {
+                    key: executor.submit(self.execute, query, k)
+                    for key, query in unique.items()
+                }
+                for key, future in futures.items():
+                    outcomes[key] = future.result()
+        wall = time.perf_counter() - start
+        results, per_query, reported = [], [], set()
+        for key in keys:
+            answer, stats = outcomes[key]
+            results.append(list(answer))
+            if key in reported:
+                # A duplicate within the batch: served from the shared
+                # computation, i.e. a cache hit with no extra work.
+                stats = QueryStats(key, k, 0.0, cache_hit=True)
+            reported.add(key)
+            per_query.append(stats)
+        return results, BatchStats(per_query, wall, self.workers)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def invalidate(self):
+        """Drop all cached results (used after document ingestion)."""
+        self.cache.invalidate()
+
+    @staticmethod
+    def _as_query(query):
+        if isinstance(query, Query):
+            return query
+        return Query.parse(query)
+
+    def __repr__(self):
+        return (
+            f"QueryService(workers={self.workers}, cache={self.cache!r})"
+        )

@@ -1,0 +1,96 @@
+"""Per-query and aggregate serving statistics.
+
+The paper's Section 8 tracks *user* effort per exploration; the query
+service tracks *system* effort per served query: wall-clock latency,
+whether the result came from the cache, and the top-k unit's own
+counters (sorted accesses, tuples scored, early termination).  Batch
+execution aggregates these into throughput and hit-rate numbers -- the
+series ``repro bench-queries`` and ``benchmarks/test_bench_service.py``
+report.
+"""
+
+
+class QueryStats:
+    """One served query's record."""
+
+    __slots__ = (
+        "cache_key",
+        "k",
+        "latency",
+        "cache_hit",
+        "sorted_accesses",
+        "tuples_scored",
+        "early_stop",
+    )
+
+    def __init__(self, cache_key, k, latency, cache_hit,
+                 sorted_accesses=0, tuples_scored=0, early_stop=False):
+        self.cache_key = cache_key
+        self.k = k
+        self.latency = latency
+        self.cache_hit = cache_hit
+        self.sorted_accesses = sorted_accesses
+        self.tuples_scored = tuples_scored
+        self.early_stop = early_stop
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self):
+        source = "cache" if self.cache_hit else "computed"
+        return (
+            f"QueryStats({source}, k={self.k}, "
+            f"latency={self.latency * 1000:.2f}ms, "
+            f"sorted_accesses={self.sorted_accesses})"
+        )
+
+
+class BatchStats:
+    """Aggregate record for one :meth:`QueryService.execute_batch` call."""
+
+    def __init__(self, per_query, wall_time, workers):
+        self.per_query = list(per_query)
+        self.wall_time = wall_time
+        self.workers = workers
+
+    @property
+    def queries(self):
+        return len(self.per_query)
+
+    @property
+    def cache_hits(self):
+        return sum(1 for stats in self.per_query if stats.cache_hit)
+
+    @property
+    def computed(self):
+        return self.queries - self.cache_hits
+
+    @property
+    def hit_rate(self):
+        return self.cache_hits / self.queries if self.per_query else 0.0
+
+    @property
+    def throughput(self):
+        """Queries served per second of batch wall-clock time."""
+        return self.queries / self.wall_time if self.wall_time > 0 else 0.0
+
+    @property
+    def sorted_accesses(self):
+        return sum(stats.sorted_accesses for stats in self.per_query)
+
+    @property
+    def tuples_scored(self):
+        return sum(stats.tuples_scored for stats in self.per_query)
+
+    def summary(self):
+        """One-line human-readable digest (CLI and benchmark output)."""
+        return (
+            f"{self.queries} queries in {self.wall_time * 1000:.1f}ms "
+            f"({self.throughput:.0f} q/s, {self.workers} workers, "
+            f"{self.cache_hits} cache hits, "
+            f"hit rate {self.hit_rate:.0%}, "
+            f"{self.sorted_accesses} sorted accesses)"
+        )
+
+    def __repr__(self):
+        return f"BatchStats({self.summary()})"

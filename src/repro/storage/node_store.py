@@ -9,6 +9,7 @@ arbitrary node-id set, each sorted by ``(doc_id, dewey)``.
 
 import bisect
 import collections
+import threading
 
 
 class NodeStore:
@@ -22,6 +23,8 @@ class NodeStore:
         # keyed entries; None outside the restore path.
         self._raw_by_tag = None
         self._raw_by_path = None
+        # Serializes raw-stream materialization for concurrent readers.
+        self._materialize_lock = threading.Lock()
         self._built_upto = 0
         self.refresh()
 
@@ -49,18 +52,27 @@ class NodeStore:
         """
         entries = table.get(key)
         if entries is None:
-            ids = raw.pop(key, None) if raw else None
-            if ids is None:
-                entries = table[key]  # defaultdict creates the list
-            else:
-                node = self.collection.node
-                entries = []
-                for node_id in ids:
-                    data_node = node(node_id)
-                    entries.append(
-                        ((data_node.doc_id, data_node.dewey), node_id)
-                    )
-                table[key] = entries
+            # Double-checked locking: concurrent query workers racing on
+            # the same key must not lose the raw stream to a second pop.
+            with self._materialize_lock:
+                entries = table.get(key)
+                if entries is None:
+                    ids = raw.get(key) if raw else None
+                    if ids is None:
+                        entries = table[key]  # defaultdict creates the list
+                    else:
+                        node = self.collection.node
+                        entries = []
+                        for node_id in ids:
+                            data_node = node(node_id)
+                            entries.append(
+                                ((data_node.doc_id, data_node.dewey), node_id)
+                            )
+                        # Assign before discarding the raw stream, so
+                        # lock-free readers always find the key in at
+                        # least one of the two tables.
+                        table[key] = entries
+                        raw.pop(key, None)
         return entries
 
     # -- snapshot serialization -----------------------------------------------
@@ -99,14 +111,20 @@ class NodeStore:
         store._by_path = collections.defaultdict(list)
         store._raw_by_tag = payload["by_tag"]
         store._raw_by_path = payload["by_path"]
+        store._materialize_lock = threading.Lock()
         store._built_upto = payload["built_upto"]
         return store
 
     # -- streams --------------------------------------------------------------
 
     def _stream(self, table, raw, key):
-        """Entries for ``key`` without creating an empty list on misses."""
-        if key in table or (raw and key in raw):
+        """Entries for ``key`` without creating an empty list on misses.
+
+        The final re-check covers a concurrent materializer moving the
+        key between the two membership tests (it assigns to ``table``
+        before popping ``raw``).
+        """
+        if key in table or (raw and key in raw) or key in table:
             return self._entries(table, raw, key)
         return ()
 
@@ -120,17 +138,24 @@ class NodeStore:
         stream = self._stream(self._by_path, self._raw_by_path, path)
         return [node_id for _key, node_id in stream]
 
+    def _known_keys(self, table, raw):
+        """A stable copy of ``table``'s and ``raw``'s keys.
+
+        Taken under the lock: materialization inserts into ``table``
+        concurrently, and iterating a dict while it grows raises
+        RuntimeError.
+        """
+        with self._materialize_lock:
+            names = set(table)
+            if raw:
+                names |= set(raw)
+        return names
+
     def tags(self):
-        names = set(self._by_tag)
-        if self._raw_by_tag:
-            names |= set(self._raw_by_tag)
-        return sorted(names)
+        return sorted(self._known_keys(self._by_tag, self._raw_by_tag))
 
     def paths(self):
-        names = set(self._by_path)
-        if self._raw_by_path:
-            names |= set(self._raw_by_path)
-        return sorted(names)
+        return sorted(self._known_keys(self._by_path, self._raw_by_path))
 
     def sort_dewey(self, node_ids):
         """Sort arbitrary node ids into global Dewey order."""

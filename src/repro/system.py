@@ -35,6 +35,7 @@ from repro.query.matcher import TermMatcher
 from repro.query.term import Query
 from repro.search.scoring import ScoringModel
 from repro.search.topk import TopKSearcher
+from repro.service.query_service import QueryService
 from repro.storage.node_store import NodeStore
 from repro.storage.snapshot import read_snapshot, write_snapshot
 from repro.summaries.connection import ConnectionSummaryGenerator
@@ -86,6 +87,7 @@ class Seda:
             collection, inverted, graph, max_hops=max_hops
         )
         self.topk = TopKSearcher(self.matcher, self.scoring)
+        self._service = None  # created lazily by query_service()
         self.context_generator = ContextSummaryGenerator(self.matcher)
         self._refresh_generators()
 
@@ -146,6 +148,14 @@ class Seda:
             self._dataguide_builder.add_document(document)
         self.dataguides = self._dataguide_builder.build(graph=self.graph)
         self._refresh_generators()
+        # New documents change query answers even when link discovery
+        # added no edges (the implicit tree edges grew): bump the graph
+        # version so every version-keyed cache -- document reachability,
+        # the per-document edge index, and cached query results -- is
+        # invalidated, and eagerly drop the result cache.
+        self.graph.bump_version()
+        if self._service is not None:
+            self._service.invalidate()
         return added
 
     # -- snapshots -------------------------------------------------------------
@@ -225,6 +235,50 @@ class Seda:
             query = Query.parse(query)
         results = self.topk.search(query, k=k)
         return SedaSession(self, query, k, results, effort=SessionEffort())
+
+    def query_service(self, workers=None, cache_size=None):
+        """The concurrent serving facade over this system (lazy, kept).
+
+        Repeated calls return the same :class:`QueryService` instance.
+        ``workers``/``cache_size`` left ``None`` accept whatever the
+        existing service uses (defaults 4/256 on first creation); an
+        *explicitly* different configuration replaces the service,
+        dropping its warm cache.
+        """
+        service = self._service
+        if service is not None and (
+            (workers is None or service.workers == workers)
+            and (cache_size is None
+                 or service.cache.max_entries == cache_size)
+        ):
+            return service
+        service = QueryService(
+            self,
+            workers=4 if workers is None else workers,
+            cache_size=256 if cache_size is None else cache_size,
+        )
+        self._service = service
+        return service
+
+    def search_many(self, queries, k=10, workers=None):
+        """Serve a batch of queries concurrently; a list of sessions.
+
+        Each element of ``queries`` takes the same forms as
+        :meth:`search`; the returned :class:`SedaSession` list is in
+        input order, with results identical to running :meth:`search`
+        per query (the top-k unit is deterministic, duplicates are
+        computed once, and repeats hit the service's result cache).
+        """
+        parsed = [
+            query if isinstance(query, Query) else Query.parse(query)
+            for query in queries
+        ]
+        service = self.query_service(workers=workers)
+        results, _stats = service.execute_batch(parsed, k=k)
+        return [
+            SedaSession(self, query, k, result, effort=SessionEffort())
+            for query, result in zip(parsed, results)
+        ]
 
 
 class SedaSession:

@@ -145,3 +145,69 @@ class TestSnapshotCommands:
     def test_snapshot_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["snapshot"])
+
+
+class TestQueryFileParsing:
+    def test_line_splits_on_double_semicolon(self):
+        from repro.cli import _parse_query_line
+
+        assert _parse_query_line('*:"United States" ;; trade_country:*') == [
+            ("*", '"United States"'), ("trade_country", "*"),
+        ]
+
+    def test_single_term_line(self):
+        from repro.cli import _parse_query_line
+
+        assert _parse_query_line("*:canada") == [("*", "canada")]
+
+
+class TestServiceCommands:
+    def test_serve_batch_builtin_queries(self):
+        out = io.StringIO()
+        code = main(
+            ["serve-batch", "--scale", "0.01", "--workers", "2", "-k", "3"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "query [topk]" in text
+        assert "batch:" in text
+        assert "2 workers" in text
+
+    def test_serve_batch_query_file(self, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(
+            "# hot queries\n"
+            "\n"
+            '*:"United States" ;; trade_country:*\n'
+            "*:canada\n"
+        )
+        out = io.StringIO()
+        code = main(
+            ["serve-batch", "--scale", "0.01",
+             "--queries", str(queries), "--workers", "2"],
+            out=out,
+        )
+        assert code == 0
+        assert out.getvalue().count("query [") == 2
+
+    def test_serve_batch_rejects_empty_query_file(self, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("# only comments\n\n")
+        with pytest.raises(SystemExit, match="no queries"):
+            main(["serve-batch", "--queries", str(queries)],
+                 out=io.StringIO())
+
+    def test_bench_queries_reports_and_verifies(self):
+        out = io.StringIO()
+        code = main(
+            ["bench-queries", "--scale", "0.01", "--workers", "2",
+             "--repeat", "2", "-k", "5"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "sequential:" in text
+        assert "batch" in text
+        assert "identical to" in text
+        assert "MISMATCH" not in text

@@ -138,6 +138,161 @@ class TestTopK:
         assert topk.stats["tuples_scored"] > 0
 
 
+class _TieShufflingSearcher(TopKSearcher):
+    """A searcher whose streams reverse the order of equal-score runs.
+
+    Stream order among tied scores is an implementation accident; the
+    top-k answer must not depend on it.
+    """
+
+    def _stream(self, term):
+        stream = super()._stream(term)
+        shuffled, start = [], 0
+        for index in range(1, len(stream) + 1):
+            if index == len(stream) or stream[index][0] != stream[start][0]:
+                shuffled.extend(reversed(stream[start:index]))
+                start = index
+        return shuffled
+
+
+class TestDeterminism:
+    """Tied scores must resolve identically for any evaluation order."""
+
+    TIED_QUERY = [("trade_country", "*"), ("percentage", "*")]
+
+    def test_tied_scores_survive_eviction_deterministically(
+        self, figure2_collection, figure2_matcher
+    ):
+        """With k below the number of tied sibling pairs, the survivors
+        are the lexicographically smallest node-id tuples -- regardless
+        of stream arrival order."""
+        scoring = ScoringModel(
+            figure2_collection, figure2_matcher.inverted,
+            DataGraph(figure2_collection),
+        )
+        plain = TopKSearcher(figure2_matcher, scoring)
+        shuffled = _TieShufflingSearcher(figure2_matcher, scoring)
+        for k in (1, 2, 3, 5):
+            query = Query.parse(self.TIED_QUERY)
+            expected = plain.search(query, k=k)
+            reordered = shuffled.search(query, k=k)
+            assert [r.node_ids for r in expected] == [
+                r.node_ids for r in reordered
+            ]
+            assert [r.score for r in expected] == [
+                r.score for r in reordered
+            ]
+
+    def test_partner_cap_truncates_ties_deterministically(
+        self, figure2_collection, figure2_matcher
+    ):
+        """Truncation to partner_limit among tied scores must keep the
+        same (smallest-id) subset whatever order the nodes arrived in."""
+        scoring = ScoringModel(
+            figure2_collection, figure2_matcher.inverted,
+            DataGraph(figure2_collection),
+        )
+        searcher = TopKSearcher(figure2_matcher, scoring, partner_limit=3)
+        node_ids = [11, 7, 29, 3, 17]
+        kept = []
+        for arrival in (node_ids, list(reversed(node_ids))):
+            seen_by_doc = [{0: list(arrival)}]
+            seen_scores = [{node_id: 1.0 for node_id in arrival}]
+            kept.append(
+                sorted(searcher._partners(0, {0}, seen_by_doc, seen_scores))
+            )
+        assert kept[0] == kept[1] == [3, 7, 11]
+
+    def test_tied_survivors_prefer_smaller_node_ids(
+        self, figure2_collection, figure2_matcher
+    ):
+        """Among equal-score tuples the kept ones are the smallest by
+        node-id order (the documented tie-break)."""
+        scoring = ScoringModel(
+            figure2_collection, figure2_matcher.inverted,
+            DataGraph(figure2_collection),
+        )
+        searcher = TopKSearcher(figure2_matcher, scoring)
+        query = Query.parse(self.TIED_QUERY)
+        full = searcher.search(query, k=100)
+        truncated = searcher.search(query, k=3)
+        best_score = full[0].score
+        tied = sorted(
+            r.node_ids for r in full if r.score == best_score
+        )
+        kept = [r.node_ids for r in truncated if r.score == best_score]
+        assert kept == tied[: len(kept)]
+
+
+class TestStatsReset:
+    def test_empty_stream_resets_stats(self, searchers):
+        """A query that bails out on an empty stream must not leave the
+        previous query's counters behind."""
+        topk, _naive, _scoring = searchers
+        topk.search(Query.parse(QUERY_1), k=5)
+        assert topk.stats["sorted_accesses"] > 0
+        assert topk.search(Query.parse([("*", "atlantis"), ("year", "*")]),
+                           k=5) == []
+        assert topk.stats["sorted_accesses"] == 0
+        assert topk.stats["tuples_scored"] == 0
+        assert topk.stats["early_stop"] is False
+        # candidates reflect THIS query's streams: no keyword match, but
+        # the match-all year term still has candidates.
+        assert topk.stats["candidates"][0] == 0
+        assert topk.stats["candidates"][1] > 0
+
+    def test_early_stop_not_sticky(self, searchers):
+        """early_stop set by one query must not leak into the next."""
+        topk, _naive, _scoring = searchers
+        topk.search(Query.parse([("*", "canada")]), k=1)  # truncating
+        assert topk.stats["early_stop"] is True
+        topk.search(Query.parse([("*", "atlantis")]), k=1)
+        assert topk.stats["early_stop"] is False
+
+
+class TestVersionedCaches:
+    def test_reachability_rebuilds_on_version_bump(self, figure2_collection,
+                                                   figure2_matcher):
+        """bump_version invalidates even when the edge count is
+        unchanged -- the failure mode of len(edges) keying."""
+        graph = DataGraph(figure2_collection)
+        scoring = ScoringModel(
+            figure2_collection, figure2_matcher.inverted, graph
+        )
+        searcher = TopKSearcher(figure2_matcher, scoring)
+        reach = searcher._document_reachability()
+        assert searcher._document_reachability() is reach  # cached
+        edge_index = scoring._edge_index()
+        assert scoring._edge_index() is edge_index  # cached
+        graph.bump_version()
+        assert searcher._document_reachability() is not reach
+        assert scoring._edge_index() is not edge_index
+
+    def test_reachability_rebuilds_on_new_edge(self, figure2_collection,
+                                               figure2_matcher):
+        from repro.model.graph import EdgeKind
+
+        graph = DataGraph(figure2_collection)
+        scoring = ScoringModel(
+            figure2_collection, figure2_matcher.inverted, graph
+        )
+        searcher = TopKSearcher(figure2_matcher, scoring)
+        reach = searcher._document_reachability()
+        nodes = [node.node_id for node in figure2_collection.iter_nodes()]
+        graph.add_edge(nodes[0], nodes[-1], EdgeKind.VALUE)
+        assert searcher._document_reachability() is not reach
+
+    def test_share_read_caches(self, figure2_collection, figure2_matcher):
+        graph = DataGraph(figure2_collection)
+        scoring = ScoringModel(
+            figure2_collection, figure2_matcher.inverted, graph
+        )
+        source = TopKSearcher(figure2_matcher, scoring).warm()
+        sharer = TopKSearcher(figure2_matcher, scoring)
+        sharer.share_read_caches(source)
+        assert sharer._document_reachability() is source._doc_reach
+
+
 class TestTopKAgainstNaive:
     """TA must agree with exhaustive search on its top-k scores."""
 

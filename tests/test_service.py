@@ -1,0 +1,210 @@
+"""The query service: concurrency, result caching, invalidation."""
+
+import json
+
+import pytest
+
+from repro.model.graph import EdgeKind
+from repro.query.term import Query
+from repro.service.cache import ResultCache
+from repro.service.query_service import QueryService
+from repro.system import Seda
+
+BATCH = [
+    [("*", '"United States"'), ("trade_country", "*")],
+    [("trade_country", "*"), ("percentage", "*")],  # all scores tied
+    [("*", "canada")],
+    [("trade_country", "*"), ("percentage", "*")],  # duplicate of #2
+    [("*", '"United States"')],
+]
+
+
+def _canonical(results):
+    return json.dumps(
+        [[list(r.node_ids), round(r.score, 12)] for r in results],
+        separators=(",", ":"),
+    )
+
+
+@pytest.fixture
+def seda(figure2_collection):
+    return Seda(figure2_collection)
+
+
+class TestQueryServiceConcurrency:
+    def test_one_vs_many_workers_identical(self, figure2_collection):
+        """The same batch must yield byte-identical results for any
+        worker count (tied-score queries included)."""
+        single = QueryService(Seda(figure2_collection), workers=1)
+        multi = QueryService(Seda(figure2_collection), workers=4)
+        sequential, _ = single.execute_batch(BATCH, k=5)
+        parallel, _ = multi.execute_batch(BATCH, k=5)
+        assert [_canonical(r) for r in sequential] == [
+            _canonical(r) for r in parallel
+        ]
+
+    def test_batch_matches_plain_search(self, seda):
+        service = QueryService(seda, workers=4)
+        batched, _ = service.execute_batch(BATCH, k=5)
+        direct = [seda.topk.search(Query.parse(q), k=5) for q in BATCH]
+        assert [_canonical(r) for r in batched] == [
+            _canonical(r) for r in direct
+        ]
+
+    def test_duplicates_computed_once(self, seda):
+        service = QueryService(seda, workers=4)
+        _, stats = service.execute_batch(BATCH, k=5)
+        # BATCH has 5 entries, 4 distinct: exactly one in-batch hit.
+        assert stats.queries == 5
+        assert stats.computed == 4
+        assert stats.cache_hits == 1
+
+    def test_search_many_sessions(self, seda):
+        sessions = seda.search_many(BATCH, k=5, workers=3)
+        assert len(sessions) == len(BATCH)
+        for pairs, session in zip(BATCH, sessions):
+            expected = seda.topk.search(Query.parse(pairs), k=5)
+            assert _canonical(session.results) == _canonical(expected)
+
+    def test_empty_batch(self, seda):
+        results, stats = QueryService(seda, workers=2).execute_batch([])
+        assert results == []
+        assert stats.queries == 0
+        assert stats.hit_rate == 0.0
+
+
+class TestResultCaching:
+    def test_repeat_query_hits_cache(self, seda):
+        service = QueryService(seda, workers=2)
+        first, stats1 = service.execute(BATCH[0], k=5)
+        second, stats2 = service.execute(BATCH[0], k=5)
+        assert not stats1.cache_hit
+        assert stats2.cache_hit
+        assert _canonical(first) == _canonical(second)
+        assert service.cache.hits == 1
+
+    def test_cached_batch_identical(self, seda):
+        service = QueryService(seda, workers=4)
+        cold, _ = service.execute_batch(BATCH, k=5)
+        warm, stats = service.execute_batch(BATCH, k=5)
+        assert stats.cache_hits == len(BATCH)
+        assert [_canonical(r) for r in cold] == [_canonical(r) for r in warm]
+
+    def test_key_includes_k(self, seda):
+        service = QueryService(seda, workers=1)
+        top2, _ = service.execute(BATCH[1], k=2)
+        top5, stats = service.execute(BATCH[1], k=5)
+        assert not stats.cache_hit
+        assert len(top2) == 2 and len(top5) > 2
+
+    def test_normalized_spellings_share_entry(self, seda):
+        service = QueryService(seda, workers=1)
+        _, stats1 = service.execute([("*", "canada")], k=5)
+        _, stats2 = service.execute([("", "canada")], k=5)
+        assert not stats1.cache_hit
+        assert stats2.cache_hit
+
+    def test_lru_eviction(self, seda):
+        service = QueryService(seda, workers=1, cache_size=2)
+        for query in BATCH[:3]:
+            service.execute(query, k=5)
+        assert len(service.cache) == 2
+
+    def test_cache_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+
+class TestInvalidation:
+    def test_add_documents_invalidates(self, figure2_collection):
+        """After ingestion the same query must be recomputed and see the
+        new documents."""
+        seda = Seda(figure2_collection)
+        service = seda.query_service(workers=2)
+        before, stats1 = service.execute([("*", "canada")], k=10)
+        version_before = seda.graph.version
+        seda.add_documents(
+            ["<country>Canada<year>2006</year></country>"]
+        )
+        assert seda.graph.version > version_before
+        assert len(service.cache) == 0
+        after, stats2 = service.execute([("*", "canada")], k=10)
+        assert not stats2.cache_hit
+        new_root = seda.collection.documents[-1].root.node_id
+        assert any(new_root in r.node_ids for r in after)
+        assert len(after) > len(before)
+
+    def test_version_keyed_entries_unreachable_after_bump(self, seda):
+        service = QueryService(seda, workers=1)
+        service.execute([("*", "canada")], k=5)
+        seda.graph.bump_version()
+        _, stats = service.execute([("*", "canada")], k=5)
+        assert not stats.cache_hit
+
+    def test_shared_caches_rewarmed_after_mutation(self, figure2_collection):
+        """After add_documents the workers must share one freshly
+        computed reachability map, not rebuild private copies."""
+        seda = Seda(figure2_collection)
+        service = seda.query_service(workers=3)
+        before = service._pool[0]._doc_reach
+        assert all(
+            searcher._doc_reach is before for searcher in service._pool
+        )
+        seda.add_documents(["<country>Canada<year>2006</year></country>"])
+        service.execute_batch(BATCH, k=5)
+        after = service._pool[0]._doc_reach
+        assert after is not before
+        assert all(
+            searcher._doc_reach is after for searcher in service._pool
+        )
+        assert all(
+            searcher._reach_version == seda.graph.version
+            for searcher in service._pool
+        )
+
+    def test_version_bumps_on_add_edge(self, seda):
+        before = seda.graph.version
+        nodes = [node.node_id for node in seda.collection.iter_nodes()]
+        seda.graph.add_edge(nodes[0], nodes[-1], EdgeKind.VALUE)
+        assert seda.graph.version == before + 1
+
+
+class TestStats:
+    def test_batch_stats_aggregates(self, seda):
+        service = QueryService(seda, workers=2)
+        _, stats = service.execute_batch(BATCH, k=5)
+        assert stats.queries == len(BATCH)
+        assert stats.throughput > 0
+        assert stats.sorted_accesses > 0
+        assert 0.0 <= stats.hit_rate <= 1.0
+        assert str(stats.queries) in stats.summary()
+
+    def test_query_stats_record(self, seda):
+        service = QueryService(seda, workers=1)
+        _, stats = service.execute(BATCH[0], k=5)
+        payload = stats.as_dict()
+        assert payload["k"] == 5
+        assert payload["latency"] >= 0.0
+        assert payload["sorted_accesses"] > 0
+
+    def test_rejects_bad_worker_count(self, seda):
+        with pytest.raises(ValueError):
+            QueryService(seda, workers=0)
+
+
+class TestServiceReuse:
+    def test_defaults_reuse_configured_service(self, seda):
+        """search_many and parameterless query_service must not clobber
+        an explicitly configured service (its warm cache included)."""
+        configured = seda.query_service(workers=8, cache_size=1024)
+        assert seda.query_service() is configured
+        seda.search_many(BATCH[:2], k=5)
+        assert seda._service is configured
+        assert len(configured.cache) > 0  # warmed by search_many
+
+    def test_explicit_reconfiguration_replaces(self, seda):
+        first = seda.query_service(workers=2)
+        second = seda.query_service(workers=3)
+        assert second is not first
+        assert second.workers == 3
+        assert seda.query_service(workers=3) is second

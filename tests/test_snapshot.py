@@ -281,6 +281,25 @@ class TestSystemSnapshot:
         seda.save(path)
         assert not (tmp_path / "sys.snapshot.tmp").exists()
 
+    def test_graph_version_survives_round_trip(self, seda, loaded):
+        assert loaded.graph.version == seda.graph.version
+
+    def test_graph_version_persists_bumps(self, seda, tmp_path):
+        """A version bumped past the edge count (e.g. by ingestion) must
+        restore exactly, not re-derive from len(edges)."""
+        graph = DataGraph.from_dict(seda.graph.to_dict(), seda.collection)
+        graph.bump_version()
+        assert graph.version == seda.graph.version + 1
+        restored = DataGraph.from_dict(graph.to_dict(), seda.collection)
+        assert restored.version == graph.version
+        assert restored.version != len(restored.edges)
+
+    def test_pre_version_snapshot_defaults_to_edge_count(self, seda):
+        payload = seda.graph.to_dict()
+        del payload["version"]
+        restored = DataGraph.from_dict(payload, seda.collection)
+        assert restored.version == len(restored.edges)
+
 
 class TestSnapshotErrors:
     def _tamper_header(self, path, out_path, **overrides):
