@@ -14,6 +14,7 @@ import json
 import time
 
 from repro.query.term import Query
+from repro.search.scoring import ScoringModel
 from repro.search.topk import TopKSearcher
 from repro.service.query_service import QueryService
 
@@ -58,9 +59,16 @@ def test_batch_throughput_and_identical_results(factbook_seda):
 
     # The seed's serving path: one searcher, one query at a time, no
     # result cache (the reachability cache is warmed outside the clock,
-    # as a long-running single-threaded server would have it).
-    searcher = TopKSearcher(factbook_seda.matcher,
-                            factbook_seda.scoring).warm()
+    # as a long-running single-threaded server would have it).  It gets
+    # a private scoring model and stream store so the two phases don't
+    # warm each other's caches.
+    searcher = TopKSearcher(
+        factbook_seda.matcher,
+        ScoringModel(
+            factbook_seda.collection, factbook_seda.inverted,
+            factbook_seda.graph, max_hops=factbook_seda.max_hops,
+        ),
+    ).warm()
     start = time.perf_counter()
     sequential = [searcher.search(query, k=K) for query in queries]
     seq_time = time.perf_counter() - start

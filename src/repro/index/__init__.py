@@ -14,10 +14,22 @@ Two indexes back the system:
   (our :class:`~repro.model.collection.DocumentCollection` path table).
 
 :class:`IndexBuilder` populates both from a collection in one pass.
+:class:`ImpactStreamStore` sits on top of the inverted index: it caches
+the top-k unit's per-term score streams in columnar, impact-sorted form
+per graph version, shared read-only across query workers and persisted
+through snapshots.
 """
 
 from repro.index.builder import IndexBuilder
 from repro.index.inverted import InvertedIndex, Posting
 from repro.index.path_index import PathIndex
+from repro.index.streams import ImpactStream, ImpactStreamStore
 
-__all__ = ["IndexBuilder", "InvertedIndex", "PathIndex", "Posting"]
+__all__ = [
+    "ImpactStream",
+    "ImpactStreamStore",
+    "IndexBuilder",
+    "InvertedIndex",
+    "PathIndex",
+    "Posting",
+]

@@ -10,6 +10,12 @@ class IndexBuilder:
 
     Incremental: ``build()`` indexes only documents added since the
     previous call, so datasets can be streamed in.
+
+    Indexing is where the scoring pipeline's build-time work happens:
+    each ``InvertedIndex.add_node`` call records positional postings
+    (term frequencies) *and* the node's analyzed token count (the
+    tf-idf length norm), so query-time scoring reads precomputed
+    numbers instead of re-analyzing node text.
     """
 
     def __init__(self, collection, analyzer=None, inverted=None, paths=None,

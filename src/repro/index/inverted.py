@@ -49,6 +49,18 @@ class InvertedIndex:
         self._raw_postings = None
         self._materialize_lock = threading.Lock()
         self._indexed_nodes = 0
+        # Ranking-side precomputation, maintained at build time so the
+        # query loop never re-analyzes node text:
+        #   _node_lengths  node_id -> analyzed token count (the tf-idf
+        #                  length norm is its square root); None means
+        #                  "derive lazily from postings" (old snapshots).
+        #   _tf_maps       term -> {node_id: tf} random-access tables,
+        #                  built per term on first use.
+        #   _idf_cache     term -> idf, valid until the next add_node
+        #                  (the only mutation that changes df or N).
+        self._node_lengths = {}
+        self._tf_maps = {}
+        self._idf_cache = {}
 
     # -- construction -------------------------------------------------------
 
@@ -62,6 +74,9 @@ class InvertedIndex:
             by_term.setdefault(token.text, []).append(token.position)
         for term, positions in by_term.items():
             self._materialized(term).append(Posting(node_id, positions))
+            self._tf_maps.pop(term, None)
+        self._ensure_node_lengths()[node_id] = len(tokens)
+        self._idf_cache.clear()
         self._indexed_nodes += 1
 
     def _materialized(self, term):
@@ -94,6 +109,34 @@ class InvertedIndex:
                         self._raw_postings.pop(term, None)
         return plist
 
+    def _ensure_node_lengths(self):
+        """The node-length table, deriving it from postings if needed.
+
+        Snapshots written before lengths were precomputed (and loaded
+        files whose table was never materialized) carry none; every
+        token occurrence is exactly one posting position, so the table
+        rebuilds as the per-node sum of term frequencies.
+        """
+        lengths = self._node_lengths
+        if lengths is None:
+            with self._materialize_lock:
+                if self._node_lengths is None:
+                    lengths = {}
+                    for plist in self._postings.values():
+                        for posting in plist:
+                            lengths[posting.node_id] = (
+                                lengths.get(posting.node_id, 0)
+                                + len(posting.positions)
+                            )
+                    if self._raw_postings:
+                        for raw in self._raw_postings.values():
+                            for node_id, positions in raw:
+                                lengths[node_id] = (
+                                    lengths.get(node_id, 0) + len(positions)
+                                )
+                    self._node_lengths = lengths
+        return self._node_lengths
+
     # -- snapshot serialization ---------------------------------------------
 
     def to_dict(self):
@@ -108,7 +151,15 @@ class InvertedIndex:
         if self._raw_postings:
             # Never-touched terms from a previous snapshot pass through.
             postings.update(self._raw_postings)
-        return {"indexed_nodes": self._indexed_nodes, "postings": postings}
+        payload = {"indexed_nodes": self._indexed_nodes, "postings": postings}
+        if self._node_lengths is not None:
+            # Parallel lists, not a dict: JSON would coerce int keys to
+            # strings (and orjson rejects them outright).
+            ids = sorted(self._node_lengths)
+            payload["node_lengths"] = [
+                ids, [self._node_lengths[node_id] for node_id in ids]
+            ]
+        return payload
 
     @classmethod
     def from_dict(cls, payload, analyzer):
@@ -120,6 +171,12 @@ class InvertedIndex:
         index = cls(analyzer)
         index._indexed_nodes = payload["indexed_nodes"]
         index._raw_postings = payload["postings"]
+        lengths = payload.get("node_lengths")
+        if lengths is None:
+            index._node_lengths = None  # derive lazily on first use
+        else:
+            ids, counts = lengths
+            index._node_lengths = dict(zip(ids, counts))
         return index
 
     # -- lookups -----------------------------------------------------------
@@ -152,9 +209,44 @@ class InvertedIndex:
         return len(plist) if plist is not None else 0
 
     def inverse_document_frequency(self, term):
-        """Smoothed idf; unknown terms get the maximum idf."""
-        df = self.document_frequency(term)
-        return math.log((self._indexed_nodes + 1) / (df + 1)) + 1.0
+        """Smoothed idf; unknown terms get the maximum idf.
+
+        Cached per term; :meth:`add_node` -- the only mutation that
+        changes a document frequency or the node count -- clears the
+        cache, so readers never see a stale value.
+        """
+        idf = self._idf_cache.get(term)
+        if idf is None:
+            df = self.document_frequency(term)
+            idf = math.log((self._indexed_nodes + 1) / (df + 1)) + 1.0
+            self._idf_cache[term] = idf
+        return idf
+
+    def node_length(self, node_id):
+        """Analyzed token count of one node's direct text (0 if none).
+
+        The tf-idf length norm is ``node_length ** 0.5`` -- precomputed
+        at build time so scoring never re-tokenizes node text.
+        """
+        return self._ensure_node_lengths().get(node_id, 0)
+
+    def term_frequencies(self, term):
+        """Random-access ``node_id -> tf`` table for ``term``.
+
+        Built once per term from the posting list and cached;
+        :meth:`add_node` invalidates exactly the terms it touches.
+        Concurrent first calls may both build the (identical) table --
+        one assignment wins, which is safe because entries are pure
+        functions of the posting list.
+        """
+        table = self._tf_maps.get(term)
+        if table is None:
+            table = {
+                posting.node_id: len(posting.positions)
+                for posting in self.postings(term)
+            }
+            self._tf_maps[term] = table
+        return table
 
     def vocabulary(self):
         if self._raw_postings:

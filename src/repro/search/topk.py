@@ -18,24 +18,52 @@ Partner enumeration is restricted to nodes in *reachable documents*
 (same document, or one cross-document link away): compactness is
 monotone in graph distance, and nodes further apart than ``max_hops``
 cannot form a valid tuple at all (Definition 4 connectivity).
+
+Hot-path engineering on top of the paper's algorithm:
+
+* **Impact streams** -- a term's stream is built once per graph
+  version, stored columnar in an :class:`ImpactStreamStore` (shared
+  across workers, persisted through snapshots), and thereafter sorted
+  access is an index into two flat arrays instead of a re-analysis of
+  every candidate's text.
+* **Bound-based pruning** -- before a candidate tuple's structural
+  distances are computed, its upper bound (the mean of its known
+  content scores at the best compactness ``m`` distinct nodes can
+  reach, ``1/m``) is compared to the current k-th heap score; a combo
+  that cannot strictly beat it is counted in ``stats["pruned"]`` and
+  skipped.  Only strictly-worse bounds are pruned, so tied tuples
+  still reach the deterministic tie-break and answers are unchanged.
+  The TA stopping threshold keeps the seed's compactness-1 rule.
+
+Both optimizations are disabled when the scoring model runs with
+``precomputed=False`` -- the benchmark equivalence baseline that
+recomputes everything per query, seed-style.
 """
 
 import collections
 import heapq
 import itertools
 
+from repro.index.streams import ImpactStream, ImpactStreamStore
 from repro.search.result import ResultTuple
+
+#: Sentinel for inline distance-memo probes (None is a cached value).
+_MISSING = object()
 
 
 class TopKSearcher:
     """TA-style top-k evaluation of SEDA queries."""
 
     def __init__(self, matcher, scoring, partner_limit=200,
-                 allow_repeats=False):
+                 allow_repeats=False, streams=None):
         self.matcher = matcher
         self.scoring = scoring
         self.partner_limit = partner_limit
         self.allow_repeats = allow_repeats
+        #: Shared per-term stream cache.  Pass the system's store so
+        #: every searcher over the same indexes reuses one set of
+        #: streams; a private store is created otherwise.
+        self.streams = streams if streams is not None else ImpactStreamStore()
         self.stats = {}
         self._doc_reach = None
         self._reach_version = -1
@@ -51,12 +79,13 @@ class TopKSearcher:
         self.stats = {
             "sorted_accesses": 0,
             "tuples_scored": 0,
+            "pruned": 0,
             "early_stop": False,
             "candidates": [],
         }
         streams = [self._stream(term) for term in terms]
         self.stats["candidates"] = [len(stream) for stream in streams]
-        if any(not stream for stream in streams):
+        if any(len(stream) == 0 for stream in streams):
             return []
         if len(terms) == 1:
             return self._single_term(streams[0], terms, k)
@@ -64,19 +93,20 @@ class TopKSearcher:
         doc_reach = self._document_reachability()
         seen_by_doc = [collections.defaultdict(list) for _ in terms]
         seen_scores = [dict() for _ in terms]
-        frontiers = [stream[0][0] for stream in streams]
+        frontiers = [stream.scores[0] for stream in streams]
         cursors = [0] * len(terms)
         heap = []  # min-heap of (score, tiebreak, ResultTuple)
-        tried = set()
         exhausted = 0
 
         while exhausted < len(terms):
             exhausted = 0
             for i, stream in enumerate(streams):
-                if cursors[i] >= len(stream):
+                cursor = cursors[i]
+                if cursor >= len(stream):
                     exhausted += 1
                     continue
-                score, node_id = stream[cursors[i]]
+                score = stream.scores[cursor]
+                node_id = stream.node_ids[cursor]
                 cursors[i] += 1
                 frontiers[i] = score
                 self.stats["sorted_accesses"] += 1
@@ -85,9 +115,9 @@ class TopKSearcher:
                 seen_by_doc[i][doc_id].append(node_id)
                 self._combine(
                     i, node_id, score, terms, seen_by_doc, seen_scores,
-                    doc_reach, tried, heap, k,
+                    doc_reach, heap, k,
                 )
-            if len(heap) >= k:
+            if k is not None and len(heap) >= k:
                 threshold = self.scoring.upper_bound(frontiers)
                 if heap[0][0] >= threshold:
                     self.stats["early_stop"] = True
@@ -100,14 +130,35 @@ class TopKSearcher:
     # -- internals --------------------------------------------------------------
 
     def _stream(self, term):
-        """Sorted (content_score desc, node_id) access stream for a term."""
+        """Impact-ordered stream for ``term``, cached per graph version.
+
+        With precomputation on, the stream is built at most once per
+        ``(term, graph version)`` across every searcher sharing the
+        store; repeated queries get the columnar arrays back in O(1).
+        """
+        if not self.scoring.precomputed:
+            return self._build_stream(term)
+        version = self.scoring.graph.version
+        key = term.cache_key()
+        cached = self.streams.get(key, version)
+        if cached is not None:
+            return cached
+        # Match-all streams (every context-matching node at score 1.0)
+        # stay in memory but out of snapshots: cheap to rebuild, large
+        # to store.
+        return self.streams.put(
+            key, version, self._build_stream(term),
+            persist=not term.is_match_all,
+        )
+
+    def _build_stream(self, term):
+        """Score and impact-sort a term's candidates (the slow build)."""
         scored = []
         for node_id in self.matcher.candidates(term):
             score = self.scoring.content_score(node_id, term)
             if score > 0.0:
                 scored.append((score, node_id))
-        scored.sort(key=lambda pair: (-pair[0], pair[1]))
-        return scored
+        return ImpactStream.from_scored(scored)
 
     def _single_term(self, stream, terms, k):
         """One-term queries need no combination: stream order is final.
@@ -116,9 +167,15 @@ class TopKSearcher:
         content score and the stream is already the answer.
         """
         results = []
-        for score, node_id in stream[: k if k is not None else None]:
+        count = len(stream) if k is None else min(k, len(stream))
+        for index in range(count):
+            score = stream.scores[index]
             combined = self.scoring.combine([score], 1.0)
-            results.append(ResultTuple((node_id,), (score,), 1.0, combined))
+            results.append(
+                ResultTuple(
+                    (stream.node_ids[index],), (score,), 1.0, combined
+                )
+            )
         self.stats["early_stop"] = len(stream) > len(results)
         return results
 
@@ -152,21 +209,257 @@ class TopKSearcher:
         per-document edge index for the current graph version.  The
         query service calls this once before dispatching work so that
         concurrent workers only ever *read* the shared structures.
+        (Impact streams warm lazily, term by term, on first use --
+        their store is already shared.)
         """
         self._document_reachability()
         self.scoring._edge_index()
         return self
 
     def share_read_caches(self, source):
-        """Adopt ``source``'s computed document-reachability cache.
+        """Adopt ``source``'s computed shared caches.
 
-        The map is read-only during search, so worker searchers in a
-        query service share one instance instead of each building an
-        identical copy.
+        Worker searchers in a query service share one instance of every
+        read-only derived structure instead of each building identical
+        copies: the document-reachability map, the impact-stream store,
+        and -- when the workers carry separate scoring models -- the
+        scoring side's per-document edge index and pair-distance memo.
         """
         self._doc_reach = source._doc_reach
         self._reach_version = source._reach_version
+        self.streams = source.streams
+        if self.scoring is not source.scoring:
+            self.scoring.adopt_caches(source.scoring)
         return self
+
+    def _combine_pair(self, i, node_id, score, seen_scores, partners,
+                      heap, k, prune):
+        """The two-term hot loop, with tail pruning.
+
+        Partners are visited in descending score order (ties by node
+        id), so the candidate means only shrink along the loop: the
+        first combo whose upper bound falls strictly below the k-th
+        heap score proves every remaining combo does too, and the whole
+        tail is pruned at once.  The final heap holds the top-k combos
+        under a strict total order (score, then node-id tiebreak), so
+        visiting order changes no answer.  Distance memo hits are read
+        inline (one dict probe) and reported to the scoring model's
+        counters in bulk.
+        """
+        scoring = self.scoring
+        stats = self.stats
+        j = 1 - i
+        scores_j = seen_scores[j]
+        ordered = sorted(
+            partners, key=lambda partner: (-scores_j[partner], partner)
+        )
+        cache = scoring.pair_cache() if scoring.precomputed else None
+        memo_hits = 0
+        for index, partner in enumerate(ordered):
+            if partner == node_id:
+                continue
+            combo = (node_id, partner) if i == 0 else (partner, node_id)
+            partner_score = scores_j[partner]
+            mean = (score + partner_score) / 2
+            if prune and len(heap) >= k and mean * 0.5 < heap[0][0]:
+                # Everything after this partner scores no better; count
+                # only combos that could actually have formed.
+                stats["pruned"] += sum(
+                    1 for tail in ordered[index:] if tail != node_id
+                )
+                break
+            if cache is None:
+                distance = scoring.pair_distance(node_id, partner)
+            else:
+                key = (
+                    (node_id, partner) if node_id <= partner
+                    else (partner, node_id)
+                )
+                distance = cache.get(key, _MISSING)
+                if distance is _MISSING:
+                    distance = scoring.pair_distance(node_id, partner)
+                else:
+                    memo_hits += 1
+            stats["tuples_scored"] += 1
+            if distance is None:
+                continue
+            total = mean * (1.0 / (1.0 + distance))
+            if k is None or len(heap) < k:
+                content_scores = (
+                    (score, partner_score) if i == 0
+                    else (partner_score, score)
+                )
+                entry = (
+                    total,
+                    (-combo[0], -combo[1]),
+                    ResultTuple(
+                        combo, content_scores,
+                        1.0 / (1.0 + distance), total,
+                    ),
+                )
+                heapq.heappush(heap, entry)
+            elif total >= heap[0][0]:
+                tiebreak = (-combo[0], -combo[1])
+                if (total, tiebreak) > (heap[0][0], heap[0][1]):
+                    content_scores = (
+                        (score, partner_score) if i == 0
+                        else (partner_score, score)
+                    )
+                    heapq.heapreplace(
+                        heap,
+                        (
+                            total,
+                            tiebreak,
+                            ResultTuple(
+                                combo, content_scores,
+                                1.0 / (1.0 + distance), total,
+                            ),
+                        ),
+                    )
+        if memo_hits:
+            scoring.pair_hits += memo_hits
+
+    def _combine_triple(self, i, node_id, score, seen_scores, partner_lists,
+                        heap, k, prune):
+        """The three-term hot loop: nested descending-order iteration.
+
+        Same shape as :meth:`_combine_pair`, one level deeper: both
+        partner lists are visited in descending score order, so a
+        failing bound prunes the rest of the inner list, and a bound
+        that fails even against the inner list's *best* score prunes
+        every remaining outer partner as well.  Means are accumulated
+        in term order (IEEE addition is not associative), so totals are
+        bit-identical to the generic path.
+        """
+        scoring = self.scoring
+        stats = self.stats
+        j1, j2 = (j for j in range(3) if j != i)
+        scores_1, scores_2 = seen_scores[j1], seen_scores[j2]
+        first = sorted(
+            partner_lists[j1], key=lambda p: (-scores_1[p], p)
+        )
+        second = sorted(
+            partner_lists[j2], key=lambda p: (-scores_2[p], p)
+        )
+        best_second = scores_2[second[0]]
+        cache = scoring.pair_cache() if scoring.precomputed else None
+        memo_hits = 0
+        third = 1.0 / 3.0
+        for outer_index, a in enumerate(first):
+            if a == node_id:
+                continue
+            score_a = scores_1[a]
+            if prune and len(heap) >= k:
+                # Even paired with the inner list's best partner this
+                # outer partner cannot reach the k-th heap score; the
+                # remaining (lower-scored) outer partners cannot
+                # either.  The mean is formed in term order below; for
+                # the bound the max over permutations is what matters,
+                # and addition is commutative, so this test is exact.
+                best_mean = (
+                    (score + score_a + best_second) / 3 if i == 0
+                    else (score_a + score + best_second) / 3 if i == 1
+                    else (score_a + best_second + score) / 3
+                )
+                if best_mean * third < heap[0][0]:
+                    # Count only combos that could actually have
+                    # formed: exclude the new node and a == b repeats.
+                    second_set = set(second)
+                    base = len(second) - (node_id in second_set)
+                    for tail in first[outer_index:]:
+                        if tail != node_id:
+                            stats["pruned"] += base - (tail in second_set)
+                    break
+            for inner_index, b in enumerate(second):
+                if b == node_id or b == a:
+                    continue
+                score_b = scores_2[b]
+                if i == 0:
+                    combo = (node_id, a, b)
+                    mean = (score + score_a + score_b) / 3
+                elif i == 1:
+                    combo = (a, node_id, b)
+                    mean = (score_a + score + score_b) / 3
+                else:
+                    combo = (a, b, node_id)
+                    mean = (score_a + score_b + score) / 3
+                if prune and len(heap) >= k and mean * third < heap[0][0]:
+                    # Every later inner partner scores no better; count
+                    # only combos that could actually have formed.
+                    stats["pruned"] += sum(
+                        1 for tail in second[inner_index:]
+                        if tail != node_id and tail != a
+                    )
+                    break
+                anchor = combo[0]
+                other_1, other_2 = combo[1], combo[2]
+                if cache is None:
+                    distance_1 = scoring.pair_distance(anchor, other_1)
+                    distance_2 = (
+                        None if distance_1 is None
+                        else scoring.pair_distance(anchor, other_2)
+                    )
+                else:
+                    key = (
+                        (anchor, other_1) if anchor <= other_1
+                        else (other_1, anchor)
+                    )
+                    distance_1 = cache.get(key, _MISSING)
+                    if distance_1 is _MISSING:
+                        distance_1 = scoring.pair_distance(anchor, other_1)
+                    else:
+                        memo_hits += 1
+                    if distance_1 is None:
+                        distance_2 = None
+                    else:
+                        key = (
+                            (anchor, other_2) if anchor <= other_2
+                            else (other_2, anchor)
+                        )
+                        distance_2 = cache.get(key, _MISSING)
+                        if distance_2 is _MISSING:
+                            distance_2 = scoring.pair_distance(
+                                anchor, other_2
+                            )
+                        else:
+                            memo_hits += 1
+                stats["tuples_scored"] += 1
+                if distance_1 is None or distance_2 is None:
+                    continue
+                compactness = 1.0 / (1.0 + (distance_1 + distance_2))
+                total = mean * compactness
+                if k is None or len(heap) < k:
+                    contents = (
+                        (score, score_a, score_b) if i == 0
+                        else (score_a, score, score_b) if i == 1
+                        else (score_a, score_b, score)
+                    )
+                    entry = (
+                        total,
+                        (-combo[0], -combo[1], -combo[2]),
+                        ResultTuple(combo, contents, compactness, total),
+                    )
+                    heapq.heappush(heap, entry)
+                elif total >= heap[0][0]:
+                    tiebreak = (-combo[0], -combo[1], -combo[2])
+                    if (total, tiebreak) > (heap[0][0], heap[0][1]):
+                        contents = (
+                            (score, score_a, score_b) if i == 0
+                            else (score_a, score, score_b) if i == 1
+                            else (score_a, score_b, score)
+                        )
+                        heapq.heapreplace(
+                            heap,
+                            (
+                                total,
+                                tiebreak,
+                                ResultTuple(
+                                    combo, contents, compactness, total
+                                ),
+                            ),
+                        )
+        if memo_hits:
+            scoring.pair_hits += memo_hits
 
     def _partners(self, j, docs, seen_by_doc, seen_scores):
         """Highest-scoring seen nodes of term ``j`` within ``docs``."""
@@ -183,13 +476,28 @@ class TopKSearcher:
         return partners
 
     def _combine(self, i, node_id, score, terms, seen_by_doc, seen_scores,
-                 doc_reach, tried, heap, k):
-        """Form and score all tuples that include the newly seen node."""
+                 doc_reach, heap, k):
+        """Form and score all tuples that include the newly seen node.
+
+        Every combo is formed exactly once across the whole search: the
+        forming event is the arrival of its last member (at any earlier
+        member's arrival the rest is missing from the seen tables), so
+        no dedup bookkeeping is needed.
+
+        This is the hottest loop in the system; the common shapes
+        (two- and three-term queries at the default unit weights) take
+        specialized paths with the scoring arithmetic inlined
+        (``x ** 1.0 == x`` exactly, so the inline product is
+        bit-identical to :meth:`ScoringModel.score_tuple`), partners in
+        descending score order for tail pruning, and heap entries only
+        materialized for combos that actually enter the heap.
+        """
         collection = self.matcher.collection
         doc_id = collection.node(node_id).doc_id
         docs = {doc_id} | doc_reach.get(doc_id, set())
+        m = len(terms)
         partner_lists = []
-        for j in range(len(terms)):
+        for j in range(m):
             if j == i:
                 partner_lists.append([node_id])
                 continue
@@ -197,35 +505,93 @@ class TopKSearcher:
             if not partners:
                 return
             partner_lists.append(partners)
+        scoring = self.scoring
+        stats = self.stats
+        allow_repeats = self.allow_repeats
+        prune = scoring.precomputed and k is not None
+        # m distinct nodes are pairwise at distance >= 1, so the star
+        # approximation's size is at least m - 1 and compactness at most
+        # 1/m; with repeats allowed nodes can coincide and the cap is 1.
+        compactness_cap = 1.0 if allow_repeats else 1.0 / m
+        plain_weights = (
+            scoring.content_weight == 1.0 and scoring.structure_weight == 1.0
+        )
+        if plain_weights and not allow_repeats:
+            if m == 2:
+                self._combine_pair(
+                    i, node_id, score, seen_scores,
+                    partner_lists[1 - i], heap, k, prune,
+                )
+                return
+            if m == 3:
+                self._combine_triple(
+                    i, node_id, score, seen_scores, partner_lists,
+                    heap, k, prune,
+                )
+                return
         for combo in itertools.product(*partner_lists):
-            if not self.allow_repeats and len(set(combo)) < len(combo):
+            if not allow_repeats and len(set(combo)) < len(combo):
                 continue
-            if combo in tried:
-                continue
-            tried.add(combo)
+            # Every combo member was drawn from the seen tables, so its
+            # content score is already known -- a dict lookup, never a
+            # recomputation.
             content_scores = [
-                seen_scores[j].get(combo[j])
-                if combo[j] in seen_scores[j]
-                else self.scoring.content_score(combo[j], terms[j])
-                for j in range(len(terms))
+                seen_scores[j][combo[j]] for j in range(m)
             ]
-            scored = self.scoring.score_tuple(
-                combo, terms, content_scores=content_scores
-            )
-            self.stats["tuples_scored"] += 1
-            if scored is None:
-                continue
-            total, contents, compactness = scored
-            entry = (
-                total,
-                tuple(-nid for nid in combo),
-                ResultTuple(combo, contents, compactness, total),
-            )
+            if plain_weights:
+                mean = sum(content_scores) / m
+                if prune and len(heap) >= k:
+                    # The true score is the bound shrunk by the actual
+                    # compactness <= cap, so a bound strictly below the
+                    # k-th heap score can never enter the heap -- skip
+                    # the (expensive) structural distance work
+                    # entirely.  Bounds *equal* to the k-th score are
+                    # not pruned: at cap compactness the tuple could
+                    # still win on the deterministic tie-break.
+                    if mean * compactness_cap < heap[0][0]:
+                        stats["pruned"] += 1
+                        continue
+                compactness = scoring.compactness(combo)
+                stats["tuples_scored"] += 1
+                if compactness is None:
+                    continue
+                total = mean * compactness
+            else:
+                if prune and len(heap) >= k:
+                    bound = scoring.upper_bound(
+                        content_scores, compactness_cap
+                    )
+                    if bound < heap[0][0]:
+                        stats["pruned"] += 1
+                        continue
+                scored = scoring.score_tuple(
+                    combo, terms, content_scores=content_scores
+                )
+                stats["tuples_scored"] += 1
+                if scored is None:
+                    continue
+                total, content_scores, compactness = scored
             if k is None or len(heap) < k:
+                entry = (
+                    total,
+                    tuple(-nid for nid in combo),
+                    ResultTuple(combo, content_scores, compactness, total),
+                )
                 heapq.heappush(heap, entry)
-            elif (total, entry[1]) > (heap[0][0], heap[0][1]):
+            elif total >= heap[0][0]:
                 # Compare the tiebreak too, not just the score: among
                 # equal-score tuples the survivor must be decided by the
                 # deterministic key (lexicographically smaller node ids
                 # win), never by stream arrival order.
-                heapq.heapreplace(heap, entry)
+                tiebreak = tuple(-nid for nid in combo)
+                if (total, tiebreak) > (heap[0][0], heap[0][1]):
+                    heapq.heapreplace(
+                        heap,
+                        (
+                            total,
+                            tiebreak,
+                            ResultTuple(
+                                combo, content_scores, compactness, total
+                            ),
+                        ),
+                    )

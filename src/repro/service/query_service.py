@@ -19,7 +19,11 @@ Threading model
 * The two derived caches the top-k unit depends on -- the
   document-reachability map and the scoring model's per-document edge
   index -- are computed **once**, before any worker runs
-  (:meth:`TopKSearcher.warm`), then shared read-only.
+  (:meth:`TopKSearcher.warm`), then shared read-only.  Workers also
+  share the system's impact-stream store (per-term score streams,
+  built at most once per graph version) and the scoring model's
+  pair-distance memo; both are safe to grow concurrently (GIL-atomic
+  dict operations, idempotent values).
 * Results are cached in a thread-safe LRU keyed on
   ``(normalized query, k, graph version)``.  ``Seda.add_documents``
   bumps the graph version and invalidates the cache, so mutation and
@@ -55,7 +59,8 @@ class QueryService:
         self.workers = workers
         self.cache = ResultCache(cache_size)
         self._pool = [
-            TopKSearcher(system.matcher, system.scoring)
+            TopKSearcher(system.matcher, system.scoring,
+                         streams=system.streams)
             for _ in range(workers)
         ]
         self._warm_lock = threading.Lock()
@@ -119,6 +124,7 @@ class QueryService:
                 key, k, 0.0, cache_hit=False,
                 sorted_accesses=raw["sorted_accesses"],
                 tuples_scored=raw["tuples_scored"],
+                pruned=raw["pruned"],
                 early_stop=raw["early_stop"],
             )
         finally:
@@ -140,6 +146,7 @@ class QueryService:
         self._refresh_shared_caches()
         version = self.system.graph.version
         keys = [(query.cache_key(), k, version) for query in parsed]
+        counters_before = self._scoring_counters()
         start = time.perf_counter()
         unique = {}
         for query, key in zip(parsed, keys):
@@ -169,7 +176,21 @@ class QueryService:
                 stats = QueryStats(key, k, 0.0, cache_hit=True)
             reported.add(key)
             per_query.append(stats)
-        return results, BatchStats(per_query, wall, self.workers)
+        counters_after = self._scoring_counters()
+        scoring_caches = {
+            name: counters_after[name] - counters_before[name]
+            for name in counters_after
+        }
+        return results, BatchStats(
+            per_query, wall, self.workers, scoring_caches=scoring_caches
+        )
+
+    def _scoring_counters(self):
+        """Cumulative shared-cache counters (impact streams + distance
+        memo); batch stats report the delta across one batch."""
+        counters = dict(self.system.streams.counters())
+        counters.update(self.system.scoring.counters())
+        return counters
 
     # -- maintenance ----------------------------------------------------------
 

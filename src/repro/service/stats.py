@@ -20,17 +20,20 @@ class QueryStats:
         "cache_hit",
         "sorted_accesses",
         "tuples_scored",
+        "pruned",
         "early_stop",
     )
 
     def __init__(self, cache_key, k, latency, cache_hit,
-                 sorted_accesses=0, tuples_scored=0, early_stop=False):
+                 sorted_accesses=0, tuples_scored=0, pruned=0,
+                 early_stop=False):
         self.cache_key = cache_key
         self.k = k
         self.latency = latency
         self.cache_hit = cache_hit
         self.sorted_accesses = sorted_accesses
         self.tuples_scored = tuples_scored
+        self.pruned = pruned
         self.early_stop = early_stop
 
     def as_dict(self):
@@ -46,12 +49,19 @@ class QueryStats:
 
 
 class BatchStats:
-    """Aggregate record for one :meth:`QueryService.execute_batch` call."""
+    """Aggregate record for one :meth:`QueryService.execute_batch` call.
 
-    def __init__(self, per_query, wall_time, workers):
+    ``scoring_caches`` carries the scoring pipeline's shared-cache
+    activity **during this batch** (deltas of cumulative counters):
+    ``stream_hits``/``stream_misses`` for the impact-stream store and
+    ``distance_hits``/``distance_misses`` for the pair-distance memo.
+    """
+
+    def __init__(self, per_query, wall_time, workers, scoring_caches=None):
         self.per_query = list(per_query)
         self.wall_time = wall_time
         self.workers = workers
+        self.scoring_caches = dict(scoring_caches or {})
 
     @property
     def queries(self):
@@ -82,6 +92,33 @@ class BatchStats:
     def tuples_scored(self):
         return sum(stats.tuples_scored for stats in self.per_query)
 
+    @property
+    def pruned(self):
+        """Candidate tuples skipped by the content-score upper bound."""
+        return sum(stats.pruned for stats in self.per_query)
+
+    @staticmethod
+    def _rate(hits, misses):
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def stream_hit_rate(self):
+        """Impact-stream store hit rate during this batch."""
+        caches = self.scoring_caches
+        return self._rate(
+            caches.get("stream_hits", 0), caches.get("stream_misses", 0)
+        )
+
+    @property
+    def distance_hit_rate(self):
+        """Pair-distance memo hit rate during this batch."""
+        caches = self.scoring_caches
+        return self._rate(
+            caches.get("distance_hits", 0),
+            caches.get("distance_misses", 0),
+        )
+
     def summary(self):
         """One-line human-readable digest (CLI and benchmark output)."""
         return (
@@ -89,7 +126,10 @@ class BatchStats:
             f"({self.throughput:.0f} q/s, {self.workers} workers, "
             f"{self.cache_hits} cache hits, "
             f"hit rate {self.hit_rate:.0%}, "
-            f"{self.sorted_accesses} sorted accesses)"
+            f"{self.sorted_accesses} sorted accesses, "
+            f"{self.pruned} pruned, "
+            f"stream cache {self.stream_hit_rate:.0%}, "
+            f"distance cache {self.distance_hit_rate:.0%})"
         )
 
     def __repr__(self):

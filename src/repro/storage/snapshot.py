@@ -11,16 +11,19 @@ Snapshot format (JSON lines, UTF-8):
 
 * Line 1 is the **header**::
 
-      {"record": "header", "format": "seda-snapshot", "version": 1,
+      {"record": "header", "format": "seda-snapshot", "version": 2,
        "meta": {...}}
 
   ``format`` and ``version`` gate compatibility: readers reject files
-  whose format string differs or whose version is not the supported
-  one (there is no cross-version migration; re-save from source data
-  instead).  ``meta`` carries system-level configuration -- collection
-  name, ``max_hops``, the dataguide merge threshold, the analyzer
-  configuration, and any value-link specs -- everything needed to
-  reconstruct behavior-affecting settings.
+  whose format string differs or whose version is not a supported one
+  (there is no cross-version migration; re-save from source data
+  instead).  Version 2 added the optional ``streams`` record and the
+  inverted index's precomputed node lengths; version-1 files are still
+  readable -- the additions are derived or rebuilt lazily.  ``meta``
+  carries system-level configuration -- collection name, ``max_hops``,
+  the dataguide merge threshold, the analyzer configuration, and any
+  value-link specs -- everything needed to reconstruct
+  behavior-affecting settings.
 
 * Each following line is one **component record**::
 
@@ -29,16 +32,20 @@ Snapshot format (JSON lines, UTF-8):
   with one record per component, written in a fixed order: ``collection``
   (flat node lists per document -- no XML text, so loading bypasses the
   parser), ``graph`` (non-tree edges by node id), ``inverted`` (postings
-  with positions), ``path_index`` (keyword/tag -> path tables),
-  ``node_store`` (Dewey-ordered streams), ``dataguides`` (the exact
-  :meth:`DataguideSet.to_dict` payload, same as its standalone ``save``
-  format), and ``registry`` (fact/dimension definitions).
+  with positions and per-node token counts), ``path_index``
+  (keyword/tag -> path tables), ``node_store`` (Dewey-ordered streams),
+  ``dataguides`` (the exact :meth:`DataguideSet.to_dict` payload, same
+  as its standalone ``save`` format), and ``registry`` (fact/dimension
+  definitions); optionally followed by ``streams`` (the materialized
+  impact-ordered per-term score streams at the saved graph version, so
+  a reloaded system serves its hot terms without rebuilding them).
 
 Compatibility rules: unknown record types are rejected (they signal a
-newer writer); missing required records are rejected; node ids embedded
-in component payloads are only meaningful relative to the collection
-record in the same file.  Writers always emit via a temp file and
-atomic rename, so a crash never leaves a torn snapshot behind.
+newer writer); missing required records are rejected (optional records
+may be absent); node ids embedded in component payloads are only
+meaningful relative to the collection record in the same file.  Writers
+always emit via a temp file and atomic rename, so a crash never leaves
+a torn snapshot behind.
 """
 
 import json
@@ -50,7 +57,12 @@ except ImportError:  # pragma: no cover - environment-dependent
     _fastjson = None
 
 SNAPSHOT_FORMAT = "seda-snapshot"
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
+
+#: Versions this reader accepts.  Version 1 lacked the ``streams``
+#: record and the inverted index's node lengths; both restore as
+#: empty/derived, so old files load unchanged.
+SUPPORTED_VERSIONS = (1, SNAPSHOT_VERSION)
 
 #: Component records every complete snapshot must contain.
 REQUIRED_RECORDS = (
@@ -62,6 +74,11 @@ REQUIRED_RECORDS = (
     "dataguides",
     "registry",
 )
+
+#: Component records a snapshot may carry but a reader must not demand.
+OPTIONAL_RECORDS = ("streams",)
+
+_KNOWN_RECORDS = frozenset(REQUIRED_RECORDS) | frozenset(OPTIONAL_RECORDS)
 
 
 class SnapshotError(ValueError):
@@ -85,7 +102,8 @@ def write_snapshot(path, meta, records):
 
     ``meta`` is the header's system-level metadata; ``records`` maps
     component name -> JSON-serializable payload and must cover
-    :data:`REQUIRED_RECORDS`.
+    :data:`REQUIRED_RECORDS`; :data:`OPTIONAL_RECORDS` entries are
+    written when present.
     """
     missing = [name for name in REQUIRED_RECORDS if name not in records]
     if missing:
@@ -102,6 +120,10 @@ def write_snapshot(path, meta, records):
         for name in REQUIRED_RECORDS:
             record = {"record": name, "payload": records[name]}
             handle.write(_dumps(record) + "\n")
+        for name in OPTIONAL_RECORDS:
+            if name in records:
+                record = {"record": name, "payload": records[name]}
+                handle.write(_dumps(record) + "\n")
     os.replace(tmp_path, path)
 
 
@@ -117,10 +139,11 @@ def _read_header(line, path):
             f"{path}: not a {SNAPSHOT_FORMAT} file "
             f"(format={header.get('format')!r})"
         )
-    if header.get("version") != SNAPSHOT_VERSION:
+    if header.get("version") not in SUPPORTED_VERSIONS:
         raise SnapshotError(
             f"{path}: unsupported snapshot version "
-            f"{header.get('version')!r} (supported: {SNAPSHOT_VERSION})"
+            f"{header.get('version')!r} "
+            f"(supported: {', '.join(map(str, SUPPORTED_VERSIONS))})"
         )
     return header
 
@@ -148,7 +171,7 @@ def read_snapshot(path):
                     f"{path}:{number}: torn record (invalid JSON)"
                 ) from error
             name = record.get("record") if isinstance(record, dict) else None
-            if name not in REQUIRED_RECORDS:
+            if name not in _KNOWN_RECORDS:
                 raise SnapshotError(
                     f"{path}:{number}: unknown record type {name!r}"
                 )

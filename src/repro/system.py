@@ -26,6 +26,7 @@ from repro.cube.registry import Registry
 from repro.index.builder import IndexBuilder
 from repro.index.inverted import InvertedIndex
 from repro.index.path_index import PathIndex
+from repro.index.streams import ImpactStreamStore
 from repro.metrics import SessionEffort
 from repro.model.collection import DocumentCollection
 from repro.model.graph import DataGraph
@@ -68,7 +69,7 @@ class Seda:
 
     def _wire(self, *, collection, graph, builder, inverted, path_index,
               node_store, dataguide_builder, dataguides, registry,
-              value_links, max_hops):
+              value_links, max_hops, streams=None):
         """Attach fully built components (shared by ``__init__``/``load``)."""
         self.collection = collection
         self.graph = graph
@@ -86,7 +87,12 @@ class Seda:
         self.scoring = ScoringModel(
             collection, inverted, graph, max_hops=max_hops
         )
-        self.topk = TopKSearcher(self.matcher, self.scoring)
+        # One impact-stream store per system: the facade's searcher, any
+        # bare searchers built against this system, and every query
+        # service worker share the same materialized per-term streams.
+        self.streams = streams if streams is not None else ImpactStreamStore()
+        self.topk = TopKSearcher(self.matcher, self.scoring,
+                                 streams=self.streams)
         self._service = None  # created lazily by query_service()
         self.context_generator = ContextSummaryGenerator(self.matcher)
         self._refresh_generators()
@@ -183,6 +189,10 @@ class Seda:
             "node_store": self.node_store.to_dict(),
             "dataguides": self.dataguides.to_dict(),
             "registry": self.registry.to_dict(),
+            # Materialized impact streams for the current graph version:
+            # a reloaded system answers its hot terms from these without
+            # re-enumerating or re-scoring candidates.
+            "streams": self.streams.to_dict(version=self.graph.version),
         }
         write_snapshot(path, meta, records)
 
@@ -213,6 +223,11 @@ class Seda:
             ValueLinkSpec.from_dict(record)
             for record in meta.get("value_links", ())
         )
+        streams = (
+            ImpactStreamStore.from_dict(records["streams"])
+            if "streams" in records
+            else None  # version-1 snapshot: start with an empty store
+        )
         system = cls.__new__(cls)
         system._wire(
             collection=collection, graph=graph, builder=builder,
@@ -220,6 +235,7 @@ class Seda:
             dataguide_builder=DataguideBuilder.from_set(dataguides),
             dataguides=dataguides, registry=registry,
             value_links=value_links, max_hops=meta["max_hops"],
+            streams=streams,
         )
         return system
 

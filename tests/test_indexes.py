@@ -83,6 +83,58 @@ class TestInvertedIndex:
         assert Posting(1, (0,)) == Posting(1, (0,))
         assert Posting(1, (0,)) != Posting(2, (0,))
 
+    def test_node_lengths_recorded_at_build_time(self):
+        index = InvertedIndex(Analyzer())
+        index.add_node(1, "alpha beta alpha")
+        index.add_node(2, "gamma")
+        assert index.node_length(1) == 3
+        assert index.node_length(2) == 1
+        assert index.node_length(99) == 0
+
+    def test_node_lengths_survive_snapshot(self):
+        index = InvertedIndex(Analyzer())
+        index.add_node(1, "alpha beta alpha")
+        restored = InvertedIndex.from_dict(index.to_dict(), Analyzer())
+        assert restored.node_length(1) == 3
+
+    def test_node_lengths_derived_for_old_snapshots(self):
+        """A payload without the node_lengths field (snapshot version 1)
+        rebuilds the table from the postings: every token occurrence is
+        exactly one position."""
+        index = InvertedIndex(Analyzer())
+        index.add_node(1, "alpha beta alpha")
+        index.add_node(2, "beta")
+        payload = index.to_dict()
+        del payload["node_lengths"]
+        restored = InvertedIndex.from_dict(payload, Analyzer())
+        assert restored.node_length(1) == 3
+        assert restored.node_length(2) == 1
+        # Incremental builds after the lazy derivation keep counting.
+        restored.add_node(3, "gamma gamma")
+        assert restored.node_length(3) == 2
+
+    def test_term_frequency_random_access(self):
+        index = InvertedIndex(Analyzer())
+        index.add_node(1, "alpha beta alpha")
+        index.add_node(5, "alpha")
+        assert index.term_frequencies("alpha") == {1: 2, 5: 1}
+        assert index.term_frequencies("zzz") == {}
+
+    def test_term_frequencies_invalidated_by_add_node(self):
+        index = InvertedIndex(Analyzer())
+        index.add_node(1, "alpha")
+        assert index.term_frequencies("alpha") == {1: 1}
+        index.add_node(2, "alpha alpha")
+        assert index.term_frequencies("alpha") == {1: 1, 2: 2}
+
+    def test_idf_cache_invalidated_by_add_node(self):
+        index = InvertedIndex(Analyzer())
+        index.add_node(1, "alpha")
+        before = index.inverse_document_frequency("alpha")
+        index.add_node(2, "beta")
+        after = index.inverse_document_frequency("alpha")
+        assert after > before  # N grew, df did not
+
 
 class TestPathIndex:
     def test_term_paths(self, figure2_collection):

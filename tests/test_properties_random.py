@@ -154,6 +154,46 @@ class TestTopKEquivalence:
         ]
         assert ta_scores == naive_scores
 
+    @given(_random_collection(),
+           st.sampled_from(["red", "blue", "green", "red blue"]))
+    @settings(max_examples=40, deadline=None)
+    def test_impact_stream_scores_equal_naive_content_scores(
+        self, collection, words
+    ):
+        """The precomputed impact stream must carry exactly the scores a
+        seed-style recomputation (re-analyzing each node's direct text)
+        would produce -- same floats, impact-sorted."""
+        inverted, _paths, _store, matcher = _wire(collection)
+        graph = DataGraph(collection)
+        scoring = ScoringModel(collection, inverted, graph)
+        searcher = TopKSearcher(matcher, scoring)
+        term = QueryTerm("*", words)
+        stream = searcher._stream(term)
+        analyzer = inverted.analyzer
+        expected = {}
+        for node_id in matcher.candidates(term):
+            tokens = analyzer.terms(collection.node(node_id).direct_text)
+            if not tokens:
+                continue
+            score = 0.0
+            for word in term.search.terms():
+                frequency = tokens.count(word)
+                if frequency:
+                    score += (
+                        frequency
+                        * inverted.inverse_document_frequency(word)
+                    )
+            if score > 0.0:
+                expected[node_id] = score / (len(tokens) ** 0.5)
+        assert dict(zip(stream.node_ids, stream.scores)) == expected
+        pairs = stream.pairs()
+        assert pairs == sorted(pairs, key=lambda pair: (-pair[0], pair[1]))
+        # The precomputed=False escape hatch builds identical streams.
+        slow = TopKSearcher(matcher, ScoringModel(
+            collection, inverted, graph, precomputed=False,
+        ))
+        assert slow._stream(term).pairs() == pairs
+
     @given(_random_collection())
     @settings(max_examples=30, deadline=None)
     def test_results_satisfy_definition_4(self, collection):

@@ -2,7 +2,10 @@
 
 import pytest
 
-from repro.model.graph import DataGraph
+from repro.index.builder import IndexBuilder
+from repro.index.streams import ImpactStream, ImpactStreamStore
+from repro.model.collection import DocumentCollection
+from repro.model.graph import DataGraph, EdgeKind
 from repro.model.links import LinkDiscoverer
 from repro.query.term import Query
 from repro.search.naive import NaiveSearcher
@@ -146,13 +149,18 @@ class _TieShufflingSearcher(TopKSearcher):
     """
 
     def _stream(self, term):
-        stream = super()._stream(term)
+        from repro.index.streams import ImpactStream
+
+        pairs = super()._stream(term).pairs()
         shuffled, start = [], 0
-        for index in range(1, len(stream) + 1):
-            if index == len(stream) or stream[index][0] != stream[start][0]:
-                shuffled.extend(reversed(stream[start:index]))
+        for index in range(1, len(pairs) + 1):
+            if index == len(pairs) or pairs[index][0] != pairs[start][0]:
+                shuffled.extend(reversed(pairs[start:index]))
                 start = index
-        return shuffled
+        return ImpactStream(
+            (score for score, _ in shuffled),
+            (node_id for _, node_id in shuffled),
+        )
 
 
 class TestDeterminism:
@@ -291,6 +299,223 @@ class TestVersionedCaches:
         sharer = TopKSearcher(figure2_matcher, scoring)
         sharer.share_read_caches(source)
         assert sharer._document_reachability() is source._doc_reach
+
+
+def _wire_collection(collection):
+    """Matcher + graph over a hand-built collection."""
+    from repro.query.matcher import TermMatcher
+    from repro.storage.node_store import NodeStore
+
+    inverted, paths = IndexBuilder(collection).build()
+    matcher = TermMatcher(collection, inverted, paths, NodeStore(collection))
+    return matcher, DataGraph(collection)
+
+
+class TestPairDistance:
+    """Structural distances: best-of-several-links routes, the max_hops
+    boundary, and the per-version memo."""
+
+    def _two_documents(self):
+        collection = DocumentCollection(name="links")
+        collection.add_document("<a><b>left</b><c>mid</c></a>", name="A")
+        collection.add_document("<d><e>right</e></d>", name="B")
+        tags = {n.tag: n.node_id for n in collection.iter_nodes()}
+        return collection, DataGraph(collection), tags
+
+    def _scoring(self, collection, graph, **kwargs):
+        inverted, _paths = IndexBuilder(collection).build()
+        return ScoringModel(collection, inverted, graph, **kwargs)
+
+    def test_cross_document_takes_best_of_several_links(self):
+        collection, graph, tags = self._two_documents()
+        # Route via the root link: b -> a (1 hop), link (1), d -> e
+        # (1 hop) = 3; the direct b -> e link is 1.  Best must win.
+        graph.add_edge(tags["a"], tags["d"], EdgeKind.VALUE)
+        graph.add_edge(tags["b"], tags["e"], EdgeKind.VALUE)
+        scoring = self._scoring(collection, graph)
+        assert scoring.pair_distance(tags["b"], tags["e"]) == 1
+
+    def test_cross_document_single_link_route_length(self):
+        collection, graph, tags = self._two_documents()
+        graph.add_edge(tags["a"], tags["d"], EdgeKind.VALUE)
+        scoring = self._scoring(collection, graph)
+        assert scoring.pair_distance(tags["b"], tags["e"]) == 3
+
+    def test_max_hops_boundary_same_document(self):
+        collection, graph, tags = self._two_documents()
+        # b and c are siblings: tree distance exactly 2.
+        at_limit = self._scoring(collection, graph, max_hops=2)
+        assert at_limit.pair_distance(tags["b"], tags["c"]) == 2
+        past_limit = self._scoring(collection, graph, max_hops=1)
+        assert past_limit.pair_distance(tags["b"], tags["c"]) is None
+
+    def test_max_hops_boundary_cross_document(self):
+        collection, graph, tags = self._two_documents()
+        graph.add_edge(tags["a"], tags["d"], EdgeKind.VALUE)
+        at_limit = self._scoring(collection, graph, max_hops=3)
+        assert at_limit.pair_distance(tags["b"], tags["e"]) == 3
+        past_limit = self._scoring(collection, graph, max_hops=2)
+        assert past_limit.pair_distance(tags["b"], tags["e"]) is None
+
+    def test_memoized_and_symmetric(self):
+        collection, graph, tags = self._two_documents()
+        graph.add_edge(tags["b"], tags["e"], EdgeKind.VALUE)
+        scoring = self._scoring(collection, graph)
+        first = scoring.pair_distance(tags["b"], tags["e"])
+        assert scoring.pair_misses == 1
+        # The reversed pair shares the symmetric cache key.
+        assert scoring.pair_distance(tags["e"], tags["b"]) == first
+        assert scoring.pair_hits == 1
+        assert scoring.pair_misses == 1
+
+    def test_disconnected_is_memoized_too(self):
+        collection, graph, tags = self._two_documents()
+        scoring = self._scoring(collection, graph)
+        assert scoring.pair_distance(tags["b"], tags["e"]) is None
+        assert scoring.pair_distance(tags["b"], tags["e"]) is None
+        assert scoring.pair_hits == 1
+
+    def test_memo_invalidated_by_version_bump(self):
+        collection, graph, tags = self._two_documents()
+        graph.add_edge(tags["a"], tags["d"], EdgeKind.VALUE)
+        scoring = self._scoring(collection, graph)
+        assert scoring.pair_distance(tags["b"], tags["e"]) == 3
+        # A new, shorter link must be visible immediately: add_edge
+        # bumps the graph version, which drops the memo.
+        graph.add_edge(tags["b"], tags["e"], EdgeKind.VALUE)
+        assert scoring.pair_distance(tags["b"], tags["e"]) == 1
+
+    def test_precomputed_false_bypasses_memo(self):
+        collection, graph, tags = self._two_documents()
+        graph.add_edge(tags["b"], tags["e"], EdgeKind.VALUE)
+        scoring = self._scoring(collection, graph, precomputed=False)
+        assert scoring.pair_distance(tags["b"], tags["e"]) == 1
+        assert scoring.pair_distance(tags["b"], tags["e"]) == 1
+        assert scoring.pair_hits == 0
+        assert scoring.pair_misses == 0
+        assert scoring._pair_cache == {}
+
+
+class TestBoundPruning:
+    """The content-score upper bound must skip provably losing combos
+    without changing any answer."""
+
+    #: ``a`` carries four occurrences of "x" (high tf), its child ``b``
+    #: the "y"; the sibling ``c`` carries a single "x".  The (a, b)
+    #: pair is parent/child (distance 1, compactness at the 1/m cap),
+    #: so the weaker (c, b) combo's bound falls strictly below it.
+    DOC = "<root><a>x x x x<b>y</b></a><c>x</c></root>"
+
+    def _searcher(self, precomputed=True):
+        collection = DocumentCollection(name="prune")
+        collection.add_document(self.DOC, name="doc")
+        matcher, graph = _wire_collection(collection)
+        scoring = ScoringModel(
+            collection, matcher.inverted, graph, precomputed=precomputed
+        )
+        return TopKSearcher(matcher, scoring)
+
+    def test_prunes_weak_combo(self):
+        searcher = self._searcher()
+        results = searcher.search(Query.parse([("*", "x"), ("*", "y")]), k=1)
+        assert len(results) == 1
+        assert searcher.stats["pruned"] == 1
+
+    def test_pruning_changes_no_answer(self):
+        query = [("*", "x"), ("*", "y")]
+        fast = self._searcher().search(Query.parse(query), k=1)
+        slow_searcher = self._searcher(precomputed=False)
+        slow = slow_searcher.search(Query.parse(query), k=1)
+        assert slow_searcher.stats["pruned"] == 0  # escape hatch: no pruning
+        assert [(r.node_ids, r.content_scores, r.compactness, r.score)
+                for r in fast] == [
+            (r.node_ids, r.content_scores, r.compactness, r.score)
+            for r in slow
+        ]
+
+    def test_unbounded_k_never_prunes(self):
+        searcher = self._searcher()
+        searcher.search(Query.parse([("*", "x"), ("*", "y")]), k=None)
+        assert searcher.stats["pruned"] == 0
+
+
+class TestImpactStreams:
+    """Stream caching: build-once per graph version, shared stores."""
+
+    def test_stream_cached_per_version(self, figure2_collection,
+                                       figure2_matcher):
+        scoring = ScoringModel(
+            figure2_collection, figure2_matcher.inverted,
+            DataGraph(figure2_collection),
+        )
+        searcher = TopKSearcher(figure2_matcher, scoring)
+        term = Query.parse([("*", "canada")]).terms[0]
+        stream = searcher._stream(term)
+        assert searcher._stream(term) is stream  # cached, same object
+        scoring.graph.bump_version()
+        rebuilt = searcher._stream(term)
+        assert rebuilt is not stream
+        assert rebuilt.pairs() == stream.pairs()  # same content
+
+    def test_slow_path_bypasses_store(self, figure2_collection,
+                                      figure2_matcher):
+        scoring = ScoringModel(
+            figure2_collection, figure2_matcher.inverted,
+            DataGraph(figure2_collection), precomputed=False,
+        )
+        searcher = TopKSearcher(figure2_matcher, scoring)
+        searcher.search(Query.parse([("*", "canada")]), k=3)
+        assert len(searcher.streams) == 0
+
+    def test_streams_equal_across_paths(self, figure2_collection,
+                                        figure2_matcher):
+        graph = DataGraph(figure2_collection)
+        fast = TopKSearcher(figure2_matcher, ScoringModel(
+            figure2_collection, figure2_matcher.inverted, graph,
+        ))
+        slow = TopKSearcher(figure2_matcher, ScoringModel(
+            figure2_collection, figure2_matcher.inverted, graph,
+            precomputed=False,
+        ))
+        for pairs in ([("*", "canada")], [("*", '"United States"')],
+                      [("trade_country", "*")]):
+            term = Query.parse(pairs).terms[0]
+            assert fast._stream(term).pairs() == slow._stream(term).pairs()
+
+    def test_store_roundtrip_preserves_bytes(self):
+        store = ImpactStreamStore()
+        stream = ImpactStream([2.5, 1.0 / 3.0], [4, 9])
+        store.put(("ctx", "search"), 7, stream)
+        restored = ImpactStreamStore.from_dict(store.to_dict())
+        assert restored.get(("ctx", "search"), 7).pairs() == stream.pairs()
+        # A different version misses; to_dict can filter stale entries.
+        assert restored.get(("ctx", "search"), 8) is None
+        assert ImpactStreamStore.from_dict(
+            store.to_dict(version=99)
+        )._streams == {}
+
+    def test_share_read_caches_adopts_streams_and_scoring(
+        self, figure2_collection, figure2_matcher
+    ):
+        graph = DataGraph(figure2_collection)
+        source_scoring = ScoringModel(
+            figure2_collection, figure2_matcher.inverted, graph
+        )
+        source = TopKSearcher(figure2_matcher, source_scoring).warm()
+        source.search(Query.parse([("*", "canada")]), k=3)
+        worker_scoring = ScoringModel(
+            figure2_collection, figure2_matcher.inverted, graph
+        )
+        worker = TopKSearcher(figure2_matcher, worker_scoring)
+        worker.share_read_caches(source)
+        assert worker.streams is source.streams
+        assert worker._doc_reach is source._doc_reach
+        # A separate scoring model adopts the source's edge index and
+        # distance memo instead of building private copies.
+        assert worker_scoring._doc_edge_index is (
+            source_scoring._doc_edge_index
+        )
+        assert worker_scoring._pair_cache is source_scoring._pair_cache
 
 
 class TestTopKAgainstNaive:

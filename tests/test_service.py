@@ -191,6 +191,33 @@ class TestStats:
         with pytest.raises(ValueError):
             QueryService(seda, workers=0)
 
+    def test_scoring_cache_counters_surfaced(self, seda):
+        """Batch stats report the scoring pipeline's shared-cache work:
+        impact-stream and pair-distance hit rates, and pruned combos."""
+        service = QueryService(seda, workers=2)
+        _, first = service.execute_batch(BATCH, k=5)
+        assert first.pruned >= 0
+        assert "stream cache" in first.summary()
+        assert "distance cache" in first.summary()
+        assert "pruned" in first.summary()
+        # A second pass over the same workload after dropping the result
+        # cache recomputes every query; by then every stream is
+        # materialized, so the store must answer without a single miss.
+        service.invalidate()
+        _, second = service.execute_batch(BATCH, k=5)
+        assert second.scoring_caches["stream_misses"] == 0
+        assert second.scoring_caches["stream_hits"] > 0
+        assert second.stream_hit_rate == 1.0
+        assert second.distance_hit_rate > 0.0
+
+    def test_workers_share_one_stream_store(self, seda):
+        service = QueryService(seda, workers=3)
+        assert all(
+            searcher.streams is seda.streams
+            for searcher in service._pool
+        )
+        assert seda.topk.streams is seda.streams
+
 
 class TestServiceReuse:
     def test_defaults_reuse_configured_service(self, seda):

@@ -272,7 +272,7 @@ class TestSystemSnapshot:
         assert info["meta"]["collection"] == seda.collection.name
         assert {name for name, _size in info["records"]} == {
             "collection", "graph", "inverted", "path_index", "node_store",
-            "dataguides", "registry",
+            "dataguides", "registry", "streams",
         }
         assert info["total_bytes"] == path.stat().st_size
 
@@ -299,6 +299,54 @@ class TestSystemSnapshot:
         del payload["version"]
         restored = DataGraph.from_dict(payload, seda.collection)
         assert restored.version == len(restored.edges)
+
+
+class TestImpactStreamPersistence:
+    """Materialized per-term streams survive save/load (version 2)."""
+
+    def test_streams_persist_and_serve_identically(self, seda, tmp_path):
+        seda.search(QUERY_1, k=10)  # materialize the query's streams
+        assert len(seda.streams) >= len(QUERY_1)
+        path = tmp_path / "sys.snapshot"
+        seda.save(path)
+        loaded = Seda.load(path)
+        # Only the scored (non-match-all) streams persist: QUERY_1 has
+        # one phrase term and two match-all terms, whose streams are
+        # cheap to rebuild and large to store.
+        assert 1 <= len(loaded.streams) < len(seda.streams)
+        # The restored streams serve the exact bytes the saving system
+        # computed; only the match-all streams rebuild.
+        assert _topk_bytes(loaded) == _topk_bytes(seda)
+        assert loaded.streams.hits >= 1
+        assert loaded.streams.misses <= 2
+
+    def test_version1_snapshot_without_streams_loads(self, seda, tmp_path):
+        """Old snapshots (no streams record, no node lengths) restore
+        with an empty store and identical answers."""
+        path = tmp_path / "sys.snapshot"
+        seda.save(path)
+        lines = [
+            line for line in path.read_text().splitlines()
+            if not line.startswith('{"record":"streams"')
+        ]
+        header = json.loads(lines[0])
+        header["version"] = 1
+        lines[0] = json.dumps(header, separators=(",", ":"))
+        old = tmp_path / "old.snapshot"
+        old.write_text("\n".join(lines) + "\n")
+        loaded = Seda.load(old)
+        assert len(loaded.streams) == 0
+        assert _topk_bytes(loaded) == _topk_bytes(seda)
+
+    def test_streams_of_stale_versions_not_persisted(self, seda, tmp_path):
+        seda.search(QUERY_1, k=10)
+        path = tmp_path / "sys.snapshot"
+        seda.save(path)
+        _meta, records = read_snapshot(path)
+        versions = {
+            record["version"] for record in records["streams"]["streams"]
+        }
+        assert versions <= {seda.graph.version}
 
 
 class TestSnapshotErrors:
