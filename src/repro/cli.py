@@ -11,7 +11,10 @@ Subcommands::
     python -m repro snapshot load seda.snapshot --term 'percentage:*'
     python -m repro snapshot info seda.snapshot
     python -m repro serve-batch --queries queries.txt --workers 4
-    python -m repro bench-queries --workers 4 --repeat 5
+    python -m repro bench-queries --workers 4 --repeat 5 --shards 2
+    python -m repro shard build seda.shards --dataset factbook --shards 4
+    python -m repro shard search seda.shards --term 'percentage:*'
+    python -m repro shard info seda.shards
 
 ``--data DIR`` loads ``*.xml`` files from a directory instead of a
 generated dataset, so the CLI works on user collections too.  Terms
@@ -32,7 +35,16 @@ query set.  ``bench-queries`` runs every query sequentially through
 the bare top-k searcher and then as one concurrent batch through the
 service, verifies the two answer sets are identical, and reports both
 throughputs -- it exits non-zero on any mismatch, which CI uses as a
-serving-path smoke check.
+serving-path smoke check.  With ``--shards N`` it additionally builds
+an N-shard copy of the corpus (without value links -- hash
+partitioning does not co-locate linked documents) and equality-gates
+the scatter-gather path against an unsharded build of the same corpus.
+
+``shard build`` partitions a collection across N shards (parallel
+worker-process builds unless ``--serial``) and saves the sharded
+snapshot directory; ``shard search`` scatter-gathers a query over it
+(restoring shards lazily); ``shard info`` prints the topology from the
+manifest alone, loading nothing.
 """
 
 import argparse
@@ -74,16 +86,31 @@ def _load_collection(args):
     if args.data:
         from repro.model.collection import DocumentCollection
 
+        collection = DocumentCollection(name=pathlib.Path(args.data).name)
+        for name, text in _load_documents(args):
+            collection.add_document(text, name=name)
+        return collection
+    return _build_generator(args.dataset, args.scale).build_collection()
+
+
+def _load_documents(args):
+    """``(name, source)`` pairs for the selected corpus.
+
+    The sharded builders need the raw documents (they partition before
+    building any collection); generators yield the same pairs
+    :func:`_load_collection` ingests, so both paths see one corpus.
+    """
+    if args.data:
         directory = pathlib.Path(args.data)
         files = sorted(directory.glob("*.xml"))
         if not files:
             raise SystemExit(f"no *.xml files found in {directory}")
-        collection = DocumentCollection(name=directory.name)
+        pairs = []
         for path in files:
             with open(path, "r", encoding="utf-8") as handle:
-                collection.add_document(handle.read(), name=path.stem)
-        return collection
-    return _build_generator(args.dataset, args.scale).build_collection()
+                pairs.append((path.stem, handle.read()))
+        return pairs
+    return list(_build_generator(args.dataset, args.scale).documents())
 
 
 def _build_seda(args):
@@ -306,6 +333,49 @@ def cmd_bench_queries(args, out):
         return 1
     print("  results   : batched and cached answers identical to "
           "sequential", file=out)
+    if args.shards:
+        # Any requested count >= 1 runs the gate (a 1-shard topology
+        # still exercises the merge/translation path); 0 skips it.
+        return _bench_sharded(args, queries, out)
+    return 0
+
+
+def _bench_sharded(args, queries, out):
+    """The --shards leg: scatter-gather equality gate + throughput.
+
+    Both systems here are built *without* value links: the hash
+    partitioner does not co-locate value-linked documents, and the
+    merge-equivalence contract only covers corpora whose links stay
+    within one shard (see docs/ARCHITECTURE.md, "Sharding").
+    """
+    from repro.shard import ShardedSeda
+
+    pairs = _load_documents(args)
+    plain = Seda.from_documents(pairs)
+    sharded = ShardedSeda.from_documents(
+        pairs, shards=args.shards, parallel=False
+    )
+    expected = [plain.topk.search(Query.parse(q), k=args.k) for q in queries]
+
+    service = sharded.query_service(workers=args.workers)
+    start = time.perf_counter()
+    answers, stats = service.execute_batch(queries, k=args.k)
+    sharded_time = time.perf_counter() - start
+
+    print(f"  sharded   : {len(queries) / sharded_time:10.0f} q/s over "
+          f"{args.shards} shards ({stats.summary()})", file=out)
+    for line in stats.shard_summary().splitlines():
+        print(f"              {line}", file=out)
+    mismatches = sum(
+        _canonical_results(a) != _canonical_results(b)
+        for a, b in zip(expected, answers)
+    )
+    if mismatches:
+        print(f"MISMATCH: {mismatches} result lists differ between the "
+              f"unsharded and scatter-gather paths", file=out)
+        return 1
+    print(f"  results   : scatter-gather answers identical to the "
+          f"unsharded build", file=out)
     return 0
 
 
@@ -353,6 +423,77 @@ def cmd_snapshot_info(args, out):
     print("  records:", file=out)
     for name, size in info["records"]:
         print(f"    {size:10d} bytes  {name}", file=out)
+    print(f"  total: {info['total_bytes']} bytes", file=out)
+    return 0
+
+
+def cmd_shard_build(args, out):
+    """Partition a corpus, build every shard, save the directory."""
+    from repro.shard import ShardedSeda
+
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    pairs = _load_documents(args)
+    start = time.perf_counter()
+    sharded = ShardedSeda.from_documents(
+        pairs, shards=args.shards, parallel=not args.serial,
+        max_workers=args.build_workers, partitioner=args.partitioner,
+    )
+    build_time = time.perf_counter() - start
+    sharded.save(args.path)
+    mode = "serial" if args.serial else "parallel"
+    print(f"built {args.shards} shards in {build_time:.2f}s ({mode}) "
+          f"and saved to {args.path}", file=out)
+    for entry in sharded.info()["per_shard"]:
+        print(f"  shard {entry['shard']}: {entry['documents']} documents, "
+              f"{entry['nodes']} nodes", file=out)
+    return 0
+
+
+def cmd_shard_search(args, out):
+    """Scatter-gather a query over a saved sharded collection."""
+    from repro.shard import ShardedSeda
+
+    if not args.term:
+        raise SystemExit("shard search needs at least one --term")
+    # Eager load: search touches every shard anyway, and loading under
+    # the guard turns a corrupt shard file into a clean exit instead
+    # of a traceback out of the lazy restore mid-search.
+    sharded = _read_snapshot_or_exit(
+        lambda path: ShardedSeda.load(path, lazy=False), args.path
+    )
+    pairs = [_parse_term(term) for term in args.term]
+    results = sharded.search(pairs, k=args.k)
+    view = sharded.collection
+    print(f"{len(results)} results from {sharded.shard_count} shards",
+          file=out)
+    for result in results:
+        print(f"  {result.describe(view)}", file=out)
+    for entry in sharded.last_search_stats["per_shard"]:
+        print(f"  shard {entry['shard']}: "
+              f"{entry['sorted_accesses']} sorted accesses, "
+              f"{entry['tuples_scored']} tuples scored, "
+              f"{entry['pruned']} pruned, "
+              f"early_stop={entry['early_stop']}", file=out)
+    return 0
+
+
+def cmd_shard_info(args, out):
+    """Print a sharded snapshot's topology from its manifest alone."""
+    from repro.storage.snapshot import sharded_snapshot_info
+
+    info = _read_snapshot_or_exit(sharded_snapshot_info, args.path)
+    print(f"sharded snapshot {args.path}", file=out)
+    for key, value in info["meta"].items():
+        if key == "value_links":
+            value = len(value)
+        print(f"  {key}: {value}", file=out)
+    print(f"  documents: {info['documents']}", file=out)
+    print(f"  nodes: {info['nodes']}", file=out)
+    print("  shards:", file=out)
+    for shard_file, size, documents, nodes in info["shards"]:
+        print(f"    {size:10d} bytes  {documents:6d} docs "
+              f"{nodes:8d} nodes  {shard_file}", file=out)
     print(f"  total: {info['total_bytes']} bytes", file=out)
     return 0
 
@@ -427,6 +568,9 @@ def build_parser():
     bench.add_argument("--repeat", type=int, default=5,
                        help="repetitions of each query, modelling "
                             "hot-query skew (default 5)")
+    bench.add_argument("--shards", type=int, default=0,
+                       help="also equality-gate scatter-gather serving "
+                            "over this many shards (0 = skip)")
     bench.set_defaults(handler=cmd_bench_queries)
 
     snapshot = subparsers.add_parser(
@@ -456,6 +600,51 @@ def build_parser():
     )
     snap_info.add_argument("path", help="snapshot file to inspect")
     snap_info.set_defaults(handler=cmd_snapshot_info)
+
+    shard = subparsers.add_parser(
+        "shard", help="build, search, or inspect sharded collections"
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    shard_build = shard_sub.add_parser(
+        "build",
+        help="partition a corpus, build every shard (in parallel), "
+             "and save the sharded snapshot directory",
+    )
+    add_source_options(shard_build)
+    shard_build.add_argument("path", help="sharded snapshot directory")
+    shard_build.add_argument("--shards", type=int, default=4,
+                             help="number of shards (default 4)")
+    shard_build.add_argument("--serial", action="store_true",
+                             help="build shards in-process instead of in "
+                                  "parallel worker processes")
+    shard_build.add_argument("--build-workers", type=int, default=None,
+                             help="worker processes for the parallel build "
+                                  "(default: one per shard, capped at the "
+                                  "CPU count)")
+    shard_build.add_argument("--partitioner", default=None,
+                             choices=("hash", "round-robin"),
+                             help="document routing policy (default hash)")
+    shard_build.set_defaults(handler=cmd_shard_build)
+
+    shard_search = shard_sub.add_parser(
+        "search",
+        help="scatter-gather a query over a sharded snapshot "
+             "(shards restore lazily)",
+    )
+    shard_search.add_argument("path", help="sharded snapshot directory")
+    shard_search.add_argument("--term", action="append", default=[],
+                              metavar="CONTEXT:SEARCH",
+                              help="query term; repeatable")
+    shard_search.add_argument("-k", type=int, default=10, help="top-k size")
+    shard_search.set_defaults(handler=cmd_shard_search)
+
+    shard_info = shard_sub.add_parser(
+        "info",
+        help="print a sharded snapshot's topology without loading shards",
+    )
+    shard_info.add_argument("path", help="sharded snapshot directory")
+    shard_info.set_defaults(handler=cmd_shard_info)
 
     return parser
 

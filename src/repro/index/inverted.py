@@ -1,7 +1,80 @@
-"""Node-level inverted index with positional postings."""
+"""Node-level inverted index with positional postings.
+
+Besides the postings themselves the index owns the ranking-side
+statistics (term frequencies, length norms, idf).  Idf is a *corpus*
+statistic -- ``log((N + 1) / (df + 1)) + 1`` over every indexed node --
+so a sharded collection, whose documents are split across several
+independent indexes, must not let each shard score against its own
+``N`` and ``df``: :class:`GlobalTermStats` sums the statistics across
+all shard indexes and :meth:`InvertedIndex.use_global_stats` redirects
+idf lookups to it, which is what makes per-shard content scores
+byte-identical to an unsharded build (see :mod:`repro.shard`).
+"""
 
 import math
 import threading
+
+
+class GlobalTermStats:
+    """Corpus-wide ``df``/``N`` summed across several shard indexes.
+
+    ``indexes`` is either a sequence of :class:`InvertedIndex` or a
+    zero-argument callable producing one (the sharded system passes a
+    callable so lazily restored shards are only loaded when a statistic
+    is first needed).  Idf values are cached per term; any mutation of
+    any participating index must call :meth:`invalidate` --
+    :meth:`InvertedIndex.add_node` does so automatically for indexes
+    wired via :meth:`InvertedIndex.use_global_stats`.
+    """
+
+    def __init__(self, indexes):
+        self._source = indexes
+        self._idf = {}
+
+    def _iter_indexes(self):
+        source = self._source
+        return source() if callable(source) else source
+
+    def invalidate(self):
+        """Drop cached statistics (after any shard index mutation).
+
+        The cache dict is *replaced*, not cleared: mutations are
+        externally serialized with query execution (the system-wide
+        single-writer discipline), but even a straggling reader that
+        raced the flip can then only write its stale value into the
+        orphaned dict -- post-invalidation readers always recompute
+        into the fresh one.
+        """
+        self._idf = {}
+
+    @property
+    def indexed_nodes(self):
+        """Total indexed nodes across all shards (the global ``N``).
+
+        Recomputed per call -- an O(shards) sum, far cheaper than the
+        per-term df it accompanies, and never cached so it cannot go
+        stale.
+        """
+        return sum(index.indexed_nodes for index in self._iter_indexes())
+
+    def document_frequency(self, term):
+        """Global number of nodes whose direct text contains ``term``."""
+        return sum(
+            index.document_frequency(term) for index in self._iter_indexes()
+        )
+
+    def inverse_document_frequency(self, term):
+        """The exact idf an unsharded index over the union computes."""
+        cache = self._idf
+        idf = cache.get(term)
+        if idf is None:
+            df = self.document_frequency(term)
+            idf = math.log((self.indexed_nodes + 1) / (df + 1)) + 1.0
+            cache[term] = idf
+        return idf
+
+    def __repr__(self):
+        return f"GlobalTermStats({len(self._idf)} cached terms)"
 
 
 class Posting:
@@ -61,6 +134,9 @@ class InvertedIndex:
         self._node_lengths = {}
         self._tf_maps = {}
         self._idf_cache = {}
+        # When set (sharded collections), idf reads corpus-wide df/N
+        # from here instead of this index's own counters.
+        self._global_stats = None
 
     # -- construction -------------------------------------------------------
 
@@ -77,6 +153,9 @@ class InvertedIndex:
             self._tf_maps.pop(term, None)
         self._ensure_node_lengths()[node_id] = len(tokens)
         self._idf_cache.clear()
+        if self._global_stats is not None:
+            # df/N changed for the whole sharded corpus, not just here.
+            self._global_stats.invalidate()
         self._indexed_nodes += 1
 
     def _materialized(self, term):
@@ -208,13 +287,30 @@ class InvertedIndex:
                 plist = self._postings.get(term)
         return len(plist) if plist is not None else 0
 
+    def use_global_stats(self, stats):
+        """Score against corpus-wide statistics (sharded collections).
+
+        After this call :meth:`inverse_document_frequency` delegates to
+        ``stats`` (a :class:`GlobalTermStats` spanning every shard), so
+        this shard's content scores use the same idf an unsharded index
+        over the full corpus would.  Pass ``None`` to revert to local
+        statistics.
+        """
+        self._global_stats = stats
+        self._idf_cache.clear()
+        return self
+
     def inverse_document_frequency(self, term):
         """Smoothed idf; unknown terms get the maximum idf.
 
         Cached per term; :meth:`add_node` -- the only mutation that
         changes a document frequency or the node count -- clears the
-        cache, so readers never see a stale value.
+        cache, so readers never see a stale value.  With
+        :meth:`use_global_stats` active the value comes from the
+        corpus-wide table instead of this shard's own counters.
         """
+        if self._global_stats is not None:
+            return self._global_stats.inverse_document_frequency(term)
         idf = self._idf_cache.get(term)
         if idf is None:
             df = self.document_frequency(term)

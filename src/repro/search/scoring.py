@@ -262,8 +262,9 @@ class ScoringModel:
         """Best possible score given per-term content-score bounds.
 
         Compactness is at most 1 (all nodes coincide), so the TA
-        stopping threshold uses the default cap of 1 -- exactly the
-        seed's rule, keeping early-termination behavior unchanged.
+        stopping threshold uses the default cap of 1; the top-k unit
+        calls this once per corner of the rank-join stopping bound
+        (each term's frontier combined with the other streams' maxima).
 
         The top-k unit also bounds fully-formed candidate tuples before
         computing their structural distances; there the caller passes

@@ -9,10 +9,16 @@ in the paper's top-k unit:
   combined with already-seen partner nodes of the other terms to form
   candidate tuples, whose exact scores (content x compactness) come
   from random access to the data graph;
-* the threshold is the score an unseen tuple could still reach: the
-  combination of the current stream frontiers at perfect compactness.
-  Once the k-th best tuple scores at or above the threshold, no unseen
-  tuple can beat it and the search stops.
+* the threshold is the score a not-yet-formed tuple could still
+  reach -- the rank-join *corner bound*: such a tuple has at least one
+  member unseen in its stream (bounded by that frontier) while its
+  other members may be anything already seen (bounded by the stream
+  maxima), so the threshold is the max over which position is the
+  unseen one, at perfect compactness.  (The plain all-frontiers
+  combination is NOT a bound here: it misses tuples pairing a seen
+  high scorer with an unseen partner.)  Once the k-th best tuple
+  scores at or above the threshold, no unformed tuple can beat it and
+  the search stops.
 
 Partner enumeration is restricted to nodes in *reachable documents*
 (same document, or one cross-document link away): compactness is
@@ -33,22 +39,68 @@ Hot-path engineering on top of the paper's algorithm:
   that cannot strictly beat it is counted in ``stats["pruned"]`` and
   skipped.  Only strictly-worse bounds are pruned, so tied tuples
   still reach the deterministic tie-break and answers are unchanged.
-  The TA stopping threshold keeps the seed's compactness-1 rule.
+  The TA stopping threshold keeps the seed's compactness-1 cap (on
+  top of the corner bound above).
 
 Both optimizations are disabled when the scoring model runs with
 ``precomputed=False`` -- the benchmark equivalence baseline that
 recomputes everything per query, seed-style.
+
+Scatter-gather support: ``search`` accepts an optional
+:class:`SharedBound` -- a monotone lower bound on the k-th best score
+*across every shard of a sharded collection*.  The searcher publishes
+its own k-th heap score into the bound and prunes (and early-stops)
+against it exactly as it does against the local heap: only strictly
+worse candidates are dropped, so the merged cross-shard top-k is
+unchanged (see :mod:`repro.shard`).
 """
 
 import collections
 import heapq
 import itertools
+import threading
 
 from repro.index.streams import ImpactStream, ImpactStreamStore
 from repro.search.result import ResultTuple
 
 #: Sentinel for inline distance-memo probes (None is a cached value).
 _MISSING = object()
+
+_NEG_INF = float("-inf")
+
+
+class SharedBound:
+    """A monotone lower bound on the global k-th best score.
+
+    One instance is shared by every per-shard searcher answering the
+    same query: each publishes its local k-th heap score via
+    :meth:`offer`, and all of them prune candidate tuples whose upper
+    bound falls *strictly* below :attr:`value`.  Any published value is
+    the k-th best of some subset of the corpus's tuples, hence at most
+    the final global k-th score -- so strictly-below-bound pruning can
+    never evict a tuple from the merged top-k, ties included.
+
+    Reads are lock-free (one attribute load); :meth:`offer` takes a
+    lock only when it would actually raise the bound, so the racy
+    fast-path check never lets the value move downward.
+    """
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = _NEG_INF
+
+    def offer(self, score):
+        """Raise the bound to ``score`` if it is an improvement."""
+        if score > self.value:
+            with self._lock:
+                if score > self.value:
+                    self.value = score
+        return self.value
+
+    def __repr__(self):
+        return f"SharedBound({self.value})"
 
 
 class TopKSearcher:
@@ -70,8 +122,25 @@ class TopKSearcher:
 
     # -- public API -----------------------------------------------------------
 
-    def search(self, query, k=10):
-        """Return the top-``k`` :class:`ResultTuple` list, best first."""
+    def search(self, query, k=10, shared_bound=None):
+        """Return the top-``k`` :class:`ResultTuple` list, best first.
+
+        ``shared_bound`` is the cross-shard :class:`SharedBound` used
+        by scatter-gather search; leave it ``None`` (the default) for a
+        standalone system -- behavior is then exactly the classic TA.
+        """
+        if k is not None and k <= 0:
+            # An empty answer set; without this guard the stopping
+            # logic would treat a 0-capacity heap as full and index
+            # into it.
+            self.stats = {
+                "sorted_accesses": 0,
+                "tuples_scored": 0,
+                "pruned": 0,
+                "early_stop": True,
+                "candidates": [],
+            }
+            return []
         terms = query.terms
         # Reset stats before any work so that every entry -- including
         # queries that bail out on an empty stream below -- leaves this
@@ -94,12 +163,22 @@ class TopKSearcher:
         seen_by_doc = [collections.defaultdict(list) for _ in terms]
         seen_scores = [dict() for _ in terms]
         frontiers = [stream.scores[0] for stream in streams]
+        # Stream maxima (first element of each impact-sorted stream):
+        # the corner-bound stopping threshold needs the best score a
+        # *seen* partner can contribute, which is the stream's top.
+        maxima = [stream.scores[0] for stream in streams]
         cursors = [0] * len(terms)
         heap = []  # min-heap of (score, tiebreak, ResultTuple)
         exhausted = 0
 
         while exhausted < len(terms):
             exhausted = 0
+            # Snapshot the cross-shard bound once per round: it only
+            # ever rises, so a slightly stale read prunes less, never
+            # wrongly.
+            floor = (
+                shared_bound.value if shared_bound is not None else _NEG_INF
+            )
             for i, stream in enumerate(streams):
                 cursor = cursors[i]
                 if cursor >= len(stream):
@@ -115,13 +194,42 @@ class TopKSearcher:
                 seen_by_doc[i][doc_id].append(node_id)
                 self._combine(
                     i, node_id, score, terms, seen_by_doc, seen_scores,
-                    doc_reach, heap, k,
+                    doc_reach, heap, k, floor,
                 )
-            if k is not None and len(heap) >= k:
-                threshold = self.scoring.upper_bound(frontiers)
-                if heap[0][0] >= threshold:
-                    self.stats["early_stop"] = True
-                    break
+            if k is not None:
+                local_best = _NEG_INF
+                if len(heap) >= k:
+                    local_best = heap[0][0]
+                    if shared_bound is not None:
+                        shared_bound.offer(local_best)
+                imported = (
+                    shared_bound.value if shared_bound is not None
+                    else _NEG_INF
+                )
+                if local_best > _NEG_INF or imported > _NEG_INF:
+                    # Rank-join corner bound: an unformed tuple has at
+                    # least one member still unseen in its stream
+                    # (score <= that frontier), while every other
+                    # member is bounded by its stream's maximum -- the
+                    # frontier alone does NOT bound tuples pairing an
+                    # already-seen high scorer with an unseen partner.
+                    # The max over which position is the unseen one,
+                    # at the compactness-1 cap, bounds every tuple
+                    # still formable, so stopping at it never drops a
+                    # qualifying answer (and an m-node tuple's real
+                    # compactness is <= 1/m, so its score is strictly
+                    # below the bound -- ties cannot arise at it).
+                    threshold = max(
+                        self.scoring.upper_bound([
+                            frontiers[i] if i == j else maxima[i]
+                            for i in range(len(terms))
+                        ])
+                        for j in range(len(terms))
+                    )
+                    if (local_best >= threshold
+                            or imported > threshold):
+                        self.stats["early_stop"] = True
+                        break
 
         results = [entry[2] for entry in heap]
         results.sort(key=lambda r: (-r.score, r.node_ids))
@@ -233,18 +341,19 @@ class TopKSearcher:
         return self
 
     def _combine_pair(self, i, node_id, score, seen_scores, partners,
-                      heap, k, prune):
+                      heap, k, prune, floor):
         """The two-term hot loop, with tail pruning.
 
         Partners are visited in descending score order (ties by node
         id), so the candidate means only shrink along the loop: the
-        first combo whose upper bound falls strictly below the k-th
-        heap score proves every remaining combo does too, and the whole
-        tail is pruned at once.  The final heap holds the top-k combos
-        under a strict total order (score, then node-id tiebreak), so
-        visiting order changes no answer.  Distance memo hits are read
-        inline (one dict probe) and reported to the scoring model's
-        counters in bulk.
+        first combo whose upper bound falls strictly below the pruning
+        limit -- the k-th heap score or the cross-shard ``floor``,
+        whichever is higher -- proves every remaining combo does too,
+        and the whole tail is pruned at once.  The final heap holds the
+        top-k combos under a strict total order (score, then node-id
+        tiebreak), so visiting order changes no answer.  Distance memo
+        hits are read inline (one dict probe) and reported to the
+        scoring model's counters in bulk.
         """
         scoring = self.scoring
         stats = self.stats
@@ -261,13 +370,17 @@ class TopKSearcher:
             combo = (node_id, partner) if i == 0 else (partner, node_id)
             partner_score = scores_j[partner]
             mean = (score + partner_score) / 2
-            if prune and len(heap) >= k and mean * 0.5 < heap[0][0]:
-                # Everything after this partner scores no better; count
-                # only combos that could actually have formed.
-                stats["pruned"] += sum(
-                    1 for tail in ordered[index:] if tail != node_id
-                )
-                break
+            if prune:
+                limit = floor
+                if len(heap) >= k and heap[0][0] > limit:
+                    limit = heap[0][0]
+                if mean * 0.5 < limit:
+                    # Everything after this partner scores no better;
+                    # count only combos that could actually have formed.
+                    stats["pruned"] += sum(
+                        1 for tail in ordered[index:] if tail != node_id
+                    )
+                    break
             if cache is None:
                 distance = scoring.pair_distance(node_id, partner)
             else:
@@ -320,7 +433,7 @@ class TopKSearcher:
             scoring.pair_hits += memo_hits
 
     def _combine_triple(self, i, node_id, score, seen_scores, partner_lists,
-                        heap, k, prune):
+                        heap, k, prune, floor):
         """The three-term hot loop: nested descending-order iteration.
 
         Same shape as :meth:`_combine_pair`, one level deeper: both
@@ -349,9 +462,15 @@ class TopKSearcher:
             if a == node_id:
                 continue
             score_a = scores_1[a]
-            if prune and len(heap) >= k:
+            if prune:
+                limit = floor
+                if len(heap) >= k and heap[0][0] > limit:
+                    limit = heap[0][0]
+            else:
+                limit = _NEG_INF
+            if limit > _NEG_INF:
                 # Even paired with the inner list's best partner this
-                # outer partner cannot reach the k-th heap score; the
+                # outer partner cannot reach the pruning limit; the
                 # remaining (lower-scored) outer partners cannot
                 # either.  The mean is formed in term order below; for
                 # the bound the max over permutations is what matters,
@@ -361,7 +480,7 @@ class TopKSearcher:
                     else (score_a + score + best_second) / 3 if i == 1
                     else (score_a + best_second + score) / 3
                 )
-                if best_mean * third < heap[0][0]:
+                if best_mean * third < limit:
                     # Count only combos that could actually have
                     # formed: exclude the new node and a == b repeats.
                     second_set = set(second)
@@ -383,14 +502,19 @@ class TopKSearcher:
                 else:
                     combo = (a, b, node_id)
                     mean = (score_a + score_b + score) / 3
-                if prune and len(heap) >= k and mean * third < heap[0][0]:
-                    # Every later inner partner scores no better; count
-                    # only combos that could actually have formed.
-                    stats["pruned"] += sum(
-                        1 for tail in second[inner_index:]
-                        if tail != node_id and tail != a
-                    )
-                    break
+                if prune:
+                    limit = floor
+                    if len(heap) >= k and heap[0][0] > limit:
+                        limit = heap[0][0]
+                    if mean * third < limit:
+                        # Every later inner partner scores no better;
+                        # count only combos that could actually have
+                        # formed.
+                        stats["pruned"] += sum(
+                            1 for tail in second[inner_index:]
+                            if tail != node_id and tail != a
+                        )
+                        break
                 anchor = combo[0]
                 other_1, other_2 = combo[1], combo[2]
                 if cache is None:
@@ -462,7 +586,16 @@ class TopKSearcher:
             scoring.pair_hits += memo_hits
 
     def _partners(self, j, docs, seen_by_doc, seen_scores):
-        """Highest-scoring seen nodes of term ``j`` within ``docs``."""
+        """Highest-scoring seen nodes of term ``j`` within ``docs``.
+
+        The ``partner_limit`` cap selects from the *seen-so-far* set,
+        which depends on stream interleaving -- so on corpora dense
+        enough to hit the cap (> ``partner_limit`` same-term matches
+        reachable from one node), runs over different stream layouts
+        (a shard vs. the whole corpus) may truncate different
+        partners.  The sharded merge-equivalence contract therefore
+        excludes cap-saturated corpora; see ``docs/ARCHITECTURE.md``.
+        """
         partners = []
         for doc_id in docs:
             partners.extend(seen_by_doc[j].get(doc_id, ()))
@@ -476,7 +609,7 @@ class TopKSearcher:
         return partners
 
     def _combine(self, i, node_id, score, terms, seen_by_doc, seen_scores,
-                 doc_reach, heap, k):
+                 doc_reach, heap, k, floor=_NEG_INF):
         """Form and score all tuples that include the newly seen node.
 
         Every combo is formed exactly once across the whole search: the
@@ -520,13 +653,13 @@ class TopKSearcher:
             if m == 2:
                 self._combine_pair(
                     i, node_id, score, seen_scores,
-                    partner_lists[1 - i], heap, k, prune,
+                    partner_lists[1 - i], heap, k, prune, floor,
                 )
                 return
             if m == 3:
                 self._combine_triple(
                     i, node_id, score, seen_scores, partner_lists,
-                    heap, k, prune,
+                    heap, k, prune, floor,
                 )
                 return
         for combo in itertools.product(*partner_lists):
@@ -538,17 +671,25 @@ class TopKSearcher:
             content_scores = [
                 seen_scores[j][combo[j]] for j in range(m)
             ]
+            if prune:
+                limit = floor
+                if len(heap) >= k and heap[0][0] > limit:
+                    limit = heap[0][0]
+            else:
+                limit = _NEG_INF
             if plain_weights:
                 mean = sum(content_scores) / m
-                if prune and len(heap) >= k:
+                if limit > _NEG_INF:
                     # The true score is the bound shrunk by the actual
                     # compactness <= cap, so a bound strictly below the
-                    # k-th heap score can never enter the heap -- skip
-                    # the (expensive) structural distance work
-                    # entirely.  Bounds *equal* to the k-th score are
-                    # not pruned: at cap compactness the tuple could
-                    # still win on the deterministic tie-break.
-                    if mean * compactness_cap < heap[0][0]:
+                    # pruning limit (the k-th heap score or another
+                    # shard's published bound) can never enter the
+                    # merged top-k -- skip the (expensive) structural
+                    # distance work entirely.  Bounds *equal* to the
+                    # limit are not pruned: at cap compactness the
+                    # tuple could still win on the deterministic
+                    # tie-break.
+                    if mean * compactness_cap < limit:
                         stats["pruned"] += 1
                         continue
                 compactness = scoring.compactness(combo)
@@ -557,11 +698,11 @@ class TopKSearcher:
                     continue
                 total = mean * compactness
             else:
-                if prune and len(heap) >= k:
+                if limit > _NEG_INF:
                     bound = scoring.upper_bound(
                         content_scores, compactness_cap
                     )
-                    if bound < heap[0][0]:
+                    if bound < limit:
                         stats["pruned"] += 1
                         continue
                 scored = scoring.score_tuple(

@@ -2,6 +2,14 @@
 
 from repro.service.cache import ResultCache
 from repro.service.query_service import QueryService
-from repro.service.stats import BatchStats, QueryStats
+from repro.service.stats import (
+    BatchStats,
+    QueryStats,
+    ShardedBatchStats,
+    ShardedQueryStats,
+)
 
-__all__ = ["BatchStats", "QueryService", "QueryStats", "ResultCache"]
+__all__ = [
+    "BatchStats", "QueryService", "QueryStats", "ResultCache",
+    "ShardedBatchStats", "ShardedQueryStats",
+]

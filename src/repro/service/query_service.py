@@ -49,6 +49,69 @@ from repro.service.cache import ResultCache
 from repro.service.stats import BatchStats, QueryStats
 
 
+def keep_or_replace_service(current, build, workers, cache_size):
+    """The lazy keep-or-replace contract both service facades share.
+
+    Repeated calls with ``None`` (or matching) configuration return
+    ``current`` unchanged -- its warm cache survives; an *explicitly*
+    different configuration builds a replacement via ``build(workers,
+    cache_size)`` with the defaults (4 workers, 256 cache entries)
+    filled in.
+    """
+    if current is not None and (
+        (workers is None or current.workers == workers)
+        and (cache_size is None
+             or current.cache.max_entries == cache_size)
+    ):
+        return current
+    return build(
+        4 if workers is None else workers,
+        256 if cache_size is None else cache_size,
+    )
+
+
+def execute_deduplicated(queries_with_keys, k, workers, execute,
+                         duplicate_stats):
+    """The shared batch skeleton: dedup, fan out, reassemble in order.
+
+    Used by both the unsharded and the sharded service so the subtle
+    parts -- duplicate queries computed exactly once, the single-query/
+    single-worker fast path, and duplicates reported as cache hits with
+    no extra work -- can never drift apart.  ``execute(query, k)``
+    serves one query and returns ``(results, stats)``;
+    ``duplicate_stats(key)`` builds the stats object recorded for the
+    second and later occurrences of a key within the batch.
+    """
+    unique = {}
+    for query, key in queries_with_keys:
+        unique.setdefault(key, query)
+    outcomes = {}
+    if len(unique) == 1 or workers == 1:
+        for key, query in unique.items():
+            outcomes[key] = execute(query, k)
+    else:
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=workers
+        ) as executor:
+            futures = {
+                key: executor.submit(execute, query, k)
+                for key, query in unique.items()
+            }
+            for key, future in futures.items():
+                outcomes[key] = future.result()
+    results, per_query, reported = [], [], set()
+    for _query, key in queries_with_keys:
+        answer, stats = outcomes[key]
+        results.append(list(answer))
+        if key in reported:
+            # A duplicate within the batch: served from the shared
+            # computation, i.e. a cache hit with no extra work.
+            stats = duplicate_stats(key)
+        reported.add(key)
+        per_query.append(stats)
+    return results, per_query
+
+
 class QueryService:
     """Concurrent, caching query execution over one SEDA system."""
 
@@ -148,34 +211,12 @@ class QueryService:
         keys = [(query.cache_key(), k, version) for query in parsed]
         counters_before = self._scoring_counters()
         start = time.perf_counter()
-        unique = {}
-        for query, key in zip(parsed, keys):
-            unique.setdefault(key, query)
-        outcomes = {}
-        if len(unique) == 1 or self.workers == 1:
-            for key, query in unique.items():
-                outcomes[key] = self.execute(query, k=k)
-        else:
-            with concurrent.futures.ThreadPoolExecutor(
-                max_workers=self.workers
-            ) as executor:
-                futures = {
-                    key: executor.submit(self.execute, query, k)
-                    for key, query in unique.items()
-                }
-                for key, future in futures.items():
-                    outcomes[key] = future.result()
+        results, per_query = execute_deduplicated(
+            list(zip(parsed, keys)), k, self.workers,
+            lambda query, size: self.execute(query, k=size),
+            lambda key: QueryStats(key, k, 0.0, cache_hit=True),
+        )
         wall = time.perf_counter() - start
-        results, per_query, reported = [], [], set()
-        for key in keys:
-            answer, stats = outcomes[key]
-            results.append(list(answer))
-            if key in reported:
-                # A duplicate within the batch: served from the shared
-                # computation, i.e. a cache hit with no extra work.
-                stats = QueryStats(key, k, 0.0, cache_hit=True)
-            reported.add(key)
-            per_query.append(stats)
         counters_after = self._scoring_counters()
         scoring_caches = {
             name: counters_after[name] - counters_before[name]

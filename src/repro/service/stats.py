@@ -7,6 +7,13 @@ counters (sorted accesses, tuples scored, early termination).  Batch
 execution aggregates these into throughput and hit-rate numbers -- the
 series ``repro bench-queries`` and ``benchmarks/test_bench_service.py``
 report.
+
+Sharded serving adds one dimension: a scatter-gather query runs one
+top-k search *per shard*, so :class:`ShardedQueryStats` keeps the
+per-shard breakdown beside the familiar totals, and
+:class:`ShardedBatchStats` aggregates that breakdown across a batch --
+the numbers an operator reads to spot a hot or skewed shard (see
+``docs/OPERATIONS.md``).
 """
 
 
@@ -46,6 +53,41 @@ class QueryStats:
             f"latency={self.latency * 1000:.2f}ms, "
             f"sorted_accesses={self.sorted_accesses})"
         )
+
+
+class ShardedQueryStats(QueryStats):
+    """One scatter-gather query's record, with the per-shard breakdown.
+
+    The inherited totals (``sorted_accesses``, ``tuples_scored``,
+    ``pruned``) are sums across shards; ``per_shard`` holds one dict
+    per shard -- ``{"shard", "sorted_accesses", "tuples_scored",
+    "pruned", "early_stop"}`` -- in shard order.
+    """
+
+    __slots__ = ("per_shard",)
+
+    def __init__(self, cache_key, k, latency, cache_hit,
+                 sorted_accesses=0, tuples_scored=0, pruned=0,
+                 early_stop=False, per_shard=()):
+        super().__init__(
+            cache_key, k, latency, cache_hit,
+            sorted_accesses=sorted_accesses, tuples_scored=tuples_scored,
+            pruned=pruned, early_stop=early_stop,
+        )
+        self.per_shard = tuple(
+            dict(entry) for entry in per_shard
+        )
+
+    def as_dict(self):
+        record = {
+            name: getattr(self, name) for name in QueryStats.__slots__
+        }
+        record["per_shard"] = [dict(entry) for entry in self.per_shard]
+        return record
+
+
+#: Counter names aggregated per shard across a batch.
+_SHARD_COUNTERS = ("sorted_accesses", "tuples_scored", "pruned")
 
 
 class BatchStats:
@@ -134,3 +176,50 @@ class BatchStats:
 
     def __repr__(self):
         return f"BatchStats({self.summary()})"
+
+
+class ShardedBatchStats(BatchStats):
+    """Batch aggregate over scatter-gather queries, per-shard totals kept.
+
+    Every ``per_query`` entry that carries a ``per_shard`` breakdown
+    (computed queries do; cache hits ran no search and contribute
+    nothing) is folded into :attr:`shard_totals`.
+    """
+
+    @property
+    def shard_totals(self):
+        """``{shard_index: {counter: total, "early_stops": n}}``.
+
+        Computed once (``per_query`` is fixed at construction) and
+        cached for the repeated accesses reporting paths make.
+        """
+        totals = getattr(self, "_shard_totals", None)
+        if totals is None:
+            totals = {}
+            for stats in self.per_query:
+                for entry in getattr(stats, "per_shard", ()):
+                    shard = totals.setdefault(
+                        entry["shard"],
+                        {name: 0 for name in _SHARD_COUNTERS}
+                        | {"early_stops": 0},
+                    )
+                    for name in _SHARD_COUNTERS:
+                        shard[name] += entry[name]
+                    shard["early_stops"] += bool(entry.get("early_stop"))
+            self._shard_totals = totals
+        return totals
+
+    def shard_summary(self):
+        """One line per shard: the skew/hot-shard diagnostic."""
+        lines = []
+        for index, counters in sorted(self.shard_totals.items()):
+            lines.append(
+                f"shard {index}: {counters['sorted_accesses']} sorted "
+                f"accesses, {counters['tuples_scored']} tuples scored, "
+                f"{counters['pruned']} pruned, "
+                f"{counters['early_stops']} early stops"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"ShardedBatchStats({self.summary()})"

@@ -1,0 +1,67 @@
+"""Document-to-shard assignment policies.
+
+A partitioner is any callable ``(doc_name, global_index, shards) ->
+shard_index``.  Two policies ship with the system:
+
+* :func:`hash_partition` (the default) -- a *stable* hash of the
+  document name (SHA-1 based, independent of ``PYTHONHASHSEED`` and of
+  process boundaries, unlike builtin ``hash``), so the same corpus
+  always lands in the same layout and a saved sharded snapshot can
+  route later ``add_documents`` calls identically.
+* :func:`round_robin_partition` -- ``global_index % shards``; perfectly
+  balanced regardless of names, useful for benchmarks and for corpora
+  with adversarial name distributions.
+
+The merge-equivalence invariant (see :mod:`repro.shard`) requires that
+no discovered link edge crosses shards.  Neither built-in policy
+inspects document *content*, so corpora whose IDREF/XLink/value links
+span documents need a caller-supplied partitioner that co-locates each
+linked group on one shard.
+"""
+
+import hashlib
+
+#: Registry of named policies, used by sharded snapshot manifests so a
+#: reload can restore the exact routing function by name.
+PARTITIONERS = {}
+
+
+def _register(name):
+    def wrap(function):
+        function.partitioner_name = name
+        PARTITIONERS[name] = function
+        return function
+    return wrap
+
+
+@_register("hash")
+def hash_partition(doc_name, global_index, shards):
+    """Stable name-hash assignment (the default policy)."""
+    digest = hashlib.sha1(doc_name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+@_register("round-robin")
+def round_robin_partition(doc_name, global_index, shards):
+    """Cycle through shards in global document order."""
+    return global_index % shards
+
+
+def resolve_partitioner(spec):
+    """A partitioner from a policy name, callable, or ``None`` (default).
+
+    Returns ``(callable, name)`` where ``name`` is the manifest label
+    (``"custom"`` for caller-supplied callables, which cannot be
+    serialized).
+    """
+    if spec is None:
+        return hash_partition, "hash"
+    if callable(spec):
+        return spec, getattr(spec, "partitioner_name", "custom")
+    try:
+        return PARTITIONERS[spec], spec
+    except KeyError:
+        raise ValueError(
+            f"unknown partitioner {spec!r} "
+            f"(available: {sorted(PARTITIONERS)})"
+        ) from None

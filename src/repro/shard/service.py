@@ -1,0 +1,177 @@
+"""Concurrent scatter-gather serving over a sharded collection.
+
+The sharded counterpart of
+:class:`~repro.service.query_service.QueryService`, with the same
+contract: batches execute concurrently, duplicate queries are computed
+once, results come from a thread-safe LRU when the same normalized
+query was served at the current topology version, and answers are
+byte-identical to serving each query alone -- worker count and
+scheduling never leak into results.
+
+Threading model
+---------------
+
+* Each worker owns a **searcher group** -- one
+  :class:`~repro.search.topk.TopKSearcher` per shard -- because
+  searchers carry per-query mutable state.  A query checks a group out
+  of a queue, scatters across its searchers sequentially (sharing one
+  :class:`~repro.search.topk.SharedBound`, so later shards prune
+  against earlier shards' k-th score), and returns the group.
+* All groups share every shard's read structures the same way
+  :class:`QueryService` workers do: the lead group is warmed once per
+  topology version and the others adopt its caches
+  (:meth:`TopKSearcher.share_read_caches`), plus each shard's impact
+  stream store and the corpus-wide term statistics.
+* Cache keys include the tuple of per-shard graph versions, so any
+  mutation anywhere in the topology (``ShardedSeda.add_documents``
+  bumps every shard) expires stale merged results.
+"""
+
+import queue
+import threading
+import time
+
+from repro.query.term import Query
+from repro.search.topk import TopKSearcher
+from repro.service.cache import ResultCache
+from repro.service.query_service import execute_deduplicated
+from repro.service.stats import ShardedBatchStats, ShardedQueryStats
+
+
+class ShardedQueryService:
+    """Concurrent, caching scatter-gather execution over shards."""
+
+    def __init__(self, sharded, workers=4, cache_size=256):
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.sharded = sharded
+        self.workers = workers
+        self.cache = ResultCache(cache_size)
+        shards = sharded.shards  # forces lazy shards: serving needs all
+        self._group_pool = [
+            [
+                TopKSearcher(shard.matcher, shard.scoring,
+                             streams=shard.streams)
+                for shard in shards
+            ]
+            for _ in range(workers)
+        ]
+        self._warm_lock = threading.Lock()
+        self._warm_versions = None
+        self._refresh_shared_caches()
+        self._groups = queue.SimpleQueue()
+        for group in self._group_pool:
+            self._groups.put(group)
+
+    def _versions(self):
+        """Topology version: the tuple of per-shard graph versions."""
+        return tuple(shard.graph.version for shard in self.sharded.shards)
+
+    def _refresh_shared_caches(self):
+        """Warm the lead group, share its caches, once per topology
+        version (same discipline as ``QueryService``)."""
+        versions = self._versions()
+        if self._warm_versions == versions:
+            return
+        with self._warm_lock:
+            if self._warm_versions == versions:
+                return
+            lead = self._group_pool[0]
+            for searcher in lead:
+                searcher.warm()
+            for group in self._group_pool[1:]:
+                for searcher, lead_searcher in zip(group, lead):
+                    searcher.share_read_caches(lead_searcher)
+            self._warm_versions = versions
+
+    # -- single queries -------------------------------------------------------
+
+    def execute(self, query, k=10):
+        """Serve one query; ``(merged results, ShardedQueryStats)``."""
+        query = self._as_query(query)
+        self._refresh_shared_caches()
+        key = (query.cache_key(), k, self._versions())
+        start = time.perf_counter()
+        cached = self.cache.get(key)
+        if cached is not None:
+            stats = ShardedQueryStats(
+                key, k, time.perf_counter() - start, cache_hit=True
+            )
+            return list(cached), stats
+        return self._compute(query, k, key, start)
+
+    def _compute(self, query, k, key, start):
+        group = self._groups.get()
+        try:
+            gathered, per_shard = self.sharded.scatter(group, query, k)
+        finally:
+            self._groups.put(group)
+        merged = self.sharded._merge(gathered, k)
+        stored = self.cache.put(key, merged)
+        stats = ShardedQueryStats(
+            key, k, time.perf_counter() - start, cache_hit=False,
+            sorted_accesses=sum(e["sorted_accesses"] for e in per_shard),
+            tuples_scored=sum(e["tuples_scored"] for e in per_shard),
+            pruned=sum(e["pruned"] for e in per_shard),
+            early_stop=all(e["early_stop"] for e in per_shard),
+            per_shard=per_shard,
+        )
+        return list(stored), stats
+
+    # -- batches --------------------------------------------------------------
+
+    def execute_batch(self, queries, k=10):
+        """Serve a batch concurrently; ``(results, ShardedBatchStats)``.
+
+        Results are in input order; duplicates within the batch are
+        computed once and the extra occurrences reported as cache hits,
+        exactly like the unsharded service.
+        """
+        parsed = [self._as_query(query) for query in queries]
+        self._refresh_shared_caches()
+        versions = self._versions()
+        keys = [(query.cache_key(), k, versions) for query in parsed]
+        counters_before = self._scoring_counters()
+        start = time.perf_counter()
+        results, per_query = execute_deduplicated(
+            list(zip(parsed, keys)), k, self.workers,
+            lambda query, size: self.execute(query, k=size),
+            lambda key: ShardedQueryStats(key, k, 0.0, cache_hit=True),
+        )
+        wall = time.perf_counter() - start
+        counters_after = self._scoring_counters()
+        scoring_caches = {
+            name: counters_after[name] - counters_before[name]
+            for name in counters_after
+        }
+        return results, ShardedBatchStats(
+            per_query, wall, self.workers, scoring_caches=scoring_caches
+        )
+
+    def _scoring_counters(self):
+        """Shared-cache counters summed across every shard."""
+        totals = {}
+        for shard in self.sharded.shards:
+            for source in (shard.streams.counters(),
+                           shard.scoring.counters()):
+                for name, value in source.items():
+                    totals[name] = totals.get(name, 0) + value
+        return totals
+
+    # -- maintenance ----------------------------------------------------------
+
+    def invalidate(self):
+        """Drop all cached merged results (after ingestion)."""
+        self.cache.invalidate()
+
+    @staticmethod
+    def _as_query(query):
+        if isinstance(query, Query):
+            return query
+        return Query.parse(query)
+
+    def __repr__(self):
+        return (
+            f"ShardedQueryService(shards={self.sharded.shard_count}, "
+            f"workers={self.workers}, cache={self.cache!r})"
+        )

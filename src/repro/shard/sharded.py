@@ -1,0 +1,732 @@
+"""Horizontally partitioned collections with scatter-gather search.
+
+:class:`ShardedSeda` hash-partitions a corpus across N independent
+:class:`~repro.system.Seda` shards, builds their indexes in parallel
+(one OS process per shard -- the workers ship their snapshot payloads
+back, which pickle cheaply, and the parent rehydrates them exactly as
+a snapshot load would), and answers ``search``/``search_many`` by
+scatter-gather: fan the query to per-shard
+:class:`~repro.search.topk.TopKSearcher`\\ s, then merge the per-shard
+top-k lists under the system's deterministic total order.
+
+Merge-equivalence invariants
+----------------------------
+
+Results are **byte-identical** to an unsharded build over the same
+corpus.  Four invariants carry that guarantee:
+
+1. **Global node ids.**  Node ids are allocated sequentially in global
+   document order, so each shard's local id space is translated back
+   through the topology table (per-document node counts, kept in the
+   sharded manifest) before merging.  Scores *and* ids match the
+   unsharded build.
+2. **Global term statistics.**  Idf is a corpus statistic; every shard
+   index scores through one :class:`~repro.index.inverted.GlobalTermStats`
+   that sums ``df``/``N`` across all shards
+   (:meth:`InvertedIndex.use_global_stats`), so per-shard content
+   scores are the exact floats the unsharded index produces.
+3. **Link co-location.**  A result tuple can only span documents
+   connected by a link edge, and per-shard link discovery can only see
+   its own documents -- so every discovered cross-document link must
+   stay within one shard.  Corpora whose IDREF/XLink/value links span
+   documents need a partitioner that co-locates each linked group (the
+   built-in name-hash policy does not inspect content).
+4. **Deterministic merge.**  Per-shard lists are concatenated and
+   sorted by ``(-score, node_ids)`` -- the same strict total order the
+   top-k heap evicts under -- so ties resolve identically to the
+   unsharded search, and any tuple in the global top-k is necessarily
+   inside its own shard's top-k (fewer than k tuples beat it anywhere).
+
+Cross-shard pruning: the scatter shares one
+:class:`~repro.search.topk.SharedBound` per query, so each shard
+prunes candidate tuples (and early-stops its TA loop) against the best
+k-th score any shard has published -- only *strictly* worse candidates
+are dropped, which cannot change the merged top-k.
+"""
+
+import bisect
+import os
+import shutil
+import threading
+
+from repro.index.inverted import GlobalTermStats
+from repro.model.links import ValueLinkSpec
+from repro.query.term import Query
+from repro.search.result import ResultTuple
+from repro.search.topk import SharedBound, TopKSearcher
+from repro.shard.partition import PARTITIONERS, resolve_partitioner
+from repro.storage.snapshot import (
+    SnapshotError,
+    next_shard_generation,
+    read_sharded_manifest,
+    shard_file_name,
+    write_sharded_manifest,
+    write_snapshot,
+)
+from repro.system import Seda
+
+
+def _build_shard_payload(args):
+    """Worker-process entry: build one shard, return its payload.
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor`
+    can pickle a reference to it.  The returned ``(meta, records,
+    node_counts)`` triple is :meth:`Seda.snapshot_payload` plus the
+    per-document node counts (in shard document order) the parent needs
+    to assemble the global topology without rehydrating the shard --
+    plain dictionaries and lists, the only shard representation that
+    crosses the process boundary (live systems carry locks and do not
+    pickle).
+    """
+    shard_name, pairs, link_dicts, seda_kwargs = args
+    seda = Seda.from_documents(
+        pairs,
+        value_links=[ValueLinkSpec.from_dict(record) for record in link_dicts],
+        name=shard_name,
+        **seda_kwargs,
+    )
+    meta, records = seda.snapshot_payload()
+    node_counts = [
+        len(document.nodes) for document in seda.collection.documents
+    ]
+    return meta, records, node_counts
+
+
+def shard_stats_snapshot(shard_index, searcher):
+    """One shard's contribution to a scatter's statistics.
+
+    Both scatter paths (:meth:`ShardedSeda.search` and the sharded
+    query service) record the same shape, so per-shard reporting and
+    batch aggregation always agree on which counters exist.
+    """
+    raw = searcher.stats
+    return {
+        "shard": shard_index,
+        "sorted_accesses": raw["sorted_accesses"],
+        "tuples_scored": raw["tuples_scored"],
+        "pruned": raw["pruned"],
+        "early_stop": raw["early_stop"],
+    }
+
+
+class _ShardSlot:
+    """One shard: a live system, or a deferred one restored on demand.
+
+    The deferred forms are a snapshot ``path`` (lazy sharded-snapshot
+    restore) or an in-memory snapshot ``payload`` (a parallel build's
+    worker output: the parent defers the rehydration cost -- rebuilding
+    node objects, raw posting tables -- until the shard is first
+    searched, exactly like a lazy snapshot load).
+    """
+
+    __slots__ = ("path", "on_load", "pending_bumps", "_payload", "_seda",
+                 "_lock")
+
+    def __init__(self, seda=None, path=None, payload=None):
+        self.path = path
+        self.on_load = None
+        #: Graph-version bumps owed to this shard while it was still
+        #: deferred (corpus-wide statistics changed under it); applied
+        #: at materialization so untouched shards need not rehydrate
+        #: just to expire their score-carrying caches.
+        self.pending_bumps = 0
+        self._payload = payload
+        self._seda = seda
+        self._lock = threading.Lock()
+
+    @property
+    def loaded(self):
+        return self._seda is not None
+
+    def get(self):
+        """The live shard system, restoring it on first use."""
+        seda = self._seda
+        if seda is None:
+            with self._lock:
+                seda = self._seda
+                if seda is None:
+                    if self._payload is not None:
+                        seda = Seda.from_payload(*self._payload)
+                        self._payload = None
+                    else:
+                        seda = Seda.load(self.path)
+                    if self.on_load is not None:
+                        # Wire global statistics before publishing the
+                        # shard, so no reader ever scores locally.
+                        self.on_load(seda)
+                    while self.pending_bumps:
+                        seda.graph.bump_version()
+                        self.pending_bumps -= 1
+                    self._seda = seda
+        return seda
+
+    def save_to(self, path):
+        """Write this shard's snapshot to ``path``, cheapest way first.
+
+        A live system serializes itself; a still-deferred payload is
+        written straight out (the parallel-build -> save flow never
+        rehydrates); a never-loaded path-backed slot cannot have been
+        mutated, so its existing file is byte-copied (atomically, via
+        temp file + rename, like every snapshot write).  A deferred
+        slot that *owes version bumps* must materialize first: its
+        saved file would otherwise carry impact streams still marked
+        valid for the pre-mutation statistics.
+        """
+        if self._seda is None and self.pending_bumps:
+            self.get()
+        if self._seda is not None:
+            self._seda.save(path)
+            return
+        with self._lock:
+            if self._seda is not None:
+                pass  # materialized concurrently; fall through below
+            elif self._payload is not None:
+                write_snapshot(path, self._payload[0], self._payload[1])
+                return
+            else:
+                if os.path.exists(path) and os.path.samefile(
+                    self.path, path
+                ):
+                    return  # saving over its own source file
+                tmp_path = f"{path}.tmp"
+                shutil.copyfile(self.path, tmp_path)
+                os.replace(tmp_path, path)
+                return
+        self._seda.save(path)
+
+
+class ShardedCollectionView:
+    """Global-node-id facade over the per-shard collections.
+
+    Quacks like :class:`~repro.model.collection.DocumentCollection` for
+    the read operations result rendering needs (``node``/``content``),
+    so :meth:`ResultTuple.describe` works unchanged on merged results.
+    """
+
+    def __init__(self, sharded):
+        self._sharded = sharded
+
+    def node(self, node_id):
+        shard, local_id = self._sharded.to_local(node_id)
+        return shard.collection.node(local_id)
+
+    def content(self, node_id):
+        shard, local_id = self._sharded.to_local(node_id)
+        return shard.collection.content(local_id)
+
+    def __repr__(self):
+        return f"ShardedCollectionView({self._sharded!r})"
+
+
+class ShardedSeda:
+    """N independent SEDA shards behind one scatter-gather facade."""
+
+    def __init__(self, slots, documents, name, value_links,
+                 partitioner, partitioner_name):
+        self._slots = list(slots)
+        #: Global-order document table: ``[name, shard_index,
+        #: node_count]`` per document -- the topology record that
+        #: defines the global node-id space.
+        self._docs = [list(row) for row in documents]
+        self.name = name
+        self.value_links = tuple(value_links)
+        self._partitioner = partitioner
+        self._partitioner_name = partitioner_name
+        self.stats = GlobalTermStats(
+            lambda: (slot.get().inverted for slot in self._slots)
+        )
+        for slot in self._slots:
+            slot.on_load = self._wire_shard
+            if slot.loaded:
+                self._wire_shard(slot.get())
+        self._searchers = [None] * len(self._slots)
+        self._service = None
+        self.last_search_stats = None
+        self._rebuild_topology()
+
+    def _wire_shard(self, seda):
+        seda.inverted.use_global_stats(self.stats)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_documents(cls, documents, shards=2, value_links=(),
+                       name="collection", partitioner=None, parallel=True,
+                       max_workers=None, **seda_kwargs):
+        """Partition ``documents`` across ``shards`` and build each one.
+
+        ``documents`` takes the same forms as
+        :meth:`Seda.from_documents`.  With ``parallel=True`` (the
+        default) shard builds fan out across worker processes -- the
+        whole point of sharding a large corpus; ``parallel=False``
+        builds in-process, which is what the parallel path is
+        benchmarked against.  ``max_workers`` caps the process pool
+        (default: one per shard, bounded by the CPU count).
+
+        Merge equivalence requires link co-location (invariant 3 in
+        the module docstring): ``value_links`` specs -- like IDREF and
+        XLink attributes -- only produce the same edges as an
+        unsharded build while every linked document pair lands on one
+        shard.  The built-in partitioners are content-blind, so
+        corpora with cross-document links need a caller-supplied
+        ``partitioner`` that keeps each linked group together.
+        """
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        pairs = []
+        for index, document in enumerate(documents):
+            if isinstance(document, tuple):
+                pairs.append(document)
+            else:
+                pairs.append((f"doc-{index}", document))
+        route, partitioner_name = resolve_partitioner(partitioner)
+        per_shard = [[] for _ in range(shards)]
+        assignment = []
+        for index, (doc_name, source) in enumerate(pairs):
+            shard = route(doc_name, index, shards) % shards
+            assignment.append(shard)
+            per_shard[shard].append((doc_name, source))
+        specs = tuple(value_links)
+        shard_names = [f"{name}#{shard}" for shard in range(shards)]
+        if parallel and shards > 1:
+            slots, counts_per_shard = cls._build_parallel(
+                shard_names, per_shard, specs, seda_kwargs, max_workers
+            )
+        else:
+            sedas = [
+                Seda.from_documents(
+                    shard_pairs, value_links=specs, name=shard_name,
+                    **seda_kwargs,
+                )
+                for shard_name, shard_pairs in zip(shard_names, per_shard)
+            ]
+            slots = [_ShardSlot(seda=seda) for seda in sedas]
+            counts_per_shard = [
+                [len(document.nodes)
+                 for document in seda.collection.documents]
+                for seda in sedas
+            ]
+        # Assemble the global-order topology table: document j of shard
+        # s is the j-th document routed there, in global order.
+        positions = [0] * shards
+        documents_table = []
+        for (doc_name, _source), shard in zip(pairs, assignment):
+            node_count = counts_per_shard[shard][positions[shard]]
+            positions[shard] += 1
+            documents_table.append([doc_name, shard, node_count])
+        return cls(
+            slots, documents_table, name, specs, route, partitioner_name,
+        )
+
+    @staticmethod
+    def _build_parallel(shard_names, per_shard, specs, seda_kwargs,
+                        max_workers):
+        """Build every shard in its own OS process.
+
+        Workers ship snapshot payloads back; the parent wraps each in a
+        lazily rehydrating slot, so the build's wall time is the
+        slowest worker plus transfer -- the (serial) cost of rebuilding
+        live node objects from the payloads is deferred to each shard's
+        first search, exactly like a lazy snapshot restore.
+        """
+        import concurrent.futures
+
+        workers = max_workers
+        if workers is None:
+            workers = min(len(per_shard), os.cpu_count() or 1)
+        link_dicts = [spec.to_dict() for spec in specs]
+        jobs = [
+            (shard_name, shard_pairs, link_dicts, seda_kwargs)
+            for shard_name, shard_pairs in zip(shard_names, per_shard)
+        ]
+        if workers <= 1:
+            outputs = [_build_shard_payload(job) for job in jobs]
+        else:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers
+            ) as pool:
+                outputs = list(pool.map(_build_shard_payload, jobs))
+        slots = [
+            _ShardSlot(payload=(meta, records))
+            for meta, records, _node_counts in outputs
+        ]
+        return slots, [node_counts for _m, _r, node_counts in outputs]
+
+    # -- topology -------------------------------------------------------------
+
+    def _rebuild_topology(self):
+        """Recompute the id-translation tables from the document table."""
+        shards = len(self._slots)
+        global_bases = []
+        doc_shard = []
+        doc_local_base = []
+        shard_docs = [[] for _ in range(shards)]
+        shard_local_bases = [[] for _ in range(shards)]
+        next_global = 0
+        next_local = [0] * shards
+        for global_index, (_name, shard, node_count) in enumerate(self._docs):
+            global_bases.append(next_global)
+            doc_shard.append(shard)
+            doc_local_base.append(next_local[shard])
+            shard_docs[shard].append(global_index)
+            shard_local_bases[shard].append(next_local[shard])
+            next_global += node_count
+            next_local[shard] += node_count
+        self._global_bases = global_bases
+        self._doc_shard = doc_shard
+        self._doc_local_base = doc_local_base
+        self._shard_docs = shard_docs
+        self._shard_local_bases = shard_local_bases
+        self._node_count = next_global
+
+    def to_global(self, shard_index, local_id):
+        """Translate a shard-local node id to its global id."""
+        bases = self._shard_local_bases[shard_index]
+        position = bisect.bisect_right(bases, local_id) - 1
+        if position < 0:
+            raise KeyError(f"no node {local_id} in shard {shard_index}")
+        global_index = self._shard_docs[shard_index][position]
+        return self._global_bases[global_index] + (local_id - bases[position])
+
+    def to_local(self, global_id):
+        """Translate a global node id to ``(shard_system, local_id)``."""
+        if not 0 <= global_id < self._node_count:
+            raise KeyError(f"no node with id {global_id!r}")
+        position = bisect.bisect_right(self._global_bases, global_id) - 1
+        shard = self._doc_shard[position]
+        local_id = self._doc_local_base[position] + (
+            global_id - self._global_bases[position]
+        )
+        return self._slots[shard].get(), local_id
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def shard_count(self):
+        return len(self._slots)
+
+    @property
+    def shards(self):
+        """Every live shard system (restoring lazy ones)."""
+        return tuple(slot.get() for slot in self._slots)
+
+    def shard(self, index):
+        return self._slots[index].get()
+
+    @property
+    def collection(self):
+        """Global-id node view (for ``ResultTuple.describe`` etc.)."""
+        return ShardedCollectionView(self)
+
+    @property
+    def document_count(self):
+        return len(self._docs)
+
+    @property
+    def node_count(self):
+        return self._node_count
+
+    def info(self):
+        """Topology digest: per-shard documents/nodes and load state."""
+        per_shard = [
+            {"shard": index, "documents": 0, "nodes": 0,
+             "loaded": slot.loaded}
+            for index, slot in enumerate(self._slots)
+        ]
+        for _name, shard, node_count in self._docs:
+            per_shard[shard]["documents"] += 1
+            per_shard[shard]["nodes"] += node_count
+        return {
+            "collection": self.name,
+            "shards": len(self._slots),
+            "partitioner": self._partitioner_name,
+            "documents": len(self._docs),
+            "nodes": self._node_count,
+            "per_shard": per_shard,
+        }
+
+    # -- search ---------------------------------------------------------------
+
+    def _searcher(self, index):
+        searcher = self._searchers[index]
+        if searcher is None:
+            shard = self._slots[index].get()
+            searcher = TopKSearcher(
+                shard.matcher, shard.scoring, streams=shard.streams
+            )
+            self._searchers[index] = searcher
+        return searcher
+
+    def search(self, query, k=10):
+        """Scatter-gather top-k; merged :class:`ResultTuple` list.
+
+        The scatter is sequential by design: under the GIL concurrent
+        shard searches buy nothing for one query, while a sequential
+        fan-out lets every later shard prune against the k-th score the
+        earlier shards already published into the shared bound.
+        Returns result tuples with **global** node ids, byte-identical
+        to an unsharded :meth:`Seda.search` over the same corpus (no
+        session object: refinement loops operate per shard).
+        """
+        if not isinstance(query, Query):
+            query = Query.parse(query)
+        searchers = [
+            self._searcher(index) for index in range(len(self._slots))
+        ]
+        gathered, per_shard = self.scatter(searchers, query, k)
+        self.last_search_stats = {"per_shard": per_shard}
+        return self._merge(gathered, k)
+
+    def scatter(self, searchers, query, k):
+        """Run the scatter protocol over one searcher per shard.
+
+        One :class:`SharedBound` couples the sequential fan-out; the
+        return is ``(per-shard result lists, per-shard stats
+        snapshots)``.  Both scatter paths -- direct :meth:`search` and
+        the sharded query service's workers -- go through here, so the
+        protocol (bound seeding order, stats shape) cannot drift
+        between them.
+        """
+        bound = SharedBound()
+        gathered = []
+        per_shard = []
+        for index, searcher in enumerate(searchers):
+            gathered.append(searcher.search(query, k=k, shared_bound=bound))
+            per_shard.append(shard_stats_snapshot(index, searcher))
+        return gathered, per_shard
+
+    def _merge(self, per_shard_results, k):
+        """Translate to global ids and merge under the total order."""
+        merged = []
+        for shard_index, results in enumerate(per_shard_results):
+            for result in results:
+                merged.append(
+                    ResultTuple(
+                        tuple(
+                            self.to_global(shard_index, node_id)
+                            for node_id in result.node_ids
+                        ),
+                        result.content_scores,
+                        result.compactness,
+                        result.score,
+                    )
+                )
+        merged.sort(key=lambda result: (-result.score, result.node_ids))
+        return merged if k is None else merged[:k]
+
+    # -- serving --------------------------------------------------------------
+
+    def query_service(self, workers=None, cache_size=None):
+        """The concurrent scatter-gather serving facade (lazy, kept).
+
+        Same contract as :meth:`Seda.query_service`: repeated calls
+        return the same service; an explicitly different configuration
+        replaces it (dropping its warm cache).
+        """
+        from repro.service.query_service import keep_or_replace_service
+        from repro.shard.service import ShardedQueryService
+
+        self._service = keep_or_replace_service(
+            self._service,
+            lambda w, c: ShardedQueryService(self, workers=w, cache_size=c),
+            workers, cache_size,
+        )
+        return self._service
+
+    def search_many(self, queries, k=10, workers=None):
+        """Serve a batch concurrently; a list of merged result lists.
+
+        Results are in input order, each list identical to
+        :meth:`search` on that query (duplicates computed once, repeats
+        served from the service's result cache).
+        """
+        parsed = [
+            query if isinstance(query, Query) else Query.parse(query)
+            for query in queries
+        ]
+        service = self.query_service(workers=workers)
+        results, _stats = service.execute_batch(parsed, k=k)
+        return results
+
+    # -- ingestion ------------------------------------------------------------
+
+    def add_documents(self, documents, value_links=None):
+        """Route new documents to their shards; keep global scoring exact.
+
+        Every shard is invalidated even when it receives no documents:
+        new documents change the corpus-wide ``df``/``N`` behind idf,
+        so the global statistics cache is dropped and every shard's
+        graph version is bumped -- which is what expires the per-shard
+        impact streams and result caches holding scores computed
+        against the old statistics.  Shards still deferred (lazy
+        restore) are not rehydrated for this: their bump is recorded
+        on the slot and applied at materialization (or before a
+        save).  New ``value_links`` specs are propagated to every
+        shard's link discovery, mirroring the unsharded system.
+        Returns the created documents in global input order (their
+        ``doc_id``/node ids are shard-local).
+        """
+        if self._partitioner is None:
+            raise ValueError(
+                "this sharded collection was saved with a custom "
+                "partitioner; reload it with ShardedSeda.load(path, "
+                "partitioner=...) before adding documents"
+            )
+        base = len(self._docs)
+        pairs = []
+        for index, document in enumerate(documents):
+            if isinstance(document, tuple):
+                pairs.append(document)
+            else:
+                pairs.append((f"doc-{base + index}", document))
+        shards = len(self._slots)
+        routed = [[] for _ in range(shards)]
+        order = []
+        for offset, (doc_name, source) in enumerate(pairs):
+            shard = self._partitioner(doc_name, base + offset, shards) % shards
+            order.append((shard, len(routed[shard])))
+            routed[shard].append((doc_name, source))
+        new_specs = tuple(value_links) if value_links else ()
+        if new_specs:
+            self.value_links = self.value_links + new_specs
+        added_per_shard = []
+        for index, slot in enumerate(self._slots):
+            if routed[index] or new_specs:
+                added = slot.get().add_documents(
+                    routed[index], value_links=new_specs or None
+                )
+            else:
+                added = []
+            added_per_shard.append(added)
+        added_global = []
+        for offset, (doc_name, _source) in enumerate(pairs):
+            shard, position = order[offset]
+            document = added_per_shard[shard][position]
+            self._docs.append([doc_name, shard, len(document.nodes)])
+            added_global.append(document)
+        self._rebuild_topology()
+        self.stats.invalidate()
+        for slot in self._slots:
+            if slot.loaded:
+                slot.get().graph.bump_version()
+            else:
+                slot.pending_bumps += 1
+        if self._service is not None:
+            self._service.invalidate()
+        return added_global
+
+    # -- snapshots ------------------------------------------------------------
+
+    def save(self, directory):
+        """Persist the whole sharded collection to one directory.
+
+        One ordinary snapshot file per shard plus ``manifest.json``
+        written last -- the manifest is the commit record, so a crash
+        mid-save never leaves a directory that parses.  Re-saving into
+        a directory that already holds a snapshot writes the shard
+        files under a new *generation* (the old manifest keeps
+        pointing at intact old files until the new manifest atomically
+        replaces it), then deletes the superseded files.  Shards that
+        are still deferred are written without being rehydrated: a
+        lazily loaded collection can be re-saved (backed up,
+        relocated) at file-copy cost.  The post-commit cleanup of
+        superseded generations assumes this instance is the
+        directory's only live handle -- another process lazily loaded
+        from the same directory would lose the files its slots still
+        point at (see docs/OPERATIONS.md).  See
+        :mod:`repro.storage.snapshot` for the layout.
+        """
+        os.makedirs(directory, exist_ok=True)
+        generation = next_shard_generation(directory)
+        shard_files = []
+        for index, slot in enumerate(self._slots):
+            shard_file = shard_file_name(index, generation)
+            slot.save_to(os.path.join(directory, shard_file))
+            shard_files.append(shard_file)
+        meta = {
+            "collection": self.name,
+            "shards": len(self._slots),
+            "partitioner": self._partitioner_name,
+            "value_links": [spec.to_dict() for spec in self.value_links],
+        }
+        write_sharded_manifest(
+            directory, meta, self._docs, shard_files, generation=generation
+        )
+        # Repoint slots whose backing file lives in *this* directory:
+        # the re-save supersedes (and below, deletes) the generation
+        # they were loaded from.  Slots backed by a different source
+        # directory keep it -- saving a backup must not migrate the
+        # live system onto the backup.
+        target = os.path.abspath(directory)
+        for slot, shard_file in zip(self._slots, shard_files):
+            if slot.path is not None and (
+                os.path.dirname(os.path.abspath(slot.path)) == target
+            ):
+                slot.path = os.path.join(directory, shard_file)
+        # The new manifest is committed; superseded generations are
+        # dead weight (best-effort cleanup -- leftovers are harmless).
+        keep = set(shard_files)
+        for name in os.listdir(directory):
+            if (name.startswith("shard-") and name.endswith(".snapshot")
+                    and name not in keep):
+                try:
+                    os.remove(os.path.join(directory, name))
+                except OSError:  # pragma: no cover - fs-dependent
+                    pass
+
+    @classmethod
+    def load(cls, directory, lazy=True, partitioner=None):
+        """Restore a sharded collection saved by :meth:`save`.
+
+        With ``lazy=True`` (the default) only the manifest is read;
+        each shard snapshot is restored on first use -- the topology
+        (document/node counts, id translation) is fully available
+        before any shard file is opened.  ``partitioner`` overrides the
+        manifest's routing policy; required when the collection was
+        built with a custom (non-serializable) partitioner and
+        :meth:`add_documents` will be called.
+        """
+        manifest = read_sharded_manifest(directory)
+        meta = manifest.get("meta", {})
+        if partitioner is not None:
+            route, partitioner_name = resolve_partitioner(partitioner)
+        else:
+            stored = meta.get("partitioner", "hash")
+            route = PARTITIONERS.get(stored)
+            partitioner_name = stored
+            if route is None and stored != "custom":
+                # "custom" is the documented marker for a
+                # non-serializable routing function (searches work,
+                # ingestion needs the function back); any *other*
+                # unknown name means a newer writer or a damaged
+                # manifest -- fail here, not later in add_documents.
+                raise SnapshotError(
+                    f"{directory}: manifest names unknown partitioner "
+                    f"{stored!r} (known: {sorted(PARTITIONERS)}, or "
+                    f"'custom'); pass partitioner= to override"
+                )
+        value_links = tuple(
+            ValueLinkSpec.from_dict(record)
+            for record in meta.get("value_links", ())
+        )
+        slots = [
+            _ShardSlot(path=os.path.join(directory, shard_file))
+            for shard_file in manifest["shard_files"]
+        ]
+        system = cls(
+            slots, manifest["documents"],
+            meta.get("collection", "collection"), value_links,
+            route, partitioner_name,
+        )
+        if not lazy:
+            for slot in slots:
+                slot.get()
+        return system
+
+    def __repr__(self):
+        loaded = sum(1 for slot in self._slots if slot.loaded)
+        return (
+            f"ShardedSeda({self.name!r}, shards={len(self._slots)} "
+            f"({loaded} loaded), docs={len(self._docs)}, "
+            f"nodes={self._node_count})"
+        )

@@ -46,6 +46,38 @@ may be absent); node ids embedded in component payloads are only
 meaningful relative to the collection record in the same file.  Writers
 always emit via a temp file and atomic rename, so a crash never leaves
 a torn snapshot behind.
+
+Sharded snapshots
+-----------------
+
+A sharded collection (:mod:`repro.shard`) persists as a **directory**:
+
+* ``shard-0000.snapshot`` ... ``shard-NNNN.snapshot`` -- one ordinary
+  single-system snapshot per shard, each individually valid in the
+  format above (but see the caveat below);
+* ``manifest.json`` -- the topology record, written **last** (atomic
+  temp-file rename), so a crashed first save never leaves a directory
+  that parses.  Re-saves bump a ``generation`` counter and write the
+  shard files under generation-suffixed names
+  (``shard-0000.g1.snapshot``), so the old manifest keeps pointing at
+  intact old files until the new manifest commits::
+
+      {"format": "seda-sharded-snapshot", "version": 1,
+       "meta": {"collection": ..., "shards": N, "partitioner": ...,
+                "value_links": [...]},
+       "documents": [[name, shard_index, node_count], ...],
+       "shard_files": ["shard-0000.snapshot", ...]}
+
+  ``documents`` lists every document in **global** order; the
+  ``node_count`` column is what lets a reader reconstruct the global
+  node-id space (and therefore translate per-shard result ids) without
+  opening a single shard file -- the basis of lazy per-shard restore.
+
+Caveat: a shard file's impact streams carry content scores computed
+against *corpus-wide* idf.  Restored through the manifest they are
+exact; loaded standalone via :func:`read_snapshot` they would disagree
+with scores the shard computes fresh from its local statistics, so
+treat shard files as internal to their directory.
 """
 
 import json
@@ -186,6 +218,162 @@ def read_snapshot(path):
     if missing:
         raise SnapshotError(f"{path}: missing records: {missing}")
     return meta, records
+
+
+SHARDED_FORMAT = "seda-sharded-snapshot"
+SHARDED_VERSION = 1
+SHARDED_MANIFEST = "manifest.json"
+
+#: Shard files are named by zero-padded shard index; re-saves into a
+#: directory that already holds a manifest use a bumped *generation*
+#: so the old files stay intact until the new manifest commits.
+SHARD_FILE_TEMPLATE = "shard-{index:04d}.snapshot"
+SHARD_FILE_GENERATION_TEMPLATE = "shard-{index:04d}.g{generation}.snapshot"
+
+
+def shard_file_name(index, generation=0):
+    """The shard file name for ``index`` at ``generation``."""
+    if generation:
+        return SHARD_FILE_GENERATION_TEMPLATE.format(
+            index=index, generation=generation
+        )
+    return SHARD_FILE_TEMPLATE.format(index=index)
+
+
+def next_shard_generation(directory):
+    """The generation a save into ``directory`` must write.
+
+    A fresh (or manifest-less) directory starts at generation 0 --
+    plain ``shard-NNNN.snapshot`` names.  A directory with a readable
+    manifest gets the next generation, so the re-save writes entirely
+    *new* shard files and the old manifest keeps pointing at intact
+    old ones until the new manifest atomically replaces it -- a crash
+    mid-re-save can never leave a manifest referencing half-rewritten
+    shards.
+    """
+    path = os.path.join(directory, SHARDED_MANIFEST)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = _loads(handle.read())
+        if not isinstance(manifest, dict):
+            return 0  # valid JSON but not a manifest: overwrite as fresh
+        return int(manifest.get("generation", 0)) + 1
+    except (FileNotFoundError, ValueError, TypeError):
+        return 0
+
+
+def write_sharded_manifest(directory, meta, documents, shard_files,
+                           generation=0):
+    """Write a sharded snapshot's ``manifest.json`` atomically.
+
+    ``documents`` is the global-order ``[name, shard_index,
+    node_count]`` table; ``shard_files`` the per-shard file names
+    (relative to ``directory``).  Callers write the shard files
+    *first*: the manifest is the commit record.
+    """
+    manifest = {
+        "format": SHARDED_FORMAT,
+        "version": SHARDED_VERSION,
+        "generation": generation,
+        "meta": meta,
+        "documents": [list(row) for row in documents],
+        "shard_files": list(shard_files),
+    }
+    path = os.path.join(directory, SHARDED_MANIFEST)
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        handle.write(_dumps(manifest) + "\n")
+    os.replace(tmp_path, path)
+    return path
+
+
+def read_sharded_manifest(directory):
+    """Read and validate ``manifest.json``; returns the manifest dict.
+
+    Raises :class:`SnapshotError` on a missing manifest, a foreign
+    format string, an unsupported version, or a manifest whose listed
+    shard files are absent.
+    """
+    path = os.path.join(directory, SHARDED_MANIFEST)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except FileNotFoundError:
+        raise SnapshotError(
+            f"{directory}: not a sharded snapshot (no {SHARDED_MANIFEST})"
+        ) from None
+    try:
+        manifest = _loads(text)
+    except ValueError as error:
+        raise SnapshotError(f"{path}: manifest is not valid JSON") from error
+    if not isinstance(manifest, dict) or (
+        manifest.get("format") != SHARDED_FORMAT
+    ):
+        raise SnapshotError(
+            f"{path}: not a {SHARDED_FORMAT} manifest "
+            f"(format={manifest.get('format') if isinstance(manifest, dict) else None!r})"
+        )
+    if manifest.get("version") != SHARDED_VERSION:
+        raise SnapshotError(
+            f"{path}: unsupported sharded snapshot version "
+            f"{manifest.get('version')!r} (supported: {SHARDED_VERSION})"
+        )
+    for name in ("documents", "shard_files"):
+        if not isinstance(manifest.get(name), list):
+            raise SnapshotError(f"{path}: manifest is missing {name!r}")
+    shard_count = len(manifest["shard_files"])
+    for row in manifest["documents"]:
+        if not (
+            isinstance(row, list) and len(row) == 3
+            and isinstance(row[1], int) and 0 <= row[1] < shard_count
+            and isinstance(row[2], int) and row[2] >= 0
+        ):
+            raise SnapshotError(
+                f"{path}: malformed document row {row!r} "
+                f"(need [name, shard_index < {shard_count}, node_count])"
+            )
+    missing = [
+        shard_file for shard_file in manifest["shard_files"]
+        if not os.path.exists(os.path.join(directory, shard_file))
+    ]
+    if missing:
+        raise SnapshotError(
+            f"{directory}: manifest lists missing shard files: {missing}"
+        )
+    return manifest
+
+
+def sharded_snapshot_info(directory):
+    """Manifest metadata plus per-shard file sizes, loading nothing.
+
+    Returns ``{"meta": ..., "shards": [(file, bytes, documents,
+    nodes), ...], "documents": N, "nodes": N, "total_bytes": N}`` --
+    what ``repro shard info`` prints.  Only the manifest is read; the
+    shard snapshots are just ``stat``-ed, so inspecting a huge sharded
+    collection stays O(manifest).
+    """
+    manifest = read_sharded_manifest(directory)
+    documents = manifest["documents"]
+    per_shard_docs = [0] * len(manifest["shard_files"])
+    per_shard_nodes = [0] * len(manifest["shard_files"])
+    for _name, shard_index, node_count in documents:
+        per_shard_docs[shard_index] += 1
+        per_shard_nodes[shard_index] += node_count
+    shards = []
+    total = 0
+    for index, shard_file in enumerate(manifest["shard_files"]):
+        size = os.path.getsize(os.path.join(directory, shard_file))
+        total += size
+        shards.append(
+            (shard_file, size, per_shard_docs[index], per_shard_nodes[index])
+        )
+    return {
+        "meta": manifest.get("meta", {}),
+        "shards": shards,
+        "documents": len(documents),
+        "nodes": sum(per_shard_nodes),
+        "total_bytes": total,
+    }
 
 
 def snapshot_info(path):

@@ -112,9 +112,31 @@ class Seda:
 
     @classmethod
     def from_documents(cls, documents, value_links=(), name="collection",
-                       **kwargs):
+                       shards=None, **kwargs):
         """Build a SEDA instance from ``(name, xml-or-element)`` pairs
-        or bare XML strings / elements."""
+        or bare XML strings / elements.
+
+        Any explicit ``shards=N`` (N >= 1; config-driven callers may
+        legitimately land on 1) routes to the horizontally partitioned
+        system instead: the documents are hash-partitioned across N
+        independent shards, indexes build in parallel, and the returned
+        :class:`~repro.shard.ShardedSeda` answers ``search`` /
+        ``search_many`` by scatter-gather with results byte-identical
+        to this unsharded build -- *provided no discovered link edge
+        crosses shards*.  The built-in partitioners route by document
+        name without inspecting content, so corpora whose
+        IDREF/XLink/``value_links`` relationships span documents need
+        a ``partitioner`` that co-locates each linked group, or
+        cross-document tuples are silently lost.  See
+        :mod:`repro.shard` for the full invariant set.
+        """
+        if shards is not None:
+            from repro.shard import ShardedSeda
+
+            return ShardedSeda.from_documents(
+                documents, shards=shards, value_links=value_links,
+                name=name, **kwargs,
+            )
         collection = DocumentCollection(name=name)
         for document in documents:
             if isinstance(document, tuple):
@@ -166,13 +188,13 @@ class Seda:
 
     # -- snapshots -------------------------------------------------------------
 
-    def save(self, path):
-        """Persist the whole system to one versioned snapshot file.
+    def snapshot_payload(self):
+        """The system's serialized form: a ``(meta, records)`` pair.
 
-        See :mod:`repro.storage.snapshot` for the format.  Everything a
-        cold start would otherwise recompute -- parsed nodes, link
-        edges, both indexes, the node store, dataguides, and the cube
-        registry -- is written out, so :meth:`load` restores in one pass.
+        This is everything :meth:`save` writes, as plain
+        JSON-compatible dictionaries -- also the unit a parallel shard
+        build ships from worker process to parent (the payload pickles
+        cheaply; live systems do not, they carry locks).
         """
         meta = {
             "collection": self.collection.name,
@@ -194,6 +216,17 @@ class Seda:
             # re-enumerating or re-scoring candidates.
             "streams": self.streams.to_dict(version=self.graph.version),
         }
+        return meta, records
+
+    def save(self, path):
+        """Persist the whole system to one versioned snapshot file.
+
+        See :mod:`repro.storage.snapshot` for the format.  Everything a
+        cold start would otherwise recompute -- parsed nodes, link
+        edges, both indexes, the node store, dataguides, and the cube
+        registry -- is written out, so :meth:`load` restores in one pass.
+        """
+        meta, records = self.snapshot_payload()
         write_snapshot(path, meta, records)
 
     @classmethod
@@ -207,6 +240,11 @@ class Seda:
         or torn files.
         """
         meta, records = read_snapshot(path)
+        return cls.from_payload(meta, records)
+
+    @classmethod
+    def from_payload(cls, meta, records):
+        """Reconstruct a system from a :meth:`snapshot_payload` pair."""
         analyzer = Analyzer.from_dict(meta["analyzer"])
         collection = DocumentCollection.from_dict(records["collection"])
         graph = DataGraph.from_dict(records["graph"], collection)
@@ -261,20 +299,14 @@ class Seda:
         *explicitly* different configuration replaces the service,
         dropping its warm cache.
         """
-        service = self._service
-        if service is not None and (
-            (workers is None or service.workers == workers)
-            and (cache_size is None
-                 or service.cache.max_entries == cache_size)
-        ):
-            return service
-        service = QueryService(
-            self,
-            workers=4 if workers is None else workers,
-            cache_size=256 if cache_size is None else cache_size,
+        from repro.service.query_service import keep_or_replace_service
+
+        self._service = keep_or_replace_service(
+            self._service,
+            lambda w, c: QueryService(self, workers=w, cache_size=c),
+            workers, cache_size,
         )
-        self._service = service
-        return service
+        return self._service
 
     def search_many(self, queries, k=10, workers=None):
         """Serve a batch of queries concurrently; a list of sessions.

@@ -211,3 +211,66 @@ class TestServiceCommands:
         assert "batch" in text
         assert "identical to" in text
         assert "MISMATCH" not in text
+
+    def test_bench_queries_shards_equality_gate(self):
+        out = io.StringIO()
+        code = main(
+            ["bench-queries", "--scale", "0.01", "--workers", "2",
+             "--repeat", "2", "-k", "5", "--shards", "2"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "sharded" in text
+        assert "shard 0:" in text and "shard 1:" in text
+        assert "scatter-gather answers identical" in text
+        assert "MISMATCH" not in text
+
+
+class TestShardCommands:
+    def test_build_info_search(self, tmp_path):
+        target = tmp_path / "factbook.shards"
+        out = io.StringIO()
+        code = main(
+            ["shard", "build", str(target), "--scale", "0.01",
+             "--shards", "2", "--serial"],
+            out=out,
+        )
+        assert code == 0
+        assert "built 2 shards" in out.getvalue()
+        assert (target / "manifest.json").exists()
+
+        out = io.StringIO()
+        assert main(["shard", "info", str(target)], out=out) == 0
+        text = out.getvalue()
+        assert "shards: 2" in text
+        assert "shard-0000.snapshot" in text
+        assert "partitioner: hash" in text
+
+        out = io.StringIO()
+        code = main(
+            ["shard", "search", str(target),
+             "--term", "trade_country:*", "--term", "percentage:*",
+             "-k", "3"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "results from 2 shards" in text
+        assert "shard 0:" in text and "shard 1:" in text
+
+    def test_search_requires_terms(self, tmp_path):
+        with pytest.raises(SystemExit, match="at least one --term"):
+            main(["shard", "search", str(tmp_path)], out=io.StringIO())
+
+    def test_info_rejects_non_sharded_directory(self, tmp_path):
+        with pytest.raises(SystemExit, match="manifest"):
+            main(["shard", "info", str(tmp_path)], out=io.StringIO())
+
+    def test_build_rejects_bad_shard_count(self, tmp_path):
+        with pytest.raises(SystemExit, match="--shards must be"):
+            main(
+                ["shard", "build", str(tmp_path / "x"), "--shards", "0",
+                 "--scale", "0.01"],
+                out=io.StringIO(),
+            )

@@ -32,4 +32,5 @@ def test_examples_exist():
         "schema_evolution_gdp",
         "heuristics_comparison",
         "discovery_pay_as_you_go",
+        "sharded_search",
     } <= names

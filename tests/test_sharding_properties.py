@@ -1,0 +1,177 @@
+"""Property test: sharded top-k == unsharded top-k, always.
+
+Hypothesis generates small random collections in the document shape
+the cross-implementation suite in ``test_properties_random.py`` uses
+(a tiny tag alphabet and a tiny vocabulary, so score ties are common
+and the deterministic tie-break is genuinely exercised) **plus
+skewed-frequency texts** -- nodes whose term repeats dozens of times.
+The skew matters: near-uniform scores keep every stream frontier close
+to its maximum, which structurally hides early-termination bugs (a
+tuple pairing a seen high scorer with an unseen partner is exactly
+what the frontier-only TA threshold failed to bound).  The suite then
+asserts the headline sharding contract for random shard counts,
+partitioning policies, and k -- including k larger than the corpus can
+satisfy.
+
+Equality here is exact: node ids (global), content scores,
+compactness, and the combined score must be the identical floats the
+unsharded system produces.  The corpora carry no cross-document links
+(no IDREF/XLink attributes, no value-link specs), which is precisely
+the regime the merge-equivalence contract covers -- see
+``docs/ARCHITECTURE.md``, "Sharding".
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.query.term import Query
+from repro.shard import ShardedSeda
+from repro.system import Seda
+from repro.xmlio.dom import Element
+from repro.xmlio.writer import serialize
+
+_TAGS = ("a", "b", "c", "d")
+_WORDS = (
+    "red", "blue", "green", "red blue", "blue green red",
+    # Skewed frequencies: high-tf nodes push stream maxima far above
+    # the frontiers, the regime where an unsound stopping rule shows.
+    "red " * 20, "blue " * 12, "red red red red red red red red",
+    "blue pad pad pad pad", "green " * 30,
+)
+
+
+@st.composite
+def _random_element(draw, depth=0):
+    element = Element(draw(st.sampled_from(_TAGS)))
+    if draw(st.booleans()):
+        element.append(draw(st.sampled_from(_WORDS)))
+    if depth < 3:
+        for child in draw(
+            st.lists(
+                st.deferred(lambda: _random_element(depth + 1)),  # noqa: B023
+                max_size=3,
+            )
+        ):
+            element.append(child)
+    return element
+
+
+@st.composite
+def _random_corpus(draw):
+    roots = draw(st.lists(_random_element(), min_size=1, max_size=6))
+    return [
+        (f"doc-{index}", serialize(root))
+        for index, root in enumerate(roots)
+    ]
+
+
+_QUERIES = (
+    [("*", "red"), ("*", "blue")],
+    [("*", "blue"), ("*", "green"), ("*", "red")],
+    [("a", "*"), ("*", "red")],
+    [("*", "blue")],
+)
+
+
+def _canon(results):
+    return [
+        (r.node_ids, r.content_scores, r.compactness, r.score)
+        for r in results
+    ]
+
+
+@given(
+    corpus=_random_corpus(),
+    shards=st.integers(min_value=1, max_value=5),
+    k=st.one_of(st.integers(min_value=1, max_value=40), st.none()),
+    partitioner=st.sampled_from(["hash", "round-robin"]),
+    query=st.sampled_from(_QUERIES),
+)
+@settings(max_examples=60, deadline=None)
+def test_sharded_topk_equals_unsharded(corpus, shards, k, partitioner,
+                                       query):
+    unsharded = Seda.from_documents(corpus)
+    sharded = ShardedSeda.from_documents(
+        corpus, shards=shards, parallel=False, partitioner=partitioner
+    )
+    expected = unsharded.topk.search(Query.parse(query), k=k)
+    merged = sharded.search(query, k=k)
+    assert _canon(merged) == _canon(expected)
+
+
+def test_skewed_frequency_fuzz_matches_unsharded_and_naive():
+    """Deterministic fuzz over frontier-collapsing corpora.
+
+    This is the regression net for the early-termination bug class:
+    documents mix single-occurrence words with 8-50x repeated runs, so
+    stream maxima tower over frontiers and shard streams collapse at
+    different rates than the global ones.  Sharded must equal
+    unsharded on every seed -- and unsharded must equal the exhaustive
+    oracle, pinning the corner-bound stop itself.
+    """
+    from repro.search.naive import NaiveSearcher
+
+    queries = [
+        [("*", "red"), ("*", "blue")],
+        [("*", "red"), ("*", "blue"), ("*", "green")],
+    ]
+    for seed in range(25):
+        rng = random.Random(seed)
+        docs = []
+        for index in range(rng.randint(4, 12)):
+            parts = []
+            for _ in range(rng.randint(1, 4)):
+                word = rng.choice(["red", "blue", "green"])
+                reps = rng.choice([1, 1, 2, 3, 8, 20, 50])
+                filler = "pad " * rng.randint(0, 6)
+                tag = rng.choice(_TAGS)
+                parts.append(
+                    f"<{tag}>{(word + ' ') * reps}{filler}</{tag}>"
+                )
+            docs.append((f"d{index}", "<r>" + "".join(parts) + "</r>"))
+        unsharded = Seda.from_documents(docs)
+        oracle = NaiveSearcher(unsharded.matcher, unsharded.scoring)
+        systems = [
+            ShardedSeda.from_documents(
+                docs, shards=shards, parallel=False,
+                partitioner="round-robin",
+            )
+            for shards in (2, 3)
+        ]
+        for pairs in queries:
+            query = Query.parse(pairs)
+            for k in (1, 2, 5):
+                expected = _canon(unsharded.topk.search(query, k=k))
+                assert expected == _canon(oracle.search(query, k=k)), (
+                    f"TA diverged from the oracle on seed {seed}"
+                )
+                for system in systems:
+                    assert _canon(system.search(pairs, k=k)) == expected, (
+                        f"sharded diverged on seed {seed}"
+                    )
+
+
+@given(
+    corpus=_random_corpus(),
+    shards=st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_ingestion_preserves_equivalence(corpus, shards):
+    """Adding documents keeps the corpus-wide statistics exact: the
+    mutated sharded system still answers like the mutated unsharded
+    one (idf shifts with every added node, so stale per-shard caches
+    would surface here immediately)."""
+    seed, extra = corpus[: len(corpus) // 2 + 1], corpus[len(corpus) // 2 + 1:]
+    unsharded = Seda.from_documents(seed)
+    sharded = ShardedSeda.from_documents(seed, shards=shards, parallel=False)
+    # Warm caches on the pre-mutation corpus so stale entries would
+    # be observable if invalidation were wrong.
+    sharded.search(_QUERIES[0], k=5)
+    unsharded.topk.search(Query.parse(_QUERIES[0]), k=5)
+    if extra:
+        unsharded.add_documents(extra)
+        sharded.add_documents(extra)
+    for query in _QUERIES:
+        expected = unsharded.topk.search(Query.parse(query), k=10)
+        assert _canon(sharded.search(query, k=10)) == _canon(expected)
