@@ -3,8 +3,11 @@
 Subcommands::
 
     python -m repro stats   --dataset factbook --scale 0.02
+    python -m repro stats   --queries queries.txt --json
+    python -m repro stats   --snapshot seda.snapshot
     python -m repro search  --dataset factbook --scale 0.02 \
         --term '*:"United States"' --term 'trade_country:*' -k 10
+    python -m repro explain --term 'trade_country:*' --term 'percentage:*'
     python -m repro table1  --threshold 0.4 --scale 1.0
     python -m repro query1  --scale 0.05
     python -m repro snapshot save seda.snapshot --dataset factbook
@@ -45,6 +48,19 @@ worker-process builds unless ``--serial``) and saves the sharded
 snapshot directory; ``shard search`` scatter-gathers a query over it
 (restoring shards lazily); ``shard info`` prints the topology from the
 manifest alone, loading nothing.
+
+``stats`` doubles as the observability reader: with ``--queries`` it
+serves the workload through the concurrent service with a retained
+:class:`~repro.obs.registry.StatsRegistry` attached and prints the
+per-fingerprint statistics table (latency percentiles, cache-hit/
+prune/early-stop rates) plus the slow-query log (``--slow-ms`` sets
+the threshold; ``--save`` persists the system *with* its registry);
+with ``--snapshot`` it renders the registry stored in an existing
+snapshot file or sharded directory without serving anything.  ``--json``
+emits the same data machine-readably.  ``explain`` runs one query and
+reports how the TA search executed: streams opened, per-term candidate
+and sorted-access counts, tuples scored vs. pruned, which combine path
+ran, and why the search stopped.
 """
 
 import argparse
@@ -189,6 +205,17 @@ def _canonical_results(results):
 # -- subcommands -----------------------------------------------------------
 
 def cmd_stats(args, out):
+    if args.queries or args.snapshot:
+        return _cmd_query_stats(args, out)
+    if args.json:
+        raise SystemExit(
+            "stats --json reports the query-statistics registry; combine "
+            "it with --queries (serve a workload) or --snapshot (read a "
+            "saved registry)"
+        )
+    if args.save:
+        raise SystemExit("stats --save needs --queries (it persists the "
+                         "system served with observability on)")
     collection = _load_collection(args)
     catalog = CollectionCatalog(collection)
     summary = catalog.summary()
@@ -201,6 +228,76 @@ def cmd_stats(args, out):
               file=out)
     tail = catalog.long_tail()
     print(f"  long-tail paths (<25% of docs): {len(tail)}", file=out)
+    return 0
+
+
+def _load_registry_or_exit(path):
+    """The registry stored in a snapshot file or sharded directory."""
+    from repro.obs.registry import StatsRegistry
+    from repro.storage.snapshot import read_obs_state, read_snapshot
+
+    if os.path.isdir(path):
+        payload = read_obs_state(path)
+        if payload is None:
+            raise SystemExit(
+                f"{path}: no observability history (obs.json); save the "
+                f"collection after enable_observability()"
+            )
+        return StatsRegistry.from_dict(payload)
+    _meta, records = _read_snapshot_or_exit(read_snapshot, path)
+    if "obs" not in records:
+        raise SystemExit(
+            f"{path}: snapshot carries no 'obs' record (it was saved "
+            f"without observability enabled)"
+        )
+    return StatsRegistry.from_dict(records["obs"])
+
+
+def _cmd_query_stats(args, out):
+    """The ``stats --queries/--snapshot`` leg: the query registry."""
+    if args.snapshot:
+        if args.queries or args.save:
+            raise SystemExit("stats --snapshot only reads a saved "
+                             "registry; drop --queries/--save")
+        registry = _load_registry_or_exit(args.snapshot)
+    else:
+        seda = _build_seda(args)
+        registry = seda.enable_observability(
+            slow_threshold=args.slow_ms / 1000.0
+        )
+        queries = _load_queries(args)
+        service = seda.query_service(workers=args.workers)
+        service.execute_batch(queries, k=args.k)
+        if args.save:
+            seda.save(args.save)
+    if args.json:
+        print(json.dumps(registry.metrics(), indent=2, sort_keys=True),
+              file=out)
+    else:
+        print(registry.render_table(), file=out)
+        if args.save:
+            print(f"saved snapshot (with query statistics) to {args.save}",
+                  file=out)
+    return 0
+
+
+def cmd_explain(args, out):
+    """Run one query and report how the TA search executed."""
+    from repro.obs import explain
+
+    if not args.term:
+        raise SystemExit("explain needs at least one --term")
+    if args.snapshot:
+        seda = _read_snapshot_or_exit(Seda.load, args.snapshot)
+    else:
+        seda = _build_seda(args)
+    pairs = [_parse_term(term) for term in args.term]
+    report = explain(seda.topk, pairs, k=args.k)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True),
+              file=out)
+    else:
+        print(report.render(), file=out)
     return 0
 
 
@@ -515,10 +612,35 @@ def build_parser():
         sub.add_argument("--data", default=None, metavar="DIR",
                          help="load *.xml files from DIR instead")
 
-    stats = subparsers.add_parser("stats", help="collection statistics")
+    def add_service_options(sub):
+        sub.add_argument("--queries", default=None, metavar="FILE",
+                         help="query file (one query per line, terms "
+                              "separated by ';;'); built-in set if omitted")
+        sub.add_argument("--workers", type=int, default=4,
+                         help="concurrent worker searchers (default 4)")
+        sub.add_argument("-k", type=int, default=10, help="top-k size")
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="collection statistics, or the query-statistics registry "
+             "(with --queries / --snapshot)",
+    )
     add_source_options(stats)
     stats.add_argument("--top", type=int, default=10,
                        help="number of top paths to print")
+    add_service_options(stats)
+    stats.add_argument("--json", action="store_true",
+                       help="emit the query-statistics registry as JSON "
+                            "(needs --queries or --snapshot)")
+    stats.add_argument("--slow-ms", type=float, default=100.0,
+                       help="slow-query log threshold in milliseconds "
+                            "(default 100)")
+    stats.add_argument("--snapshot", default=None, metavar="PATH",
+                       help="read the registry stored in a snapshot file "
+                            "or sharded directory instead of serving")
+    stats.add_argument("--save", default=None, metavar="PATH",
+                       help="after serving --queries, persist the system "
+                            "with its registry to this snapshot file")
     stats.set_defaults(handler=cmd_stats)
 
     search = subparsers.add_parser("search", help="run a SEDA query")
@@ -528,6 +650,23 @@ def build_parser():
                         help="query term; repeatable")
     search.add_argument("-k", type=int, default=10, help="top-k size")
     search.set_defaults(handler=cmd_search)
+
+    explain_cmd = subparsers.add_parser(
+        "explain",
+        help="run one query and explain its top-k execution "
+             "(streams, candidates, pruning, stop reason)",
+    )
+    add_source_options(explain_cmd)
+    explain_cmd.add_argument("--term", action="append", default=[],
+                             metavar="CONTEXT:SEARCH",
+                             help="query term; repeatable")
+    explain_cmd.add_argument("-k", type=int, default=10, help="top-k size")
+    explain_cmd.add_argument("--json", action="store_true",
+                             help="emit the report as JSON")
+    explain_cmd.add_argument("--snapshot", default=None, metavar="FILE",
+                             help="explain against a loaded snapshot "
+                                  "instead of building from a dataset")
+    explain_cmd.set_defaults(handler=cmd_explain)
 
     table1 = subparsers.add_parser(
         "table1", help="regenerate the paper's Table 1"
@@ -542,14 +681,6 @@ def build_parser():
     query1.add_argument("--scale", type=float, default=0.05)
     query1.add_argument("-k", type=int, default=10)
     query1.set_defaults(handler=cmd_query1)
-
-    def add_service_options(sub):
-        sub.add_argument("--queries", default=None, metavar="FILE",
-                         help="query file (one query per line, terms "
-                              "separated by ';;'); built-in set if omitted")
-        sub.add_argument("--workers", type=int, default=4,
-                         help="concurrent worker searchers (default 4)")
-        sub.add_argument("-k", type=int, default=10, help="top-k size")
 
     serve = subparsers.add_parser(
         "serve-batch", help="serve a batch of queries concurrently"

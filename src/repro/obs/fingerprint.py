@@ -1,0 +1,103 @@
+"""Normalized query fingerprints: one stable name per logical query.
+
+A fingerprint is the retained-statistics key (CockroachDB-style
+statement fingerprinting): every spelling of the same logical query
+must map to one string, so its executions aggregate into one row of
+the stats registry.
+
+Normalization happens in two layers:
+
+* **Parsing** already canonicalizes spellings: keywords run through
+  the analyzer (case, punctuation, whitespace), ``""``/``"*"``
+  contexts collapse to :class:`~repro.query.term.EmptyContext`, and
+  bags of keywords parse to one :class:`~repro.query.ast.And`.
+* **Rendering** here canonicalizes *structure*: term order, And/Or
+  operand order, and context-disjunction order are sorted away
+  (tuple column order matters for presentation, not for identity),
+  and the AST is rendered back to query syntax -- so a fingerprint is
+  human-readable and re-parses to the same fingerprint (idempotence,
+  property-tested).
+
+``k`` is part of the fingerprint: the same terms at a different cut-off
+run a different search (different stopping point, different latencies)
+and must aggregate separately.
+"""
+
+from repro.query.ast import And, Keyword, MatchAll, Not, Or, Phrase
+from repro.query.term import (
+    ContextDisjunction,
+    EmptyContext,
+    PathContext,
+    TagContext,
+)
+
+#: Bare keywords that would lex as operators (or the match-all star)
+#: if rendered unquoted; they render in phrase quotes instead -- a
+#: one-word phrase re-parses to the same :class:`Keyword`.
+_RESERVED = frozenset(("and", "or", "not", "*"))
+
+
+def _render_search(expr):
+    """Canonical query-syntax rendering of a search AST."""
+    if isinstance(expr, MatchAll):
+        return "*"
+    if isinstance(expr, Keyword):
+        if expr.term in _RESERVED:
+            return f'"{expr.term}"'
+        return expr.term
+    if isinstance(expr, Phrase):
+        return '"' + " ".join(expr.words) + '"'
+    if isinstance(expr, And):
+        return " ".join(
+            sorted(_render_operand(child) for child in expr.children)
+        )
+    if isinstance(expr, Or):
+        rendered = sorted(_render_operand(child) for child in expr.children)
+        return "(" + " OR ".join(rendered) + ")"
+    if isinstance(expr, Not):
+        return "NOT " + _render_operand(expr.child)
+    raise TypeError(f"cannot fingerprint search expression {expr!r}")
+
+
+def _render_operand(expr):
+    """Like :func:`_render_search`, parenthesizing nested booleans.
+
+    ``And``/``Or`` operands inside another boolean need parentheses to
+    re-parse with the same shape (the parser flattens juxtaposition).
+    """
+    rendered = _render_search(expr)
+    if isinstance(expr, And):
+        return f"({rendered})"
+    return rendered  # Or already renders parenthesized
+
+
+def _render_context(context):
+    """Canonical context-spec rendering (the ``parse_context`` syntax)."""
+    if isinstance(context, EmptyContext):
+        return "*"
+    if isinstance(context, TagContext):
+        return context.pattern
+    if isinstance(context, PathContext):
+        return context.path
+    if isinstance(context, ContextDisjunction):
+        return "|".join(
+            sorted(_render_context(alt) for alt in context.alternatives)
+        )
+    raise TypeError(f"cannot fingerprint context {context!r}")
+
+
+def term_fingerprint(term):
+    """One term's canonical ``context:search`` rendering."""
+    return f"{_render_context(term.context)}:{_render_search(term.search)}"
+
+
+def query_fingerprint(query, k):
+    """The canonical retained-statistics key for ``(query, k)``.
+
+    Terms are rendered canonically and **sorted**: result-tuple column
+    order depends on term order, but the work a query does (streams,
+    combines, stopping point) does not, so order variants aggregate
+    into one fingerprint row.
+    """
+    terms = sorted(term_fingerprint(term) for term in query.terms)
+    return " ;; ".join(terms) + f" [k={k}]"

@@ -1,0 +1,139 @@
+"""Fixed log-scale latency histograms with percentile estimation.
+
+A latency distribution is retained as counts over a fixed set of
+exponentially growing buckets (1 microsecond doubling up to ~9
+minutes): constant memory per fingerprint regardless of traffic, and
+mergeable across processes by adding count arrays.
+
+Percentiles are estimated by the nearest-rank rule over the bucket
+counts: the estimate for quantile ``q`` is the **upper edge** of the
+bucket containing the rank-``ceil(q * n)``-th smallest sample.  Since
+bucket assignment is monotone in the observed value, that sample
+really lies in that bucket, so the true sample percentile is always
+bracketed by the bucket's ``(lower, upper]`` bounds -- the property
+``tests/test_obs_properties.py`` checks.  Bucket edges and bucket
+lookup share one precomputed table (``bisect`` over the edges), so
+the bracket guarantee is exact, not subject to float-log rounding.
+"""
+
+import bisect
+import math
+
+#: First bucket upper edge: 1 microsecond.
+_BASE = 1e-6
+#: Geometric growth factor between bucket edges.
+_RATIO = 2.0
+#: Bucket count; the last edge is ~549 s, observations beyond clamp in.
+_BUCKET_COUNT = 40
+
+#: Upper edges, ascending: bucket ``i`` covers ``(edge[i-1], edge[i]]``
+#: (bucket 0 covers ``[0, edge[0]]``).
+_EDGES = tuple(_BASE * _RATIO**index for index in range(_BUCKET_COUNT))
+
+
+class LatencyHistogram:
+    """Counts of observed latencies (seconds) in log-scale buckets."""
+
+    __slots__ = ("counts", "total")
+
+    def __init__(self, counts=None):
+        if counts is None:
+            self.counts = [0] * _BUCKET_COUNT
+        else:
+            counts = [int(value) for value in counts]
+            if len(counts) > _BUCKET_COUNT or any(
+                value < 0 for value in counts
+            ):
+                raise ValueError(
+                    f"histogram counts must be <= {_BUCKET_COUNT} "
+                    f"non-negative integers"
+                )
+            self.counts = counts + [0] * (_BUCKET_COUNT - len(counts))
+        self.total = sum(self.counts)
+
+    @staticmethod
+    def bucket_index(seconds):
+        """The bucket an observation of ``seconds`` lands in."""
+        if seconds <= _EDGES[0]:
+            return 0
+        return min(bisect.bisect_left(_EDGES, seconds), _BUCKET_COUNT - 1)
+
+    @staticmethod
+    def bucket_bounds(index):
+        """``(lower, upper]`` edges of bucket ``index`` in seconds."""
+        lower = 0.0 if index == 0 else _EDGES[index - 1]
+        return lower, _EDGES[index]
+
+    def observe(self, seconds):
+        """Record one latency observation."""
+        self.counts[self.bucket_index(seconds)] += 1
+        self.total += 1
+
+    def merge(self, other):
+        """Fold another histogram's counts into this one."""
+        for index, value in enumerate(other.counts):
+            self.counts[index] += value
+        self.total += other.total
+        return self
+
+    def _quantile_bucket(self, q):
+        """Bucket index holding the nearest-rank sample for ``q``."""
+        if self.total == 0:
+            return None
+        rank = max(1, math.ceil(q * self.total))
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                return index
+        return _BUCKET_COUNT - 1  # unreachable; counts sum to total
+
+    def quantile(self, q):
+        """Estimated ``q``-quantile in seconds (0.0 when empty)."""
+        index = self._quantile_bucket(q)
+        if index is None:
+            return 0.0
+        return self.bucket_bounds(index)[1]
+
+    def bracket(self, q):
+        """``(lower, upper)`` bounds enclosing the true ``q``-quantile.
+
+        ``None`` when the histogram is empty.  For in-range samples the
+        true nearest-rank sample percentile satisfies
+        ``lower < value <= upper``.
+        """
+        index = self._quantile_bucket(q)
+        if index is None:
+            return None
+        return self.bucket_bounds(index)
+
+    @property
+    def p50(self):
+        return self.quantile(0.50)
+
+    @property
+    def p95(self):
+        return self.quantile(0.95)
+
+    @property
+    def p99(self):
+        return self.quantile(0.99)
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_dict(self):
+        """JSON-clean form; trailing zero buckets are trimmed."""
+        counts = list(self.counts)
+        while counts and counts[-1] == 0:
+            counts.pop()
+        return {"counts": counts}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(counts=payload.get("counts", ()))
+
+    def __repr__(self):
+        return (
+            f"LatencyHistogram(total={self.total}, "
+            f"p50={self.p50 * 1000:.3f}ms, p99={self.p99 * 1000:.3f}ms)"
+        )

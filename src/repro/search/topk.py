@@ -139,6 +139,9 @@ class TopKSearcher:
                 "pruned": 0,
                 "early_stop": True,
                 "candidates": [],
+                "per_term_accesses": [],
+                "path": None,
+                "stop_reason": "k-zero",
             }
             return []
         terms = query.terms
@@ -151,10 +154,16 @@ class TopKSearcher:
             "pruned": 0,
             "early_stop": False,
             "candidates": [],
+            "per_term_accesses": [],
+            "path": None,
+            "stop_reason": None,
         }
         streams = [self._stream(term) for term in terms]
         self.stats["candidates"] = [len(stream) for stream in streams]
+        self.stats["per_term_accesses"] = [0] * len(terms)
+        self.stats["path"] = self._path_name(terms)
         if any(len(stream) == 0 for stream in streams):
+            self.stats["stop_reason"] = "empty-stream"
             return []
         if len(terms) == 1:
             return self._single_term(streams[0], terms, k)
@@ -189,6 +198,7 @@ class TopKSearcher:
                 cursors[i] += 1
                 frontiers[i] = score
                 self.stats["sorted_accesses"] += 1
+                self.stats["per_term_accesses"][i] += 1
                 doc_id = self.matcher.collection.node(node_id).doc_id
                 seen_scores[i][node_id] = score
                 seen_by_doc[i][doc_id].append(node_id)
@@ -229,8 +239,11 @@ class TopKSearcher:
                     if (local_best >= threshold
                             or imported > threshold):
                         self.stats["early_stop"] = True
+                        self.stats["stop_reason"] = "corner-bound"
                         break
 
+        if self.stats["stop_reason"] is None:
+            self.stats["stop_reason"] = "exhaustion"
         results = [entry[2] for entry in heap]
         results.sort(key=lambda r: (-r.score, r.node_ids))
         return results
@@ -285,7 +298,30 @@ class TopKSearcher:
                 )
             )
         self.stats["early_stop"] = len(stream) > len(results)
+        self.stats["stop_reason"] = (
+            "k-satisfied" if self.stats["early_stop"] else "exhaustion"
+        )
         return results
+
+    def _path_name(self, terms):
+        """Which combine implementation this query's shape selects.
+
+        Mirrors the dispatch in :meth:`_combine` (``single`` needs no
+        combination at all); recorded in ``stats["path"]`` so EXPLAIN
+        can report it without re-deriving the dispatch rules.
+        """
+        if len(terms) == 1:
+            return "single"
+        plain_weights = (
+            self.scoring.content_weight == 1.0
+            and self.scoring.structure_weight == 1.0
+        )
+        if plain_weights and not self.allow_repeats:
+            if len(terms) == 2:
+                return "pair"
+            if len(terms) == 3:
+                return "triple"
+        return "general"
 
     def _document_reachability(self):
         """doc_id -> set of doc_ids reachable via one link edge.

@@ -43,6 +43,7 @@ import queue
 import threading
 import time
 
+from repro.obs.fingerprint import query_fingerprint
 from repro.query.term import Query
 from repro.search.topk import TopKSearcher
 from repro.service.cache import ResultCache
@@ -115,12 +116,18 @@ def execute_deduplicated(queries_with_keys, k, workers, execute,
 class QueryService:
     """Concurrent, caching query execution over one SEDA system."""
 
-    def __init__(self, system, workers=4, cache_size=256):
+    def __init__(self, system, workers=4, cache_size=256, registry=None):
         if workers <= 0:
             raise ValueError("workers must be positive")
         self.system = system
         self.workers = workers
         self.cache = ResultCache(cache_size)
+        #: Optional retained :class:`~repro.obs.registry.StatsRegistry`.
+        #: ``None`` (the default) keeps serving at zero observability
+        #: overhead; attach one (``Seda.enable_observability()``) and
+        #: every served query -- computed, cached, or batch-duplicate --
+        #: is recorded under its normalized fingerprint.
+        self.registry = registry
         self._pool = [
             TopKSearcher(system.matcher, system.scoring,
                          streams=system.streams)
@@ -175,8 +182,12 @@ class QueryService:
             stats = QueryStats(
                 key, k, time.perf_counter() - start, cache_hit=True
             )
-            return list(cached), stats
-        return self._compute(query, k, key, start)
+            results = list(cached)
+        else:
+            results, stats = self._compute(query, k, key, start)
+        if self.registry is not None:
+            self.registry.record(query_fingerprint(query, k), stats)
+        return results, stats
 
     def _compute(self, query, k, key, start):
         searcher = self._searchers.get()
@@ -214,7 +225,7 @@ class QueryService:
         results, per_query = execute_deduplicated(
             list(zip(parsed, keys)), k, self.workers,
             lambda query, size: self.execute(query, k=size),
-            lambda key: QueryStats(key, k, 0.0, cache_hit=True),
+            self._duplicate_stats(parsed, keys, k),
         )
         wall = time.perf_counter() - start
         counters_after = self._scoring_counters()
@@ -225,6 +236,27 @@ class QueryService:
         return results, BatchStats(
             per_query, wall, self.workers, scoring_caches=scoring_caches
         )
+
+    def _duplicate_stats(self, parsed, keys, k):
+        """Build the in-batch duplicate-stats callback.
+
+        Duplicates never pass through :meth:`execute` (the batch
+        skeleton fans the shared computation out), so the registry
+        records them here -- every occurrence a client received counts.
+        """
+        by_key = {}
+        for query, key in zip(parsed, keys):
+            by_key.setdefault(key, query)
+
+        def duplicate_stats(key):
+            stats = QueryStats(key, k, 0.0, cache_hit=True)
+            if self.registry is not None:
+                self.registry.record(
+                    query_fingerprint(by_key[key], k), stats
+                )
+            return stats
+
+        return duplicate_stats
 
     def _scoring_counters(self):
         """Cumulative shared-cache counters (impact streams + distance

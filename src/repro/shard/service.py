@@ -31,6 +31,7 @@ import queue
 import threading
 import time
 
+from repro.obs.fingerprint import query_fingerprint
 from repro.query.term import Query
 from repro.search.topk import TopKSearcher
 from repro.service.cache import ResultCache
@@ -41,12 +42,17 @@ from repro.service.stats import ShardedBatchStats, ShardedQueryStats
 class ShardedQueryService:
     """Concurrent, caching scatter-gather execution over shards."""
 
-    def __init__(self, sharded, workers=4, cache_size=256):
+    def __init__(self, sharded, workers=4, cache_size=256, registry=None):
         if workers <= 0:
             raise ValueError("workers must be positive")
         self.sharded = sharded
         self.workers = workers
         self.cache = ResultCache(cache_size)
+        #: Optional retained :class:`~repro.obs.registry.StatsRegistry`
+        #: (``None`` = zero observability overhead).  Sharded stats
+        #: carry a per-shard breakdown, so the registry additionally
+        #: accumulates per-shard skew counters per fingerprint.
+        self.registry = registry
         shards = sharded.shards  # forces lazy shards: serving needs all
         self._group_pool = [
             [
@@ -97,8 +103,12 @@ class ShardedQueryService:
             stats = ShardedQueryStats(
                 key, k, time.perf_counter() - start, cache_hit=True
             )
-            return list(cached), stats
-        return self._compute(query, k, key, start)
+            results = list(cached)
+        else:
+            results, stats = self._compute(query, k, key, start)
+        if self.registry is not None:
+            self.registry.record(query_fingerprint(query, k), stats)
+        return results, stats
 
     def _compute(self, query, k, key, start):
         group = self._groups.get()
@@ -136,7 +146,7 @@ class ShardedQueryService:
         results, per_query = execute_deduplicated(
             list(zip(parsed, keys)), k, self.workers,
             lambda query, size: self.execute(query, k=size),
-            lambda key: ShardedQueryStats(key, k, 0.0, cache_hit=True),
+            self._duplicate_stats(parsed, keys, k),
         )
         wall = time.perf_counter() - start
         counters_after = self._scoring_counters()
@@ -147,6 +157,23 @@ class ShardedQueryService:
         return results, ShardedBatchStats(
             per_query, wall, self.workers, scoring_caches=scoring_caches
         )
+
+    def _duplicate_stats(self, parsed, keys, k):
+        """Duplicate-stats callback that also records to the registry
+        (duplicates never pass through :meth:`execute`)."""
+        by_key = {}
+        for query, key in zip(parsed, keys):
+            by_key.setdefault(key, query)
+
+        def duplicate_stats(key):
+            stats = ShardedQueryStats(key, k, 0.0, cache_hit=True)
+            if self.registry is not None:
+                self.registry.record(
+                    query_fingerprint(by_key[key], k), stats
+                )
+            return stats
+
+        return duplicate_stats
 
     def _scoring_counters(self):
         """Shared-cache counters summed across every shard."""

@@ -57,9 +57,12 @@ from repro.search.topk import SharedBound, TopKSearcher
 from repro.shard.partition import PARTITIONERS, resolve_partitioner
 from repro.storage.snapshot import (
     SnapshotError,
+    clear_obs_state,
     next_shard_generation,
+    read_obs_state,
     read_sharded_manifest,
     shard_file_name,
+    write_obs_state,
     write_sharded_manifest,
     write_snapshot,
 )
@@ -241,6 +244,7 @@ class ShardedSeda:
                 self._wire_shard(slot.get())
         self._searchers = [None] * len(self._slots)
         self._service = None
+        self.obs = None  # StatsRegistry; enable_observability() attaches one
         self.last_search_stats = None
         self._rebuild_topology()
 
@@ -531,7 +535,26 @@ class ShardedSeda:
             lambda w, c: ShardedQueryService(self, workers=w, cache_size=c),
             workers, cache_size,
         )
+        # The retained stats registry survives service replacement.
+        self._service.registry = self.obs
         return self._service
+
+    def enable_observability(self, slow_threshold=0.1, slow_log_size=128):
+        """Attach a retained :class:`~repro.obs.registry.StatsRegistry`.
+
+        Same contract as :meth:`Seda.enable_observability`; sharded
+        stats additionally feed per-shard skew counters.  The registry
+        persists as ``obs.json`` next to the sharded manifest.
+        """
+        if self.obs is None:
+            from repro.obs.registry import StatsRegistry
+
+            self.obs = StatsRegistry(
+                slow_threshold=slow_threshold, slow_log_size=slow_log_size
+            )
+        if self._service is not None:
+            self._service.registry = self.obs
+        return self.obs
 
     def search_many(self, queries, k=10, workers=None):
         """Serve a batch concurrently; a list of merged result lists.
@@ -652,6 +675,13 @@ class ShardedSeda:
         write_sharded_manifest(
             directory, meta, self._docs, shard_files, generation=generation
         )
+        # Observability history rides alongside the manifest (advisory:
+        # written after the commit record, never required to load).  A
+        # re-save with observability off clears any stale history.
+        if self.obs is not None:
+            write_obs_state(directory, self.obs.to_dict())
+        else:
+            clear_obs_state(directory)
         # Repoint slots whose backing file lives in *this* directory:
         # the re-save supersedes (and below, deletes) the generation
         # they were loaded from.  Slots backed by a different source
@@ -718,6 +748,11 @@ class ShardedSeda:
             meta.get("collection", "collection"), value_links,
             route, partitioner_name,
         )
+        obs_payload = read_obs_state(directory)
+        if obs_payload is not None:
+            from repro.obs.registry import StatsRegistry
+
+            system.obs = StatsRegistry.from_dict(obs_payload)
         if not lazy:
             for slot in slots:
                 slot.get()

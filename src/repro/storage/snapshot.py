@@ -18,8 +18,10 @@ Snapshot format (JSON lines, UTF-8):
   whose format string differs or whose version is not a supported one
   (there is no cross-version migration; re-save from source data
   instead).  Version 2 added the optional ``streams`` record and the
-  inverted index's precomputed node lengths; version-1 files are still
-  readable -- the additions are derived or rebuilt lazily.  ``meta``
+  inverted index's precomputed node lengths; version 3 added the
+  optional ``obs`` record (the retained query-statistics registry).
+  Version-1 and version-2 files are still readable -- the additions
+  are derived, rebuilt lazily, or simply absent.  ``meta``
   carries system-level configuration -- collection name, ``max_hops``,
   the dataguide merge threshold, the analyzer configuration, and any
   value-link specs -- everything needed to reconstruct
@@ -38,7 +40,11 @@ Snapshot format (JSON lines, UTF-8):
   as its standalone ``save`` format), and ``registry`` (fact/dimension
   definitions); optionally followed by ``streams`` (the materialized
   impact-ordered per-term score streams at the saved graph version, so
-  a reloaded system serves its hot terms without rebuilding them).
+  a reloaded system serves its hot terms without rebuilding them) and
+  ``obs`` (the serialized
+  :class:`~repro.obs.registry.StatsRegistry` -- per-fingerprint query
+  statistics and the slow-query log -- so a reloaded service keeps its
+  observability history).
 
 Compatibility rules: unknown record types are rejected (they signal a
 newer writer); missing required records are rejected (optional records
@@ -55,9 +61,12 @@ A sharded collection (:mod:`repro.shard`) persists as a **directory**:
 * ``shard-0000.snapshot`` ... ``shard-NNNN.snapshot`` -- one ordinary
   single-system snapshot per shard, each individually valid in the
   format above (but see the caveat below);
-* ``manifest.json`` -- the topology record, written **last** (atomic
-  temp-file rename), so a crashed first save never leaves a directory
-  that parses.  Re-saves bump a ``generation`` counter and write the
+* ``obs.json`` (optional) -- the collection-level retained
+  query-statistics registry (:func:`write_obs_state`), written after
+  the manifest commits; absence just means no observability history;
+* ``manifest.json`` -- the topology record, written **last** among the
+  shard files (atomic temp-file rename), so a crashed first save never
+  leaves a directory that parses.  Re-saves bump a ``generation`` counter and write the
   shard files under generation-suffixed names
   (``shard-0000.g1.snapshot``), so the old manifest keeps pointing at
   intact old files until the new manifest commits::
@@ -89,12 +98,13 @@ except ImportError:  # pragma: no cover - environment-dependent
     _fastjson = None
 
 SNAPSHOT_FORMAT = "seda-snapshot"
-SNAPSHOT_VERSION = 2
+SNAPSHOT_VERSION = 3
 
 #: Versions this reader accepts.  Version 1 lacked the ``streams``
-#: record and the inverted index's node lengths; both restore as
-#: empty/derived, so old files load unchanged.
-SUPPORTED_VERSIONS = (1, SNAPSHOT_VERSION)
+#: record and the inverted index's node lengths; version 2 lacked the
+#: ``obs`` record.  All of those restore as empty/derived, so old
+#: files load unchanged.
+SUPPORTED_VERSIONS = (1, 2, SNAPSHOT_VERSION)
 
 #: Component records every complete snapshot must contain.
 REQUIRED_RECORDS = (
@@ -108,7 +118,7 @@ REQUIRED_RECORDS = (
 )
 
 #: Component records a snapshot may carry but a reader must not demand.
-OPTIONAL_RECORDS = ("streams",)
+OPTIONAL_RECORDS = ("streams", "obs")
 
 _KNOWN_RECORDS = frozenset(REQUIRED_RECORDS) | frozenset(OPTIONAL_RECORDS)
 
@@ -341,6 +351,46 @@ def read_sharded_manifest(directory):
             f"{directory}: manifest lists missing shard files: {missing}"
         )
     return manifest
+
+
+#: Collection-level retained query statistics in a sharded snapshot
+#: directory.  The per-shard snapshot files cannot carry this -- the
+#: registry spans shards (per-shard skew is *inside* each fingerprint's
+#: record) -- so it rides alongside the manifest.
+OBS_STATE_FILE = "obs.json"
+
+
+def write_obs_state(directory, payload):
+    """Atomically write the registry payload as ``obs.json``."""
+    path = os.path.join(directory, OBS_STATE_FILE)
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        handle.write(_dumps(payload) + "\n")
+    os.replace(tmp_path, path)
+    return path
+
+
+def read_obs_state(directory):
+    """The ``obs.json`` payload, or ``None`` when absent/unreadable.
+
+    Observability history is advisory: a torn or missing file must
+    never block restoring the collection itself.
+    """
+    path = os.path.join(directory, OBS_STATE_FILE)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = _loads(handle.read())
+    except (FileNotFoundError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def clear_obs_state(directory):
+    """Remove a stale ``obs.json`` (re-save with observability off)."""
+    try:
+        os.remove(os.path.join(directory, OBS_STATE_FILE))
+    except OSError:
+        pass
 
 
 def sharded_snapshot_info(directory):

@@ -94,6 +94,7 @@ class Seda:
         self.topk = TopKSearcher(self.matcher, self.scoring,
                                  streams=self.streams)
         self._service = None  # created lazily by query_service()
+        self.obs = None  # StatsRegistry; enable_observability() attaches one
         self.context_generator = ContextSummaryGenerator(self.matcher)
         self._refresh_generators()
 
@@ -216,6 +217,10 @@ class Seda:
             # re-enumerating or re-scoring candidates.
             "streams": self.streams.to_dict(version=self.graph.version),
         }
+        if self.obs is not None:
+            # Retained query statistics survive the snapshot: a reloaded
+            # service keeps its fingerprint history and slow-query log.
+            records["obs"] = self.obs.to_dict()
         return meta, records
 
     def save(self, path):
@@ -275,6 +280,10 @@ class Seda:
             value_links=value_links, max_hops=meta["max_hops"],
             streams=streams,
         )
+        if "obs" in records:
+            from repro.obs.registry import StatsRegistry
+
+            system.obs = StatsRegistry.from_dict(records["obs"])
         return system
 
     # -- the entry point ----------------------------------------------------------
@@ -306,7 +315,28 @@ class Seda:
             lambda w, c: QueryService(self, workers=w, cache_size=c),
             workers, cache_size,
         )
+        # The retained stats registry survives service replacement.
+        self._service.registry = self.obs
         return self._service
+
+    def enable_observability(self, slow_threshold=0.1, slow_log_size=128):
+        """Attach a retained :class:`~repro.obs.registry.StatsRegistry`.
+
+        Every query served through :meth:`query_service` /
+        :meth:`search_many` afterwards is recorded under its normalized
+        fingerprint; ``repro stats`` renders the accumulated registry
+        and :meth:`save` persists it.  Idempotent: repeated calls keep
+        the existing registry (and its history).  Returns the registry.
+        """
+        if self.obs is None:
+            from repro.obs.registry import StatsRegistry
+
+            self.obs = StatsRegistry(
+                slow_threshold=slow_threshold, slow_log_size=slow_log_size
+            )
+        if self._service is not None:
+            self._service.registry = self.obs
+        return self.obs
 
     def search_many(self, queries, k=10, workers=None):
         """Serve a batch of queries concurrently; a list of sessions.

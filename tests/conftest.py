@@ -1,6 +1,29 @@
 """Shared fixtures: small hand-built collections and dataset slices."""
 
+import os
+
 import pytest
+
+try:
+    from hypothesis import settings as _hypothesis_settings
+except ImportError:  # pragma: no cover - hypothesis is a test-only dep
+    _hypothesis_settings = None
+
+if _hypothesis_settings is not None:
+    # "ci" replays the same examples every run (derandomize), so CI
+    # failures reproduce; "dev" keeps local runs exploring fresh inputs.
+    # CI selects the profile via HYPOTHESIS_PROFILE=ci (see the
+    # workflow); a bare CI=true environment gets it too.
+    _hypothesis_settings.register_profile(
+        "ci", derandomize=True, deadline=None
+    )
+    _hypothesis_settings.register_profile("dev", deadline=None)
+    _hypothesis_settings.load_profile(
+        os.environ.get(
+            "HYPOTHESIS_PROFILE",
+            "ci" if os.environ.get("CI") else "dev",
+        )
+    )
 
 from repro.index.builder import IndexBuilder
 from repro.model.collection import DocumentCollection

@@ -1,6 +1,7 @@
 """The ``python -m repro`` command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -274,3 +275,156 @@ class TestShardCommands:
                  "--scale", "0.01"],
                 out=io.StringIO(),
             )
+
+
+class TestObservabilityCommands:
+    """``repro stats`` (registry mode) and ``repro explain``."""
+
+    WORKLOAD = (
+        "*:canada ;; year:*\n"
+        "*:canada ;; year:*\n"   # in-batch duplicate -> a cache hit
+        "trade_country:*\n"
+    )
+
+    def _query_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text(self.WORKLOAD)
+        return str(path)
+
+    def test_stats_default_mode_unchanged(self):
+        out = io.StringIO()
+        assert main(["stats", "--scale", "0.01"], out=out) == 0
+        assert "documents:" in out.getvalue()
+
+    def test_stats_queries_renders_registry_table(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            ["stats", "--scale", "0.01",
+             "--queries", self._query_file(tmp_path)],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "query statistics: 3 served, 2 fingerprints" in text
+        assert "count   hits" in text
+        assert "*:canada ;; year:* [k=10]" in text
+        assert "trade_country:* [k=10]" in text
+        assert "slow queries" in text
+
+    def test_stats_json_matches_scripted_workload(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            ["stats", "--scale", "0.01",
+             "--queries", self._query_file(tmp_path), "--json"],
+            out=out,
+        )
+        assert code == 0
+        data = json.loads(out.getvalue())  # valid JSON, full ground truth
+        assert data["total_queries"] == 3
+        fingerprints = data["fingerprints"]
+        assert set(fingerprints) == {
+            "*:canada ;; year:* [k=10]",
+            "trade_country:* [k=10]",
+        }
+        duplicated = fingerprints["*:canada ;; year:* [k=10]"]
+        assert duplicated["count"] == 2
+        assert duplicated["cache_hits"] == 1
+        assert duplicated["cache_hit_rate"] == 0.5
+        singleton = fingerprints["trade_country:* [k=10]"]
+        assert singleton["count"] == 1
+        assert singleton["cache_hits"] == 0
+        assert data["slow_threshold"] == 0.1
+
+    def test_stats_save_then_read_snapshot(self, tmp_path):
+        snapshot = tmp_path / "obs.snapshot"
+        out = io.StringIO()
+        code = main(
+            ["stats", "--scale", "0.01",
+             "--queries", self._query_file(tmp_path),
+             "--save", str(snapshot)],
+            out=out,
+        )
+        assert code == 0
+        assert "saved snapshot" in out.getvalue()
+
+        out = io.StringIO()
+        code = main(["stats", "--snapshot", str(snapshot)], out=out)
+        assert code == 0
+        assert "query statistics: 3 served" in out.getvalue()
+
+        out = io.StringIO()
+        code = main(
+            ["stats", "--snapshot", str(snapshot), "--json"], out=out
+        )
+        assert code == 0
+        assert json.loads(out.getvalue())["total_queries"] == 3
+
+    def test_stats_json_alone_rejected(self):
+        with pytest.raises(SystemExit, match="--queries"):
+            main(["stats", "--json"], out=io.StringIO())
+
+    def test_stats_snapshot_without_obs_rejected(self, tmp_path):
+        snapshot = tmp_path / "plain.snapshot"
+        assert main(
+            ["snapshot", "save", str(snapshot), "--scale", "0.01"],
+            out=io.StringIO(),
+        ) == 0
+        with pytest.raises(SystemExit, match="no 'obs' record"):
+            main(["stats", "--snapshot", str(snapshot)],
+                 out=io.StringIO())
+
+    def test_explain_text_output(self):
+        out = io.StringIO()
+        code = main(
+            ["explain", "--scale", "0.01",
+             "--term", "trade_country:*", "--term", "percentage:*",
+             "-k", "3"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert text.startswith(
+            "EXPLAIN percentage:* ;; trade_country:* [k=3]"
+        )
+        assert "combine path: pair" in text
+        assert "streams opened: 2" in text
+        assert "sorted accesses" in text
+        assert "stopped: " in text
+        assert "results: 3" in text
+
+    def test_explain_json_matches_searcher_stats(self):
+        out = io.StringIO()
+        code = main(
+            ["explain", "--scale", "0.01", "--term", "*:canada",
+             "--term", "year:*", "--json"],
+            out=out,
+        )
+        assert code == 0
+        data = json.loads(out.getvalue())
+        assert data["k"] == 10
+        assert data["sorted_accesses"] == sum(
+            entry["sorted_accesses"] for entry in data["per_term"]
+        )
+        assert data["stop_reason"] in (
+            "empty-stream", "k-satisfied", "corner-bound", "exhaustion"
+        )
+        assert len(data["per_term"]) == 2
+
+    def test_explain_requires_terms(self):
+        with pytest.raises(SystemExit, match="at least one --term"):
+            main(["explain"], out=io.StringIO())
+
+    def test_explain_from_snapshot(self, tmp_path):
+        snapshot = tmp_path / "seda.snapshot"
+        assert main(
+            ["snapshot", "save", str(snapshot), "--scale", "0.01"],
+            out=io.StringIO(),
+        ) == 0
+        out = io.StringIO()
+        code = main(
+            ["explain", "--snapshot", str(snapshot),
+             "--term", "*:canada"],
+            out=out,
+        )
+        assert code == 0
+        assert "combine path: single" in out.getvalue()
