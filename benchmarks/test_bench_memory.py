@@ -1,0 +1,247 @@
+"""MEM -- compact index memory: columnar postings, trie path tables.
+
+The compact refactor stores postings as delta-encoded byte columns and
+the path tables as a shared-prefix trie over interned label ids; the
+legacy layout (``compact_indexes=False``, the seed's representation)
+keeps per-term ``Posting`` object lists and per-term sets of full path
+strings.  The series of interest:
+
+* a ``sys.getsizeof``-walk byte count of both layouts on the largest
+  built-in dataset, gated at >= :data:`MIN_RATIO` x reduction for the
+  postings and for the path tables independently;
+* the contract that makes the compact layout admissible at all:
+  **byte-identical answers** from both systems on the hot query set;
+* the shared-memory contract: N worker processes loading one sharded
+  snapshot with ``shared_payload=True`` attach the *same* published
+  segments (one physical copy of the columns) and still answer
+  byte-identically to the live parent system.
+
+Results land in ``BENCH_memory.json`` at the repo root (uploaded as a
+CI artifact), so the ratio series is trackable across commits.
+"""
+
+import json
+import os
+import pathlib
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.compact.meminfo import deep_sizeof
+from repro.datasets.factbook import FactbookGenerator
+from repro.shard import ShardedSeda, publish_shared_payload
+from repro.system import Seda
+
+#: Mirrors ``conftest.FULL_SCALE`` (benchmarks/ is not a package, so
+#: the conftest module is not importable here).
+FULL_SCALE = float(os.environ.get("SEDA_BENCH_SCALE", "1.0"))
+PIPELINE_SCALE = min(FULL_SCALE, 0.05)
+
+#: The compact layout must shrink each measured table by at least this.
+MIN_RATIO = 2.0
+
+K = 10
+
+#: Query 1 terms and variants (the hot set the serving benchmarks use).
+QUERY_SET = [
+    [("*", '"United States"'), ("trade_country", "*")],
+    [("trade_country", "*"), ("percentage", "*")],
+    [("*", '"United States"'), ("trade_country", "*"), ("percentage", "*")],
+    [("*", "canada"), ("year", "*")],
+    [("*", "germany"), ("percentage", "*")],
+]
+
+ARTIFACT = pathlib.Path(__file__).resolve().parents[1] / "BENCH_memory.json"
+
+
+def _record(section, data):
+    """Merge one section into the benchmark artifact (test-order safe)."""
+    payload = {}
+    if ARTIFACT.exists():
+        try:
+            payload = json.loads(ARTIFACT.read_text(encoding="utf-8"))
+        except ValueError:
+            payload = {}
+    payload[section] = data
+    ARTIFACT.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def _canonical(results):
+    """Byte-exact serialization of one query's full result list."""
+    return json.dumps(
+        [
+            [list(r.node_ids), list(r.content_scores), r.compactness,
+             r.score]
+            for r in results
+        ],
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def _build(compact):
+    """A fully built system over its own full-scale Factbook parse.
+
+    Each system parses its own collection so the two object graphs
+    share nothing by identity -- ``deep_sizeof`` deduplicates by id,
+    and a string shared across systems would undercount whichever
+    side is measured second.
+    """
+    generator = FactbookGenerator(scale=FULL_SCALE)
+    return Seda(
+        generator.build_collection(),
+        value_links=FactbookGenerator.value_link_specs(),
+        compact_indexes=compact,
+    )
+
+
+def _legacy_path_tables(path_index):
+    """The seed's path-table layout, rebuilt from the index probes:
+    term -> set of path strings, tag -> set of path strings, and the
+    all-paths set (strings shared across tables count once, exactly as
+    the seed shared them)."""
+    content = {
+        term: set(path_index.paths_for_term(term))
+        for term in path_index.vocabulary()
+    }
+    tags = {
+        tag: set(path_index.paths_for_tag(tag))
+        for tag in path_index.tags()
+    }
+    return [content, tags, set(path_index.all_paths())]
+
+
+def test_compact_memory_ratio_and_equivalence():
+    """>= 2x smaller postings and path tables, byte-identical answers."""
+    legacy = _build(compact=False)
+    compact = _build(compact=True)
+
+    # Postings: hot Posting-object lists (+ the node-length dict they
+    # need) against the encoded byte columns (+ the length arrays).
+    legacy_postings = deep_sizeof(
+        legacy.inverted._postings, legacy.inverted._node_lengths
+    )
+    compact_postings = deep_sizeof(
+        compact.inverted._cols, compact.inverted._length_cols
+    )
+
+    # Path tables: the seed's dict-of-path-string-sets against the
+    # encoded columns plus everything the trie owns -- label table,
+    # parent/label arrays, child links, terminal set, id map.  The
+    # render cache is excluded on both sides: it is a droppable memo
+    # of the legacy strings, not part of either representation.
+    legacy_paths = deep_sizeof(_legacy_path_tables(legacy.path_index))
+    pi = compact.path_index
+    trie = pi.trie
+    compact_paths = deep_sizeof(
+        pi._content_cols, pi._tag_cols, pi._id_map, pi._path_ids,
+        trie.labels, trie._parent, trie._label, trie._children,
+        trie._terminal,
+    )
+
+    posting_ratio = legacy_postings / compact_postings
+    path_ratio = legacy_paths / compact_paths
+
+    # The admissibility contract before the size gates: identical
+    # answers, ties and all, from both layouts on the hot query set.
+    mismatches = [
+        pairs for pairs in QUERY_SET
+        if _canonical(legacy.search(pairs, k=K).results)
+        != _canonical(compact.search(pairs, k=K).results)
+    ]
+
+    inverted_stats = compact.inverted.estimated_memory()
+    _record("compact_vs_legacy", {
+        "scale": FULL_SCALE,
+        "documents": len(compact.collection),
+        "postings": {
+            "legacy_bytes": legacy_postings,
+            "compact_bytes": compact_postings,
+            "ratio": round(posting_ratio, 2),
+            "terms": inverted_stats["terms"],
+            "posting_entries": inverted_stats["posting_entries"],
+            "bytes_per_posting": round(
+                inverted_stats["column_bytes"]
+                / max(1, inverted_stats["posting_entries"]), 2
+            ),
+        },
+        "path_tables": {
+            "legacy_bytes": legacy_paths,
+            "compact_bytes": compact_paths,
+            "ratio": round(path_ratio, 2),
+            "paths": len(pi),
+            "trie_nodes": trie.node_count,
+        },
+        "queries_checked": len(QUERY_SET),
+    })
+
+    assert not mismatches, (
+        f"compact and legacy layouts disagree on {len(mismatches)} queries"
+    )
+    assert posting_ratio >= MIN_RATIO, (
+        f"postings shrank only {posting_ratio:.2f}x "
+        f"({legacy_postings} -> {compact_postings} bytes); "
+        f"the gate demands >= {MIN_RATIO}x"
+    )
+    assert path_ratio >= MIN_RATIO, (
+        f"path tables shrank only {path_ratio:.2f}x "
+        f"({legacy_paths} -> {compact_paths} bytes); "
+        f"the gate demands >= {MIN_RATIO}x"
+    )
+
+
+def _attach_and_search(args):
+    """Worker-process leg: attach the shared payload, answer a query.
+
+    Returns the sidecar sources every shard actually reads from (the
+    proof the columns came out of the published segments, not private
+    file maps) plus the canonical answer bytes.
+    """
+    directory, pairs, k = args
+    sharded = ShardedSeda.load(directory, shared_payload=True)
+    sources = sorted(
+        slot.get().inverted._sidecar.source for slot in sharded._slots
+    )
+    return sources, _canonical(sharded.search(pairs, k=k))
+
+
+def test_sharded_workers_share_one_payload(tmp_path):
+    """N loaders attach the same segments and answer byte-identically."""
+    pairs = list(FactbookGenerator(scale=PIPELINE_SCALE).documents())
+    sharded = ShardedSeda.from_documents(pairs, shards=2, parallel=False)
+    directory = str(tmp_path / "mem.shards")
+    sharded.save(directory)
+
+    query = QUERY_SET[1]
+    expected = _canonical(sharded.search(query, k=K))
+
+    payload = publish_shared_payload(directory)
+    try:
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            reports = list(pool.map(
+                _attach_and_search,
+                [(directory, query, K)] * 2,
+            ))
+    finally:
+        payload.unlink()
+
+    sources = [report[0] for report in reports]
+    _record("shared_payload", {
+        "scale": PIPELINE_SCALE,
+        "shards": sharded.shard_count,
+        "workers": len(reports),
+        "segments": sorted(payload.segment_names.values()),
+        "sources": sources[0],
+    })
+
+    assert all(
+        source.startswith("shm:") for report in sources for source in report
+    ), f"a worker fell back to file-backed sidecars: {sources}"
+    assert sources[0] == sources[1], (
+        f"workers attached different segments: {sources}"
+    )
+    published = {f"shm:{name}" for name in payload.segment_names.values()}
+    assert set(sources[0]) == published
+    assert all(report[1] == expected for report in reports), (
+        "a shared-payload worker answered differently from the live system"
+    )

@@ -10,6 +10,8 @@ Subcommands::
     python -m repro explain --term 'trade_country:*' --term 'percentage:*'
     python -m repro table1  --threshold 0.4 --scale 1.0
     python -m repro query1  --scale 0.05
+    python -m repro info    --dataset factbook --scale 0.05
+    python -m repro info    --snapshot seda.snapshot --json
     python -m repro snapshot save seda.snapshot --dataset factbook
     python -m repro snapshot load seda.snapshot --term 'percentage:*'
     python -m repro snapshot info seda.snapshot
@@ -47,7 +49,13 @@ the scatter-gather path against an unsharded build of the same corpus.
 worker-process builds unless ``--serial``) and saves the sharded
 snapshot directory; ``shard search`` scatter-gathers a query over it
 (restoring shards lazily); ``shard info`` prints the topology from the
-manifest alone, loading nothing.
+manifest alone, loading nothing (``--memory`` additionally loads every
+shard and reports per-shard compact-index memory).
+
+``info`` reports the compact-index memory estimates of one system --
+encoded column bytes, interned-label and trie sizes, hot vs. cold term
+counts -- either built from a dataset or restored via ``--snapshot``
+(see docs/OPERATIONS.md for the field glossary).
 
 ``stats`` doubles as the observability reader: with ``--queries`` it
 serves the workload through the concurrent service with a retained
@@ -524,6 +532,24 @@ def cmd_snapshot_info(args, out):
     return 0
 
 
+def cmd_info(args, out):
+    """Per-index estimated memory for a built or restored system."""
+    if args.snapshot:
+        seda = _read_snapshot_or_exit(Seda.load, args.snapshot)
+    else:
+        seda = _build_seda(args)
+    report = seda.index_memory()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+        return 0
+    print(f"index memory: {seda.collection.name}", file=out)
+    for section in sorted(report):
+        print(f"  {section}:", file=out)
+        for key in sorted(report[section]):
+            print(f"    {key}: {report[section][key]}", file=out)
+    return 0
+
+
 def cmd_shard_build(args, out):
     """Partition a corpus, build every shard, save the directory."""
     from repro.shard import ShardedSeda
@@ -576,7 +602,12 @@ def cmd_shard_search(args, out):
 
 
 def cmd_shard_info(args, out):
-    """Print a sharded snapshot's topology from its manifest alone."""
+    """Print a sharded snapshot's topology from its manifest alone.
+
+    ``--memory`` additionally loads every shard and reports the
+    per-shard compact-index memory estimates (the one flag here that
+    costs a full restore).
+    """
     from repro.storage.snapshot import sharded_snapshot_info
 
     info = _read_snapshot_or_exit(sharded_snapshot_info, args.path)
@@ -592,6 +623,25 @@ def cmd_shard_info(args, out):
         print(f"    {size:10d} bytes  {documents:6d} docs "
               f"{nodes:8d} nodes  {shard_file}", file=out)
     print(f"  total: {info['total_bytes']} bytes", file=out)
+    if args.memory:
+        from repro.shard import ShardedSeda
+
+        sharded = _read_snapshot_or_exit(ShardedSeda.load, args.path)
+        memory = sharded.index_memory()
+        print("  index memory:", file=out)
+        for entry in memory["per_shard"]:
+            inverted = entry["inverted"]
+            paths = entry["path_index"]
+            streams = entry["streams"]
+            column_bytes = (inverted["column_bytes"]
+                            + paths["column_bytes"]
+                            + streams["column_bytes"])
+            print(f"    shard {entry['shard']}: {column_bytes} column "
+                  f"bytes, {inverted['terms']} terms, "
+                  f"{paths['paths']} paths, {streams['streams']} streams, "
+                  f"{entry['trie']['nodes']} trie nodes", file=out)
+        print(f"    column bytes total: "
+              f"{memory['totals']['column_bytes']}", file=out)
     return 0
 
 
@@ -681,6 +731,19 @@ def build_parser():
     query1.add_argument("--scale", type=float, default=0.05)
     query1.add_argument("-k", type=int, default=10)
     query1.set_defaults(handler=cmd_query1)
+
+    info_cmd = subparsers.add_parser(
+        "info",
+        help="per-index estimated memory (compact columns, trie, "
+             "interned labels) for a built or restored system",
+    )
+    add_source_options(info_cmd)
+    info_cmd.add_argument("--snapshot", default=None, metavar="FILE",
+                          help="inspect a loaded snapshot instead of "
+                               "building from a dataset")
+    info_cmd.add_argument("--json", action="store_true",
+                          help="emit the report as JSON")
+    info_cmd.set_defaults(handler=cmd_info)
 
     serve = subparsers.add_parser(
         "serve-batch", help="serve a batch of queries concurrently"
@@ -775,6 +838,9 @@ def build_parser():
         help="print a sharded snapshot's topology without loading shards",
     )
     shard_info.add_argument("path", help="sharded snapshot directory")
+    shard_info.add_argument("--memory", action="store_true",
+                            help="also load every shard and report "
+                                 "per-shard compact-index memory")
     shard_info.set_defaults(handler=cmd_shard_info)
 
     return parser

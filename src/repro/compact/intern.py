@@ -1,0 +1,56 @@
+"""Dense string interning: one table, one small int id per string.
+
+Tags, terms, and path labels repeat massively across the indexes (every
+``/country/economy/...`` path shares its segments with thousands of
+others).  A :class:`StringTable` stores each distinct string once and
+hands out dense ids -- the currency the trie and the byte columns trade
+in, so the expensive objects (strings) exist exactly once per process.
+
+Reads are lock-free (GIL-atomic dict/list lookups); interning appends.
+Like every index table in this repo, mutation is assumed to be
+externally serialized with query execution (the single-writer
+discipline) -- concurrent *readers* during an intern are safe because
+the id is published to the dict only after the string is appended.
+"""
+
+
+class StringTable:
+    """Bidirectional ``string <-> dense int id`` table."""
+
+    __slots__ = ("_strings", "_ids")
+
+    def __init__(self, strings=()):
+        self._strings = list(strings)
+        self._ids = {text: i for i, text in enumerate(self._strings)}
+
+    def intern(self, text):
+        """The id for ``text``, assigning the next dense id if new."""
+        sid = self._ids.get(text)
+        if sid is None:
+            self._strings.append(text)
+            sid = self._ids[text] = len(self._strings) - 1
+        return sid
+
+    def id_of(self, text):
+        """The id for ``text``, or ``None`` if never interned."""
+        return self._ids.get(text)
+
+    def __getitem__(self, sid):
+        return self._strings[sid]
+
+    def __len__(self):
+        return len(self._strings)
+
+    def __contains__(self, text):
+        return text in self._ids
+
+    def to_list(self):
+        """The strings in id order (a snapshot-friendly form)."""
+        return list(self._strings)
+
+    @classmethod
+    def from_list(cls, strings):
+        return cls(strings)
+
+    def __repr__(self):
+        return f"StringTable({len(self._strings)} strings)"

@@ -1,0 +1,64 @@
+"""Deep resident-size estimation via a ``sys.getsizeof`` walk.
+
+The memory benchmark and ``repro info`` both need an honest,
+representation-agnostic byte count for "this table and everything it
+owns".  :func:`deep_sizeof` walks containers, ``__dict__``/``__slots__``
+objects, arrays, and buffers, counting every distinct object once
+(identity-deduplicated, so shared strings and interned ints are not
+double-billed -- the same rule for the legacy and the compact layouts,
+which is what makes their ratio meaningful).
+"""
+
+import sys
+from array import array
+
+_ATOMIC = (str, bytes, bytearray, int, float, complex, bool, type(None),
+           array, memoryview, range)
+
+
+def _slot_names(cls):
+    names = []
+    for base in type.mro(cls):
+        slots = base.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        names.extend(slots)
+    return names
+
+
+def deep_sizeof(*objects):
+    """Total ``sys.getsizeof`` bytes over the object graph(s), deduped.
+
+    ``memoryview`` is counted at its own (view) size only -- the buffer
+    it exposes is owned elsewhere (an mmap or shared-memory segment
+    shared across processes) and would misattribute shared bytes.
+    """
+    seen = set()
+    total = 0
+    stack = list(objects)
+    while stack:
+        obj = stack.pop()
+        oid = id(obj)
+        if oid in seen:
+            continue
+        seen.add(oid)
+        try:
+            total += sys.getsizeof(obj)
+        except TypeError:  # pragma: no cover - exotic C objects
+            continue
+        if isinstance(obj, _ATOMIC):
+            continue
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend(obj)
+        else:
+            attrs = getattr(obj, "__dict__", None)
+            if attrs is not None:
+                stack.append(attrs)
+            for name in _slot_names(type(obj)):
+                value = getattr(obj, name, None)
+                if value is not None:
+                    stack.append(value)
+    return total

@@ -1,0 +1,129 @@
+"""A shared-prefix trie over interned path-label ids.
+
+Root-to-leaf paths like ``/country/economy/import_partners/item`` share
+long prefixes; storing each distinct path as its own Python string
+duplicates every shared segment.  :class:`PathTrie` stores each prefix
+node exactly once: two parallel ``array`` columns (parent id, interned
+label id) plus one child-link dict keyed by ``parent`` and ``label``
+packed into a single int (a tuple key would cost ~70 bytes per node),
+with a :class:`~repro.compact.intern.StringTable` holding each label
+string once.  A path is then just its terminal node's small int id -- the
+currency the path index, the dataguides, and the byte columns trade in.
+
+Splitting on ``/`` and re-joining are exact inverses for *any* string,
+so ``render(insert(p)) == p`` holds universally (an absolute path's
+leading slash becomes an empty first label).  Rendered strings are
+cached per node; inserts never move or relabel existing nodes, so
+cached renders stay valid forever.
+
+Concurrency matches the repo-wide discipline: lookups and renders are
+lock-free GIL-atomic reads, inserts are assumed externally serialized
+with query execution (single writer).
+"""
+
+from array import array
+
+from repro.compact.intern import StringTable
+
+#: Child-link keys pack ``(parent, label)`` as ``parent << SHIFT |
+#: label``.  Label ids are dense interned-table indexes; corpora stay
+#: far below 2**30 distinct labels, and parent ids above the shift just
+#: grow the int -- packing never collides, it only stops being small.
+_KEY_SHIFT = 30
+
+
+class PathTrie:
+    """Paths as small int ids over a shared label table."""
+
+    __slots__ = ("labels", "_parent", "_label", "_children", "_terminal",
+                 "_count", "_render_cache")
+
+    def __init__(self, labels=None):
+        #: The label table may be shared across tries and indexes -- one
+        #: table per system keeps every segment string unique in memory.
+        self.labels = labels if labels is not None else StringTable()
+        self._parent = array("i", (-1,))  # node id -> parent node id
+        self._label = array("i", (-1,))   # node id -> interned label id
+        self._children = {}               # packed (parent, label) -> node
+        self._terminal = bytearray(1)     # node id -> ends-a-path flag
+        self._count = 0                   # flags set in _terminal
+        self._render_cache = {}           # node id -> rendered path string
+
+    # -- construction --------------------------------------------------------
+
+    def insert(self, path):
+        """Insert ``path``; returns its (stable) terminal node id."""
+        node = 0
+        children = self._children
+        for part in path.split("/"):
+            label = self.labels.intern(part)
+            key = node << _KEY_SHIFT | label
+            child = children.get(key)
+            if child is None:
+                child = len(self._parent)
+                self._parent.append(node)
+                self._label.append(label)
+                self._terminal.append(0)
+                children[key] = child
+            node = child
+        if not self._terminal[node]:
+            self._terminal[node] = 1
+            self._count += 1
+        return node
+
+    # -- lookups -------------------------------------------------------------
+
+    def find(self, path):
+        """The terminal node id for ``path``, or ``None`` if absent."""
+        node = 0
+        id_of = self.labels.id_of
+        children = self._children
+        for part in path.split("/"):
+            label = id_of(part)
+            if label is None:
+                return None
+            node = children.get(node << _KEY_SHIFT | label)
+            if node is None:
+                return None
+        return node if self._terminal[node] else None
+
+    def __contains__(self, path):
+        return self.find(path) is not None
+
+    def render(self, node_id):
+        """The path string for a node id (cached; exact round trip)."""
+        cached = self._render_cache.get(node_id)
+        if cached is None:
+            parts = []
+            parent = self._parent
+            label = self._label
+            labels = self.labels
+            node = node_id
+            while node:
+                parts.append(labels[label[node]])
+                node = parent[node]
+            cached = self._render_cache[node_id] = "/".join(reversed(parts))
+        return cached
+
+    def paths(self):
+        """Every inserted path, rendered (in node-id order)."""
+        return [self.render(node) for node, flag in enumerate(self._terminal)
+                if flag]
+
+    def terminal_ids(self):
+        """The terminal node ids (one per inserted path)."""
+        return {node for node, flag in enumerate(self._terminal) if flag}
+
+    def __len__(self):
+        return self._count
+
+    @property
+    def node_count(self):
+        """Total trie nodes including the root and interior prefixes."""
+        return len(self._parent)
+
+    def __repr__(self):
+        return (
+            f"PathTrie({self._count} paths, "
+            f"{self.node_count} nodes, {len(self.labels)} labels)"
+        )

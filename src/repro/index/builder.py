@@ -19,24 +19,39 @@ class IndexBuilder:
     """
 
     def __init__(self, collection, analyzer=None, inverted=None, paths=None,
-                 built_upto=0):
+                 built_upto=0, trie=None, compact=False):
         """``inverted``/``paths``/``built_upto`` re-attach prebuilt indexes
         (the snapshot-restore path) so that later :meth:`build` calls stay
-        incremental instead of re-indexing from scratch."""
+        incremental instead of re-indexing from scratch.
+
+        ``trie`` seeds the path index with a (possibly shared)
+        :class:`~repro.compact.trie.PathTrie`; ``compact=True`` folds
+        both indexes into their byte-column form at the end of every
+        :meth:`build` pass, so a freshly built system holds columns, not
+        per-posting objects.
+        """
         self.collection = collection
         self.analyzer = analyzer or Analyzer()
         self.inverted = (
             inverted if inverted is not None else InvertedIndex(self.analyzer)
         )
-        self.paths = paths if paths is not None else PathIndex(self.analyzer)
+        self.paths = (
+            paths if paths is not None
+            else PathIndex(self.analyzer, trie=trie)
+        )
+        self.compact = compact
         self._built_upto = built_upto
 
     def build(self):
         """Index pending documents; returns (inverted, path) indexes."""
-        for document in self.collection.documents[self._built_upto :]:
+        pending = self.collection.documents[self._built_upto:]
+        for document in pending:
             for node in document.nodes:
                 self.paths.add_node(node.path, node.tag, node.direct_text)
                 if node.direct_text:
                     self.inverted.add_node(node.node_id, node.direct_text)
         self._built_upto = len(self.collection.documents)
+        if self.compact and pending:
+            self.inverted.compact()
+            self.paths.compact()
         return self.inverted, self.paths

@@ -9,10 +9,31 @@ independent indexes, must not let each shard score against its own
 all shard indexes and :meth:`InvertedIndex.use_global_stats` redirects
 idf lookups to it, which is what makes per-shard content scores
 byte-identical to an unsharded build (see :mod:`repro.shard`).
+
+Storage comes in three layers per term, checked in order:
+
+* ``_postings`` -- materialized (hot, mutable) ``Posting`` lists;
+* ``_cols`` -- delta-encoded byte columns
+  (:mod:`repro.compact.columns`), either inline ``bytes`` or
+  ``[offset, length]`` windows into a snapshot's binary sidecar;
+* ``_raw_postings`` -- legacy (version <= 3) raw snapshot lists.
+
+Cold terms cost a few bytes per posting instead of a ~100-byte object
+chain; a term decodes lazily on first access, exactly where the legacy
+raw record materialized.  ``df`` probes on cold terms read one varint
+(:func:`~repro.compact.columns.posting_count`) without decoding.
 """
 
+import bisect
 import math
 import threading
+from array import array
+
+from repro.compact.columns import (
+    decode_postings,
+    encode_postings,
+    posting_count,
+)
 
 
 class GlobalTermStats:
@@ -114,11 +135,17 @@ class InvertedIndex:
     def __init__(self, analyzer):
         self.analyzer = analyzer
         self._postings = {}
-        # Raw snapshot records pending materialization; posting lists are
-        # rebuilt per term on first access so that loading a snapshot does
-        # not pay for vocabulary the session never queries.  The lock
-        # serializes that pop-and-rebuild step: concurrent query workers
-        # racing on the same term must not lose the raw record.
+        # Compact columns: term -> bytes (inline) or [offset, length]
+        # into _sidecar.  Decoded per term on first posting access; df
+        # probes read the leading count varint only.
+        self._cols = {}
+        self._sidecar = None
+        # Raw snapshot records (version <= 3) pending materialization;
+        # posting lists are rebuilt per term on first access so that
+        # loading a snapshot does not pay for vocabulary the session
+        # never queries.  The lock serializes every pop-and-rebuild
+        # step (column or raw): concurrent query workers racing on the
+        # same term must not lose the cold record.
         self._raw_postings = None
         self._materialize_lock = threading.Lock()
         self._indexed_nodes = 0
@@ -127,11 +154,15 @@ class InvertedIndex:
         #   _node_lengths  node_id -> analyzed token count (the tf-idf
         #                  length norm is its square root); None means
         #                  "derive lazily from postings" (old snapshots).
+        #   _length_cols   (sorted id array, count array) -- the
+        #                  compacted bulk of the length table; entries
+        #                  added after a compact() live in the dict.
         #   _tf_maps       term -> {node_id: tf} random-access tables,
         #                  built per term on first use.
         #   _idf_cache     term -> idf, valid until the next add_node
         #                  (the only mutation that changes df or N).
         self._node_lengths = {}
+        self._length_cols = None
         self._tf_maps = {}
         self._idf_cache = {}
         # When set (sharded collections), idf reads corpus-wide df/N
@@ -158,18 +189,76 @@ class InvertedIndex:
             self._global_stats.invalidate()
         self._indexed_nodes += 1
 
+    def compact(self):
+        """Fold every posting list into delta-encoded byte columns.
+
+        Called at the end of a build (and re-callable after incremental
+        ingestion): posting lists and still-raw records become compact
+        columns, the node-length dict becomes two parallel arrays.
+        Lock-free readers stay correct throughout -- each term's column
+        is assigned before its hot/raw form is discarded, the same
+        publish-before-pop order materialization uses in reverse.
+        """
+        with self._materialize_lock:
+            for term, plist in list(self._postings.items()):
+                self._cols[term] = encode_postings(
+                    [(posting.node_id, posting.positions)
+                     for posting in plist]
+                )
+                del self._postings[term]
+            if self._raw_postings:
+                for term, raw in list(self._raw_postings.items()):
+                    self._cols[term] = encode_postings(raw)
+                    del self._raw_postings[term]
+            lengths = self._node_lengths
+            if lengths:
+                merged = dict(lengths)
+                if self._length_cols is not None:
+                    ids, counts = self._length_cols
+                    for node_id, count in zip(ids, counts):
+                        merged.setdefault(node_id, count)
+                ordered = sorted(merged)
+                self._length_cols = (
+                    array("q", ordered),
+                    array("q", (merged[node_id] for node_id in ordered)),
+                )
+                self._node_lengths = {}
+        return self
+
+    def _col_blob(self, term):
+        """The column bytes for ``term``, or ``None`` (buffer-backed
+        entries resolve to a zero-copy sidecar window)."""
+        entry = self._cols.get(term)
+        if entry is None or isinstance(entry, (bytes, memoryview)):
+            return entry
+        offset, length = entry
+        return self._sidecar.view(offset, length)
+
     def _materialized(self, term):
         """The mutable posting list for ``term``, creating it if needed.
 
         Thread-safe via double-checked locking: the fast path is one
         (GIL-atomic) dict read; only the first access per term pays for
-        the lock and the rebuild.
+        the lock and the rebuild.  The materialized list is published
+        to ``_postings`` *before* the column/raw source is popped, so a
+        lock-free reader that misses every cold table is guaranteed to
+        find the term on its final ``_postings`` re-check -- the order
+        two racing materializers rely on as well: the second one finds
+        the first one's list under the lock and never decodes twice.
         """
         plist = self._postings.get(term)
         if plist is None:
             with self._materialize_lock:
                 plist = self._postings.get(term)
                 if plist is None:
+                    blob = self._col_blob(term)
+                    if blob is not None:
+                        plist = self._postings[term] = [
+                            Posting(node_id, positions)
+                            for node_id, positions in decode_postings(blob)
+                        ]
+                        self._cols.pop(term, None)
+                        return plist
                     raw = (
                         self._raw_postings.get(term)
                         if self._raw_postings
@@ -189,12 +278,14 @@ class InvertedIndex:
         return plist
 
     def _ensure_node_lengths(self):
-        """The node-length table, deriving it from postings if needed.
+        """The mutable node-length table, deriving it if needed.
 
         Snapshots written before lengths were precomputed (and loaded
         files whose table was never materialized) carry none; every
         token occurrence is exactly one posting position, so the table
-        rebuilds as the per-node sum of term frequencies.
+        rebuilds as the per-node sum of term frequencies -- including
+        terms still sitting in compact columns, which are decoded
+        transiently without being materialized.
         """
         lengths = self._node_lengths
         if lengths is None:
@@ -207,6 +298,13 @@ class InvertedIndex:
                                 lengths.get(posting.node_id, 0)
                                 + len(posting.positions)
                             )
+                    for term in list(self._cols):
+                        for node_id, positions in decode_postings(
+                            self._col_blob(term)
+                        ):
+                            lengths[node_id] = (
+                                lengths.get(node_id, 0) + len(positions)
+                            )
                     if self._raw_postings:
                         for raw in self._raw_postings.values():
                             for node_id, positions in raw:
@@ -218,44 +316,115 @@ class InvertedIndex:
 
     # -- snapshot serialization ---------------------------------------------
 
-    def to_dict(self):
-        """Snapshot form: the postings table plus the node counter."""
-        postings = {
-            term: [
-                [posting.node_id, list(posting.positions)]
-                for posting in plist
+    def _cold_entries(self, term):
+        """Raw ``[node_id, [positions]]`` lists for a cold term."""
+        blob = self._col_blob(term)
+        if blob is not None:
+            return [
+                [node_id, positions]
+                for node_id, positions in decode_postings(blob)
             ]
-            for term, plist in self._postings.items()
-        }
-        if self._raw_postings:
-            # Never-touched terms from a previous snapshot pass through.
-            postings.update(self._raw_postings)
-        payload = {"indexed_nodes": self._indexed_nodes, "postings": postings}
-        if self._node_lengths is not None:
-            # Parallel lists, not a dict: JSON would coerce int keys to
-            # strings (and orjson rejects them outright).
-            ids = sorted(self._node_lengths)
-            payload["node_lengths"] = [
-                ids, [self._node_lengths[node_id] for node_id in ids]
-            ]
+        return self._raw_postings[term]
+
+    def _node_lengths_payload(self):
+        """The parallel ``[ids, counts]`` lists, or ``None``.
+
+        Parallel lists, not a dict: JSON would coerce int keys to
+        strings (and orjson rejects them outright).
+        """
+        if self._node_lengths is None and self._length_cols is None:
+            return None
+        merged = dict(self._node_lengths or {})
+        if self._length_cols is not None:
+            ids, counts = self._length_cols
+            for node_id, count in zip(ids, counts):
+                merged.setdefault(node_id, count)
+        ordered = sorted(merged)
+        return [ordered, [merged[node_id] for node_id in ordered]]
+
+    def to_dict(self, columnar=False):
+        """Snapshot form: the postings table plus the node counter.
+
+        The default (legacy) form lists every posting as
+        ``[node_id, [positions]]`` -- the version <= 3 record, still
+        written by component-level round trips.  ``columnar=True``
+        (what :meth:`Seda.snapshot_payload` uses) emits the postings as
+        delta-encoded byte columns under ``columns_inline``; the
+        snapshot writer moves those bytes into the binary sidecar.
+        """
+        with self._materialize_lock:
+            hot = {
+                term: [
+                    (posting.node_id, posting.positions)
+                    for posting in plist
+                ]
+                for term, plist in self._postings.items()
+            }
+            cold = sorted(
+                set(self._cols) | set(self._raw_postings or ())
+            )
+            if columnar:
+                columns = {
+                    term: encode_postings(entries)
+                    for term, entries in hot.items()
+                }
+                for term in cold:
+                    blob = self._col_blob(term)
+                    if blob is None:
+                        columns[term] = encode_postings(
+                            self._raw_postings[term]
+                        )
+                    else:
+                        # Pass through: re-anchor the bytes in the new
+                        # file's sidecar without a decode.
+                        columns[term] = bytes(blob)
+                payload = {
+                    "indexed_nodes": self._indexed_nodes,
+                    "columns_inline": columns,
+                }
+            else:
+                postings = {
+                    term: [
+                        [node_id, list(positions)]
+                        for node_id, positions in entries
+                    ]
+                    for term, entries in hot.items()
+                }
+                for term in cold:
+                    postings[term] = self._cold_entries(term)
+                payload = {
+                    "indexed_nodes": self._indexed_nodes,
+                    "postings": postings,
+                }
+        lengths = self._node_lengths_payload()
+        if lengths is not None:
+            payload["node_lengths"] = lengths
         return payload
 
     @classmethod
-    def from_dict(cls, payload, analyzer):
+    def from_dict(cls, payload, analyzer, sidecar=None):
         """Rebuild an index from :meth:`to_dict` without re-tokenizing.
 
-        Posting lists stay in their raw serialized form until a term is
-        first looked up (or extended by :meth:`add_node`).
+        Posting lists stay in their cold serialized form -- legacy raw
+        lists, inline column bytes, or sidecar ``[offset, length]``
+        windows -- until a term is first looked up (or extended by
+        :meth:`add_node`).
         """
         index = cls(analyzer)
         index._indexed_nodes = payload["indexed_nodes"]
-        index._raw_postings = payload["postings"]
+        if "columns_inline" in payload:
+            index._cols = dict(payload["columns_inline"])
+        elif "columns" in payload:
+            index._cols = dict(payload["columns"])
+            index._sidecar = sidecar
+        else:
+            index._raw_postings = payload["postings"]
         lengths = payload.get("node_lengths")
         if lengths is None:
             index._node_lengths = None  # derive lazily on first use
         else:
             ids, counts = lengths
-            index._node_lengths = dict(zip(ids, counts))
+            index._length_cols = (array("q", ids), array("q", counts))
         return index
 
     # -- lookups -----------------------------------------------------------
@@ -263,28 +432,40 @@ class InvertedIndex:
     def postings(self, term):
         """The posting list for an already-analyzed term (may be empty).
 
-        Lock-free reads check the materialized table, then the raw
-        table, then the materialized table again: a concurrent
-        materializer assigns before popping, so a term that misses both
-        of the first two lookups (it moved in between) is guaranteed to
-        be found by the final re-check.
+        Lock-free reads check the materialized table, then the cold
+        tables (columns, raw), then the materialized table again: a
+        concurrent materializer assigns before popping, so a term that
+        misses everywhere (it moved in between) is guaranteed to be
+        found by the final re-check inside :meth:`_materialized`.
         """
         plist = self._postings.get(term)
         if plist is not None:
             return plist
-        if self._raw_postings and term in self._raw_postings:
+        if term in self._cols or (
+            self._raw_postings and term in self._raw_postings
+        ):
             return self._materialized(term)
         return self._postings.get(term, [])
 
     def document_frequency(self, term):
-        """Number of nodes whose direct text contains ``term``."""
+        """Number of nodes whose direct text contains ``term``.
+
+        Cold terms answer from the column's leading count varint (or
+        the raw record's length) without materializing anything.
+        """
         plist = self._postings.get(term)
-        if plist is None and self._raw_postings:
-            plist = self._raw_postings.get(term)
-            if plist is None:
-                # Moved by a concurrent materializer between the two
-                # lookups (it assigns before popping): re-check.
-                plist = self._postings.get(term)
+        if plist is not None:
+            return len(plist)
+        blob = self._col_blob(term)
+        if blob is not None:
+            return posting_count(blob)
+        if self._raw_postings:
+            raw = self._raw_postings.get(term)
+            if raw is not None:
+                return len(raw)
+        # Moved by a concurrent materializer between the lookups (it
+        # assigns before popping): re-check the materialized table.
+        plist = self._postings.get(term)
         return len(plist) if plist is not None else 0
 
     def use_global_stats(self, stats):
@@ -322,8 +503,20 @@ class InvertedIndex:
         """Analyzed token count of one node's direct text (0 if none).
 
         The tf-idf length norm is ``node_length ** 0.5`` -- precomputed
-        at build time so scoring never re-tokenizes node text.
+        at build time so scoring never re-tokenizes node text.  After a
+        :meth:`compact` the bulk of the table lives in two parallel
+        sorted arrays (a binary search away); nodes indexed since then
+        stay in the dict.
         """
+        cols = self._length_cols
+        if cols is not None:
+            ids, counts = cols
+            position = bisect.bisect_left(ids, node_id)
+            if position < len(ids) and ids[position] == node_id:
+                return counts[position]
+            if self._node_lengths is None:
+                return 0
+            return self._node_lengths.get(node_id, 0)
         return self._ensure_node_lengths().get(node_id, 0)
 
     def term_frequencies(self, term):
@@ -345,17 +538,56 @@ class InvertedIndex:
         return table
 
     def vocabulary(self):
-        if self._raw_postings:
+        if self._cols or self._raw_postings:
             # Copy under the lock: materialization inserts into
             # _postings concurrently, and iterating a dict while it
             # grows raises RuntimeError.
             with self._materialize_lock:
-                return sorted(set(self._postings) | set(self._raw_postings))
+                return sorted(
+                    set(self._postings)
+                    | set(self._cols)
+                    | set(self._raw_postings or ())
+                )
         return sorted(self._postings)
 
     @property
     def indexed_nodes(self):
         return self._indexed_nodes
+
+    def estimated_memory(self):
+        """Resident-footprint digest (``repro info``, benchmarks).
+
+        Counts are table sizes; ``column_bytes`` sums the encoded
+        column payloads (inline or sidecar-backed) -- the compact
+        replacement for what used to be per-posting Python objects.
+        """
+        with self._materialize_lock:
+            column_bytes = 0
+            posting_entries = 0
+            for term in self._cols:
+                blob = self._col_blob(term)
+                column_bytes += len(blob)
+                posting_entries += posting_count(blob)
+            for plist in self._postings.values():
+                posting_entries += len(plist)
+            if self._raw_postings:
+                for raw in self._raw_postings.values():
+                    posting_entries += len(raw)
+            length_entries = len(self._node_lengths or ())
+            if self._length_cols is not None:
+                length_entries += len(self._length_cols[0])
+            return {
+                "terms": (
+                    len(self._postings) + len(self._cols)
+                    + len(self._raw_postings or ())
+                ),
+                "column_terms": len(self._cols),
+                "materialized_terms": len(self._postings),
+                "raw_terms": len(self._raw_postings or ()),
+                "column_bytes": column_bytes,
+                "posting_entries": posting_entries,
+                "node_length_entries": length_entries,
+            }
 
     # -- matching helpers ------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""The Figure 8 path full-text index.
+"""The Figure 8 path full-text index, trie-backed.
 
 "This full-text index contains all keywords that appear in the data set
 as content, as well as all the tag names.  Each distinct path is
@@ -12,140 +12,304 @@ needs them.  Tag names are indexed separately from content keywords so
 that probing by tag (context = node name) does not collide with a data
 value that happens to equal a tag name.
 
-Snapshot restore keeps the serialized tables (path-table indexes, not
-strings) and materializes each term's or tag's path set on first use,
-so loading a snapshot does not pay for vocabulary a session never
-probes.
+Internally a path is not a string but a small int: the terminal node id
+of a :class:`~repro.compact.trie.PathTrie` shared across the system, so
+every label segment is stored once and shared prefixes collapse.  Per
+key the index holds one of three forms, checked in order:
+
+* ``_*_ids`` -- materialized (hot, mutable) sets of trie ids;
+* ``_*_cols`` -- delta-encoded byte columns of sorted path-table
+  indexes (:func:`~repro.compact.columns.encode_sorted_ids`), inline
+  ``bytes`` or ``[offset, length]`` windows into a snapshot sidecar,
+  translated to trie ids through ``_id_map`` on decode;
+* ``_raw_*`` -- legacy (version <= 3) raw index lists.
+
+Probes decode cold entries read-only (no pop) and cache the rendered
+string set; only :meth:`add_node` materializes an entry into its
+mutable id-set form.
 """
 
 import fnmatch
 import threading
 
+from repro.compact.columns import decode_sorted_ids, encode_sorted_ids
+from repro.compact.trie import PathTrie
+
 
 class PathIndex:
     """Keyword/tag -> distinct root-to-leaf paths."""
 
-    def __init__(self, analyzer):
+    def __init__(self, analyzer, trie=None):
         self.analyzer = analyzer
-        self._content_paths = {}
-        self._tag_paths = {}
-        self._all_paths = set()
-        # Snapshot state: the ordered path table raw index lists decode
-        # against, plus raw per-term/per-tag index lists awaiting
-        # materialization.  None outside the restore path.
-        self._path_list = None
+        #: May be shared with the dataguides (one label table, one set
+        #: of prefix nodes per system); this index only ever reads and
+        #: inserts, so sharing is safe under the single-writer rule.
+        self.trie = trie if trie is not None else PathTrie()
+        self._path_ids = set()        # trie ids of paths this index holds
+        self._content_ids = {}        # term -> set of trie ids (hot)
+        self._tag_ids = {}            # tag  -> set of trie ids (hot)
+        self._content_cols = {}       # term -> bytes | [offset, length]
+        self._tag_cols = {}
+        # _id_map translates the serialized currency -- indexes into the
+        # sorted path table -- to trie ids; None until the first
+        # compact()/restore (hot sets then hold trie ids directly).
+        self._id_map = None
+        # Legacy snapshot state: raw per-term/per-tag path-table index
+        # lists awaiting materialization.  None outside restore.
         self._raw_content = None
         self._raw_tags = None
-        # Serializes raw-entry materialization for concurrent readers.
+        self._sidecar = None
+        # Probe-side cache of rendered string sets, keyed ("c"|"t", key);
+        # add_node invalidates exactly the keys it touches.
+        self._hot = {}
+        self._paths_cache = None      # frozenset of all rendered paths
+        # Serializes cold-entry materialization for concurrent readers.
         self._materialize_lock = threading.Lock()
 
     # -- construction ------------------------------------------------------
 
     def add_node(self, path, tag, text):
         """Register one node's path under its tag and content terms."""
-        self._all_paths.add(path)
-        self._entry(self._tag_paths, self._raw_tags, tag).add(path)
+        pid = self.trie.insert(path)
+        if pid not in self._path_ids:
+            self._path_ids.add(pid)
+            self._paths_cache = None
+        self._entry(self._tag_ids, self._tag_cols, self._raw_tags,
+                    tag).add(pid)
+        self._hot.pop(("t", tag), None)
         if text:
             for token in self.analyzer.analyze(text):
-                self._entry(
-                    self._content_paths, self._raw_content, token.text
-                ).add(path)
+                self._entry(self._content_ids, self._content_cols,
+                            self._raw_content, token.text).add(pid)
+                self._hot.pop(("c", token.text), None)
+
+    def compact(self):
+        """Fold every hot id set into a delta-encoded byte column.
+
+        Columns always speak path-table indexes (the only ids stable
+        across a snapshot round trip), so compacting re-anchors every
+        existing cold entry against the current sorted path table as
+        well and rebuilds ``_id_map``.  Re-callable after incremental
+        ingestion.
+        """
+        with self._materialize_lock:
+            id_map = sorted(self._path_ids, key=self.trie.render)
+            index_of = {pid: i for i, pid in enumerate(id_map)}
+            for ids, cols, raw in (
+                (self._content_ids, self._content_cols, self._raw_content),
+                (self._tag_ids, self._tag_cols, self._raw_tags),
+            ):
+                for key in list(cols):
+                    pids = self._decode_cold(cols[key])
+                    cols[key] = encode_sorted_ids(
+                        sorted(index_of[pid] for pid in pids)
+                    )
+                if raw:
+                    for key, old_indexes in list(raw.items()):
+                        cols[key] = encode_sorted_ids(sorted(
+                            index_of[self._id_map[i]] for i in old_indexes
+                        ))
+                        del raw[key]
+                for key, pids in list(ids.items()):
+                    cols[key] = encode_sorted_ids(
+                        sorted(index_of[pid] for pid in pids)
+                    )
+                    del ids[key]
+            self._id_map = id_map
+        return self
 
     # -- lazy materialization ------------------------------------------------
 
-    def _entry(self, table, raw, key):
-        """The mutable path set for ``key``, creating it if needed."""
-        paths = self._lookup(table, raw, key)
-        if paths is None:
-            paths = table[key] = set()
-        return paths
+    def _col_blob(self, entry):
+        """Column bytes for a ``_*_cols`` entry (sidecar markers resolve
+        to zero-copy windows)."""
+        if isinstance(entry, (bytes, memoryview)):
+            return entry
+        offset, length = entry
+        return self._sidecar.view(offset, length)
 
-    def _lookup(self, table, raw, key):
-        """The path set for ``key``, or ``None``; materializes raw entries.
+    def _decode_cold(self, entry):
+        """Trie ids for a column entry (path-table indexes mapped)."""
+        id_map = self._id_map
+        return [id_map[i] for i in decode_sorted_ids(self._col_blob(entry))]
+
+    def _entry(self, ids, cols, raw, key):
+        """The mutable trie-id set for ``key``, creating it if needed."""
+        pids = self._ids_lookup(ids, cols, raw, key)
+        if pids is None:
+            pids = ids[key] = set()
+        return pids
+
+    def _ids_lookup(self, ids, cols, raw, key):
+        """The trie-id set for ``key``, or ``None``; materializes cold
+        entries.
 
         Thread-safe via double-checked locking: concurrent query workers
-        racing on the same key must not lose the raw record to a second
-        ``pop``.
+        racing on the same key must not lose the cold record to a second
+        ``pop``.  The hot set is assigned before the cold form is
+        discarded, so lock-free readers always find the key in at least
+        one table.
         """
-        paths = table.get(key)
-        if paths is not None:
-            return paths
-        if not raw:
+        pids = ids.get(key)
+        if pids is not None:
+            return pids
+        if not cols and not raw:
             return None
         with self._materialize_lock:
-            paths = table.get(key)
-            if paths is not None:
-                return paths
-            ids = raw.get(key)
-            if ids is None:
+            pids = ids.get(key)
+            if pids is not None:
+                return pids
+            entry = cols.get(key)
+            if entry is not None:
+                pids = ids[key] = set(self._decode_cold(entry))
+                cols.pop(key, None)
+                return pids
+            old_indexes = raw.get(key) if raw else None
+            if old_indexes is None:
                 return None
-            path_list = self._path_list
-            # Assign before discarding the raw record, so lock-free
-            # readers always find the key in at least one table.
-            paths = table[key] = {path_list[i] for i in ids}
+            id_map = self._id_map
+            pids = ids[key] = {id_map[i] for i in old_indexes}
             raw.pop(key, None)
+        return pids
+
+    def _path_set(self, kind, ids, cols, raw, key):
+        """Rendered path strings for ``key`` (read-only; cold entries
+        are decoded without being materialized, and the rendered set is
+        cached until :meth:`add_node` touches the key)."""
+        cached = self._hot.get((kind, key))
+        if cached is not None:
+            return cached
+        pids = ids.get(key)
+        if pids is None:
+            entry = cols.get(key)
+            if entry is not None:
+                pids = self._decode_cold(entry)
+            else:
+                old_indexes = raw.get(key) if raw else None
+                if old_indexes is None:
+                    # A concurrent materializer may have moved the key
+                    # (it assigns before popping): one final re-check.
+                    pids = ids.get(key)
+                    if pids is None:
+                        return frozenset()
+                else:
+                    pids = [self._id_map[i] for i in old_indexes]
+        render = self.trie.render
+        paths = frozenset(render(pid) for pid in pids)
+        self._hot[(kind, key)] = paths
         return paths
 
-    def _known_keys(self, table, raw):
-        """A stable copy of ``table``'s and ``raw``'s keys.
+    def _known_keys(self, ids, cols, raw):
+        """A stable copy of every key across the three tables.
 
-        Taken under the lock: materialization inserts into ``table``
-        concurrently, and iterating a dict while it grows raises
-        RuntimeError.
+        Taken under the lock: materialization moves entries between
+        tables concurrently, and iterating a dict while it changes
+        raises RuntimeError.
         """
         with self._materialize_lock:
-            names = set(table)
+            names = set(ids) | set(cols)
             if raw:
                 names |= set(raw)
         return names
 
     # -- snapshot serialization ----------------------------------------------
 
-    def to_dict(self):
+    def _encode_tables(self, columnar):
+        path_list = sorted(self.trie.render(pid) for pid in self._path_ids)
+        index_of = {path: i for i, path in enumerate(path_list)}
+        pid_to_index = {
+            pid: index_of[self.trie.render(pid)] for pid in self._path_ids
+        }
+
+        def indexes_for(ids, cols, raw, key):
+            pids = ids.get(key)
+            if pids is None:
+                entry = cols.get(key)
+                if entry is not None:
+                    pids = self._decode_cold(entry)
+                else:
+                    pids = [self._id_map[i] for i in raw[key]]
+            return sorted(pid_to_index[pid] for pid in pids)
+
+        def encode(ids, cols, raw, prefix):
+            names = set(ids) | set(cols)
+            if raw:
+                names |= set(raw)
+            if columnar:
+                return {
+                    prefix + name: encode_sorted_ids(
+                        indexes_for(ids, cols, raw, name)
+                    )
+                    for name in names
+                }
+            return {
+                name: indexes_for(ids, cols, raw, name) for name in names
+            }
+
+        return path_list, encode
+
+    def to_dict(self, columnar=False):
         """Snapshot form: both tables coded as indexes into ``all_paths``.
 
         Index coding keeps the record small (every path string appears
-        once) and decodes fast.  Still-raw entries from a restored
-        snapshot are materialized first so that their indexes are
-        expressed against the current path table.
+        once) and decodes fast.  The default (legacy) form lists the
+        indexes as JSON arrays -- the version <= 3 record.
+        ``columnar=True`` emits them as delta-encoded byte columns
+        under ``columns_inline`` (content keys prefixed ``c:``, tag
+        keys ``t:``); the snapshot writer moves the bytes into the
+        binary sidecar.
         """
-        path_list = sorted(self._all_paths)
-        index_of = {path: i for i, path in enumerate(path_list)}
-
-        def encode(table, raw):
-            names = set(table)
-            if raw:
-                names |= set(raw)
+        with self._materialize_lock:
+            path_list, encode = self._encode_tables(columnar)
+            if columnar:
+                columns = encode(self._content_ids, self._content_cols,
+                                 self._raw_content, "c:")
+                columns.update(encode(self._tag_ids, self._tag_cols,
+                                      self._raw_tags, "t:"))
+                return {"all_paths": path_list, "columns_inline": columns}
             return {
-                name: sorted(
-                    index_of[path]
-                    for path in self._lookup(table, raw, name)
-                )
-                for name in names
+                "all_paths": path_list,
+                "content": encode(self._content_ids, self._content_cols,
+                                  self._raw_content, ""),
+                "tags": encode(self._tag_ids, self._tag_cols,
+                               self._raw_tags, ""),
             }
 
-        return {
-            "all_paths": path_list,
-            "content": encode(self._content_paths, self._raw_content),
-            "tags": encode(self._tag_paths, self._raw_tags),
-        }
-
     @classmethod
-    def from_dict(cls, payload, analyzer):
-        """Rebuild a path index from :meth:`to_dict`, lazily."""
-        index = cls(analyzer)
-        index._path_list = payload["all_paths"]
-        index._all_paths = set(payload["all_paths"])
-        index._raw_content = payload["content"]
-        index._raw_tags = payload["tags"]
+    def from_dict(cls, payload, analyzer, trie=None, sidecar=None):
+        """Rebuild a path index from :meth:`to_dict`, lazily.
+
+        Accepts the legacy raw-list form, inline columns, and sidecar
+        ``[offset, length]`` column tables alike; per-key payloads stay
+        cold until first probed or extended.
+        """
+        index = cls(analyzer, trie=trie)
+        index._id_map = [index.trie.insert(path)
+                         for path in payload["all_paths"]]
+        index._path_ids = set(index._id_map)
+        columns = payload.get("columns_inline")
+        if columns is None and "columns" in payload:
+            columns = payload["columns"]
+            index._sidecar = sidecar
+        if columns is not None:
+            for key, entry in columns.items():
+                kind, name = key[:2], key[2:]
+                if kind == "c:":
+                    index._content_cols[name] = entry
+                else:
+                    index._tag_cols[name] = entry
+        else:
+            index._raw_content = payload["content"]
+            index._raw_tags = payload["tags"]
         return index
 
     # -- probes (Section 5's three usage modes) ------------------------------
 
     def paths_for_term(self, term):
         """Distinct paths whose node content contains the analyzed term."""
-        paths = self._lookup(self._content_paths, self._raw_content, term)
-        return set(paths) if paths else set()
+        return set(self._path_set("c", self._content_ids,
+                                  self._content_cols, self._raw_content,
+                                  term))
 
     def paths_for_tag(self, tag):
         """Distinct paths whose *leaf* node name is ``tag``.
@@ -155,14 +319,16 @@ class PathIndex:
         allowing wildcards.
         """
         if "*" not in tag:
-            paths = self._lookup(self._tag_paths, self._raw_tags, tag)
-            return set(paths) if paths else set()
-        names = self._known_keys(self._tag_paths, self._raw_tags)
+            return set(self._path_set("t", self._tag_ids, self._tag_cols,
+                                      self._raw_tags, tag))
+        names = self._known_keys(self._tag_ids, self._tag_cols,
+                                 self._raw_tags)
         matched = set()
         for candidate in names:
             if fnmatch.fnmatchcase(candidate, tag):
-                matched |= self._lookup(self._tag_paths, self._raw_tags,
-                                        candidate)
+                matched |= self._path_set("t", self._tag_ids,
+                                          self._tag_cols, self._raw_tags,
+                                          candidate)
         return matched
 
     def paths_for_path(self, path):
@@ -176,15 +342,44 @@ class PathIndex:
         }
 
     def all_paths(self):
-        return set(self._all_paths)
+        cached = self._paths_cache
+        if cached is None:
+            render = self.trie.render
+            cached = self._paths_cache = frozenset(
+                render(pid) for pid in self._path_ids
+            )
+        return set(cached)
 
     def tags(self):
-        return sorted(self._known_keys(self._tag_paths, self._raw_tags))
+        return sorted(self._known_keys(self._tag_ids, self._tag_cols,
+                                       self._raw_tags))
 
     def vocabulary(self):
-        return sorted(
-            self._known_keys(self._content_paths, self._raw_content)
-        )
+        return sorted(self._known_keys(self._content_ids,
+                                       self._content_cols,
+                                       self._raw_content))
 
     def __len__(self):
-        return len(self._all_paths)
+        return len(self._path_ids)
+
+    def estimated_memory(self):
+        """Resident-footprint digest (``repro info``, benchmarks)."""
+        with self._materialize_lock:
+            column_bytes = 0
+            for cols in (self._content_cols, self._tag_cols):
+                for entry in cols.values():
+                    column_bytes += len(self._col_blob(entry))
+            return {
+                "paths": len(self._path_ids),
+                "terms": (
+                    len(self._content_ids) + len(self._content_cols)
+                    + len(self._raw_content or ())
+                ),
+                "tags": (
+                    len(self._tag_ids) + len(self._tag_cols)
+                    + len(self._raw_tags or ())
+                ),
+                "column_bytes": column_bytes,
+                "trie_nodes": self.trie.node_count,
+                "labels": len(self.trie.labels),
+            }

@@ -23,10 +23,18 @@ Scores inside a stream are the exact floats
 :meth:`~repro.search.scoring.ScoringModel.content_score` produces --
 the cache changes *when* scores are computed, never their values, so
 answers stay byte-identical to the uncached path.
+
+Snapshot-restored entries stay in their serialized byte-column form
+(:func:`~repro.compact.columns.encode_stream`: packed doubles plus
+zigzag id deltas, possibly a zero-copy window into the snapshot's
+binary sidecar) until a term is first served, mirroring the lazy
+materialization of the other indexes.
 """
 
 import threading
 from array import array
+
+from repro.compact.columns import decode_stream, encode_stream
 
 
 class ImpactStream:
@@ -55,6 +63,16 @@ class ImpactStream:
             (node_id for _, node_id in ordered),
         )
 
+    def to_column(self):
+        """The stream as one delta-encoded byte column (bit-exact)."""
+        return encode_stream(self.scores, self.node_ids)
+
+    @classmethod
+    def from_column(cls, data):
+        """Decode a :meth:`to_column` blob (bytes or buffer view)."""
+        scores, node_ids = decode_stream(data)
+        return cls(scores, node_ids)
+
     def __len__(self):
         return len(self.node_ids)
 
@@ -73,9 +91,10 @@ class ImpactStreamStore:
     but equivalent terms share one stream; values carry the graph
     version they were built at, so any graph mutation (new documents,
     new edges) invalidates without explicit bookkeeping.  Lookups are
-    lock-free dict reads (GIL-atomic); only inserts take the lock, and
-    an insert that races a concurrent build of the same term keeps the
-    first stream so every worker sees one shared instance.
+    lock-free dict reads (GIL-atomic); only inserts and cold-entry
+    decodes take the lock, and an insert that races a concurrent build
+    of the same term keeps the first stream so every worker sees one
+    shared instance.
 
     ``hits``/``misses`` count lookups cumulatively; they feed the
     serving layer's batch statistics.  They are plain counters updated
@@ -84,18 +103,46 @@ class ImpactStreamStore:
     """
 
     def __init__(self):
-        # term cache key -> (version, ImpactStream, persist)
+        # term cache key -> (version, ImpactStream | byte column, persist);
+        # a restored entry holds its column (bytes or a sidecar
+        # [offset, length] marker) until first served.
         self._streams = {}
+        self._sidecar = None
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+
+    def _column_blob(self, entry):
+        """Column bytes for a cold entry (markers resolve to zero-copy
+        sidecar windows)."""
+        if isinstance(entry, (bytes, memoryview)):
+            return entry
+        offset, length = entry
+        return self._sidecar.view(offset, length)
+
+    def _materialized(self, term_key, entry):
+        """Decode a cold entry to its stream, exactly once.
+
+        Double-checked under the lock: two workers racing on the same
+        restored term must end up sharing one ``ImpactStream``.
+        """
+        with self._lock:
+            current = self._streams.get(term_key)
+            stream = current[1]
+            if not isinstance(stream, ImpactStream):
+                stream = ImpactStream.from_column(self._column_blob(stream))
+                self._streams[term_key] = (current[0], stream, current[2])
+        return stream
 
     def get(self, term_key, version):
         """The cached stream for ``term_key`` at ``version``, or None."""
         entry = self._streams.get(term_key)
         if entry is not None and entry[0] == version:
             self.hits += 1
-            return entry[1]
+            stream = entry[1]
+            if not isinstance(stream, ImpactStream):
+                stream = self._materialized(term_key, entry)
+            return stream
         self.misses += 1
         return None
 
@@ -110,7 +157,9 @@ class ImpactStreamStore:
         with self._lock:
             entry = self._streams.get(term_key)
             if entry is not None and entry[0] == version:
-                return entry[1]
+                cached = entry[1]
+                if isinstance(cached, ImpactStream):
+                    return cached
             self._streams[term_key] = (version, stream, persist)
         return stream
 
@@ -121,9 +170,31 @@ class ImpactStreamStore:
     def __len__(self):
         return len(self._streams)
 
+    def estimated_memory(self):
+        """Resident-footprint digest (``repro info``, benchmarks)."""
+        with self._lock:
+            column_bytes = 0
+            materialized = 0
+            entries = 0
+            for _, stream, _ in self._streams.values():
+                entries += 1
+                if isinstance(stream, ImpactStream):
+                    materialized += 1
+                    column_bytes += (
+                        len(stream.scores) * stream.scores.itemsize
+                        + len(stream.node_ids) * stream.node_ids.itemsize
+                    )
+                else:
+                    column_bytes += len(self._column_blob(stream))
+            return {
+                "streams": entries,
+                "materialized_streams": materialized,
+                "column_bytes": column_bytes,
+            }
+
     # -- snapshot serialization ---------------------------------------------
 
-    def to_dict(self, version=None):
+    def to_dict(self, version=None, columnar=False):
         """Snapshot form; ``version`` keeps only that graph version.
 
         Persisting only current-version, persistable entries keeps
@@ -132,35 +203,70 @@ class ImpactStreamStore:
         Records are sorted by term key so output is deterministic.
         The entry table is copied under the lock: a concurrent worker's
         ``put`` must not mutate the dict mid-iteration.
+
+        ``columnar=True`` replaces each record's score/id lists with a
+        ``column`` reference into ``columns_inline`` (still-cold
+        entries pass their bytes through undecoded); the snapshot
+        writer moves the blobs into the binary sidecar.
         """
         with self._lock:
             entries = sorted(self._streams.items())
         records = []
+        columns = {}
         for key, (entry_version, stream, persist) in entries:
             if not persist:
                 continue
             if version is not None and entry_version != version:
                 continue
-            records.append({
-                "term": list(key),
-                "version": entry_version,
-                "scores": list(stream.scores),
-                "node_ids": list(stream.node_ids),
-            })
-        return {"streams": records}
+            if columnar:
+                name = f"s{len(records)}"
+                if isinstance(stream, ImpactStream):
+                    columns[name] = stream.to_column()
+                else:
+                    columns[name] = bytes(self._column_blob(stream))
+                records.append({
+                    "term": list(key),
+                    "version": entry_version,
+                    "column": name,
+                })
+            else:
+                if not isinstance(stream, ImpactStream):
+                    stream = ImpactStream.from_column(
+                        self._column_blob(stream)
+                    )
+                records.append({
+                    "term": list(key),
+                    "version": entry_version,
+                    "scores": list(stream.scores),
+                    "node_ids": list(stream.node_ids),
+                })
+        payload = {"streams": records}
+        if columnar:
+            payload["columns_inline"] = columns
+        return payload
 
     @classmethod
-    def from_dict(cls, payload):
+    def from_dict(cls, payload, sidecar=None):
         """Rebuild a store from :meth:`to_dict`.
 
-        JSON round-trips doubles exactly, so restored streams serve the
-        same bytes the saving system computed.
+        JSON round-trips doubles exactly (and byte columns trivially
+        so), so restored streams serve the same bytes the saving system
+        computed.  Columnar records stay cold until first served.
         """
         store = cls()
+        columns = payload.get("columns_inline")
+        if columns is None:
+            columns = payload.get("columns")
+            store._sidecar = sidecar
         for record in payload.get("streams", ()):
+            name = record.get("column")
+            if name is not None:
+                stream = columns[name]
+            else:
+                stream = ImpactStream(record["scores"], record["node_ids"])
             store._streams[tuple(record["term"])] = (
                 record["version"],
-                ImpactStream(record["scores"], record["node_ids"]),
+                stream,
                 True,
             )
         return store

@@ -24,14 +24,23 @@ from repro.shard.partition import (
     round_robin_partition,
 )
 from repro.shard.service import ShardedQueryService
-from repro.shard.sharded import ShardedCollectionView, ShardedSeda
+from repro.shard.sharded import (
+    SharedPayload,
+    ShardedCollectionView,
+    ShardedSeda,
+    publish_shared_payload,
+    read_shared_payload,
+)
 
 __all__ = [
     "PARTITIONERS",
+    "SharedPayload",
     "ShardedCollectionView",
     "ShardedQueryService",
     "ShardedSeda",
     "hash_partition",
+    "publish_shared_payload",
+    "read_shared_payload",
     "resolve_partitioner",
     "round_robin_partition",
 ]

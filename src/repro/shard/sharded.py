@@ -45,10 +45,13 @@ are dropped, which cannot change the merged top-k.
 """
 
 import bisect
+import json
 import os
+import secrets
 import shutil
 import threading
 
+from repro.compact.shm import Sidecar, publish_shared_memory
 from repro.index.inverted import GlobalTermStats
 from repro.model.links import ValueLinkSpec
 from repro.query.term import Query
@@ -62,11 +65,19 @@ from repro.storage.snapshot import (
     read_obs_state,
     read_sharded_manifest,
     shard_file_name,
+    sidecar_file_name,
     write_obs_state,
     write_sharded_manifest,
     write_snapshot,
 )
 from repro.system import Seda
+
+#: Mapping from shard file to published shared-memory segment, written
+#: next to the manifest by :func:`publish_shared_payload` (advisory,
+#: like ``obs.json``: never required to load the directory).
+SHARED_PAYLOAD_FILE = "shared_payload.json"
+SHARED_PAYLOAD_FORMAT = "seda-shared-payload"
+SHARED_PAYLOAD_VERSION = 1
 
 
 def _build_shard_payload(args):
@@ -122,8 +133,8 @@ class _ShardSlot:
     searched, exactly like a lazy snapshot load).
     """
 
-    __slots__ = ("path", "on_load", "pending_bumps", "_payload", "_seda",
-                 "_lock")
+    __slots__ = ("path", "on_load", "pending_bumps", "shared_segment",
+                 "_payload", "_seda", "_lock")
 
     def __init__(self, seda=None, path=None, payload=None):
         self.path = path
@@ -133,6 +144,11 @@ class _ShardSlot:
         #: at materialization so untouched shards need not rehydrate
         #: just to expire their score-carrying caches.
         self.pending_bumps = 0
+        #: Name of a published shared-memory segment holding this
+        #: shard's column sidecar; when set, restore attaches it
+        #: instead of mapping the ``.cols`` file, so N worker processes
+        #: share one physical copy of the columns.
+        self.shared_segment = None
         self._payload = payload
         self._seda = seda
         self._lock = threading.Lock()
@@ -152,7 +168,12 @@ class _ShardSlot:
                         seda = Seda.from_payload(*self._payload)
                         self._payload = None
                     else:
-                        seda = Seda.load(self.path)
+                        sidecar = (
+                            Sidecar.from_shared_memory(self.shared_segment)
+                            if self.shared_segment is not None
+                            else None
+                        )
+                        seda = Seda.load(self.path, sidecar=sidecar)
                     if self.on_load is not None:
                         # Wire global statistics before publishing the
                         # shard, so no reader ever scores locally.
@@ -191,11 +212,57 @@ class _ShardSlot:
                     self.path, path
                 ):
                     return  # saving over its own source file
+                # Copy the column sidecar first (the main file is the
+                # commit record announcing it), then the snapshot.
+                source_cols = sidecar_file_name(self.path)
+                target_cols = sidecar_file_name(path)
+                if os.path.exists(source_cols):
+                    cols_tmp = f"{target_cols}.tmp"
+                    shutil.copyfile(source_cols, cols_tmp)
+                    os.replace(cols_tmp, target_cols)
+                else:
+                    try:
+                        os.remove(target_cols)
+                    except OSError:
+                        pass
                 tmp_path = f"{path}.tmp"
-                shutil.copyfile(self.path, tmp_path)
+                if os.path.basename(source_cols) != os.path.basename(
+                    target_cols
+                ):
+                    _copy_snapshot_renaming_sidecar(
+                        self.path, tmp_path, os.path.basename(target_cols)
+                    )
+                else:
+                    shutil.copyfile(self.path, tmp_path)
                 os.replace(tmp_path, path)
                 return
         self._seda.save(path)
+
+
+def _copy_snapshot_renaming_sidecar(source, target, cols_basename):
+    """Byte-copy a snapshot, re-pointing its header at ``cols_basename``.
+
+    The content records copy verbatim, but a version-4 header announces
+    its sidecar by *basename*; when a copy changes names (generational
+    sharded saves), the announcement must follow the new name or the
+    snapshot pair reads as torn on restore.  Headers without a sidecar
+    entry copy unchanged.
+    """
+    with open(source, "rb") as src, open(target, "wb") as dst:
+        first = src.readline()
+        try:
+            header = json.loads(first)
+        except ValueError:
+            header = None
+        if isinstance(header, dict) and "sidecar" in header:
+            header["sidecar"]["file"] = cols_basename
+            dst.write(
+                json.dumps(header, separators=(",", ":")).encode("utf-8")
+            )
+            dst.write(b"\n")
+        else:
+            dst.write(first)
+        shutil.copyfileobj(src, dst)
 
 
 class ShardedCollectionView:
@@ -449,6 +516,31 @@ class ShardedSeda:
             "per_shard": per_shard,
         }
 
+    def index_memory(self):
+        """Per-shard index-memory estimates (``repro shard info``).
+
+        Forces every shard to load (the estimate is about what the
+        indexes cost resident).  Each entry is one shard's
+        :meth:`Seda.index_memory` report plus its shard number;
+        ``totals`` sums the per-index ``column_bytes`` across shards --
+        the figure shared-memory publication deduplicates.
+        """
+        per_shard = []
+        column_bytes = 0
+        for index, slot in enumerate(self._slots):
+            report = slot.get().index_memory()
+            report["shard"] = index
+            column_bytes += sum(
+                report[key]["column_bytes"]
+                for key in ("inverted", "path_index", "streams")
+            )
+            per_shard.append(report)
+        return {
+            "shards": len(self._slots),
+            "per_shard": per_shard,
+            "totals": {"column_bytes": column_bytes},
+        }
+
     # -- search ---------------------------------------------------------------
 
     def _searcher(self, index):
@@ -693,19 +785,29 @@ class ShardedSeda:
                 os.path.dirname(os.path.abspath(slot.path)) == target
             ):
                 slot.path = os.path.join(directory, shard_file)
-        # The new manifest is committed; superseded generations are
-        # dead weight (best-effort cleanup -- leftovers are harmless).
-        keep = set(shard_files)
+        # The new manifest is committed; superseded generations (and
+        # their column sidecars) are dead weight (best-effort cleanup
+        # -- leftovers are harmless).  A shared-payload mapping from a
+        # previous generation names segments holding superseded
+        # columns, so it goes too.
+        keep = set(shard_files) | {f"{name}.cols" for name in shard_files}
         for name in os.listdir(directory):
-            if (name.startswith("shard-") and name.endswith(".snapshot")
+            if (name.startswith("shard-")
+                    and (name.endswith(".snapshot")
+                         or name.endswith(".snapshot.cols"))
                     and name not in keep):
                 try:
                     os.remove(os.path.join(directory, name))
                 except OSError:  # pragma: no cover - fs-dependent
                     pass
+        try:
+            os.remove(os.path.join(directory, SHARED_PAYLOAD_FILE))
+        except OSError:
+            pass
 
     @classmethod
-    def load(cls, directory, lazy=True, partitioner=None):
+    def load(cls, directory, lazy=True, partitioner=None,
+             shared_payload=False):
         """Restore a sharded collection saved by :meth:`save`.
 
         With ``lazy=True`` (the default) only the manifest is read;
@@ -715,6 +817,14 @@ class ShardedSeda:
         manifest's routing policy; required when the collection was
         built with a custom (non-serializable) partitioner and
         :meth:`add_documents` will be called.
+
+        ``shared_payload=True`` attaches each shard's column sidecar
+        from the shared-memory segments a publisher process created
+        with :func:`publish_shared_payload` (reading the mapping file
+        next to the manifest), so N loading processes share one
+        physical copy of the columns instead of N private ones.
+        Raises :class:`SnapshotError` when no mapping has been
+        published.
         """
         manifest = read_sharded_manifest(directory)
         meta = manifest.get("meta", {})
@@ -743,6 +853,17 @@ class ShardedSeda:
             _ShardSlot(path=os.path.join(directory, shard_file))
             for shard_file in manifest["shard_files"]
         ]
+        if shared_payload:
+            mapping = read_shared_payload(directory)
+            if mapping is None:
+                raise SnapshotError(
+                    f"{directory}: no shared payload published (run "
+                    "publish_shared_payload first)"
+                )
+            for slot, shard_file in zip(slots, manifest["shard_files"]):
+                entry = mapping.get(shard_file)
+                if entry is not None:
+                    slot.shared_segment = entry[0]
         system = cls(
             slots, manifest["documents"],
             meta.get("collection", "collection"), value_links,
@@ -765,3 +886,134 @@ class ShardedSeda:
             f"({loaded} loaded), docs={len(self._docs)}, "
             f"nodes={self._node_count})"
         )
+
+
+def read_shared_payload(directory):
+    """The published shard-file -> segment mapping, or ``None``.
+
+    Returns the ``segments`` table of a valid ``shared_payload.json``
+    (``{shard_file: [segment_name, byte_length]}``); ``None`` when the
+    file is absent, unreadable, or from an unknown format/version --
+    the mapping is advisory, so damage degrades to "not published".
+    """
+    path = os.path.join(directory, SHARED_PAYLOAD_FILE)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != SHARED_PAYLOAD_FORMAT
+        or payload.get("version") != SHARED_PAYLOAD_VERSION
+        or not isinstance(payload.get("segments"), dict)
+    ):
+        return None
+    return payload["segments"]
+
+
+class SharedPayload:
+    """Publisher-side handle over one directory's shared segments.
+
+    Created by :func:`publish_shared_payload`; the publisher keeps it
+    referenced while worker processes attach (``ShardedSeda.load(...,
+    shared_payload=True)``) and calls :meth:`unlink` when the fleet is
+    done -- segment lifetime is the publisher's alone, attachers only
+    ever map and close (see :meth:`Sidecar.from_shared_memory`).
+    """
+
+    __slots__ = ("directory", "segments", "_handles")
+
+    def __init__(self, directory, handles, segments):
+        self.directory = directory
+        self.segments = segments
+        self._handles = handles
+
+    @property
+    def segment_names(self):
+        """Shard file -> shared-memory segment name, in manifest order."""
+        return {shard: entry[0] for shard, entry in self.segments.items()}
+
+    def close(self):
+        """Detach this process's views (the segments stay published)."""
+        for segment in self._handles:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - views still exported
+                pass
+
+    def unlink(self):
+        """Tear the payload down: close, unlink every segment, and
+        remove the mapping file so later loads fail fast instead of
+        attaching names that no longer exist."""
+        self.close()
+        for segment in self._handles:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._handles = []
+        try:
+            os.remove(os.path.join(self.directory, SHARED_PAYLOAD_FILE))
+        except OSError:
+            pass
+
+    def __repr__(self):
+        return (
+            f"SharedPayload({self.directory!r}, "
+            f"segments={len(self.segments)})"
+        )
+
+
+def publish_shared_payload(directory):
+    """Load every shard sidecar into shared memory and publish the map.
+
+    Reads the sharded manifest, copies each shard's ``.cols`` sidecar
+    into its own ``multiprocessing.shared_memory`` segment, and writes
+    ``shared_payload.json`` next to the manifest (atomically, tmp +
+    rename) so any number of later ``ShardedSeda.load(directory,
+    shared_payload=True)`` processes attach the same physical copy of
+    the columns instead of mapping private ones.
+
+    Shards without a sidecar (legacy formats, column-free shards) are
+    simply left out of the mapping; loaders fall back to the snapshot's
+    own file for those.  Returns a :class:`SharedPayload` -- the caller
+    owns the segments and must keep the handle alive while workers run,
+    then :meth:`SharedPayload.unlink` them.
+    """
+    manifest = read_sharded_manifest(directory)
+    token = secrets.token_hex(4)
+    handles = []
+    segments = {}
+    try:
+        for index, shard_file in enumerate(manifest["shard_files"]):
+            sidecar_path = sidecar_file_name(
+                os.path.join(directory, shard_file)
+            )
+            try:
+                with open(sidecar_path, "rb") as handle:
+                    data = handle.read()
+            except FileNotFoundError:
+                continue
+            name = f"seda-{token}-{index:04d}"
+            handles.append(publish_shared_memory(name, data))
+            segments[shard_file] = [name, len(data)]
+        payload = {
+            "format": SHARED_PAYLOAD_FORMAT,
+            "version": SHARED_PAYLOAD_VERSION,
+            "segments": segments,
+        }
+        target = os.path.join(directory, SHARED_PAYLOAD_FILE)
+        tmp_path = f"{target}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp_path, target)
+    except BaseException:
+        for segment in handles:
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:  # pragma: no cover - best-effort rollback
+                pass
+        raise
+    return SharedPayload(directory, handles, segments)

@@ -19,8 +19,9 @@ Snapshot format (JSON lines, UTF-8):
   (there is no cross-version migration; re-save from source data
   instead).  Version 2 added the optional ``streams`` record and the
   inverted index's precomputed node lengths; version 3 added the
-  optional ``obs`` record (the retained query-statistics registry).
-  Version-1 and version-2 files are still readable -- the additions
+  optional ``obs`` record (the retained query-statistics registry);
+  version 4 added the binary **sidecar** (below) holding the compact
+  byte columns.  Version 1-3 files are still readable -- the additions
   are derived, rebuilt lazily, or simply absent.  ``meta``
   carries system-level configuration -- collection name, ``max_hops``,
   the dataguide merge threshold, the analyzer configuration, and any
@@ -52,6 +53,26 @@ may be absent); node ids embedded in component payloads are only
 meaningful relative to the collection record in the same file.  Writers
 always emit via a temp file and atomic rename, so a crash never leaves
 a torn snapshot behind.
+
+The binary sidecar (version 4)
+------------------------------
+
+A component payload may carry its bulk data as compact byte columns
+under a ``columns_inline`` key (``{name: bytes}``).  The writer strips
+those out of the JSON, concatenates the blobs (sorted by name) into one
+binary sidecar file next to the snapshot (``<file>.cols``), and
+substitutes a ``columns`` table of ``[offset, length]`` windows.  The
+header then records ``"sidecar": {"file": <basename>, "bytes": N}``;
+readers validate the sidecar's size against ``bytes`` (torn-state
+detection -- the sidecar is written and renamed *before* the main
+file, which is the commit record) and attach it as a read-only
+``mmap``-backed :class:`~repro.compact.shm.Sidecar`, returned under the
+:data:`SIDECAR_KEY` pseudo-record.  Component readers then decode
+per-key windows lazily and zero-copy; a caller may instead pass its own
+pre-attached buffer (e.g. a ``multiprocessing.shared_memory`` segment
+shared by many worker processes) to :func:`read_snapshot`.  A snapshot
+without columnar records has no sidecar and no header key -- and any
+version-4 reader still accepts the version 1-3 records verbatim.
 
 Sharded snapshots
 -----------------
@@ -92,19 +113,30 @@ treat shard files as internal to their directory.
 import json
 import os
 
+from repro.compact.shm import Sidecar
+
 try:  # optional accelerator: ~5x faster decode of large records
     import orjson as _fastjson
 except ImportError:  # pragma: no cover - environment-dependent
     _fastjson = None
 
 SNAPSHOT_FORMAT = "seda-snapshot"
-SNAPSHOT_VERSION = 3
+SNAPSHOT_VERSION = 4
 
 #: Versions this reader accepts.  Version 1 lacked the ``streams``
 #: record and the inverted index's node lengths; version 2 lacked the
-#: ``obs`` record.  All of those restore as empty/derived, so old
-#: files load unchanged.
-SUPPORTED_VERSIONS = (1, 2, SNAPSHOT_VERSION)
+#: ``obs`` record; version 3 lacked the binary sidecar.  All of those
+#: restore as empty/derived, so old files load unchanged.
+SUPPORTED_VERSIONS = (1, 2, 3, SNAPSHOT_VERSION)
+
+#: Pseudo-record under which :func:`read_snapshot` returns the attached
+#: sidecar buffer (never present in the file itself).
+SIDECAR_KEY = "__sidecar__"
+
+
+def sidecar_file_name(path):
+    """The sidecar file path for snapshot ``path``."""
+    return f"{os.fspath(path)}.cols"
 
 #: Component records every complete snapshot must contain.
 REQUIRED_RECORDS = (
@@ -139,33 +171,74 @@ def _dumps(obj):
     return json.dumps(obj, separators=(",", ":"))
 
 
+def _externalize_columns(payload, sidecar):
+    """Move a payload's inline byte columns into the sidecar buffer.
+
+    Returns a shallow copy with ``columns_inline`` replaced by a
+    ``columns`` table of ``[offset, length]`` windows (the payload
+    itself is never mutated -- callers may retain and re-save it).
+    """
+    if not (isinstance(payload, dict) and "columns_inline" in payload):
+        return payload
+    payload = dict(payload)
+    inline = payload.pop("columns_inline")
+    table = {}
+    for name in sorted(inline):
+        blob = inline[name]
+        table[name] = [len(sidecar), len(blob)]
+        sidecar += blob
+    payload["columns"] = table
+    return payload
+
+
 def write_snapshot(path, meta, records):
     """Write a snapshot atomically.
 
     ``meta`` is the header's system-level metadata; ``records`` maps
     component name -> JSON-serializable payload and must cover
     :data:`REQUIRED_RECORDS`; :data:`OPTIONAL_RECORDS` entries are
-    written when present.
+    written when present.  Payloads carrying ``columns_inline`` byte
+    columns get those written to the binary sidecar (committed before
+    the main file; an empty sidecar is not written at all and any stale
+    one is removed).
     """
     missing = [name for name in REQUIRED_RECORDS if name not in records]
     if missing:
         raise SnapshotError(f"snapshot is missing records: {missing}")
+    ordered = [name for name in REQUIRED_RECORDS + OPTIONAL_RECORDS
+               if name in records]
+    sidecar = bytearray()
+    encoded = {
+        name: _externalize_columns(records[name], sidecar)
+        for name in ordered
+    }
     header = {
         "record": "header",
         "format": SNAPSHOT_FORMAT,
         "version": SNAPSHOT_VERSION,
         "meta": meta,
     }
+    sidecar_path = sidecar_file_name(path)
+    if sidecar:
+        header["sidecar"] = {
+            "file": os.path.basename(sidecar_path),
+            "bytes": len(sidecar),
+        }
+        sidecar_tmp = f"{sidecar_path}.tmp"
+        with open(sidecar_tmp, "wb") as handle:
+            handle.write(sidecar)
+        os.replace(sidecar_tmp, sidecar_path)
+    else:
+        try:
+            os.remove(sidecar_path)
+        except OSError:
+            pass
     tmp_path = f"{path}.tmp"
     with open(tmp_path, "w", encoding="utf-8") as handle:
         handle.write(_dumps(header) + "\n")
-        for name in REQUIRED_RECORDS:
-            record = {"record": name, "payload": records[name]}
+        for name in ordered:
+            record = {"record": name, "payload": encoded[name]}
             handle.write(_dumps(record) + "\n")
-        for name in OPTIONAL_RECORDS:
-            if name in records:
-                record = {"record": name, "payload": records[name]}
-                handle.write(_dumps(record) + "\n")
     os.replace(tmp_path, path)
 
 
@@ -190,10 +263,44 @@ def _read_header(line, path):
     return header
 
 
-def read_snapshot(path):
+def _attach_sidecar(header, path, sidecar):
+    """The sidecar buffer a version-4 header calls for, or ``None``.
+
+    ``sidecar`` is an optional caller-provided pre-attached buffer
+    (e.g. a shared-memory segment holding the same bytes); otherwise
+    the announced file is memory-mapped.  Either way the buffer must
+    cover the announced byte count -- a short file means the snapshot
+    pair is torn.
+    """
+    announced = header.get("sidecar")
+    if announced is None:
+        return None
+    expected = announced.get("bytes", 0)
+    if sidecar is None:
+        sidecar_path = os.path.join(
+            os.path.dirname(os.fspath(path)) or ".", announced["file"]
+        )
+        try:
+            sidecar = Sidecar.from_file(sidecar_path)
+        except FileNotFoundError:
+            raise SnapshotError(
+                f"{path}: missing sidecar file {announced['file']!r}"
+            ) from None
+    if len(sidecar) < expected:
+        raise SnapshotError(
+            f"{path}: sidecar holds {len(sidecar)} bytes, "
+            f"header announces {expected} (torn snapshot pair)"
+        )
+    return sidecar
+
+
+def read_snapshot(path, sidecar=None):
     """Read and validate a snapshot; returns ``(meta, records)``.
 
-    ``records`` maps component name -> payload.  Raises
+    ``records`` maps component name -> payload.  When the header
+    announces a binary sidecar, the attached buffer is returned under
+    ``records[SIDECAR_KEY]`` (pass ``sidecar`` to substitute an
+    already-attached buffer, e.g. a shared-memory segment).  Raises
     :class:`SnapshotError` on format/version mismatch, unknown record
     types, or missing components.
     """
@@ -204,7 +311,11 @@ def read_snapshot(path):
             if not line:
                 continue
             if meta is None:
-                meta = _read_header(line, path).get("meta", {})
+                header = _read_header(line, path)
+                meta = header.get("meta", {})
+                attached = _attach_sidecar(header, path, sidecar)
+                if attached is not None:
+                    records[SIDECAR_KEY] = attached
                 continue
             try:
                 record = _loads(line)
@@ -430,12 +541,16 @@ def snapshot_info(path):
     """Header metadata plus per-record sizes, without restoring anything.
 
     Returns ``{"meta": ..., "records": [(name, bytes), ...],
-    "total_bytes": N}`` -- what ``repro snapshot info`` prints.  Streams
-    the file line by line, so inspecting a large snapshot stays cheap.
+    "total_bytes": N, "sidecar_bytes": N}`` -- what ``repro snapshot
+    info`` prints.  ``total_bytes`` is the JSON file alone;
+    ``sidecar_bytes`` (0 for pre-version-4 files) is the binary column
+    payload riding alongside it.  Streams the file line by line, so
+    inspecting a large snapshot stays cheap.
     """
     meta = None
     sizes = []
     total = 0
+    sidecar_bytes = 0
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             stripped = line.strip()
@@ -443,7 +558,9 @@ def snapshot_info(path):
                 continue
             total += len(line.encode("utf-8"))
             if meta is None:
-                meta = _read_header(stripped, path).get("meta", {})
+                header = _read_header(stripped, path)
+                meta = header.get("meta", {})
+                sidecar_bytes = header.get("sidecar", {}).get("bytes", 0)
                 continue
             try:
                 record = _loads(stripped)
@@ -456,4 +573,9 @@ def snapshot_info(path):
             )
     if meta is None:
         raise SnapshotError(f"{path}: empty snapshot file")
-    return {"meta": meta, "records": sizes, "total_bytes": total}
+    return {
+        "meta": meta,
+        "records": sizes,
+        "total_bytes": total,
+        "sidecar_bytes": sidecar_bytes,
+    }

@@ -19,15 +19,30 @@ the paper.  Merging loses precision: a merged guide may imply
 connections that no single document instantiates -- the *false
 positives* of Section 6.1, quantified by
 :meth:`DataguideSet.false_positive_pairs`.
+
+Path tables are trie-backed: every guide stores its paths and
+per-source path sets as terminal-node ids of a
+:class:`~repro.compact.trie.PathTrie` (typically the system-wide trie
+shared with the path index), so overlap/subset/merge arithmetic runs on
+small-int sets and each label string is held once per system.  The
+string-facing API -- :attr:`Dataguide.paths`,
+:attr:`Dataguide.source_path_sets` -- renders lazily and caches, and
+the snapshot format is unchanged.
 """
 
 import itertools
 import json
 import os
 
+from repro.compact.trie import PathTrie
+
 
 def overlap(paths_a, paths_b):
-    """The paper's overlap similarity between two path sets."""
+    """The paper's overlap similarity between two path sets.
+
+    Set-generic: callers pass string sets or trie-id sets alike (both
+    sides must speak the same currency).
+    """
     if not paths_a or not paths_b:
         return 0.0
     common = len(paths_a & paths_b)
@@ -37,43 +52,97 @@ def overlap(paths_a, paths_b):
 class Dataguide:
     """One (possibly merged) structural summary: a set of paths."""
 
-    __slots__ = ("guide_id", "paths", "document_ids", "source_path_sets")
+    __slots__ = ("guide_id", "trie", "path_ids", "document_ids",
+                 "source_id_sets", "_paths_cache", "_sources_cache")
 
-    def __init__(self, guide_id, paths, document_id):
+    def __init__(self, guide_id, paths, document_id, trie=None):
         self.guide_id = guide_id
-        self.paths = set(paths)
+        self.trie = trie if trie is not None else PathTrie()
+        self.path_ids = {self.trie.insert(path) for path in paths}
         self.document_ids = [document_id]
-        # Per-source path sets are kept so that false-positive analysis
-        # can distinguish merged-in structure from real co-occurrence.
-        self.source_path_sets = [frozenset(paths)]
+        # Per-source path-id sets are kept so that false-positive
+        # analysis can distinguish merged-in structure from real
+        # co-occurrence.
+        self.source_id_sets = [frozenset(self.path_ids)]
+        self._paths_cache = None
+        self._sources_cache = None
+
+    # -- string-facing views (rendered lazily, cached) -----------------------
+
+    @property
+    def paths(self):
+        """The guide's path strings (rendered from the trie, cached)."""
+        cached = self._paths_cache
+        if cached is None:
+            render = self.trie.render
+            cached = self._paths_cache = {
+                render(pid) for pid in self.path_ids
+            }
+        return cached
+
+    @property
+    def source_path_sets(self):
+        """Per-source path-string sets, parallel to ``document_ids``."""
+        cached = self._sources_cache
+        if cached is None:
+            render = self.trie.render
+            cached = self._sources_cache = [
+                frozenset(render(pid) for pid in source)
+                for source in self.source_id_sets
+            ]
+        return cached
+
+    # -- merging -------------------------------------------------------------
 
     def absorb(self, paths, document_id):
         """Merge another document's path set into this guide."""
-        self.paths |= paths
+        self._absorb_ids(
+            {self.trie.insert(path) for path in paths}, document_id
+        )
+
+    def _absorb_ids(self, ids, document_id):
+        """Id-space absorb (``ids`` must be this guide's trie's ids)."""
+        self.path_ids |= ids
         self.document_ids.append(document_id)
-        self.source_path_sets.append(frozenset(paths))
+        self.source_id_sets.append(frozenset(ids))
+        self._paths_cache = None
+        self._sources_cache = None
 
     @classmethod
-    def _restore(cls, guide_id, paths, document_ids, source_path_sets):
+    def _restore(cls, guide_id, trie, path_ids, document_ids,
+                 source_id_sets):
         """Snapshot fast path: rebuild without replaying the merges."""
         guide = object.__new__(cls)
         guide.guide_id = guide_id
-        guide.paths = paths
+        guide.trie = trie
+        guide.path_ids = path_ids
         guide.document_ids = document_ids
-        guide.source_path_sets = source_path_sets
+        guide.source_id_sets = source_id_sets
+        guide._paths_cache = None
+        guide._sources_cache = None
         return guide
 
     def is_superset_of(self, paths):
-        return paths <= self.paths
+        find = self.trie.find
+        ids = self.path_ids
+        for path in paths:
+            pid = find(path)
+            if pid is None or pid not in ids:
+                return False
+        return True
+
+    def _is_superset_of_ids(self, ids):
+        return ids <= self.path_ids
 
     def contains_path(self, path):
-        return path in self.paths
+        pid = self.trie.find(path)
+        return pid is not None and pid in self.path_ids
 
     # -- structure ----------------------------------------------------------
 
     def lca_path(self, path_a, path_b):
         """Longest common prefix path of two member paths, or ``None``."""
-        if path_a not in self.paths or path_b not in self.paths:
+        if not (self.contains_path(path_a) and self.contains_path(path_b)):
             return None
         steps_a = path_a.split("/")[1:]
         steps_b = path_b.split("/")[1:]
@@ -101,17 +170,25 @@ class Dataguide:
         may both be present while never co-occurring -- the root cause
         of false-positive connections.
         """
+        find = self.trie.find
+        id_a = find(path_a)
+        id_b = find(path_b)
+        if id_a is None or id_b is None:
+            return False
+        return self._co_occur_ids(id_a, id_b)
+
+    def _co_occur_ids(self, id_a, id_b):
         return any(
-            path_a in source and path_b in source
-            for source in self.source_path_sets
+            id_a in source and id_b in source
+            for source in self.source_id_sets
         )
 
     def __len__(self):
-        return len(self.paths)
+        return len(self.path_ids)
 
     def __repr__(self):
         return (
-            f"Dataguide(id={self.guide_id}, paths={len(self.paths)}, "
+            f"Dataguide(id={self.guide_id}, paths={len(self.path_ids)}, "
             f"docs={len(self.document_ids)})"
         )
 
@@ -119,16 +196,27 @@ class Dataguide:
 class DataguideSet:
     """The merged dataguide collection DG plus cross-guide links."""
 
-    def __init__(self, guides, threshold):
+    def __init__(self, guides, threshold, trie=None):
         self.guides = guides
         self.threshold = threshold
+        #: The trie the path lookup table speaks; defaults to the first
+        #: guide's (the builder gives every guide the same one).
+        self.trie = trie if trie is not None else (
+            guides[0].trie if guides else PathTrie()
+        )
         self._guide_of_doc = {}
-        self._guides_of_path = {}
+        self._guides_of_path = {}  # trie id (in self.trie) -> [guides]
         for guide in guides:
             for doc_id in guide.document_ids:
                 self._guide_of_doc[doc_id] = guide
-            for path in guide.paths:
-                self._guides_of_path.setdefault(path, []).append(guide)
+            if guide.trie is self.trie:
+                ids = guide.path_ids
+            else:
+                # A guide built on a foreign trie (hand-assembled sets
+                # in tests): re-anchor its paths in ours.
+                ids = {self.trie.insert(path) for path in guide.paths}
+            for pid in ids:
+                self._guides_of_path.setdefault(pid, []).append(guide)
         self.links = []  # (source_guide, source_path, target_guide, target_path, kind, label)
 
     # -- lookups ------------------------------------------------------------
@@ -137,7 +225,10 @@ class DataguideSet:
         return self._guide_of_doc.get(doc_id)
 
     def guides_for_path(self, path):
-        return list(self._guides_of_path.get(path, ()))
+        pid = self.trie.find(path)
+        if pid is None:
+            return []
+        return list(self._guides_of_path.get(pid, ()))
 
     def __len__(self):
         return len(self.guides)
@@ -192,15 +283,15 @@ class DataguideSet:
         false_pairs = 0
         total_pairs = 0
         for guide in self.guides:
-            if len(guide.source_path_sets) == 1:
+            if len(guide.source_id_sets) == 1:
                 # Single-source guides cannot contain merge artifacts,
                 # and their pair count can be huge; count them cheaply.
-                size = len(guide.paths)
+                size = len(guide.path_ids)
                 total_pairs += size * (size - 1) // 2
                 continue
-            for path_a, path_b in itertools.combinations(sorted(guide.paths), 2):
+            for id_a, id_b in itertools.combinations(guide.path_ids, 2):
                 total_pairs += 1
-                if not guide.co_occurs(path_a, path_b):
+                if not guide._co_occur_ids(id_a, id_b):
                     false_pairs += 1
         return false_pairs, total_pairs
 
@@ -223,7 +314,8 @@ class DataguideSet:
         sorted path list, so each path string is stored once per guide
         however many source documents contain it.  Links are stored by
         (guide id, path, kind, label); guides are identified stably so
-        links re-attach on load.
+        links re-attach on load.  The format predates the trie-backed
+        tables and is byte-for-byte unchanged by them.
         """
         guides = []
         path_ids = {}  # guide_id -> {path: index}
@@ -261,23 +353,32 @@ class DataguideSet:
         }
 
     @classmethod
-    def from_dict(cls, payload):
-        """Rebuild a dataguide set from :meth:`to_dict`."""
+    def from_dict(cls, payload, trie=None):
+        """Rebuild a dataguide set from :meth:`to_dict`.
+
+        ``trie`` anchors the restored path tables in an existing
+        (shared) trie -- the system restore passes the path index's so
+        both speak the same ids; standalone loads get a fresh one.
+        """
         from repro.model.graph import EdgeKind
 
+        if trie is None:
+            trie = PathTrie()
         guides = []
         for record in payload["guides"]:
             paths = record["paths"]
+            ids = [trie.insert(path) for path in paths]
             guides.append(Dataguide._restore(
                 record["guide_id"],
-                set(paths),
+                trie,
+                set(ids),
                 list(record["document_ids"]),
                 [
-                    frozenset(paths[i] for i in source)
+                    frozenset(ids[i] for i in source)
                     for source in record["sources"]
                 ],
             ))
-        guide_set = cls(guides, payload["threshold"])
+        guide_set = cls(guides, payload["threshold"], trie=trie)
         by_id = {guide.guide_id: guide for guide in guides}
         paths_of = {
             record["guide_id"]: record["paths"]
@@ -309,10 +410,11 @@ class DataguideSet:
 class DataguideBuilder:
     """Streaming construction of a :class:`DataguideSet`."""
 
-    def __init__(self, threshold=0.4):
+    def __init__(self, threshold=0.4, trie=None):
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must be within [0, 1]")
         self.threshold = threshold
+        self.trie = trie if trie is not None else PathTrie()
         self._guides = []
 
     @classmethod
@@ -320,10 +422,11 @@ class DataguideBuilder:
         """A builder resuming from an existing :class:`DataguideSet`.
 
         Used after a snapshot restore: the builder adopts the loaded
-        guides (shared, not copied) so that later documents merge into
-        the same mined structure instead of starting from scratch.
+        guides (shared, not copied) and their trie, so that later
+        documents merge into the same mined structure instead of
+        starting from scratch.
         """
-        builder = cls(guide_set.threshold)
+        builder = cls(guide_set.threshold, trie=guide_set.trie)
         builder._guides = list(guide_set.guides)
         return builder
 
@@ -334,33 +437,50 @@ class DataguideBuilder:
     def add_paths(self, paths, document_id):
         """Merge a raw path set (used by generators and tests)."""
         paths = set(paths)
+        ids = {self.trie.insert(path) for path in paths}
+        # Id arithmetic needs both sides on one trie; a guide adopted
+        # from a foreign set falls back to its string view.
+        shares = [guide.trie is self.trie for guide in self._guides]
         # Case 1: subset of or equal to an existing guide -> absorbed.
-        for guide in self._guides:
-            if guide.is_superset_of(paths):
-                guide.absorb(paths, document_id)
+        for guide, shared in zip(self._guides, shares):
+            if (guide._is_superset_of_ids(ids) if shared
+                    else guide.is_superset_of(paths)):
+                self._absorb(guide, shared, ids, paths, document_id)
                 return guide
         # Case 2: merge with the best-overlapping guide over the threshold.
         best_guide = None
+        best_shared = False
         best_overlap = 0.0
-        for guide in self._guides:
-            score = overlap(guide.paths, paths)
+        for guide, shared in zip(self._guides, shares):
+            score = overlap(guide.path_ids if shared else guide.paths,
+                            ids if shared else paths)
             if score > best_overlap:
                 best_overlap = score
                 best_guide = guide
+                best_shared = shared
         if best_guide is not None and best_overlap >= self.threshold:
-            best_guide.absorb(paths, document_id)
+            self._absorb(best_guide, best_shared, ids, paths, document_id)
             return best_guide
         # Case 3: a brand-new guide.
-        guide = Dataguide(len(self._guides), paths, document_id)
+        guide = Dataguide(len(self._guides), paths, document_id,
+                          trie=self.trie)
         self._guides.append(guide)
         return guide
+
+    @staticmethod
+    def _absorb(guide, shared, ids, paths, document_id):
+        if shared:
+            guide._absorb_ids(ids, document_id)
+        else:
+            guide.absorb(paths, document_id)
 
     def build(self, collection=None, graph=None):
         """Finish: optionally ingest a collection, then freeze the set."""
         if collection is not None:
             for document in collection.documents:
                 self.add_document(document)
-        guide_set = DataguideSet(list(self._guides), self.threshold)
+        guide_set = DataguideSet(list(self._guides), self.threshold,
+                                 trie=self.trie)
         if graph is not None:
             guide_set.add_links_from_graph(graph)
         return guide_set

@@ -19,6 +19,7 @@ Each ``SedaSession`` is immutable; refinements return new sessions, so
 the exploration history stays inspectable (the GUI's back button).
 """
 
+from repro.compact.trie import PathTrie
 from repro.cube.augment import Augmenter
 from repro.cube.extract import TableExtractor
 from repro.cube.matching import ResultMatcher
@@ -38,7 +39,7 @@ from repro.search.scoring import ScoringModel
 from repro.search.topk import TopKSearcher
 from repro.service.query_service import QueryService
 from repro.storage.node_store import NodeStore
-from repro.storage.snapshot import read_snapshot, write_snapshot
+from repro.storage.snapshot import SIDECAR_KEY, read_snapshot, write_snapshot
 from repro.summaries.connection import ConnectionSummaryGenerator
 from repro.summaries.context import ContextSummaryGenerator
 from repro.summaries.dataguide import DataguideBuilder, DataguideSet
@@ -50,15 +51,19 @@ class Seda:
     """One SEDA instance over a document collection."""
 
     def __init__(self, collection, value_links=(), dataguide_threshold=0.4,
-                 analyzer=None, max_hops=12):
+                 analyzer=None, max_hops=12, compact_indexes=True):
         graph = DataGraph(collection)
         discoverer = LinkDiscoverer(graph)
         discoverer.discover_all(value_specs=value_links)
 
-        builder = IndexBuilder(collection, analyzer=analyzer)
+        # One shared path trie: the path index and every dataguide store
+        # paths as small int ids over a single interned label table.
+        trie = PathTrie()
+        builder = IndexBuilder(collection, analyzer=analyzer, trie=trie,
+                               compact=compact_indexes)
         inverted, path_index = builder.build()
         node_store = NodeStore(collection)
-        dataguide_builder = DataguideBuilder(dataguide_threshold)
+        dataguide_builder = DataguideBuilder(dataguide_threshold, trie=trie)
         dataguides = dataguide_builder.build(collection=collection, graph=graph)
         self._wire(
             collection=collection, graph=graph, builder=builder,
@@ -207,15 +212,18 @@ class Seda:
         records = {
             "collection": self.collection.to_dict(),
             "graph": self.graph.to_dict(),
-            "inverted": self.inverted.to_dict(),
-            "path_index": self.path_index.to_dict(),
+            # Columnar index forms: the byte columns ride the snapshot's
+            # binary sidecar instead of being exploded into JSON lists.
+            "inverted": self.inverted.to_dict(columnar=True),
+            "path_index": self.path_index.to_dict(columnar=True),
             "node_store": self.node_store.to_dict(),
             "dataguides": self.dataguides.to_dict(),
             "registry": self.registry.to_dict(),
             # Materialized impact streams for the current graph version:
             # a reloaded system answers its hot terms from these without
             # re-enumerating or re-scoring candidates.
-            "streams": self.streams.to_dict(version=self.graph.version),
+            "streams": self.streams.to_dict(version=self.graph.version,
+                                            columnar=True),
         }
         if self.obs is not None:
             # Retained query statistics survive the snapshot: a reloaded
@@ -235,39 +243,48 @@ class Seda:
         write_snapshot(path, meta, records)
 
     @classmethod
-    def load(cls, path):
+    def load(cls, path, sidecar=None):
         """Restore a system saved by :meth:`save`.
 
         Bypasses XML parsing, link discovery, index building, and
         dataguide mining entirely: every component is reconstructed
-        from its serialized form.  Raises
+        from its serialized form.  ``sidecar`` substitutes an
+        already-attached column buffer (e.g. a shared-memory segment)
+        for the snapshot's own ``.cols`` file.  Raises
         :class:`~repro.storage.snapshot.SnapshotError` on incompatible
         or torn files.
         """
-        meta, records = read_snapshot(path)
+        meta, records = read_snapshot(path, sidecar=sidecar)
         return cls.from_payload(meta, records)
 
     @classmethod
     def from_payload(cls, meta, records):
         """Reconstruct a system from a :meth:`snapshot_payload` pair."""
         analyzer = Analyzer.from_dict(meta["analyzer"])
+        sidecar = records.get(SIDECAR_KEY)
         collection = DocumentCollection.from_dict(records["collection"])
         graph = DataGraph.from_dict(records["graph"], collection)
-        inverted = InvertedIndex.from_dict(records["inverted"], analyzer)
-        path_index = PathIndex.from_dict(records["path_index"], analyzer)
+        inverted = InvertedIndex.from_dict(records["inverted"], analyzer,
+                                           sidecar=sidecar)
+        path_index = PathIndex.from_dict(records["path_index"], analyzer,
+                                         sidecar=sidecar)
         node_store = NodeStore.from_dict(records["node_store"], collection)
-        dataguides = DataguideSet.from_dict(records["dataguides"])
+        # The dataguides re-anchor in the path index's trie, so both
+        # keep speaking one shared label table after a restore too.
+        dataguides = DataguideSet.from_dict(records["dataguides"],
+                                            trie=path_index.trie)
         registry = Registry.from_dict(records["registry"])
         builder = IndexBuilder(
             collection, analyzer=analyzer, inverted=inverted,
             paths=path_index, built_upto=len(collection.documents),
+            compact=True,
         )
         value_links = tuple(
             ValueLinkSpec.from_dict(record)
             for record in meta.get("value_links", ())
         )
         streams = (
-            ImpactStreamStore.from_dict(records["streams"])
+            ImpactStreamStore.from_dict(records["streams"], sidecar=sidecar)
             if "streams" in records
             else None  # version-1 snapshot: start with an empty store
         )
@@ -285,6 +302,29 @@ class Seda:
 
             system.obs = StatsRegistry.from_dict(records["obs"])
         return system
+
+    # -- introspection ------------------------------------------------------------
+
+    def index_memory(self):
+        """Per-index estimated resident memory (``repro info``).
+
+        Cheap structural estimates -- table sizes and encoded column
+        bytes -- not a heap profiler: the point is comparing the compact
+        representations against what the legacy object layout would
+        cost, and watching them as a corpus grows.
+        """
+        trie = self.path_index.trie
+        labels = trie.labels
+        return {
+            "inverted": self.inverted.estimated_memory(),
+            "path_index": self.path_index.estimated_memory(),
+            "streams": self.streams.estimated_memory(),
+            "labels": {
+                "count": len(labels),
+                "bytes": sum(len(label) for label in labels.to_list()),
+            },
+            "trie": {"nodes": trie.node_count, "paths": len(trie)},
+        }
 
     # -- the entry point ----------------------------------------------------------
 

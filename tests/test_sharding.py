@@ -224,8 +224,11 @@ class TestShardedSnapshots:
         assert sorted(os.listdir(target)) == [
             "manifest.json",
             "shard-0000.snapshot",
+            "shard-0000.snapshot.cols",
             "shard-0001.snapshot",
+            "shard-0001.snapshot.cols",
             "shard-0002.snapshot",
+            "shard-0002.snapshot.cols",
         ]
         restored = ShardedSeda.load(str(target))
         # Lazy: the topology is known before any shard file is opened.
@@ -282,7 +285,10 @@ class TestShardedSnapshots:
         first = sorted(
             name for name in os.listdir(target) if name.startswith("shard-")
         )
-        assert first == ["shard-0000.snapshot", "shard-0001.snapshot"]
+        assert first == [
+            "shard-0000.snapshot", "shard-0000.snapshot.cols",
+            "shard-0001.snapshot", "shard-0001.snapshot.cols",
+        ]
 
         system.add_documents([("mike", "<r><a>red blue</a></r>")])
         system.save(str(target))
@@ -291,8 +297,14 @@ class TestShardedSnapshots:
         second = sorted(
             name for name in os.listdir(target) if name.startswith("shard-")
         )
-        assert second == manifest["shard_files"] == [
+        assert manifest["shard_files"] == [
             "shard-0000.g1.snapshot", "shard-0001.g1.snapshot",
+        ]
+        # Superseded generation-0 files (and their column sidecars) are
+        # cleaned up; the new generation's pairs remain.
+        assert second == [
+            "shard-0000.g1.snapshot", "shard-0000.g1.snapshot.cols",
+            "shard-0001.g1.snapshot", "shard-0001.g1.snapshot.cols",
         ]
 
         plain = Seda.from_documents(

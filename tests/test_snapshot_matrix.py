@@ -1,0 +1,168 @@
+"""The snapshot compatibility matrix: versions 1-4 all restore exactly.
+
+Version 4 snapshots carry compact byte columns in a binary sidecar;
+versions 1-3 carried everything as JSON (v1 without streams or node
+lengths, v2 adding both, v3 adding the optional ``obs`` record).  The
+matrix here hand-writes each legacy format from the same live system --
+using the components' legacy ``to_dict`` forms, which are kept
+byte-compatible with the old writers -- and asserts every vintage loads
+into a system whose answers are byte-identical to the original, and
+that re-saving any of them produces a valid version-4 pair (the upgrade
+is lossless).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.storage.snapshot import (
+    SNAPSHOT_VERSION,
+    SUPPORTED_VERSIONS,
+    read_snapshot,
+    sidecar_file_name,
+    snapshot_info,
+)
+from repro.system import Seda
+
+QUERIES = [
+    [("*", '"United States"'), ("percentage", "*")],
+    [("trade_country", "*"), ("percentage", "*")],
+    [("*", "canada")],
+]
+
+K = 5
+
+
+def _canonical(results):
+    return json.dumps(
+        [[list(r.node_ids), list(r.content_scores), r.compactness, r.score]
+         for r in results],
+        separators=(",", ":"),
+    )
+
+
+def _answers(seda):
+    return [_canonical(seda.search(pairs, k=K).results) for pairs in QUERIES]
+
+
+def _header(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.loads(handle.readline())
+
+
+@pytest.fixture()
+def live(figure2_collection):
+    return Seda(figure2_collection)
+
+
+def _legacy_records(seda, version):
+    """The record set a version-``version`` writer would have produced."""
+    records = {
+        "collection": seda.collection.to_dict(),
+        "graph": seda.graph.to_dict(),
+        "inverted": seda.inverted.to_dict(),
+        "path_index": seda.path_index.to_dict(),
+        "node_store": seda.node_store.to_dict(),
+        "dataguides": seda.dataguides.to_dict(),
+        "registry": seda.registry.to_dict(),
+    }
+    if version == 1:
+        # v1 predates the precomputed node lengths and the streams
+        # record; readers derive the lengths lazily.
+        records["inverted"].pop("node_lengths", None)
+    else:
+        records["streams"] = seda.streams.to_dict(
+            version=seda.graph.version
+        )
+    return records
+
+
+def _write_legacy(path, seda, version):
+    """Write ``seda`` in the legacy all-JSON format of ``version``."""
+    meta = {
+        "collection": seda.collection.name,
+        "max_hops": seda.max_hops,
+        "dataguide_threshold": seda.dataguides.threshold,
+        "analyzer": seda.analyzer.to_dict(),
+        "value_links": [],
+    }
+    lines = [json.dumps({
+        "record": "header", "format": "seda-snapshot",
+        "version": version, "meta": meta,
+    }, separators=(",", ":"))]
+    for name, payload in _legacy_records(seda, version).items():
+        lines.append(json.dumps(
+            {"record": name, "payload": payload}, separators=(",", ":")
+        ))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+class TestVersionMatrix:
+    def test_current_version_is_four(self):
+        assert SNAPSHOT_VERSION == 4
+        assert SUPPORTED_VERSIONS == (1, 2, 3, 4)
+
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_legacy_versions_load_byte_identically(
+        self, live, tmp_path, version
+    ):
+        # Warm the streams so v2/v3 files carry a materialized record.
+        expected = _answers(live)
+        path = tmp_path / f"v{version}.snapshot"
+        _write_legacy(str(path), live, version)
+
+        restored = Seda.load(str(path))
+        assert _answers(restored) == expected
+        assert not os.path.exists(sidecar_file_name(str(path)))
+
+    def test_v4_save_load_round_trip(self, live, tmp_path):
+        expected = _answers(live)
+        path = tmp_path / "v4.snapshot"
+        live.save(str(path))
+
+        info = snapshot_info(str(path))
+        assert _header(str(path))["version"] == 4
+        assert os.path.exists(sidecar_file_name(str(path)))
+        assert info["sidecar_bytes"] == os.path.getsize(
+            sidecar_file_name(str(path))
+        )
+        assert info["sidecar_bytes"] > 0
+
+        restored = Seda.load(str(path))
+        assert _answers(restored) == expected
+
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_resaving_a_legacy_snapshot_upgrades_losslessly(
+        self, live, tmp_path, version
+    ):
+        expected = _answers(live)
+        old = tmp_path / f"v{version}.snapshot"
+        _write_legacy(str(old), live, version)
+
+        upgraded = tmp_path / "upgraded.snapshot"
+        Seda.load(str(old)).save(str(upgraded))
+
+        _meta, records = read_snapshot(str(upgraded))
+        assert _header(str(upgraded))["version"] == 4
+        assert os.path.exists(sidecar_file_name(str(upgraded)))
+        assert "columns" in records["inverted"]
+
+        assert _answers(Seda.load(str(upgraded))) == expected
+
+    def test_v1_snapshot_derives_node_lengths(self, live, tmp_path):
+        path = tmp_path / "v1.snapshot"
+        _write_legacy(str(path), live, 1)
+        restored = Seda.load(str(path))
+        # node_length is what the scoring normalization reads; a wrong
+        # lazy derivation would skew every content score.
+        posting = restored.inverted.postings("united")[0]
+        assert restored.inverted.node_length(posting.node_id) == (
+            live.inverted.node_length(posting.node_id)
+        )
+
+    def test_legacy_payloads_carry_no_columns(self, live):
+        for name, payload in _legacy_records(live, 3).items():
+            assert "columns" not in payload, name
+            assert "columns_inline" not in payload, name
