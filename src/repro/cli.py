@@ -15,6 +15,8 @@ Subcommands::
     python -m repro snapshot save seda.snapshot --dataset factbook
     python -m repro snapshot load seda.snapshot --term 'percentage:*'
     python -m repro snapshot info seda.snapshot
+    python -m repro fsck    seda.snapshot
+    python -m repro fsck    seda.shards --json
     python -m repro serve-batch --queries queries.txt --workers 4
     python -m repro bench-queries --workers 4 --repeat 5 --shards 2
     python -m repro shard build seda.shards --dataset factbook --shards 4
@@ -532,6 +534,36 @@ def cmd_snapshot_info(args, out):
     return 0
 
 
+def cmd_fsck(args, out):
+    """Verify a snapshot/sidecar/WAL set without restoring anything."""
+    from repro.storage.snapshot import fsck_report
+
+    try:
+        report = fsck_report(args.path)
+    except FileNotFoundError:
+        raise SystemExit(f"no snapshot file or directory at {args.path}")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+        return 0 if report["ok"] else 1
+    print(f"fsck {report['target']} ({report['kind']})", file=out)
+    for target in sorted(report["checked"]):
+        details = report["checked"][target]
+        summary = ", ".join(
+            f"{key}={details[key]}" for key in sorted(details)
+        )
+        print(f"  checked {target}: {summary}", file=out)
+    for warning in report["warnings"]:
+        print(f"  warning: {warning}", file=out)
+    for problem in report["problems"]:
+        print(f"  PROBLEM: {problem}", file=out)
+    if report["ok"]:
+        print("  ok: no integrity problems", file=out)
+        return 0
+    print(f"  FAILED: {len(report['problems'])} integrity problem(s)",
+          file=out)
+    return 1
+
+
 def cmd_info(args, out):
     """Per-index estimated memory for a built or restored system."""
     if args.snapshot:
@@ -794,6 +826,17 @@ def build_parser():
     )
     snap_info.add_argument("path", help="snapshot file to inspect")
     snap_info.set_defaults(handler=cmd_snapshot_info)
+
+    fsck = subparsers.add_parser(
+        "fsck",
+        help="verify a snapshot (or sharded directory): record and "
+             "sidecar checksums, WAL health, stale temp files",
+    )
+    fsck.add_argument("path",
+                      help="snapshot file or sharded snapshot directory")
+    fsck.add_argument("--json", action="store_true",
+                      help="emit the raw fsck report as JSON")
+    fsck.set_defaults(handler=cmd_fsck)
 
     shard = subparsers.add_parser(
         "shard", help="build, search, or inspect sharded collections"

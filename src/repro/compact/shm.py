@@ -38,6 +38,20 @@ class Sidecar:
         """A read-only ``memoryview`` window onto one column."""
         return memoryview(self._buffer)[offset:offset + length]
 
+    def crc32(self, length=None):
+        """CRC32 over the first ``length`` bytes (default: all of them).
+
+        The version-5 snapshot header announces this value so loads
+        detect a corrupted column payload before any window decodes;
+        ``length`` is the announced byte count -- a shared-memory
+        segment may round up to a page, so the checksum must cover the
+        logical payload, not the allocation.
+        """
+        import zlib
+
+        size = len(self) if length is None else min(length, len(self))
+        return zlib.crc32(self.view(0, size))
+
     def __len__(self):
         return len(self._buffer)
 

@@ -61,14 +61,18 @@ class ShardedQueryStats(QueryStats):
     The inherited totals (``sorted_accesses``, ``tuples_scored``,
     ``pruned``) are sums across shards; ``per_shard`` holds one dict
     per shard -- ``{"shard", "sorted_accesses", "tuples_scored",
-    "pruned", "early_stop"}`` -- in shard order.
+    "pruned", "early_stop"}`` -- in shard order.  Under a degraded
+    scatter (``allow_partial``), shards that contributed nothing are
+    listed in ``failed_shards`` as ``{"shard", "error"}`` dicts and
+    their ``per_shard`` entries carry a ``"failed"`` message; an empty
+    ``failed_shards`` means the answer is complete.
     """
 
-    __slots__ = ("per_shard",)
+    __slots__ = ("per_shard", "failed_shards")
 
     def __init__(self, cache_key, k, latency, cache_hit,
                  sorted_accesses=0, tuples_scored=0, pruned=0,
-                 early_stop=False, per_shard=()):
+                 early_stop=False, per_shard=(), failed_shards=()):
         super().__init__(
             cache_key, k, latency, cache_hit,
             sorted_accesses=sorted_accesses, tuples_scored=tuples_scored,
@@ -77,12 +81,23 @@ class ShardedQueryStats(QueryStats):
         self.per_shard = tuple(
             dict(entry) for entry in per_shard
         )
+        self.failed_shards = tuple(
+            dict(entry) for entry in failed_shards
+        )
+
+    @property
+    def partial(self):
+        """True when any shard failed and the results are incomplete."""
+        return bool(self.failed_shards)
 
     def as_dict(self):
         record = {
             name: getattr(self, name) for name in QueryStats.__slots__
         }
         record["per_shard"] = [dict(entry) for entry in self.per_shard]
+        record["failed_shards"] = [
+            dict(entry) for entry in self.failed_shards
+        ]
         return record
 
 

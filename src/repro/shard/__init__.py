@@ -25,6 +25,8 @@ from repro.shard.partition import (
 )
 from repro.shard.service import ShardedQueryService
 from repro.shard.sharded import (
+    DegradationPolicy,
+    ShardSearchTimeout,
     SharedPayload,
     ShardedCollectionView,
     ShardedSeda,
@@ -33,7 +35,9 @@ from repro.shard.sharded import (
 )
 
 __all__ = [
+    "DegradationPolicy",
     "PARTITIONERS",
+    "ShardSearchTimeout",
     "SharedPayload",
     "ShardedCollectionView",
     "ShardedQueryService",

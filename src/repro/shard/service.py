@@ -70,8 +70,17 @@ class ShardedQueryService:
             self._groups.put(group)
 
     def _versions(self):
-        """Topology version: the tuple of per-shard graph versions."""
-        return tuple(shard.graph.version for shard in self.sharded.shards)
+        """Topology version: per-shard graph versions + recovery epoch.
+
+        The recovery epoch is folded in so a crashed-shard recovery
+        (which swaps the underlying shard objects without necessarily
+        changing any graph version) still expires cached results and
+        triggers a searcher-group rebuild.
+        """
+        return (
+            tuple(shard.graph.version for shard in self.sharded.shards),
+            getattr(self.sharded, "recovery_epoch", 0),
+        )
 
     def _refresh_shared_caches(self):
         """Warm the lead group, share its caches, once per topology
@@ -82,6 +91,17 @@ class ShardedQueryService:
         with self._warm_lock:
             if self._warm_versions == versions:
                 return
+            # A recovered shard is a *new* system object; any group
+            # searcher still pointing at the old one is rebuilt before
+            # warming (identity check: cheap, and exact).
+            shards = self.sharded.shards
+            for group in self._group_pool:
+                for index, shard in enumerate(shards):
+                    if group[index].matcher is not shard.matcher:
+                        group[index] = TopKSearcher(
+                            shard.matcher, shard.scoring,
+                            streams=shard.streams,
+                        )
             lead = self._group_pool[0]
             for searcher in lead:
                 searcher.warm()
@@ -117,7 +137,16 @@ class ShardedQueryService:
         finally:
             self._groups.put(group)
         merged = self.sharded._merge(gathered, k)
-        stored = self.cache.put(key, merged)
+        failed = [
+            {"shard": entry["shard"], "error": entry["failed"]}
+            for entry in per_shard if entry.get("failed")
+        ]
+        if failed:
+            # Partial answers are never cached: a later query must not
+            # be served an incomplete merge after the shard recovers.
+            stored = merged
+        else:
+            stored = self.cache.put(key, merged)
         stats = ShardedQueryStats(
             key, k, time.perf_counter() - start, cache_hit=False,
             sorted_accesses=sum(e["sorted_accesses"] for e in per_shard),
@@ -125,6 +154,7 @@ class ShardedQueryService:
             pruned=sum(e["pruned"] for e in per_shard),
             early_stop=all(e["early_stop"] for e in per_shard),
             per_shard=per_shard,
+            failed_shards=failed,
         )
         return list(stored), stats
 

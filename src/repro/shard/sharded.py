@@ -50,6 +50,9 @@ import os
 import secrets
 import shutil
 import threading
+import time
+import warnings
+import zlib
 
 from repro.compact.shm import Sidecar, publish_shared_memory
 from repro.index.inverted import GlobalTermStats
@@ -70,7 +73,12 @@ from repro.storage.snapshot import (
     write_sharded_manifest,
     write_snapshot,
 )
-from repro.system import Seda
+from repro.storage.wal import (
+    WriteAheadLog,
+    replay_wal,
+    sharded_wal_file_name,
+)
+from repro.system import Seda, _normalize_documents
 
 #: Mapping from shard file to published shared-memory segment, written
 #: next to the manifest by :func:`publish_shared_payload` (advisory,
@@ -104,6 +112,72 @@ def _build_shard_payload(args):
         len(document.nodes) for document in seda.collection.documents
     ]
     return meta, records, node_counts
+
+
+class ShardSearchTimeout(RuntimeError):
+    """A shard's search exceeded the configured degradation timeout."""
+
+
+class DegradationPolicy:
+    """How scatter-gather behaves when a shard fails or stalls.
+
+    Attached by :meth:`ShardedSeda.configure_degradation`; ``None`` (the
+    default) keeps the original fail-fast scatter byte-for-byte.
+
+    * ``retries``/``backoff`` -- failed shard searches are retried with
+      exponential backoff (``backoff * 2**(attempt-1)`` seconds) on a
+      freshly built searcher; a failed or timed-out searcher is never
+      reused.
+    * ``timeout`` -- seconds before one shard's search counts as
+      stalled (runs the search on a helper thread; the abandoned
+      attempt finishes in the background -- Python threads cannot be
+      killed -- its result is discarded).
+    * ``recover`` -- on failure, rehydrate the shard from its snapshot
+      file plus the write-ahead log before retrying (crashed-shard
+      recovery); timeouts skip this, a slow shard is not a broken one.
+    * ``allow_partial`` -- after retries are exhausted, serve the
+      healthy shards' merged results and flag the failed shard in the
+      stats instead of raising.  Off by default: partial results are
+      not byte-identical to the unsharded system, so they are opt-in.
+    """
+
+    __slots__ = ("retries", "backoff", "timeout", "allow_partial",
+                 "recover")
+
+    def __init__(self, retries=1, backoff=0.05, timeout=None,
+                 allow_partial=False, recover=True):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.retries = retries
+        self.backoff = backoff
+        self.timeout = timeout
+        self.allow_partial = allow_partial
+        self.recover = recover
+
+    def __repr__(self):
+        return (
+            f"DegradationPolicy(retries={self.retries}, "
+            f"backoff={self.backoff}, timeout={self.timeout}, "
+            f"allow_partial={self.allow_partial}, "
+            f"recover={self.recover})"
+        )
+
+
+def failed_shard_stats(shard_index, error):
+    """The stats entry a failed shard contributes under ``allow_partial``.
+
+    Same counter keys as :func:`shard_stats_snapshot` (zeros -- the
+    shard contributed no work) plus ``"failed"`` carrying the error, so
+    aggregation code iterates one uniform shape.
+    """
+    return {
+        "shard": shard_index,
+        "sorted_accesses": 0,
+        "tuples_scored": 0,
+        "pruned": 0,
+        "early_stop": False,
+        "failed": f"{type(error).__name__}: {error}",
+    }
 
 
 def shard_stats_snapshot(shard_index, searcher):
@@ -157,6 +231,21 @@ class _ShardSlot:
     def loaded(self):
         return self._seda is not None
 
+    def reset(self):
+        """Drop the live system so the next :meth:`get` rehydrates.
+
+        Crash recovery for a shard whose in-memory state is broken:
+        only valid for slots with a backing snapshot file (a live-built
+        or payload-consumed slot has nothing on disk to return to).
+        """
+        with self._lock:
+            if self.path is None and self._payload is None:
+                raise ValueError(
+                    "shard has no backing snapshot to recover from; "
+                    "save the collection first"
+                )
+            self._seda = None
+
     def get(self):
         """The live shard system, restoring it on first use."""
         seda = self._seda
@@ -173,7 +262,8 @@ class _ShardSlot:
                             if self.shared_segment is not None
                             else None
                         )
-                        seda = Seda.load(self.path, sidecar=sidecar)
+                        seda = Seda.load(self.path, sidecar=sidecar,
+                                         durable=False)
                     if self.on_load is not None:
                         # Wire global statistics before publishing the
                         # shard, so no reader ever scores locally.
@@ -199,7 +289,7 @@ class _ShardSlot:
         if self._seda is None and self.pending_bumps:
             self.get()
         if self._seda is not None:
-            self._seda.save(path)
+            self._seda.save(path, durable=False)
             return
         with self._lock:
             if self._seda is not None:
@@ -236,17 +326,19 @@ class _ShardSlot:
                     shutil.copyfile(self.path, tmp_path)
                 os.replace(tmp_path, path)
                 return
-        self._seda.save(path)
+        self._seda.save(path, durable=False)
 
 
 def _copy_snapshot_renaming_sidecar(source, target, cols_basename):
     """Byte-copy a snapshot, re-pointing its header at ``cols_basename``.
 
-    The content records copy verbatim, but a version-4 header announces
-    its sidecar by *basename*; when a copy changes names (generational
-    sharded saves), the announcement must follow the new name or the
-    snapshot pair reads as torn on restore.  Headers without a sidecar
-    entry copy unchanged.
+    The content records copy verbatim, but a sidecar-bearing header
+    announces its sidecar by *basename*; when a copy changes names
+    (generational sharded saves), the announcement must follow the new
+    name or the snapshot pair reads as torn on restore.  Rewriting the
+    header also invalidates a version-5 integrity seal, so the seal
+    line is re-computed over the rewritten header bytes.  Headers
+    without a sidecar entry copy unchanged.
     """
     with open(source, "rb") as src, open(target, "wb") as dst:
         first = src.readline()
@@ -256,10 +348,24 @@ def _copy_snapshot_renaming_sidecar(source, target, cols_basename):
             header = None
         if isinstance(header, dict) and "sidecar" in header:
             header["sidecar"]["file"] = cols_basename
-            dst.write(
-                json.dumps(header, separators=(",", ":")).encode("utf-8")
-            )
+            header_bytes = json.dumps(
+                header, separators=(",", ":")
+            ).encode("utf-8")
+            dst.write(header_bytes)
             dst.write(b"\n")
+            second = src.readline()
+            try:
+                seal = json.loads(second)
+            except ValueError:
+                seal = None
+            if isinstance(seal, dict) and seal.get("record") == "integrity":
+                seal["header_crc"] = zlib.crc32(header_bytes)
+                dst.write(json.dumps(
+                    seal, separators=(",", ":")
+                ).encode("utf-8"))
+                dst.write(b"\n")
+            else:
+                dst.write(second)
         else:
             dst.write(first)
         shutil.copyfileobj(src, dst)
@@ -312,6 +418,10 @@ class ShardedSeda:
         self._searchers = [None] * len(self._slots)
         self._service = None
         self.obs = None  # StatsRegistry; enable_observability() attaches one
+        self._wal = None  # WriteAheadLog; enable_durability() attaches one
+        self._wal_base_docs = 0  # docs absorbed by the shard files on disk
+        self._degradation = None  # DegradationPolicy; configure_degradation()
+        self._recovery_epoch = 0  # bumped by _recover_shard
         self.last_search_stats = None
         self._rebuild_topology()
 
@@ -570,7 +680,13 @@ class ShardedSeda:
             self._searcher(index) for index in range(len(self._slots))
         ]
         gathered, per_shard = self.scatter(searchers, query, k)
-        self.last_search_stats = {"per_shard": per_shard}
+        self.last_search_stats = {
+            "per_shard": per_shard,
+            "failed_shards": [
+                {"shard": entry["shard"], "error": entry["failed"]}
+                for entry in per_shard if entry.get("failed")
+            ],
+        }
         return self._merge(gathered, k)
 
     def scatter(self, searchers, query, k):
@@ -582,14 +698,194 @@ class ShardedSeda:
         the sharded query service's workers -- go through here, so the
         protocol (bound seeding order, stats shape) cannot drift
         between them.
+
+        Without a :class:`DegradationPolicy` (the default) a shard
+        failure propagates immediately -- fail-fast, byte-identical to
+        the unsharded system.  With one (see
+        :meth:`configure_degradation`) failed shard searches are
+        retried with backoff, optionally bounded by a timeout and
+        recovered from snapshot + write-ahead log; with
+        ``allow_partial`` an unrecoverable shard contributes an empty
+        result list and a ``"failed"``-flagged stats entry instead of
+        raising.
         """
         bound = SharedBound()
+        policy = self._degradation
         gathered = []
         per_shard = []
         for index, searcher in enumerate(searchers):
-            gathered.append(searcher.search(query, k=k, shared_bound=bound))
-            per_shard.append(shard_stats_snapshot(index, searcher))
+            if policy is None:
+                gathered.append(
+                    searcher.search(query, k=k, shared_bound=bound)
+                )
+                per_shard.append(shard_stats_snapshot(index, searcher))
+                continue
+            results, used, error = self._scatter_guarded(
+                index, searcher, query, k, bound, policy
+            )
+            if error is None:
+                gathered.append(results)
+                per_shard.append(shard_stats_snapshot(index, used))
+            elif policy.allow_partial:
+                gathered.append([])
+                per_shard.append(failed_shard_stats(index, error))
+            else:
+                raise error
         return gathered, per_shard
+
+    def _scatter_guarded(self, index, searcher, query, k, bound, policy):
+        """One shard's search under a degradation policy.
+
+        Returns ``(results, searcher_used, error)`` with ``error`` set
+        only after every attempt (initial + ``policy.retries``) failed.
+        A failed or timed-out searcher is never reused -- retries run
+        on a freshly built one against the (possibly just recovered)
+        shard.
+        """
+        error = None
+        for attempt in range(policy.retries + 1):
+            if attempt:
+                if policy.backoff:
+                    time.sleep(policy.backoff * (2 ** (attempt - 1)))
+                searcher = self._fresh_searcher(index)
+            try:
+                results = self._shard_search(
+                    searcher, query, k, bound, policy.timeout
+                )
+                return results, searcher, None
+            except ShardSearchTimeout as exc:
+                # A slow shard is not a broken one: retry on a fresh
+                # searcher (the stalled attempt finishes in the
+                # background, its result discarded), skip recovery.
+                error = exc
+            except Exception as exc:  # noqa: BLE001 - any shard fault
+                error = exc
+                if policy.recover:
+                    try:
+                        self._recover_shard(index)
+                    except Exception as recovery_error:  # noqa: BLE001
+                        return None, searcher, recovery_error
+        return None, searcher, error
+
+    def _fresh_searcher(self, index):
+        """A new searcher over shard ``index``'s current components."""
+        shard = self._slots[index].get()
+        return TopKSearcher(
+            shard.matcher, shard.scoring, streams=shard.streams
+        )
+
+    @staticmethod
+    def _shard_search(searcher, query, k, bound, timeout):
+        """One shard search, optionally bounded by ``timeout`` seconds.
+
+        The bounded form runs on a helper thread; on expiry the attempt
+        is abandoned (the thread finishes in the background and its
+        result is discarded) and :class:`ShardSearchTimeout` raises.
+        """
+        if timeout is None:
+            return searcher.search(query, k=k, shared_bound=bound)
+        box = {}
+
+        def run():
+            try:
+                box["result"] = searcher.search(
+                    query, k=k, shared_bound=bound
+                )
+            except BaseException as exc:  # noqa: BLE001 - relayed below
+                box["error"] = exc
+
+        thread = threading.Thread(
+            target=run, daemon=True, name="seda-shard-search"
+        )
+        thread.start()
+        thread.join(timeout)
+        if thread.is_alive():
+            raise ShardSearchTimeout(
+                f"shard search exceeded {timeout}s (query still running "
+                f"in the background; its result will be discarded)"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    @property
+    def recovery_epoch(self):
+        """Bumped on every :meth:`_recover_shard`; serving layers fold
+        it into their topology version so pooled searchers rebuild."""
+        return self._recovery_epoch
+
+    def configure_degradation(self, retries=1, backoff=0.05, timeout=None,
+                              allow_partial=False, recover=True,
+                              enabled=True):
+        """Attach (or with ``enabled=False`` detach) a degradation policy.
+
+        See :class:`DegradationPolicy` for the knobs.  The default
+        policy retries each failed shard once after recovering it from
+        snapshot + write-ahead log and still fails fast when that does
+        not help; pass ``allow_partial=True`` to serve healthy-shard
+        results instead (flagged in the stats -- partial answers are
+        never byte-identical, so they are opt-in).  Returns the policy
+        (``None`` when disabling).
+        """
+        if not enabled:
+            self._degradation = None
+            return None
+        self._degradation = DegradationPolicy(
+            retries=retries, backoff=backoff, timeout=timeout,
+            allow_partial=allow_partial, recover=recover,
+        )
+        return self._degradation
+
+    def _recover_shard(self, index):
+        """Rehydrate shard ``index`` from its snapshot + write-ahead log.
+
+        Drops the broken in-memory system, restores the shard from its
+        backing snapshot file, and re-applies every acknowledged
+        write-ahead batch routed to it (re-running each batch's
+        recorded routing), so the recovered shard reaches the exact
+        pre-crash state.  Invalidates the cached searcher, the global
+        term statistics, and the serving cache, and bumps
+        :attr:`recovery_epoch` so pooled searcher groups rebuild.
+        """
+        slot = self._slots[index]
+        slot.reset()
+        seda = slot.get()  # on_load rewires the global statistics
+        if self._wal is not None:
+            records, _warning = replay_wal(self._wal.path, repair=False)
+            if records and self._partitioner is None:
+                raise ValueError(
+                    "cannot re-route write-ahead batches without a "
+                    "partitioner; reload with ShardedSeda.load(path, "
+                    "partitioner=...)"
+                )
+            shards = len(self._slots)
+            for record in records:
+                if record.get("op") != "add_documents":
+                    continue
+                base = record.get("base", 0)
+                if base < self._wal_base_docs:
+                    # Absorbed by the shard file this slot restores
+                    # from (leftover of a crash between manifest commit
+                    # and log truncation); re-applying would duplicate.
+                    continue
+                pairs = [tuple(pair)
+                         for pair in record.get("documents", ())]
+                specs = [ValueLinkSpec.from_dict(payload)
+                         for payload in record.get("value_links", ())]
+                routed = [
+                    pair for offset, pair in enumerate(pairs)
+                    if self._partitioner(
+                        pair[0], base + offset, shards
+                    ) % shards == index
+                ]
+                if routed or specs:
+                    seda.add_documents(routed, value_links=specs or None)
+        self._searchers[index] = None
+        self.stats.invalidate()
+        self._recovery_epoch += 1
+        if self._service is not None:
+            self._service.invalidate()
+        return seda
 
     def _merge(self, per_shard_results, k):
         """Translate to global ids and merge under the total order."""
@@ -681,6 +977,45 @@ class ShardedSeda:
         Returns the created documents in global input order (their
         ``doc_id``/node ids are shard-local).
         """
+        base = len(self._docs)
+        pairs = [
+            (doc_name if doc_name is not None else f"doc-{base + index}",
+             source)
+            for index, (doc_name, source)
+            in enumerate(_normalize_documents(documents))
+        ]
+        specs = tuple(value_links) if value_links else ()
+        if self._partitioner is None:
+            # Reject before logging: a batch that cannot be routed must
+            # not enter the write-ahead log (replay would re-raise --
+            # or worse, double-apply once a partitioner is supplied).
+            raise ValueError(
+                "this sharded collection was saved with a custom "
+                "partitioner; reload it with ShardedSeda.load(path, "
+                "partitioner=...) before adding documents"
+            )
+        if self._wal is not None:
+            # Append-before-mutate, exactly as in Seda.add_documents:
+            # the batch is fsynced before any shard index changes.
+            # ``base`` (the global document count when the batch was
+            # acknowledged) lets single-shard recovery re-run the
+            # routing of this batch without replaying the others.
+            self._wal.append({
+                "op": "add_documents",
+                "base": base,
+                "documents": [list(pair) for pair in pairs],
+                "value_links": [spec.to_dict() for spec in specs],
+            })
+        return self._ingest(pairs, specs)
+
+    def _ingest(self, pairs, new_specs):
+        """Apply one normalized ``(name, xml)`` batch across the shards.
+
+        The mutation body of :meth:`add_documents`, shared with WAL
+        replay.  Routing is deterministic in (name, global index, shard
+        count), so a replayed batch lands on the same shards the
+        original call did.
+        """
         if self._partitioner is None:
             raise ValueError(
                 "this sharded collection was saved with a custom "
@@ -688,12 +1023,6 @@ class ShardedSeda:
                 "partitioner=...) before adding documents"
             )
         base = len(self._docs)
-        pairs = []
-        for index, document in enumerate(documents):
-            if isinstance(document, tuple):
-                pairs.append(document)
-            else:
-                pairs.append((f"doc-{base + index}", document))
         shards = len(self._slots)
         routed = [[] for _ in range(shards)]
         order = []
@@ -701,7 +1030,6 @@ class ShardedSeda:
             shard = self._partitioner(doc_name, base + offset, shards) % shards
             order.append((shard, len(routed[shard])))
             routed[shard].append((doc_name, source))
-        new_specs = tuple(value_links) if value_links else ()
         if new_specs:
             self.value_links = self.value_links + new_specs
         added_per_shard = []
@@ -778,10 +1106,13 @@ class ShardedSeda:
         # the re-save supersedes (and below, deletes) the generation
         # they were loaded from.  Slots backed by a different source
         # directory keep it -- saving a backup must not migrate the
-        # live system onto the backup.
+        # live system onto the backup.  Slots with no backing file at
+        # all (live-built) are anchored here: the saved files are what
+        # crashed-shard recovery (:meth:`_recover_shard`) restores
+        # from.
         target = os.path.abspath(directory)
         for slot, shard_file in zip(self._slots, shard_files):
-            if slot.path is not None and (
+            if slot.path is None or (
                 os.path.dirname(os.path.abspath(slot.path)) == target
             ):
                 slot.path = os.path.join(directory, shard_file)
@@ -804,6 +1135,66 @@ class ShardedSeda:
             os.remove(os.path.join(directory, SHARED_PAYLOAD_FILE))
         except OSError:
             pass
+        # The committed manifest + shard files absorb every logged
+        # batch; truncate only after the commit (a crash in between
+        # replays batches the new snapshot already contains).
+        wal_path = sharded_wal_file_name(directory)
+        if self._wal is not None and self._wal.path == wal_path:
+            self._wal.truncate()
+        elif os.path.exists(wal_path):
+            WriteAheadLog(wal_path).truncate()
+        # Everything on disk now includes every live document; shard
+        # recovery must not re-apply logged batches below this mark.
+        self._wal_base_docs = len(self._docs)
+        # A saved collection is durable at that directory from here on
+        # (the log file itself only appears on the first append).
+        self.enable_durability(directory)
+
+    def enable_durability(self, directory):
+        """Attach a write-ahead log inside the snapshot ``directory``.
+
+        Same contract as :meth:`Seda.enable_durability`: afterwards
+        every :meth:`add_documents` batch is appended to
+        ``<directory>/wal.log`` -- checksummed and fsynced -- before
+        any shard mutates, :meth:`save` to that directory truncates the
+        log after the manifest commits, and :meth:`load` replays it.
+        Returns the :class:`~repro.storage.wal.WriteAheadLog`.
+        """
+        wal_path = sharded_wal_file_name(directory)
+        if self._wal is not None:
+            if self._wal.path == wal_path:
+                return self._wal
+            self._wal.close()
+        os.makedirs(directory, exist_ok=True)
+        self._wal = WriteAheadLog(wal_path)
+        return self._wal
+
+    def _replay_wal_records(self, wal_records, warning):
+        """Apply replayed write-ahead batches to the restored shards."""
+        if warning is not None:
+            warnings.warn(warning, stacklevel=3)
+        for record in wal_records:
+            op = record.get("op")
+            if op != "add_documents":
+                from repro.storage.wal import WALError
+
+                raise WALError(
+                    f"write-ahead log holds unknown operation {op!r}; "
+                    f"written by a newer version?"
+                )
+            base = record.get("base")
+            if base is not None and base < len(self._docs):
+                # ``base`` is the global document count when the batch
+                # was acknowledged; the restored manifest already counts
+                # past it, so its shard files absorbed this batch (the
+                # crash hit between manifest commit and log truncation).
+                # Replaying it would double-apply.
+                continue
+            self._ingest(
+                [tuple(pair) for pair in record.get("documents", ())],
+                tuple(ValueLinkSpec.from_dict(payload)
+                      for payload in record.get("value_links", ())),
+            )
 
     @classmethod
     def load(cls, directory, lazy=True, partitioner=None,
@@ -825,6 +1216,11 @@ class ShardedSeda:
         physical copy of the columns instead of N private ones.
         Raises :class:`SnapshotError` when no mapping has been
         published.
+
+        When a write-ahead log sits beside the manifest (``wal.log``,
+        see :meth:`enable_durability`), its acknowledged batches are
+        replayed on top of the restored shards and durability stays
+        attached; a torn final record is truncated with a warning.
         """
         manifest = read_sharded_manifest(directory)
         meta = manifest.get("meta", {})
@@ -874,6 +1270,17 @@ class ShardedSeda:
             from repro.obs.registry import StatsRegistry
 
             system.obs = StatsRegistry.from_dict(obs_payload)
+        # The shard files on disk hold exactly the manifest's documents;
+        # record that mark *before* replay so single-shard recovery
+        # re-applies replayed batches (they live only in memory) while
+        # skipping batches the files already absorbed.
+        system._wal_base_docs = len(system._docs)
+        wal_path = sharded_wal_file_name(directory)
+        if os.path.exists(wal_path):
+            system._replay_wal_records(*replay_wal(wal_path))
+        # Durability is attached whether or not a log existed: batches
+        # added to the restored collection are logged in the directory.
+        system.enable_durability(directory)
         if not lazy:
             for slot in slots:
                 slot.get()

@@ -26,17 +26,24 @@ from repro.storage.document_store import DocumentStore
 from repro.storage.node_store import NodeStore
 from repro.storage.snapshot import (
     SnapshotError,
+    fsck_report,
     read_snapshot,
     snapshot_info,
     write_snapshot,
 )
+from repro.storage.wal import WALError, WriteAheadLog, replay_wal, verify_wal
 
 __all__ = [
     "CollectionCatalog",
     "DocumentStore",
     "NodeStore",
     "SnapshotError",
+    "WALError",
+    "WriteAheadLog",
+    "fsck_report",
     "read_snapshot",
+    "replay_wal",
     "snapshot_info",
+    "verify_wal",
     "write_snapshot",
 ]

@@ -21,8 +21,14 @@ Snapshot format (JSON lines, UTF-8):
   inverted index's precomputed node lengths; version 3 added the
   optional ``obs`` record (the retained query-statistics registry);
   version 4 added the binary **sidecar** (below) holding the compact
-  byte columns.  Version 1-3 files are still readable -- the additions
-  are derived, rebuilt lazily, or simply absent.  ``meta``
+  byte columns; version 5 added integrity checksums -- the header
+  carries ``"crcs": {record_name: crc32}`` over each record line's
+  UTF-8 bytes, and the sidecar announcement carries a ``crc32`` over
+  the whole blob, all verified on load so any single corrupted byte
+  raises :class:`SnapshotError` instead of decoding into silently
+  wrong answers.  Version 1-4 files are still readable -- the
+  additions are derived, rebuilt lazily, or simply absent (pre-v5
+  files carry no checksums and load unverified, as before).  ``meta``
   carries system-level configuration -- collection name, ``max_hops``,
   the dataguide merge threshold, the analyzer configuration, and any
   value-link specs -- everything needed to reconstruct
@@ -51,8 +57,12 @@ Compatibility rules: unknown record types are rejected (they signal a
 newer writer); missing required records are rejected (optional records
 may be absent); node ids embedded in component payloads are only
 meaningful relative to the collection record in the same file.  Writers
-always emit via a temp file and atomic rename, so a crash never leaves
-a torn snapshot behind.
+always emit via a temp file and atomic rename -- with the temp file
+fsynced before the rename and the containing directory fsynced after
+(the :mod:`repro.storage.durable` sequence) -- so a crash, including a
+power cut, never leaves a torn snapshot at the committed name.  A
+crash *does* leave stale ``*.tmp`` files behind; ``repro fsck``
+reports them and they are safe to delete.
 
 The binary sidecar (version 4)
 ------------------------------
@@ -64,8 +74,11 @@ binary sidecar file next to the snapshot (``<file>.cols``), and
 substitutes a ``columns`` table of ``[offset, length]`` windows.  The
 header then records ``"sidecar": {"file": <basename>, "bytes": N}``;
 readers validate the sidecar's size against ``bytes`` (torn-state
-detection -- the sidecar is written and renamed *before* the main
-file, which is the commit record) and attach it as a read-only
+detection -- the sidecar is staged at ``<file>.cols.tmp`` before the
+main file commits and only renamed into place afterwards, so the main
+file's rename is the single commit point; a reader that finds the
+announced checksum still sitting at the staged name completes the
+interrupted rename itself) and attach it as a read-only
 ``mmap``-backed :class:`~repro.compact.shm.Sidecar`, returned under the
 :data:`SIDECAR_KEY` pseudo-record.  Component readers then decode
 per-key windows lazily and zero-copy; a caller may instead pass its own
@@ -112,8 +125,11 @@ treat shard files as internal to their directory.
 
 import json
 import os
+import warnings
+import zlib
 
 from repro.compact.shm import Sidecar
+from repro.storage import durable
 
 try:  # optional accelerator: ~5x faster decode of large records
     import orjson as _fastjson
@@ -121,13 +137,14 @@ except ImportError:  # pragma: no cover - environment-dependent
     _fastjson = None
 
 SNAPSHOT_FORMAT = "seda-snapshot"
-SNAPSHOT_VERSION = 4
+SNAPSHOT_VERSION = 5
 
 #: Versions this reader accepts.  Version 1 lacked the ``streams``
 #: record and the inverted index's node lengths; version 2 lacked the
-#: ``obs`` record; version 3 lacked the binary sidecar.  All of those
-#: restore as empty/derived, so old files load unchanged.
-SUPPORTED_VERSIONS = (1, 2, 3, SNAPSHOT_VERSION)
+#: ``obs`` record; version 3 lacked the binary sidecar; version 4
+#: lacked the record/sidecar checksums.  All of those restore as
+#: empty/derived/unverified, so old files load unchanged.
+SUPPORTED_VERSIONS = (1, 2, 3, 4, SNAPSHOT_VERSION)
 
 #: Pseudo-record under which :func:`read_snapshot` returns the attached
 #: sidecar buffer (never present in the file itself).
@@ -198,9 +215,18 @@ def write_snapshot(path, meta, records):
     component name -> JSON-serializable payload and must cover
     :data:`REQUIRED_RECORDS`; :data:`OPTIONAL_RECORDS` entries are
     written when present.  Payloads carrying ``columns_inline`` byte
-    columns get those written to the binary sidecar (committed before
-    the main file; an empty sidecar is not written at all and any stale
-    one is removed).
+    columns get those written to the binary sidecar.
+
+    Crash safety: the new sidecar is staged at ``<file>.cols.tmp``
+    (fsynced, **not** renamed) before the main file commits, and only
+    renamed to ``<file>.cols`` afterwards.  The main file's atomic
+    rename is therefore the single commit point -- a crash anywhere
+    before it leaves the previous snapshot/sidecar pair fully intact,
+    and a crash between the two renames leaves a committed main file
+    whose reader completes the interrupted sidecar rename itself (the
+    staged bytes are identified by the header's announced CRC).  An
+    empty sidecar is not written at all and any stale one is removed
+    (after the commit, for the same reason).
     """
     missing = [name for name in REQUIRED_RECORDS if name not in records]
     if missing:
@@ -208,38 +234,83 @@ def write_snapshot(path, meta, records):
     ordered = [name for name in REQUIRED_RECORDS + OPTIONAL_RECORDS
                if name in records]
     sidecar = bytearray()
-    encoded = {
-        name: _externalize_columns(records[name], sidecar)
-        for name in ordered
-    }
+    # Serialize every record line up front: the version-5 header
+    # announces each line's CRC32, so the lines must exist before the
+    # header is written.
+    lines = {}
+    for name in ordered:
+        payload = _externalize_columns(records[name], sidecar)
+        lines[name] = _dumps({"record": name, "payload": payload})
     header = {
         "record": "header",
         "format": SNAPSHOT_FORMAT,
         "version": SNAPSHOT_VERSION,
         "meta": meta,
+        "crcs": {
+            name: zlib.crc32(line.encode("utf-8"))
+            for name, line in lines.items()
+        },
     }
     sidecar_path = sidecar_file_name(path)
+    sidecar_tmp = f"{sidecar_path}.tmp"
     if sidecar:
         header["sidecar"] = {
             "file": os.path.basename(sidecar_path),
             "bytes": len(sidecar),
+            "crc32": zlib.crc32(bytes(sidecar)),
         }
-        sidecar_tmp = f"{sidecar_path}.tmp"
+        # Stage only: the rename waits until the main file has
+        # committed, so the old pair stays loadable up to that point.
         with open(sidecar_tmp, "wb") as handle:
-            handle.write(sidecar)
-        os.replace(sidecar_tmp, sidecar_path)
-    else:
-        try:
-            os.remove(sidecar_path)
-        except OSError:
-            pass
+            handle.write(bytes(sidecar))
+            durable.fsync_file(handle)
+    # The crcs table protects every record line; the *integrity seal*
+    # (line 2) protects the header line itself -- its CRC covers the
+    # header's raw bytes, so a flipped bit in meta, the crcs table, or
+    # the sidecar announcement is caught instead of silently steering
+    # the load.  A flip in the seal line can only produce a (clean)
+    # mismatch or a JSON error, never a silent acceptance.
+    header_line = _dumps(header)
+    seal_line = _dumps({
+        "record": "integrity",
+        "header_crc": zlib.crc32(header_line.encode("utf-8")),
+    })
     tmp_path = f"{path}.tmp"
     with open(tmp_path, "w", encoding="utf-8") as handle:
-        handle.write(_dumps(header) + "\n")
+        handle.write(header_line + "\n")
+        handle.write(seal_line + "\n")
         for name in ordered:
-            record = {"record": name, "payload": encoded[name]}
-            handle.write(_dumps(record) + "\n")
-    os.replace(tmp_path, path)
+            handle.write(lines[name] + "\n")
+        durable.fsync_file(handle)
+    durable.replace_durably(tmp_path, path)  # the commit point
+    if sidecar:
+        durable.replace_durably(sidecar_tmp, sidecar_path)
+    else:
+        for leftover in (sidecar_path, sidecar_tmp):
+            try:
+                os.remove(leftover)
+            except OSError:
+                pass
+
+
+def _utf8_lines(handle, path):
+    """Enumerate a text handle's lines, turning decode failures --
+    flipped bytes land outside UTF-8 as often as inside it -- into
+    :class:`SnapshotError` instead of a bare ``UnicodeDecodeError``."""
+    number = 0
+    iterator = iter(handle)
+    while True:
+        number += 1
+        try:
+            line = next(iterator)
+        except StopIteration:
+            return
+        except UnicodeDecodeError as error:
+            raise SnapshotError(
+                f"{path}:{number}: not valid UTF-8 ({error}) -- corrupt "
+                f"snapshot; restore from backup"
+            ) from None
+        yield number, line
 
 
 def _read_header(line, path):
@@ -263,19 +334,76 @@ def _read_header(line, path):
     return header
 
 
-def _attach_sidecar(header, path, sidecar):
+def _complete_sidecar_commit(path, sidecar_path, announced, repair):
+    """Finish a sidecar rename a crash interrupted, or return ``None``.
+
+    :func:`write_snapshot` commits the main file *between* staging the
+    new sidecar at ``<sidecar>.tmp`` and renaming it into place, so a
+    crash in that window leaves a committed header announcing bytes
+    that still sit at the staged name.  The announced CRC identifies
+    them definitively: if the staged file matches, the rename is
+    completed (best-effort -- on a read-only filesystem the staged
+    buffer is served in place) and the buffer returned.  Anything else
+    -- no staged file, or stale bytes from an *earlier* crash --
+    returns ``None`` and the caller reports the original error.
+
+    ``repair=False`` (fsck's verification-only mode) serves the staged
+    buffer without touching the filesystem.
+    """
+    expected = announced.get("bytes", 0)
+    expected_crc = announced.get("crc32")
+    if expected_crc is None:  # pre-v5 header: cannot verify, never guess
+        return None
+    staged = f"{sidecar_path}.tmp"
+    try:
+        buffer = Sidecar.from_file(staged)
+    except (FileNotFoundError, OSError, ValueError):
+        return None
+    if len(buffer) < expected or buffer.crc32(expected) != expected_crc:
+        buffer.close()
+        return None
+    if repair:
+        warnings.warn(
+            f"{path}: completing a snapshot commit interrupted by a "
+            f"crash (sidecar {os.path.basename(staged)!r} matched the "
+            f"header's checksum and was renamed into place)",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        try:
+            durable.replace_durably(staged, sidecar_path)
+        except OSError:
+            pass  # read-only media: serve the staged bytes directly
+    else:
+        warnings.warn(
+            f"{path}: snapshot commit was interrupted by a crash -- the "
+            f"sidecar bytes sit at {os.path.basename(staged)!r} and "
+            f"match the header's checksum; loading normally completes "
+            f"the rename (do NOT delete the staged file)",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+    return buffer
+
+
+def _attach_sidecar(header, path, sidecar, repair=True):
     """The sidecar buffer a version-4 header calls for, or ``None``.
 
     ``sidecar`` is an optional caller-provided pre-attached buffer
     (e.g. a shared-memory segment holding the same bytes); otherwise
     the announced file is memory-mapped.  Either way the buffer must
     cover the announced byte count -- a short file means the snapshot
-    pair is torn.
+    pair is torn.  When the announced file is missing or fails its
+    checksum but a staged ``<sidecar>.tmp`` matches the announced CRC,
+    the interrupted commit is completed instead of failing (see
+    :func:`_complete_sidecar_commit`).
     """
     announced = header.get("sidecar")
     if announced is None:
         return None
+    version = header.get("version")
     expected = announced.get("bytes", 0)
+    from_file = sidecar is None
     if sidecar is None:
         sidecar_path = os.path.join(
             os.path.dirname(os.fspath(path)) or ".", announced["file"]
@@ -283,18 +411,55 @@ def _attach_sidecar(header, path, sidecar):
         try:
             sidecar = Sidecar.from_file(sidecar_path)
         except FileNotFoundError:
-            raise SnapshotError(
-                f"{path}: missing sidecar file {announced['file']!r}"
-            ) from None
+            sidecar = _complete_sidecar_commit(path, sidecar_path,
+                                               announced, repair)
+            if sidecar is None:
+                raise SnapshotError(
+                    f"{path}: missing sidecar file {announced['file']!r} "
+                    f"(format version {version}, expected {expected} "
+                    f"bytes; the snapshot/sidecar pair must move "
+                    f"together)"
+                ) from None
+            return sidecar
     if len(sidecar) < expected:
-        raise SnapshotError(
-            f"{path}: sidecar holds {len(sidecar)} bytes, "
-            f"header announces {expected} (torn snapshot pair)"
-        )
+        replacement = None
+        if from_file:
+            replacement = _complete_sidecar_commit(
+                path, sidecar_path, announced, repair
+            )
+        if replacement is None:
+            raise SnapshotError(
+                f"{path}: sidecar {announced['file']!r} holds "
+                f"{len(sidecar)} bytes, header (format version "
+                f"{version}) announces {expected} -- torn snapshot "
+                f"pair, not a wrong file; restore both files from the "
+                f"same save"
+            )
+        sidecar.close()
+        return replacement
+    expected_crc = announced.get("crc32")
+    if expected_crc is not None:
+        actual_crc = sidecar.crc32(expected)
+        if actual_crc != expected_crc:
+            replacement = None
+            if from_file:
+                replacement = _complete_sidecar_commit(
+                    path, sidecar_path, announced, repair
+                )
+            if replacement is None:
+                raise SnapshotError(
+                    f"{path}: sidecar {announced['file']!r} fails its "
+                    f"checksum over {expected} bytes (stored "
+                    f"{expected_crc}, computed {actual_crc}) -- the "
+                    f"column payload is corrupt; restore from backup "
+                    f"or re-save from source"
+                )
+            sidecar.close()
+            sidecar = replacement
     return sidecar
 
 
-def read_snapshot(path, sidecar=None):
+def read_snapshot(path, sidecar=None, repair=True):
     """Read and validate a snapshot; returns ``(meta, records)``.
 
     ``records`` maps component name -> payload.  When the header
@@ -302,18 +467,25 @@ def read_snapshot(path, sidecar=None):
     ``records[SIDECAR_KEY]`` (pass ``sidecar`` to substitute an
     already-attached buffer, e.g. a shared-memory segment).  Raises
     :class:`SnapshotError` on format/version mismatch, unknown record
-    types, or missing components.
+    types, or missing components.  A sidecar rename interrupted by a
+    crash mid-save is completed on the way in (with a
+    ``RuntimeWarning``); ``repair=False`` verifies the staged bytes
+    without renaming them -- fsck's read-only mode.
     """
-    meta, records = None, {}
+    meta, records, crcs = None, {}, None
+    header_line, seal_pending = None, False
     with open(path, "r", encoding="utf-8") as handle:
-        for number, line in enumerate(handle, start=1):
+        for number, line in _utf8_lines(handle, path):
             line = line.strip()
             if not line:
                 continue
             if meta is None:
                 header = _read_header(line, path)
+                header_line = line
                 meta = header.get("meta", {})
-                attached = _attach_sidecar(header, path, sidecar)
+                crcs = header.get("crcs")  # version >= 5; else None
+                seal_pending = header.get("version", 0) >= 5
+                attached = _attach_sidecar(header, path, sidecar, repair)
                 if attached is not None:
                     records[SIDECAR_KEY] = attached
                 continue
@@ -324,6 +496,27 @@ def read_snapshot(path, sidecar=None):
                     f"{path}:{number}: torn record (invalid JSON)"
                 ) from error
             name = record.get("record") if isinstance(record, dict) else None
+            if name == "integrity":
+                # The seal's CRC covers the header's raw bytes -- the
+                # one line the crcs table cannot protect (it lives
+                # inside it).  Any flip in meta, the crcs table, or the
+                # sidecar announcement lands here as a mismatch.
+                stored = record.get("header_crc")
+                actual = zlib.crc32(header_line.encode("utf-8"))
+                if not seal_pending:
+                    raise SnapshotError(
+                        f"{path}:{number}: integrity seal on a "
+                        f"pre-checksum snapshot -- header version field "
+                        f"is corrupt; restore from backup"
+                    )
+                if stored != actual:
+                    raise SnapshotError(
+                        f"{path}:{number}: header fails its integrity "
+                        f"seal (stored {stored}, computed {actual}) -- "
+                        f"corrupt snapshot; restore from backup"
+                    )
+                seal_pending = False
+                continue
             if name not in _KNOWN_RECORDS:
                 raise SnapshotError(
                     f"{path}:{number}: unknown record type {name!r}"
@@ -332,9 +525,23 @@ def read_snapshot(path, sidecar=None):
                 raise SnapshotError(
                     f"{path}:{number}: record {name!r} has no payload"
                 )
+            if crcs is not None:
+                stored = crcs.get(name)
+                actual = zlib.crc32(line.encode("utf-8"))
+                if stored != actual:
+                    raise SnapshotError(
+                        f"{path}:{number}: record {name!r} fails its "
+                        f"checksum (stored {stored}, computed {actual}) "
+                        f"-- corrupt snapshot; restore from backup"
+                    )
             records[name] = record["payload"]
     if meta is None:
         raise SnapshotError(f"{path}: empty snapshot file")
+    if seal_pending:
+        raise SnapshotError(
+            f"{path}: version-5 snapshot is missing its integrity seal "
+            f"-- truncated or corrupt; restore from backup"
+        )
     missing = [name for name in REQUIRED_RECORDS if name not in records]
     if missing:
         raise SnapshotError(f"{path}: missing records: {missing}")
@@ -404,7 +611,8 @@ def write_sharded_manifest(directory, meta, documents, shard_files,
     tmp_path = f"{path}.tmp"
     with open(tmp_path, "w", encoding="utf-8") as handle:
         handle.write(_dumps(manifest) + "\n")
-    os.replace(tmp_path, path)
+        durable.fsync_file(handle)
+    durable.replace_durably(tmp_path, path)
     return path
 
 
@@ -477,7 +685,8 @@ def write_obs_state(directory, payload):
     tmp_path = f"{path}.tmp"
     with open(tmp_path, "w", encoding="utf-8") as handle:
         handle.write(_dumps(payload) + "\n")
-    os.replace(tmp_path, path)
+        durable.fsync_file(handle)
+    durable.replace_durably(tmp_path, path)
     return path
 
 
@@ -537,6 +746,168 @@ def sharded_snapshot_info(directory):
     }
 
 
+def _snapshot_version(path):
+    """The header's format version, or ``None`` when unreadable."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            first = handle.readline().strip()
+        return _read_header(first, path).get("version")
+    except (OSError, UnicodeDecodeError, SnapshotError):
+        return None
+
+
+def _verify_snapshot_file(path, problems, warnings, checked, label=None):
+    """Fold one snapshot file's health into an fsck report's lists.
+
+    Reads with ``repair=False`` (fsck never modifies anything) and
+    returns the staged sidecar path when the file's save was
+    interrupted mid-commit -- that ``.tmp`` is load-bearing (a normal
+    load completes its rename) and must not be reported as deletable.
+    """
+    import warnings as warnmod
+
+    label = label or os.fspath(path)
+    version = _snapshot_version(path)
+    if version is not None:
+        checked[label] = {"version": version}
+        if version < SNAPSHOT_VERSION:
+            warnings.append(
+                f"{label}: format version {version} carries no checksums"
+                f"{' beyond the sidecar byte count' if version >= 4 else ''}"
+                f"; re-save to upgrade to version {SNAPSHOT_VERSION}"
+            )
+    try:
+        with warnmod.catch_warnings(record=True) as caught:
+            warnmod.simplefilter("always")
+            _meta, records = read_snapshot(path, repair=False)
+    except FileNotFoundError:
+        problems.append(f"{label}: snapshot file is missing")
+        return None
+    except SnapshotError as error:
+        problems.append(str(error))
+        return None
+    staged = None
+    for entry in caught:
+        if issubclass(entry.category, RuntimeWarning):
+            warnings.append(str(entry.message))
+            staged = f"{sidecar_file_name(path)}.tmp"
+    attached = records.get(SIDECAR_KEY)
+    if attached is not None:
+        checked[label]["sidecar_bytes"] = len(attached)
+        attached.close()
+    checked[label]["records"] = sorted(
+        name for name in records if name != SIDECAR_KEY
+    )
+    return staged
+
+
+def _verify_wal_file(path, problems, warnings, checked):
+    """Fold one write-ahead log's health into an fsck report's lists."""
+    from repro.storage.wal import verify_wal
+
+    report = verify_wal(path)
+    if not report["present"]:
+        return
+    checked[os.fspath(path)] = {"wal_records": report["records"]}
+    if report["error"]:
+        problems.append(report["error"])
+    if report["torn_tail"]:
+        warnings.append(
+            f"{report['torn_tail']} -- the interrupted append was never "
+            f"acknowledged; replay (Seda.load) repairs this automatically"
+        )
+
+
+def _stale_tmp_files(paths):
+    """The ``<path>.tmp`` leftovers that exist among ``paths``."""
+    return [
+        f"{os.fspath(path)}.tmp" for path in paths
+        if os.path.exists(f"{os.fspath(path)}.tmp")
+    ]
+
+
+def fsck_report(path):
+    """Verify a snapshot/sidecar/WAL set; the ``repro fsck`` backend.
+
+    ``path`` is a single-system snapshot file or a sharded snapshot
+    directory.  Returns ``{"target", "kind", "ok", "problems",
+    "warnings", "checked"}``: ``problems`` are integrity failures
+    (checksum mismatches, torn pairs, missing files -- the snapshot
+    set cannot be trusted), ``warnings`` are survivable findings
+    (torn WAL tail, stale ``*.tmp`` leftovers, pre-checksum format
+    versions), and ``checked`` summarizes what was examined.  Never
+    modifies anything -- WAL torn tails are reported, not repaired.
+    """
+    from repro.storage.wal import sharded_wal_file_name, wal_file_name
+
+    problems, warnings, checked = [], [], {}
+    if os.path.isdir(path):
+        kind = "sharded"
+        try:
+            manifest = read_sharded_manifest(path)
+        except SnapshotError as error:
+            problems.append(str(error))
+            manifest = None
+        if manifest is not None:
+            checked[os.path.join(path, SHARDED_MANIFEST)] = {
+                "generation": manifest.get("generation", 0),
+                "shards": len(manifest["shard_files"]),
+                "documents": len(manifest["documents"]),
+            }
+            listed = set()
+            protected = set()
+            for shard_file in manifest["shard_files"]:
+                shard_path = os.path.join(path, shard_file)
+                listed.update((shard_file, f"{shard_file}.cols"))
+                staged = _verify_snapshot_file(
+                    shard_path, problems, warnings, checked,
+                    label=shard_path,
+                )
+                if staged is not None:
+                    protected.add(os.path.basename(staged))
+            for name in sorted(os.listdir(path)):
+                if name in protected:
+                    continue  # load-bearing staged sidecar, warned above
+                if name.endswith(".tmp"):
+                    warnings.append(
+                        f"{os.path.join(path, name)}: stale temp file "
+                        f"from an interrupted save; safe to delete"
+                    )
+                elif (name.startswith("shard-")
+                        and (name.endswith(".snapshot")
+                             or name.endswith(".snapshot.cols"))
+                        and name not in listed):
+                    warnings.append(
+                        f"{os.path.join(path, name)}: not referenced by "
+                        f"the manifest (superseded generation); safe to "
+                        f"delete"
+                    )
+        _verify_wal_file(
+            sharded_wal_file_name(path), problems, warnings, checked
+        )
+    else:
+        kind = "snapshot"
+        staged = _verify_snapshot_file(path, problems, warnings, checked)
+        _verify_wal_file(wal_file_name(path), problems, warnings, checked)
+        for stale in _stale_tmp_files(
+            (path, sidecar_file_name(path), wal_file_name(path))
+        ):
+            if stale == staged:
+                continue  # load-bearing staged sidecar, warned above
+            warnings.append(
+                f"{stale}: stale temp file from an interrupted save; "
+                f"safe to delete"
+            )
+    return {
+        "target": os.fspath(path),
+        "kind": kind,
+        "ok": not problems,
+        "problems": problems,
+        "warnings": warnings,
+        "checked": checked,
+    }
+
+
 def snapshot_info(path):
     """Header metadata plus per-record sizes, without restoring anything.
 
@@ -552,7 +923,7 @@ def snapshot_info(path):
     total = 0
     sidecar_bytes = 0
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for _number, line in _utf8_lines(handle, path):
             stripped = line.strip()
             if not stripped:
                 continue
@@ -568,9 +939,10 @@ def snapshot_info(path):
                 raise SnapshotError(
                     f"{path}: torn record (invalid JSON)"
                 ) from error
-            sizes.append(
-                (record.get("record"), len(stripped.encode("utf-8")))
-            )
+            name = record.get("record") if isinstance(record, dict) else None
+            if name == "integrity":  # header seal, not a component
+                continue
+            sizes.append((name, len(stripped.encode("utf-8"))))
     if meta is None:
         raise SnapshotError(f"{path}: empty snapshot file")
     return {

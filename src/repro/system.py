@@ -19,6 +19,9 @@ Each ``SedaSession`` is immutable; refinements return new sessions, so
 the exploration history stays inspectable (the GUI's back button).
 """
 
+import os
+import warnings
+
 from repro.compact.trie import PathTrie
 from repro.cube.augment import Augmenter
 from repro.cube.extract import TableExtractor
@@ -40,11 +43,34 @@ from repro.search.topk import TopKSearcher
 from repro.service.query_service import QueryService
 from repro.storage.node_store import NodeStore
 from repro.storage.snapshot import SIDECAR_KEY, read_snapshot, write_snapshot
+from repro.storage.wal import WriteAheadLog, replay_wal, wal_file_name
 from repro.summaries.connection import ConnectionSummaryGenerator
 from repro.summaries.context import ContextSummaryGenerator
 from repro.summaries.dataguide import DataguideBuilder, DataguideSet
 from repro.text import Analyzer
 from repro.twig.complete import CompleteResultGenerator
+
+
+def _normalize_documents(documents):
+    """``from_documents``-style inputs as ``(name_or_None, xml_text)``.
+
+    Ingestion normalizes *before* anything mutates so the write-ahead
+    log records exactly what will be applied -- element trees are
+    serialized to text (the xmlio writer/parser pair round-trips), and
+    replay re-ingests the same bytes the original call did.
+    """
+    from repro.xmlio.writer import serialize
+
+    pairs = []
+    for document in documents:
+        if isinstance(document, tuple):
+            doc_name, source = document
+        else:
+            doc_name, source = None, document
+        if not isinstance(source, str):
+            source = serialize(source)
+        pairs.append((doc_name, source))
+    return pairs
 
 
 class Seda:
@@ -100,6 +126,8 @@ class Seda:
                                  streams=self.streams)
         self._service = None  # created lazily by query_service()
         self.obs = None  # StatsRegistry; enable_observability() attaches one
+        self._wal = None  # WriteAheadLog; enable_durability() attaches one
+        self._wal_seq = 0  # batches ever acknowledged; stamps WAL records
         self.context_generator = ContextSummaryGenerator(self.matcher)
         self._refresh_generators()
 
@@ -165,15 +193,36 @@ class Seda:
         dataguides merge into the mined set, and search caches keyed on
         graph size invalidate automatically.
         """
-        added = []
-        for document in documents:
-            if isinstance(document, tuple):
-                doc_name, source = document
-                added.append(self.collection.add_document(source, name=doc_name))
-            else:
-                added.append(self.collection.add_document(document))
-        if value_links:
-            self.value_links = self.value_links + tuple(value_links)
+        pairs = _normalize_documents(documents)
+        specs = tuple(value_links) if value_links else ()
+        if self._wal is not None:
+            # Append-before-mutate: once this returns, the batch is
+            # fsynced on disk.  A crash at any later point replays it
+            # from the log; a crash before it never acknowledged.  The
+            # sequence number makes replay idempotent: a snapshot stamps
+            # the count of batches it absorbed, so a crash between
+            # snapshot commit and log truncation cannot double-apply.
+            self._wal.append({
+                "op": "add_documents",
+                "seq": self._wal_seq,
+                "documents": [list(pair) for pair in pairs],
+                "value_links": [spec.to_dict() for spec in specs],
+            })
+        self._wal_seq += 1
+        return self._ingest(pairs, specs)
+
+    def _ingest(self, pairs, specs):
+        """Apply one normalized ``(name, xml)`` batch to every component.
+
+        The mutation body of :meth:`add_documents`, shared with WAL
+        replay (which must not re-log the batch it is replaying).
+        """
+        added = [
+            self.collection.add_document(source, name=doc_name)
+            for doc_name, source in pairs
+        ]
+        if specs:
+            self.value_links = self.value_links + tuple(specs)
         discoverer = LinkDiscoverer(self.graph, skip_existing=True)
         discoverer.discover_all(value_specs=self.value_links)
         self._builder.build()  # incremental: only the documents added above
@@ -208,6 +257,10 @@ class Seda:
             "dataguide_threshold": self.dataguides.threshold,
             "analyzer": self.analyzer.to_dict(),
             "value_links": [spec.to_dict() for spec in self.value_links],
+            # Batches absorbed by this snapshot: replay skips write-ahead
+            # records below this mark (crash between snapshot commit and
+            # log truncation leaves absorbed records behind).
+            "wal_seq": self._wal_seq,
         }
         records = {
             "collection": self.collection.to_dict(),
@@ -231,31 +284,138 @@ class Seda:
             records["obs"] = self.obs.to_dict()
         return meta, records
 
-    def save(self, path):
+    def save(self, path, durable=True):
         """Persist the whole system to one versioned snapshot file.
 
         See :mod:`repro.storage.snapshot` for the format.  Everything a
         cold start would otherwise recompute -- parsed nodes, link
         edges, both indexes, the node store, dataguides, and the cube
         registry -- is written out, so :meth:`load` restores in one pass.
+
+        ``durable=False`` writes the snapshot without touching
+        write-ahead-log state -- for systems whose durability is owned
+        elsewhere (a shard inside a :class:`~repro.shard.ShardedSeda`
+        logs to the collection-level ``wal.log``, never per shard).
         """
         meta, records = self.snapshot_payload()
         write_snapshot(path, meta, records)
+        if not durable:
+            return
+        # The snapshot now contains every batch the log holds; truncate
+        # it only *after* the rename commit above, so a crash in
+        # between merely replays batches the snapshot already absorbed
+        # (re-adding the same documents to a snapshot that predates
+        # them -- exactly the pre-save state).
+        wal_path = wal_file_name(path)
+        if self._wal is not None and self._wal.path == wal_path:
+            self._wal.truncate()
+        elif os.path.exists(wal_path):
+            # A log paired with this snapshot path by convention but
+            # not attached here is stale the moment the new snapshot
+            # commits: replaying it would double-apply old batches.
+            WriteAheadLog(wal_path).truncate()
+        # A saved system is durable at that path from here on: every
+        # later batch is logged beside the snapshot it extends.  (The
+        # log file itself only appears on the first append.)
+        self.enable_durability(path)
 
     @classmethod
-    def load(cls, path, sidecar=None):
+    def load(cls, path, sidecar=None, durable=True):
         """Restore a system saved by :meth:`save`.
 
         Bypasses XML parsing, link discovery, index building, and
         dataguide mining entirely: every component is reconstructed
         from its serialized form.  ``sidecar`` substitutes an
         already-attached column buffer (e.g. a shared-memory segment)
-        for the snapshot's own ``.cols`` file.  Raises
-        :class:`~repro.storage.snapshot.SnapshotError` on incompatible
-        or torn files.
+        for the snapshot's own ``.cols`` file.
+
+        When a write-ahead log sits beside the snapshot (``<path>.wal``,
+        see :meth:`enable_durability`), every acknowledged batch in it
+        is replayed on top of the restored snapshot and durability
+        stays attached -- recovery after a crash lands on snapshot plus
+        everything that was ever acknowledged.  A torn final record
+        (crash mid-append) is truncated away with a warning; it was
+        never acknowledged.  ``durable=False`` restores the snapshot
+        alone -- no replay, no log attach (shard-internal loads).
+        Raises
+        :class:`~repro.storage.snapshot.SnapshotError` on incompatible,
+        torn, or corrupt files.
         """
         meta, records = read_snapshot(path, sidecar=sidecar)
-        return cls.from_payload(meta, records)
+        try:
+            system = cls.from_payload(meta, records)
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            # Version-5 checksums catch corruption before we get here;
+            # older snapshots can only fail structurally.  Either way a
+            # broken file must surface as SnapshotError, never as a
+            # bare reconstruction traceback.
+            from repro.storage.snapshot import SnapshotError
+
+            raise SnapshotError(
+                f"{path}: snapshot records do not reconstruct a system "
+                f"({type(error).__name__}: {error}); corrupt or "
+                f"incompatible file"
+            ) from error
+        if not durable:
+            # Pure snapshot restore: no replay, no log attach.  The
+            # caller owns recovery (sharded collections replay their
+            # own collection-level log across the shards).
+            return system
+        wal_path = wal_file_name(path)
+        if os.path.exists(wal_path):
+            system._replay_wal_records(*replay_wal(wal_path))
+        # Durability is attached whether or not a log existed: batches
+        # added to the restored system are logged beside its snapshot.
+        system.enable_durability(path)
+        return system
+
+    def _replay_wal_records(self, wal_records, warning):
+        """Apply replayed write-ahead batches; shared with shard recovery."""
+        if warning is not None:
+            warnings.warn(warning, stacklevel=3)
+        for record in wal_records:
+            op = record.get("op")
+            if op != "add_documents":
+                from repro.storage.wal import WALError
+
+                raise WALError(
+                    f"write-ahead log holds unknown operation {op!r}; "
+                    f"written by a newer version?"
+                )
+            seq = record.get("seq")
+            if seq is not None:
+                if seq < self._wal_seq:
+                    # The snapshot already absorbed this batch: the
+                    # crash hit between its commit and the log
+                    # truncation.  Replaying it would double-apply.
+                    continue
+                self._wal_seq = seq + 1
+            else:
+                self._wal_seq += 1  # legacy record without a sequence
+            self._ingest(
+                [tuple(pair) for pair in record.get("documents", ())],
+                [ValueLinkSpec.from_dict(payload)
+                 for payload in record.get("value_links", ())],
+            )
+
+    def enable_durability(self, snapshot_path):
+        """Attach a write-ahead log beside the snapshot at ``snapshot_path``.
+
+        Afterwards every :meth:`add_documents` batch is appended to
+        ``<snapshot_path>.wal`` -- checksummed and fsynced -- *before*
+        any index mutates, :meth:`save` to that path truncates the log
+        once the snapshot commit absorbs its batches, and :meth:`load`
+        replays it, so no acknowledged batch survives only in RAM.
+        Idempotent for the same path; switching paths re-attaches.
+        Returns the :class:`~repro.storage.wal.WriteAheadLog`.
+        """
+        wal_path = wal_file_name(snapshot_path)
+        if self._wal is not None:
+            if self._wal.path == wal_path:
+                return self._wal
+            self._wal.close()
+        self._wal = WriteAheadLog(wal_path)
+        return self._wal
 
     @classmethod
     def from_payload(cls, meta, records):
@@ -301,6 +461,7 @@ class Seda:
             from repro.obs.registry import StatsRegistry
 
             system.obs = StatsRegistry.from_dict(records["obs"])
+        system._wal_seq = meta.get("wal_seq", 0)
         return system
 
     # -- introspection ------------------------------------------------------------

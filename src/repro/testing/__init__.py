@@ -1,0 +1,24 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness the durability tests drive: it wraps the storage layer's crash
+seams (:mod:`repro.storage.durable`, the write-ahead log's record
+writer) to simulate I/O errors, torn writes, and kill -9 at exact
+operation counts.  Shipping it inside the package (rather than under
+``tests/``) lets the crash-recovery subprocess harness import it, and
+lets downstream users fault-test their own deployment glue.
+"""
+
+from repro.testing.faults import (
+    FaultInjector,
+    KillPoint,
+    install_kill_switch,
+    uninstall_kill_switch,
+)
+
+__all__ = [
+    "FaultInjector",
+    "KillPoint",
+    "install_kill_switch",
+    "uninstall_kill_switch",
+]

@@ -1,0 +1,196 @@
+"""Deterministic fault injection for the storage layer's crash seams.
+
+Every durable writer funnels its power-loss-sensitive operations
+through :mod:`repro.storage.durable` and the write-ahead log's record
+writer (:func:`repro.storage.wal._write_record_bytes`).  This module
+monkeypatches those seams with counting wrappers, so tests can assert
+recovery behaviour at *exact* fault points instead of hoping a random
+sleep lands somewhere interesting:
+
+* :class:`FaultInjector` -- raise an ``OSError`` on the N-th seam
+  operation (simulated I/O error), or cut a WAL record write short
+  after a byte prefix (simulated torn write / power cut mid-append).
+* :func:`install_kill_switch` -- ``SIGKILL`` the current process the
+  moment the N-th seam operation *begins*.  Used by the subprocess
+  crash harness (``tests/test_crash_recovery.py``): the parent sweeps
+  N upward until the writer survives, proving recovery lands on a
+  consistent state no matter where the crash hits.
+
+Seam names (`FaultInjector.SEAMS`): ``fsync_file``,
+``fsync_directory``, ``replace``, ``wal_write`` -- the operation
+counter is shared across all of them, in call order, so a kill point
+``n`` means "die at the n-th durable operation of any kind".
+
+Everything restores cleanly: both the injector (a context manager) and
+the kill switch's :func:`uninstall_kill_switch` put the original
+functions back, and injection state is process-local -- no globals
+survive a ``with`` block.
+"""
+
+import os
+import signal
+
+from repro.storage import durable, wal
+
+
+class KillPoint(RuntimeError):
+    """Raised instead of dying when a kill switch runs in dry-run mode."""
+
+
+class _SeamPatch:
+    """One patched seam: counts calls, delegates or faults."""
+
+    __slots__ = ("owner", "module", "name", "original", "seam_name")
+
+    def __init__(self, owner, module, name):
+        self.owner = owner
+        self.module = module
+        self.name = name
+        self.original = getattr(module, name)
+        self.seam_name = name
+
+    def install(self):
+        patch = self
+
+        def wrapper(*args, **kwargs):
+            return patch.owner._enter(patch, args, kwargs)
+
+        setattr(self.module, self.name, wrapper)
+
+    def uninstall(self):
+        setattr(self.module, self.name, self.original)
+
+
+class FaultInjector:
+    """Deterministically fault the N-th durable storage operation.
+
+    Use as a context manager::
+
+        with FaultInjector(fail_at=3) as faults:
+            system.add_documents(batch)   # 3rd fsync/replace/write dies
+        assert faults.operations >= 3
+
+    ``fail_at`` raises ``OSError`` when the (1-based) global operation
+    counter reaches that value; ``fail_on`` restricts the fault to one
+    seam name.  ``torn_at``/``torn_bytes`` instead truncate a WAL
+    record write: the first ``torn_bytes`` bytes are written, the rest
+    are dropped, and ``OSError`` raises -- exactly the on-disk state a
+    power cut mid-``write`` leaves behind.  A single injector arms one
+    fault; re-enter a fresh one per scenario.
+    """
+
+    #: ``(module, attribute)`` per seam, keyed by seam name.
+    SEAMS = {
+        "fsync_file": (durable, "fsync_file"),
+        "fsync_directory": (durable, "fsync_directory"),
+        "replace": (durable, "replace"),
+        "wal_write": (wal, "_write_record_bytes"),
+    }
+
+    def __init__(self, fail_at=None, fail_on=None, torn_at=None,
+                 torn_bytes=0):
+        if fail_on is not None and fail_on not in self.SEAMS:
+            raise ValueError(
+                f"unknown seam {fail_on!r} (known: {sorted(self.SEAMS)})"
+            )
+        self.fail_at = fail_at
+        self.fail_on = fail_on
+        self.torn_at = torn_at
+        self.torn_bytes = torn_bytes
+        #: Global (1-based) count of seam operations observed so far.
+        self.operations = 0
+        #: Count per seam name, for assertions on coverage.
+        self.per_seam = {name: 0 for name in self.SEAMS}
+        self._patches = []
+
+    # -- context management ---------------------------------------------------
+
+    def __enter__(self):
+        for name, (module, attribute) in self.SEAMS.items():
+            patch = _SeamPatch(self, module, attribute)
+            patch.seam_name = name  # noqa: B010 - plain annotation
+            self._patches.append(patch)
+            patch.install()
+        return self
+
+    def __exit__(self, *exc_info):
+        while self._patches:
+            self._patches.pop().uninstall()
+        return False
+
+    # -- seam dispatch --------------------------------------------------------
+
+    def _enter(self, patch, args, kwargs):
+        seam = patch.seam_name
+        self.operations += 1
+        self.per_seam[seam] += 1
+        if self.torn_at is not None and seam == "wal_write" \
+                and self.operations >= self.torn_at:
+            handle, data = args
+            patch.original(handle, data[:self.torn_bytes])
+            handle.flush()
+            os.fsync(handle.fileno())
+            raise OSError(
+                f"injected torn write at operation {self.operations} "
+                f"({self.torn_bytes}/{len(data)} bytes reached disk)"
+            )
+        if self.fail_at is not None and self.operations >= self.fail_at \
+                and (self.fail_on is None or self.fail_on == seam):
+            raise OSError(
+                f"injected I/O error at operation {self.operations} "
+                f"(seam {seam})"
+            )
+        return patch.original(*args, **kwargs)
+
+
+# -- kill switch (subprocess crash harness) -----------------------------------
+
+_kill_state = {"installed": None}
+
+
+def install_kill_switch(operations, dry_run=False):
+    """Die (``SIGKILL``) when the N-th durable seam operation begins.
+
+    The crash harness's weapon: a writer subprocess installs the switch
+    with ``operations=n`` and performs its workload; the n-th
+    fsync/replace/WAL write never returns -- the process is gone
+    mid-operation, exactly like a power cut.  The parent then asserts
+    recovery from whatever hit the disk.  ``dry_run=True`` raises
+    :class:`KillPoint` instead of dying (for testing the harness
+    itself).  Returns a state dict whose ``"operations"`` entry counts
+    seam calls so far; call :func:`uninstall_kill_switch` to restore
+    the seams (a killed process obviously never does).
+    """
+    uninstall_kill_switch()
+    state = {"operations": 0, "limit": operations, "dry_run": dry_run,
+             "originals": []}
+
+    def make_wrapper(original):
+        def wrapper(*args, **kwargs):
+            state["operations"] += 1
+            if state["operations"] >= state["limit"]:
+                if state["dry_run"]:
+                    raise KillPoint(
+                        f"kill point at operation {state['operations']}"
+                    )
+                os.kill(os.getpid(), signal.SIGKILL)
+            return original(*args, **kwargs)
+
+        return wrapper
+
+    for module, attribute in FaultInjector.SEAMS.values():
+        original = getattr(module, attribute)
+        state["originals"].append((module, attribute, original))
+        setattr(module, attribute, make_wrapper(original))
+    _kill_state["installed"] = state
+    return state
+
+
+def uninstall_kill_switch():
+    """Restore the seams patched by :func:`install_kill_switch`."""
+    state = _kill_state["installed"]
+    if state is None:
+        return
+    for module, attribute, original in state["originals"]:
+        setattr(module, attribute, original)
+    _kill_state["installed"] = None

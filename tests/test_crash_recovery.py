@@ -1,0 +1,168 @@
+"""Subprocess crash harness: SIGKILL at every durable operation.
+
+The strongest durability claim the storage layer makes is *crash
+consistency*: no matter where a power cut (here: ``SIGKILL``, which the
+process cannot catch or clean up after) lands inside a
+load-add-save cycle, reopening the files recovers a system whose
+query answers are byte-identical to either the pre-batch or the
+post-batch state -- never a torn hybrid, never a double-applied batch.
+
+The harness proves it by sweeping: a writer child installs
+:func:`repro.testing.faults.install_kill_switch` at operation ``n``
+and runs the cycle; the parent reloads whatever hit the disk, checks
+it against the two legal states, and increments ``n`` until the child
+survives the whole cycle.  Every fsync, rename, and write-ahead-log
+write in the cycle is therefore crashed into exactly once.
+"""
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import textwrap
+import warnings
+
+import pytest
+
+from repro.shard import ShardedSeda
+from repro.storage.snapshot import fsck_report
+from repro.system import Seda
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                   "src")
+
+DOCS = [
+    ("alpha", "<r><a>red blue</a><b>green</b></r>"),
+    ("bravo", "<r><a>blue</a><c>red red</c></r>"),
+    ("charlie", "<r><b>green green</b><a>red</a></r>"),
+]
+BATCH = [("delta", "<r><a>red green</a><b>blue blue</b></r>")]
+QUERIES = ([("*", "red")], [("a", "blue")], [("*", "green"), ("b", "*")])
+
+# The writer child: load, add one batch, save -- with the kill switch
+# armed at operation N.  Exits 0 only when N exceeds the cycle's
+# operation count; otherwise SIGKILL takes it mid-operation.
+CHILD = textwrap.dedent("""
+    import sys, warnings
+    sys.path.insert(0, sys.argv[1])
+    from repro.testing.faults import install_kill_switch
+
+    mode, path, n = sys.argv[2], sys.argv[3], int(sys.argv[4])
+    BATCH = [("delta", "<r><a>red green</a><b>blue blue</b></r>")]
+    warnings.simplefilter("ignore")
+    if mode == "seda":
+        from repro.system import Seda
+        system = Seda.load(path)
+    else:
+        from repro.shard import ShardedSeda
+        system = ShardedSeda.load(path)
+    install_kill_switch(n)
+    system.add_documents(BATCH)
+    system.save(path)
+""")
+
+
+def _canon_seda(system):
+    state = [sorted(d.name for d in system.collection.documents)]
+    for pairs in QUERIES:
+        state.append([
+            (r.node_ids, r.content_scores, r.compactness, r.score)
+            for r in system.search(pairs, k=10).results
+        ])
+    return state
+
+
+def _canon_sharded(system):
+    state = [len(system._docs)]
+    for pairs in QUERIES:
+        state.append([
+            (r.node_ids, r.content_scores, r.compactness, r.score)
+            for r in system.search(pairs, k=10)
+        ])
+    return state
+
+
+def _run_child(mode, path, n):
+    return subprocess.run(
+        [sys.executable, "-c", CHILD, SRC, mode, path, str(n)],
+        capture_output=True, text=True, timeout=120,
+    )
+
+
+def _sweep(mode, baseline, loader, canon, pre, post, tmp_path):
+    """Kill at operation 1, 2, ... until the child survives; check each."""
+    outcomes = []
+    n = 0
+    while True:
+        n += 1
+        assert n < 100, "kill sweep did not terminate"
+        if os.path.isdir(baseline):
+            work = str(tmp_path / f"work-{n}.shards")
+            shutil.copytree(baseline, work)
+        else:
+            work = str(tmp_path / f"work-{n}.snapshot")
+            shutil.copy(baseline, work)
+            if os.path.exists(baseline + ".cols"):
+                shutil.copy(baseline + ".cols", work + ".cols")
+        child = _run_child(mode, work, n)
+        if child.returncode != 0:
+            assert child.returncode == -signal.SIGKILL, child.stderr
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            recovered = loader(work)
+        got = canon(recovered)
+        assert got in (pre, post), (
+            f"kill at operation {n} recovered to neither the pre- nor "
+            f"the post-batch state"
+        )
+        outcomes.append("post" if got == post else "pre")
+        # ... and the surviving files pass integrity verification.
+        report = fsck_report(work)
+        assert report["ok"], (n, report["problems"])
+        if child.returncode == 0:
+            return outcomes
+
+
+class TestSedaCrashRecovery:
+    def test_sigkill_at_every_operation_recovers(self, tmp_path):
+        baseline = str(tmp_path / "baseline.snapshot")
+        Seda.from_documents(DOCS).save(baseline)
+
+        pre = _canon_seda(Seda.load(str(tmp_path / "baseline.snapshot")))
+        reference = Seda.from_documents(DOCS)
+        reference.add_documents(BATCH)
+        post = _canon_seda(reference)
+        assert pre != post  # the batch must be observable
+
+        outcomes = _sweep("seda", baseline, Seda.load, _canon_seda,
+                          pre, post, tmp_path)
+        # The sweep must actually exercise both sides of the
+        # acknowledgment point: early kills land pre, late kills post,
+        # and the survivor (final entry) is post by definition.
+        assert "pre" in outcomes and "post" in outcomes
+        assert outcomes[-1] == "post"
+        # Once a kill lands post (the batch was acknowledged), every
+        # later kill must too -- durability is monotonic in time.
+        assert outcomes == sorted(outcomes, key=("pre", "post").index)
+
+
+class TestShardedCrashRecovery:
+    def test_sigkill_at_every_operation_recovers(self, tmp_path):
+        baseline = str(tmp_path / "baseline.shards")
+        ShardedSeda.from_documents(DOCS, shards=2, parallel=False).save(
+            baseline
+        )
+
+        pre = _canon_sharded(ShardedSeda.load(baseline))
+        reference = ShardedSeda.from_documents(DOCS, shards=2,
+                                               parallel=False)
+        reference.add_documents(BATCH)
+        post = _canon_sharded(reference)
+        assert pre != post
+
+        outcomes = _sweep("sharded", baseline, ShardedSeda.load,
+                          _canon_sharded, pre, post, tmp_path)
+        assert "pre" in outcomes and "post" in outcomes
+        assert outcomes[-1] == "post"
+        assert outcomes == sorted(outcomes, key=("pre", "post").index)

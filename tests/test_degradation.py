@@ -1,0 +1,170 @@
+"""Graceful shard degradation: retries, recovery, timeouts, partial serving.
+
+The default scatter is fail-fast and byte-identical to the unsharded
+system; every behaviour here is opt-in through
+:meth:`ShardedSeda.configure_degradation`.
+"""
+
+import time
+
+import pytest
+
+from repro.shard import ShardedSeda
+from repro.shard.sharded import ShardSearchTimeout
+
+DOCS = [
+    ("alpha", "<r><a>red blue</a><b>green</b></r>"),
+    ("bravo", "<r><a>blue</a><c>red red</c></r>"),
+    ("charlie", "<r><b>green green</b><a>red</a></r>"),
+    ("delta", "<r><a>red green</a><b>blue blue</b></r>"),
+]
+BATCH = [("echo", "<r><c>red blue green</c></r>")]
+QUERY = [("*", "red")]
+
+
+def _canon(results):
+    return [
+        (r.node_ids, r.content_scores, r.compactness, r.score)
+        for r in results
+    ]
+
+
+class _BrokenSearcher:
+    """Stands in for a shard searcher whose process state is wedged."""
+
+    def __init__(self, error=None):
+        self.error = error if error is not None else RuntimeError(
+            "shard wedged"
+        )
+
+    def search(self, query, k=10, shared_bound=None):
+        raise self.error
+
+
+class _StallingSearcher:
+    """A searcher that never comes back within any sane timeout."""
+
+    def search(self, query, k=10, shared_bound=None):
+        time.sleep(5)
+        return []
+
+
+@pytest.fixture
+def saved(tmp_path):
+    directory = str(tmp_path / "col.shards")
+    ShardedSeda.from_documents(DOCS, shards=2, parallel=False).save(
+        directory
+    )
+    return directory
+
+
+class TestFailFastDefault:
+    def test_shard_failure_propagates_without_a_policy(self, saved):
+        system = ShardedSeda.load(saved)
+        system._searchers[0] = _BrokenSearcher()
+        with pytest.raises(RuntimeError, match="shard wedged"):
+            system.search(QUERY, k=10)
+
+
+class TestRetryAndRecovery:
+    def test_retry_recovers_crashed_shard(self, saved):
+        system = ShardedSeda.load(saved)
+        expected = _canon(system.search(QUERY, k=10))
+        system._searchers[0] = _BrokenSearcher()
+        system.configure_degradation(retries=1, backoff=0)
+        assert _canon(system.search(QUERY, k=10)) == expected
+        assert system.recovery_epoch == 1
+        assert system.last_search_stats["failed_shards"] == []
+
+    def test_recovery_replays_live_wal_batches(self, saved):
+        """A recovered shard must include batches acknowledged since the
+        last save: they live only in the write-ahead log."""
+        system = ShardedSeda.load(saved)
+        system.add_documents(BATCH)
+        expected = _canon(system.search(QUERY, k=10))
+        system._searchers[0] = _BrokenSearcher()
+        system._searchers[1] = _BrokenSearcher()
+        system.configure_degradation(retries=1, backoff=0)
+        assert _canon(system.search(QUERY, k=10)) == expected
+        assert system.recovery_epoch == 2
+
+    def test_disabling_restores_fail_fast(self, saved):
+        system = ShardedSeda.load(saved)
+        system.configure_degradation(retries=1, backoff=0)
+        assert system.configure_degradation(enabled=False) is None
+        system._searchers[0] = _BrokenSearcher()
+        with pytest.raises(RuntimeError, match="shard wedged"):
+            system.search(QUERY, k=10)
+
+
+class TestPartialServing:
+    def test_partial_results_flag_failed_shards(self, saved):
+        system = ShardedSeda.load(saved)
+        full = _canon(system.search(QUERY, k=10))
+        system._searchers[0] = _BrokenSearcher()
+        system.configure_degradation(
+            retries=0, backoff=0, recover=False, allow_partial=True
+        )
+        partial = _canon(system.search(QUERY, k=10))
+        failed = system.last_search_stats["failed_shards"]
+        assert [entry["shard"] for entry in failed] == [0]
+        assert "shard wedged" in failed[0]["error"]
+        # The healthy shard's answers survive, nothing is invented.
+        assert set(partial) <= set(full)
+        assert partial != full
+        # A healed shard serves complete answers again.
+        system._searchers[0] = None
+        assert _canon(system.search(QUERY, k=10)) == full
+        assert system.last_search_stats["failed_shards"] == []
+
+    def test_partial_answers_are_never_cached(self, saved):
+        system = ShardedSeda.load(saved)
+        system.configure_degradation(
+            retries=0, backoff=0, recover=False, allow_partial=True
+        )
+        service = system.query_service(workers=1)
+        full, _stats = service.execute(QUERY, k=10)
+        # Wedge shard 0 in the only searcher group, bypassing the
+        # version-keyed rebuild (same matcher = no rebuild).
+        original = service._group_pool[0][0]
+        broken = _BrokenSearcher()
+        broken.matcher = original.matcher
+        service._group_pool[0][0] = broken
+        system._searchers = [None] * len(system._searchers)
+        service.cache.invalidate()
+        partial, stats = service.execute(QUERY, k=10)
+        assert [entry["shard"] for entry in stats.failed_shards] == [0]
+        assert _canon(partial) != _canon(full)
+        # Heal the shard: the same query must be recomputed, not served
+        # from a cache poisoned with the partial merge.
+        service._group_pool[0][0] = original
+        healed, stats = service.execute(QUERY, k=10)
+        assert not stats.cache_hit
+        assert _canon(healed) == _canon(full)
+        assert not stats.failed_shards
+        # ... and a complete answer *is* cached as usual.
+        again, stats = service.execute(QUERY, k=10)
+        assert stats.cache_hit
+        assert _canon(again) == _canon(full)
+
+
+class TestTimeouts:
+    def test_stalled_shard_times_out(self, saved):
+        system = ShardedSeda.load(saved)
+        system._searchers[0] = _StallingSearcher()
+        system.configure_degradation(
+            retries=0, backoff=0, timeout=0.05, recover=False
+        )
+        with pytest.raises(ShardSearchTimeout, match="0.05"):
+            system.search(QUERY, k=10)
+
+    def test_timeout_retries_on_a_fresh_searcher(self, saved):
+        system = ShardedSeda.load(saved)
+        expected = _canon(system.search(QUERY, k=10))
+        system._searchers[0] = _StallingSearcher()
+        system.configure_degradation(
+            retries=1, backoff=0, timeout=0.2, recover=False
+        )
+        assert _canon(system.search(QUERY, k=10)) == expected
+        # A timeout is a slow shard, not a broken one: no recovery ran.
+        assert system.recovery_epoch == 0

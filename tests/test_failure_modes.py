@@ -199,3 +199,173 @@ class TestKeyEdgeCases:
         )
         assert augmented.failures
         assert all("missing_key_path" in msg for _n, _r, msg in augmented.failures)
+
+
+class TestCorruptedSnapshotMatrix:
+    """A corrupted byte -- snapshot or sidecar, flipped or lost --
+    must surface as SnapshotError or load byte-identical answers,
+    never silently wrong ones.  (A flipped line *terminator* leaves
+    every payload byte intact; detection is not required there, only
+    correctness.)"""
+
+    DOCS = [
+        ("alpha", "<r><a>red blue</a><b>green</b></r>"),
+        ("bravo", "<r><a>blue</a><c>red red</c></r>"),
+        ("charlie", "<r><b>green green</b><a>red</a></r>"),
+    ]
+
+    @pytest.fixture
+    def snapshot_pair(self, tmp_path):
+        import os
+
+        path = str(tmp_path / "col.snapshot")
+        Seda.from_documents(self.DOCS).save(path)
+        assert os.path.exists(path + ".cols")
+        return path
+
+    @staticmethod
+    def _offsets(size, samples=9):
+        """Offsets spread across the file, endpoints included."""
+        step = max(1, size // samples)
+        return sorted({0, size - 1, *range(step // 2, size, step)})
+
+    @staticmethod
+    def _answers(system):
+        return [
+            (r.node_ids, r.content_scores, r.compactness, r.score)
+            for r in system.search([("*", "red")], k=10).results
+        ]
+
+    @pytest.mark.parametrize("target", ["snapshot", "cols"])
+    def test_single_bit_flips_are_detected(self, snapshot_pair, target):
+        from repro.storage.snapshot import SnapshotError
+
+        victim = snapshot_pair if target == "snapshot" \
+            else snapshot_pair + ".cols"
+        pristine = open(victim, "rb").read()
+        expected = self._answers(Seda.load(snapshot_pair, durable=False))
+        for offset in self._offsets(len(pristine)):
+            blob = bytearray(pristine)
+            blob[offset] ^= 0x01
+            with open(victim, "wb") as handle:
+                handle.write(bytes(blob))
+            try:
+                loaded = Seda.load(snapshot_pair, durable=False)
+            except SnapshotError:
+                continue
+            assert self._answers(loaded) == expected, (
+                f"undetected corruption at offset {offset} changed "
+                f"query answers"
+            )
+        with open(victim, "wb") as handle:
+            handle.write(pristine)
+        Seda.load(snapshot_pair, durable=False)  # matrix left it intact
+
+    @pytest.mark.parametrize("target", ["snapshot", "cols"])
+    def test_truncations_are_detected(self, snapshot_pair, target):
+        from repro.storage.snapshot import SnapshotError
+
+        victim = snapshot_pair if target == "snapshot" \
+            else snapshot_pair + ".cols"
+        pristine = open(victim, "rb").read()
+        expected = self._answers(Seda.load(snapshot_pair, durable=False))
+        for keep in self._offsets(len(pristine)):
+            with open(victim, "wb") as handle:
+                handle.write(pristine[:keep])
+            try:
+                loaded = Seda.load(snapshot_pair, durable=False)
+            except SnapshotError:
+                continue
+            assert self._answers(loaded) == expected, (
+                f"undetected truncation to {keep} bytes changed "
+                f"query answers"
+            )
+        with open(victim, "wb") as handle:
+            handle.write(pristine)
+        Seda.load(snapshot_pair, durable=False)
+
+    def test_missing_sidecar_is_detected(self, snapshot_pair, tmp_path):
+        import os
+
+        from repro.storage.snapshot import SnapshotError
+
+        os.remove(snapshot_pair + ".cols")
+        with pytest.raises(SnapshotError):
+            Seda.load(snapshot_pair, durable=False)
+
+
+class TestInjectedIOErrors:
+    """The fault injector drives I/O failure through the durability
+    seams; a failed save or append must leave the old state loadable."""
+
+    DOCS = TestCorruptedSnapshotMatrix.DOCS
+    BATCH = [("delta", "<r><a>red green</a><b>blue blue</b></r>")]
+
+    def test_every_failed_save_operation_preserves_old_snapshot(
+            self, tmp_path):
+        from repro.testing.faults import FaultInjector
+
+        path = str(tmp_path / "col.snapshot")
+        system = Seda.from_documents(self.DOCS)
+        system.save(path)
+        names = sorted(d.name for d in Seda.load(path).collection.documents)
+        fail_at = 0
+        while True:
+            fail_at += 1
+            assert fail_at < 50, "fault sweep did not terminate"
+            fresh = Seda.from_documents(self.DOCS + self.BATCH)
+            with FaultInjector(fail_at=fail_at) as faults:
+                try:
+                    fresh.save(path, durable=False)
+                except OSError:
+                    pass
+                else:
+                    break  # past the last operation: the save succeeded
+            assert faults.operations == fail_at
+            # Whatever the failed save left behind, the committed
+            # snapshot still loads -- either the old or the new state.
+            loaded = sorted(
+                d.name for d in Seda.load(path).collection.documents
+            )
+            assert loaded in (
+                names, sorted(names + [self.BATCH[0][0]])
+            )
+
+    def test_failed_wal_append_leaves_batch_unacknowledged(self, tmp_path):
+        from repro.testing.faults import FaultInjector
+
+        path = str(tmp_path / "col.snapshot")
+        system = Seda.from_documents(self.DOCS)
+        system.save(path)
+        expected = sorted(
+            d.name for d in Seda.load(path).collection.documents
+        )
+        with FaultInjector(fail_at=1, fail_on="wal_write"):
+            with pytest.raises(OSError, match="injected I/O error"):
+                system.add_documents(self.BATCH)
+        # The batch never acknowledged; recovery must not invent it.
+        recovered = Seda.load(path)
+        assert sorted(
+            d.name for d in recovered.collection.documents
+        ) == expected
+
+    def test_torn_wal_append_truncates_on_recovery(self, tmp_path):
+        from repro.testing.faults import FaultInjector
+
+        path = str(tmp_path / "col.snapshot")
+        system = Seda.from_documents(self.DOCS)
+        system.save(path)
+        expected = sorted(
+            d.name for d in Seda.load(path).collection.documents
+        )
+        system.add_documents(self.BATCH)  # acknowledged: magic + record
+        with FaultInjector(torn_at=1, torn_bytes=7):
+            with pytest.raises(OSError, match="torn write"):
+                system.add_documents(
+                    [("foxtrot", "<r><a>torn away</a></r>")]
+                )
+        with pytest.warns(UserWarning, match="torn final record"):
+            recovered = Seda.load(path)
+        assert sorted(
+            d.name for d in recovered.collection.documents
+        ) == sorted(expected + [self.BATCH[0][0]])

@@ -171,6 +171,13 @@ class TestGlobalStatistics:
         )
         source = tmp_path / "lazy-ingest.shards"
         system.save(str(source))
+        # Loading attaches a write-ahead log to the directory, so a
+        # later load would replay the batch ingested below; the second
+        # phase loads this pristine copy instead.
+        import shutil
+
+        pristine = tmp_path / "lazy-ingest-pristine.shards"
+        shutil.copytree(str(source), str(pristine))
 
         new = [("november", "<r><a>red red red</a><b>blue</b></r>")]
         plain = Seda.from_documents(DOCS + new)
@@ -189,7 +196,7 @@ class TestGlobalStatistics:
 
         # Saving with bumps still pending must not byte-copy stale
         # stream versions: the restored copy answers post-ingest too.
-        fresh = ShardedSeda.load(str(source))
+        fresh = ShardedSeda.load(str(pristine))
         fresh.add_documents(new)
         target = tmp_path / "post-ingest.shards"
         fresh.save(str(target))

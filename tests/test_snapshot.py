@@ -325,12 +325,16 @@ class TestImpactStreamPersistence:
         with an empty store and identical answers."""
         path = tmp_path / "sys.snapshot"
         seda.save(path)
+        # A genuine version-1 file has no streams record, no integrity
+        # seal, and no crcs table -- strip all three, not just streams.
         lines = [
             line for line in path.read_text().splitlines()
             if not line.startswith('{"record":"streams"')
+            and not line.startswith('{"record":"integrity"')
         ]
         header = json.loads(lines[0])
         header["version"] = 1
+        header.pop("crcs", None)
         lines[0] = json.dumps(header, separators=(",", ":"))
         old = tmp_path / "old.snapshot"
         old.write_text("\n".join(lines) + "\n")

@@ -1,14 +1,15 @@
-"""The snapshot compatibility matrix: versions 1-4 all restore exactly.
+"""The snapshot compatibility matrix: versions 1-5 all restore exactly.
 
-Version 4 snapshots carry compact byte columns in a binary sidecar;
-versions 1-3 carried everything as JSON (v1 without streams or node
-lengths, v2 adding both, v3 adding the optional ``obs`` record).  The
-matrix here hand-writes each legacy format from the same live system --
-using the components' legacy ``to_dict`` forms, which are kept
+Version 5 snapshots add per-record CRCs, a header integrity seal, and
+a sidecar checksum; version 4 introduced the binary sidecar; versions
+1-3 carried everything as JSON (v1 without streams or node lengths,
+v2 adding both, v3 adding the optional ``obs`` record).  The matrix
+here hand-writes each legacy format from the same live system -- using
+the components' legacy ``to_dict`` forms, which are kept
 byte-compatible with the old writers -- and asserts every vintage loads
 into a system whose answers are byte-identical to the original, and
-that re-saving any of them produces a valid version-4 pair (the upgrade
-is lossless).
+that re-saving any of them produces a valid current-version pair (the
+upgrade is lossless).
 """
 
 import json
@@ -100,9 +101,9 @@ def _write_legacy(path, seda, version):
 
 
 class TestVersionMatrix:
-    def test_current_version_is_four(self):
-        assert SNAPSHOT_VERSION == 4
-        assert SUPPORTED_VERSIONS == (1, 2, 3, 4)
+    def test_current_version_is_five(self):
+        assert SNAPSHOT_VERSION == 5
+        assert SUPPORTED_VERSIONS == (1, 2, 3, 4, 5)
 
     @pytest.mark.parametrize("version", [1, 2, 3])
     def test_legacy_versions_load_byte_identically(
@@ -117,13 +118,13 @@ class TestVersionMatrix:
         assert _answers(restored) == expected
         assert not os.path.exists(sidecar_file_name(str(path)))
 
-    def test_v4_save_load_round_trip(self, live, tmp_path):
+    def test_current_save_load_round_trip(self, live, tmp_path):
         expected = _answers(live)
-        path = tmp_path / "v4.snapshot"
+        path = tmp_path / "current.snapshot"
         live.save(str(path))
 
         info = snapshot_info(str(path))
-        assert _header(str(path))["version"] == 4
+        assert _header(str(path))["version"] == SNAPSHOT_VERSION
         assert os.path.exists(sidecar_file_name(str(path)))
         assert info["sidecar_bytes"] == os.path.getsize(
             sidecar_file_name(str(path))
@@ -145,11 +146,32 @@ class TestVersionMatrix:
         Seda.load(str(old)).save(str(upgraded))
 
         _meta, records = read_snapshot(str(upgraded))
-        assert _header(str(upgraded))["version"] == 4
+        assert _header(str(upgraded))["version"] == SNAPSHOT_VERSION
         assert os.path.exists(sidecar_file_name(str(upgraded)))
         assert "columns" in records["inverted"]
 
         assert _answers(Seda.load(str(upgraded))) == expected
+
+    def test_legacy_v4_without_checksums_loads(self, live, tmp_path):
+        """A pre-checksum version-4 pair (sidecar, but no crcs table,
+        no integrity seal, no sidecar crc32) still restores exactly."""
+        expected = _answers(live)
+        path = tmp_path / "v4.snapshot"
+        live.save(str(path))
+        lines = [
+            line for line in path.read_text().splitlines()
+            if not line.startswith('{"record":"integrity"')
+        ]
+        header = json.loads(lines[0])
+        header["version"] = 4
+        header.pop("crcs", None)
+        header.get("sidecar", {}).pop("crc32", None)
+        lines[0] = json.dumps(header, separators=(",", ":"))
+        path.write_text("\n".join(lines) + "\n")
+
+        assert _header(str(path))["version"] == 4
+        restored = Seda.load(str(path))
+        assert _answers(restored) == expected
 
     def test_v1_snapshot_derives_node_lengths(self, live, tmp_path):
         path = tmp_path / "v1.snapshot"

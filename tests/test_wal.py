@@ -1,0 +1,264 @@
+"""Write-ahead log: format, torn-tail recovery, replay equivalence."""
+
+import os
+import warnings
+
+import pytest
+
+from repro.query.term import Query
+from repro.shard import ShardedSeda
+from repro.storage.wal import (
+    WAL_MAGIC,
+    WALError,
+    WriteAheadLog,
+    replay_wal,
+    sharded_wal_file_name,
+    verify_wal,
+    wal_file_name,
+)
+from repro.system import Seda
+
+DOCS = [
+    ("alpha", "<r><a>red blue</a><b>green</b></r>"),
+    ("bravo", "<r><a>blue</a><c>red red</c></r>"),
+    ("charlie", "<r><b>green green</b><a>red</a></r>"),
+]
+BATCH = [("delta", "<r><a>red green</a><b>blue blue</b></r>")]
+QUERIES = ([("*", "red")], [("a", "blue")], [("*", "green"), ("b", "*")])
+
+
+def _canon(results):
+    return [
+        (r.node_ids, r.content_scores, r.compactness, r.score)
+        for r in results
+    ]
+
+
+def _seda_answers(system):
+    return [
+        _canon(system.search(pairs, k=10).results) for pairs in QUERIES
+    ]
+
+
+def _sharded_answers(system):
+    return [_canon(system.search(pairs, k=10)) for pairs in QUERIES]
+
+
+class TestWALFormat:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "x.wal"
+        log = WriteAheadLog(path)
+        payloads = [
+            {"op": "add_documents", "documents": [["a", "<x/>"]]},
+            {"op": "add_documents", "documents": [["b", "<y>text</y>"]],
+             "value_links": []},
+        ]
+        for payload in payloads:
+            log.append(payload)
+        log.close()
+        records, warning = replay_wal(path)
+        assert records == payloads
+        assert warning is None
+
+    def test_missing_file_is_empty(self, tmp_path):
+        records, warning = replay_wal(tmp_path / "absent.wal")
+        assert records == []
+        assert warning is None
+
+    def test_truncate_resets(self, tmp_path):
+        path = tmp_path / "x.wal"
+        log = WriteAheadLog(path)
+        log.append({"op": "add_documents", "documents": []})
+        log.truncate()
+        records, warning = replay_wal(path)
+        assert records == []
+        assert warning is None
+        # and the file is appendable again afterwards
+        log.append({"op": "add_documents", "documents": [["c", "<z/>"]]})
+        log.close()
+        records, _warning = replay_wal(path)
+        assert len(records) == 1
+
+    def test_foreign_magic_rejected(self, tmp_path):
+        path = tmp_path / "x.wal"
+        path.write_bytes(b"NOTAWAL!" + b"\x00" * 16)
+        with pytest.raises(WALError, match="not a write-ahead log"):
+            replay_wal(path)
+
+    def test_torn_magic_is_empty_log(self, tmp_path):
+        path = tmp_path / "x.wal"
+        path.write_bytes(WAL_MAGIC[:5])
+        records, warning = replay_wal(path)
+        assert records == []
+        assert "torn magic" in warning
+        # the repair leaves a cleanly-empty log
+        records, warning = replay_wal(path)
+        assert (records, warning) == ([], None)
+
+    @pytest.mark.parametrize("keep", [1, 3, 6])
+    def test_torn_tail_truncated_with_warning(self, tmp_path, keep):
+        path = tmp_path / "x.wal"
+        log = WriteAheadLog(path)
+        first = {"op": "add_documents", "documents": [["a", "<x/>"]]}
+        log.append(first)
+        log.append({"op": "add_documents", "documents": [["b", "<y/>"]]})
+        log.close()
+        blob = path.read_bytes()
+        # cut the final record short, leaving `keep` of its bytes
+        records_clean, _ = replay_wal(path)
+        assert len(records_clean) == 2
+        # find the second record's start: replay once on a copy missing it
+        log2 = WriteAheadLog(tmp_path / "y.wal")
+        log2.append(first)
+        log2.close()
+        second_start = (tmp_path / "y.wal").stat().st_size
+        path.write_bytes(blob[:second_start + keep])
+        records, warning = replay_wal(path)
+        assert records == [first]
+        assert "torn final record" in warning
+        assert path.stat().st_size == second_start
+        # a second replay is clean: the tail was truncated away
+        records, warning = replay_wal(path)
+        assert records == [first]
+        assert warning is None
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        path = tmp_path / "x.wal"
+        log = WriteAheadLog(path)
+        log.append({"op": "add_documents", "documents": [["a", "<x/>"]]})
+        log.append({"op": "add_documents", "documents": [["b", "<y/>"]]})
+        log.close()
+        blob = bytearray(path.read_bytes())
+        blob[len(WAL_MAGIC) + 10] ^= 0xFF  # inside the first payload
+        path.write_bytes(bytes(blob))
+        with pytest.raises(WALError, match="checksum"):
+            replay_wal(path)
+
+    def test_verify_is_read_only(self, tmp_path):
+        path = tmp_path / "x.wal"
+        log = WriteAheadLog(path)
+        log.append({"op": "add_documents", "documents": [["a", "<x/>"]]})
+        log.close()
+        blob = path.read_bytes()
+        path.write_bytes(blob + b"\x99\x00")  # torn tail
+        report = verify_wal(path)
+        assert report["present"]
+        assert report["records"] == 1
+        assert "torn" in report["torn_tail"]
+        assert path.read_bytes() == blob + b"\x99\x00"  # untouched
+
+    def test_verify_missing_file_healthy(self, tmp_path):
+        report = verify_wal(tmp_path / "absent.wal")
+        assert report == {"present": False, "records": 0,
+                          "torn_tail": None, "error": None}
+
+
+class TestSedaDurability:
+    def test_batch_after_save_is_logged_and_replayed(self, tmp_path):
+        path = str(tmp_path / "s.snapshot")
+        system = Seda.from_documents(DOCS)
+        system.save(path)
+        system.add_documents(BATCH)
+        expected = _seda_answers(system)
+        assert os.path.exists(wal_file_name(path))
+        # no save since the batch: the snapshot alone is stale, the
+        # snapshot + log replay is exact
+        recovered = Seda.load(path)
+        assert _seda_answers(recovered) == expected
+
+    def test_save_truncates_log(self, tmp_path):
+        path = str(tmp_path / "s.snapshot")
+        system = Seda.from_documents(DOCS)
+        system.save(path)
+        system.add_documents(BATCH)
+        system.save(path)
+        records, warning = replay_wal(wal_file_name(path))
+        assert (records, warning) == ([], None)
+        recovered = Seda.load(path)
+        assert _seda_answers(recovered) == _seda_answers(system)
+
+    def test_torn_tail_replays_to_pre_batch_state(self, tmp_path):
+        path = str(tmp_path / "s.snapshot")
+        system = Seda.from_documents(DOCS)
+        system.save(path)
+        expected = _seda_answers(system)
+        system.add_documents(BATCH)
+        # tear the logged batch: only half its bytes reached disk
+        wal_path = wal_file_name(path)
+        blob = (tmp_path / "s.snapshot.wal").read_bytes()
+        cut = len(WAL_MAGIC) + (len(blob) - len(WAL_MAGIC)) // 2
+        (tmp_path / "s.snapshot.wal").write_bytes(blob[:cut])
+        with pytest.warns(UserWarning, match="torn final record"):
+            recovered = Seda.load(path)
+        assert _seda_answers(recovered) == expected
+        assert os.path.getsize(wal_path) == len(WAL_MAGIC)
+
+    def test_unknown_wal_operation_raises(self, tmp_path):
+        path = str(tmp_path / "s.snapshot")
+        Seda.from_documents(DOCS).save(path)
+        log = WriteAheadLog(wal_file_name(path))
+        log.append({"op": "drop_everything"})
+        log.close()
+        with pytest.raises(WALError, match="unknown operation"):
+            Seda.load(path)
+
+    def test_replayed_value_links_survive(self, tmp_path):
+        from repro.model.links import ValueLinkSpec
+
+        path = str(tmp_path / "s.snapshot")
+        system = Seda.from_documents(DOCS)
+        system.save(path)
+        spec = ValueLinkSpec("/r/a", "/r/c", label="wal-spec")
+        system.add_documents(BATCH, value_links=[spec])
+        recovered = Seda.load(path)
+        assert [s.to_dict() for s in recovered.value_links] == [
+            s.to_dict() for s in system.value_links
+        ]
+
+    def test_element_documents_are_logged_as_xml(self, tmp_path):
+        """Elements must serialize into the log: replay re-parses the
+        identical markup instead of crashing on a repr string."""
+        from repro.xmlio.parser import parse
+
+        path = str(tmp_path / "s.snapshot")
+        system = Seda.from_documents(DOCS)
+        system.save(path)
+        element = parse("<r><a>parsed element</a></r>")
+        system.add_documents([("echo", element)])
+        recovered = Seda.load(path)
+        assert _seda_answers(recovered) == _seda_answers(system)
+
+
+class TestShardedDurability:
+    def test_batch_after_save_is_logged_and_replayed(self, tmp_path):
+        directory = str(tmp_path / "s.shards")
+        system = ShardedSeda.from_documents(DOCS, shards=2, parallel=False)
+        system.save(directory)
+        system.add_documents(BATCH)
+        expected = _sharded_answers(system)
+        assert os.path.exists(sharded_wal_file_name(directory))
+        recovered = ShardedSeda.load(directory)
+        assert _sharded_answers(recovered) == expected
+
+    def test_save_truncates_log(self, tmp_path):
+        directory = str(tmp_path / "s.shards")
+        system = ShardedSeda.from_documents(DOCS, shards=2, parallel=False)
+        system.save(directory)
+        system.add_documents(BATCH)
+        system.save(directory)
+        records, warning = replay_wal(sharded_wal_file_name(directory))
+        assert (records, warning) == ([], None)
+        recovered = ShardedSeda.load(directory)
+        assert _sharded_answers(recovered) == _sharded_answers(system)
+
+    def test_replay_matches_unsharded_answers(self, tmp_path):
+        directory = str(tmp_path / "s.shards")
+        system = ShardedSeda.from_documents(DOCS, shards=2, parallel=False)
+        system.save(directory)
+        system.add_documents(BATCH)
+        plain = Seda.from_documents(DOCS + BATCH)
+        recovered = ShardedSeda.load(directory)
+        for pairs in QUERIES:
+            assert _canon(recovered.search(pairs, k=10)) == _canon(
+                plain.topk.search(Query.parse(pairs), k=10)
+            )
