@@ -1,0 +1,250 @@
+"""SRV -- serving: sustained HTTP throughput with byte-equality gates.
+
+The server (``repro serve``) claims its concurrency buys throughput
+without buying wrong answers: every response over the wire must be
+byte-identical to an offline rebuild over the documents the server
+held at that moment.  This module drives a *real* listening server --
+sockets, HTTP parsing, admission control, the readers-writer lock --
+through the full lifecycle and measures it:
+
+* a sustained multi-client read phase over the hot query set (the
+  keep-alive JSON protocol end to end), gated on a conservative
+  queries-per-second floor *and* on every single response matching
+  the offline oracle byte for byte;
+* an online ingest phase (WAL-durable writes through the same HTTP
+  surface), followed by a second read phase against the mutated
+  oracle;
+* a drain, gated on the directory left behind answering identically
+  after a cold start.
+
+Results land in ``BENCH_serving.json`` at the repo root (gitignored;
+uploaded as a CI artifact), one section per test.
+"""
+
+import json
+import os
+import pathlib
+import threading
+import time
+
+import pytest
+
+from repro.datasets.factbook import FactbookGenerator
+from repro.query.term import Query
+from repro.serving import ServingClient, start_server
+from repro.serving.app import result_to_dict
+from repro.storage.snapshot import fsck_report
+from repro.system import Seda
+from repro.xmlio import serialize
+
+#: Mirrors ``conftest.FULL_SCALE`` (benchmarks/ is not a package).
+SCALE = float(os.environ.get("SEDA_BENCH_SCALE", "1.0"))
+
+#: Queries-per-second floor for the cache-hot read phase.  This is a
+#: smoke-level bound (keep-alive HTTP + result-cache hits run far
+#: faster): it exists to catch pathological serialization -- e.g. a
+#: lock held across the socket write -- not to race the hardware.
+MIN_READ_QPS = 20.0
+
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 40
+
+QUERY_SET = [
+    [("*", '"United States"'), ("trade_country", "*")],
+    [("trade_country", "*"), ("percentage", "*")],
+    [("*", "canada"), ("year", "*")],
+    [("*", "germany"), ("percentage", "*")],
+]
+
+ARTIFACT = pathlib.Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+
+
+def _record(section, data):
+    """Merge one section into the benchmark artifact (test-order safe)."""
+    payload = {}
+    if ARTIFACT.exists():
+        try:
+            payload = json.loads(ARTIFACT.read_text(encoding="utf-8"))
+        except ValueError:
+            payload = {}
+    payload[section] = data
+    ARTIFACT.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def _oracle(documents):
+    """Offline rebuild -> wire-form answers for every hot query."""
+    system = Seda.from_documents(list(documents))
+    answers = []
+    for pairs in QUERY_SET:
+        results = system.topk.search(Query.parse(pairs), k=10)
+        answers.append(json.dumps(
+            [result_to_dict(result) for result in results],
+            sort_keys=True, separators=(",", ":"),
+        ))
+    return answers
+
+
+def _read_phase(server, expected):
+    """CLIENTS threads, each REQUESTS_PER_CLIENT requests; returns QPS.
+
+    Every response is compared byte-for-byte against the offline
+    oracle *inside the phase*, so a consistency bug fails the gate
+    even if it only shows under concurrency.
+    """
+    errors = []
+    barrier = threading.Barrier(CLIENTS + 1)
+
+    def worker(identity):
+        try:
+            with ServingClient(server.host, server.port,
+                               client_id=f"bench-{identity}") as client:
+                barrier.wait()
+                for index in range(REQUESTS_PER_CLIENT):
+                    pick = (identity + index) % len(QUERY_SET)
+                    response = client.search(
+                        [list(pair) for pair in QUERY_SET[pick]], k=10
+                    )
+                    wire = json.dumps(response["results"],
+                                      sort_keys=True,
+                                      separators=(",", ":"))
+                    if wire != expected[pick]:
+                        errors.append(
+                            f"client {identity} request {index}: answer "
+                            f"diverged from the offline oracle"
+                        )
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(repr(error))
+
+    threads = [
+        threading.Thread(target=worker, args=(identity,))
+        for identity in range(CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=300)
+    wall = time.perf_counter() - start
+    assert errors == [], errors[:3]
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    return total / wall if wall > 0 else float("inf")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    documents = [
+        (name, serialize(root))
+        for name, root in FactbookGenerator(scale=SCALE).documents()
+    ]
+    split = max(1, int(len(documents) * 0.8))
+    initial, tail = documents[:split], documents[split:]
+    assert tail, "bench scale too small to leave online-ingest batches"
+    return initial, tail
+
+
+def test_sustained_qps_with_byte_equality(corpus, tmp_path):
+    initial, tail = corpus
+    snapshot = str(tmp_path / "factbook.snapshot")
+    Seda.from_documents(list(initial)).save(snapshot)
+
+    expected_initial = _oracle(initial)
+    expected_full = _oracle(initial + tail)
+
+    server = start_server(snapshot, workers=CLIENTS)
+    try:
+        # Phase 1: sustained reads over the initial corpus.
+        cold_qps = _read_phase(server, expected_initial)
+        warm_qps = _read_phase(server, expected_initial)
+
+        # Phase 2: online ingest through the same HTTP surface.
+        start = time.perf_counter()
+        with ServingClient(server.host, server.port,
+                           client_id="bench-writer") as client:
+            for offset in range(0, len(tail), 5):
+                client.add_documents(
+                    [list(pair) for pair in tail[offset:offset + 5]]
+                )
+        ingest_seconds = time.perf_counter() - start
+
+        # Phase 3: sustained reads over the mutated corpus.
+        mutated_qps = _read_phase(server, expected_full)
+
+        # Phase 4: drain; the leftovers must cold-start identically.
+        start = time.perf_counter()
+        with ServingClient(server.host, server.port) as client:
+            assert client.drain()["drained"] is True
+        assert server.wait(timeout=60)
+        drain_seconds = time.perf_counter() - start
+    finally:
+        server.stop()
+
+    assert fsck_report(snapshot)["ok"]
+    assert _oracle_from_load(snapshot) == expected_full, (
+        "the drained snapshot answers differently after a cold start"
+    )
+
+    assert warm_qps >= MIN_READ_QPS, (
+        f"warm serving throughput {warm_qps:.1f} q/s fell below the "
+        f"{MIN_READ_QPS} q/s floor"
+    )
+    _record("sustained_qps", {
+        "scale": SCALE,
+        "documents_initial": len(initial),
+        "documents_final": len(initial) + len(tail),
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "cold_qps": round(cold_qps, 1),
+        "warm_qps": round(warm_qps, 1),
+        "qps_after_ingest": round(mutated_qps, 1),
+        "online_ingest_seconds": round(ingest_seconds, 3),
+        "drain_seconds": round(drain_seconds, 3),
+        "min_read_qps_floor": MIN_READ_QPS,
+    })
+    print(
+        f"\n[bench-serving] scale={SCALE} clients={CLIENTS} "
+        f"cold={cold_qps:.0f}q/s warm={warm_qps:.0f}q/s "
+        f"after_ingest={mutated_qps:.0f}q/s "
+        f"ingest={ingest_seconds:.3f}s drain={drain_seconds:.3f}s"
+    )
+
+
+def _oracle_from_load(snapshot):
+    """Wire-form answers of a cold-started system (drain epilogue)."""
+    system = Seda.load(snapshot)
+    answers = []
+    for pairs in QUERY_SET:
+        results = system.topk.search(Query.parse(pairs), k=10)
+        answers.append(json.dumps(
+            [result_to_dict(result) for result in results],
+            sort_keys=True, separators=(",", ":"),
+        ))
+    return answers
+
+
+def test_sharded_server_matches_unsharded_oracle(corpus, tmp_path):
+    """Scatter-gather over HTTP: one read phase, byte-gated."""
+    from repro.shard import ShardedSeda
+
+    initial, _tail = corpus
+    directory = str(tmp_path / "factbook.shards")
+    ShardedSeda.from_documents(
+        list(initial), shards=2, parallel=False
+    ).save(directory)
+    expected = _oracle(initial)
+
+    server = start_server(directory, workers=CLIENTS)
+    try:
+        qps = _read_phase(server, expected)
+    finally:
+        server.stop()
+    _record("sharded_read_phase", {
+        "scale": SCALE,
+        "documents": len(initial),
+        "shards": 2,
+        "qps": round(qps, 1),
+    })
+    print(f"\n[bench-serving] sharded read phase {qps:.0f} q/s")

@@ -18,6 +18,7 @@ Subcommands::
     python -m repro fsck    seda.snapshot
     python -m repro fsck    seda.shards --json
     python -m repro serve-batch --queries queries.txt --workers 4
+    python -m repro serve   --snapshot seda.snapshot --port 8080
     python -m repro bench-queries --workers 4 --repeat 5 --shards 2
     python -m repro shard build seda.shards --dataset factbook --shards 4
     python -m repro shard search seda.shards --term 'percentage:*'
@@ -46,6 +47,15 @@ serving-path smoke check.  With ``--shards N`` it additionally builds
 an N-shard copy of the corpus (without value links -- hash
 partitioning does not co-locate linked documents) and equality-gates
 the scatter-gather path against an unsharded build of the same corpus.
+
+``serve`` is the long-running form: it loads a snapshot (single-file
+or sharded directory, replaying any write-ahead log), serves queries
+and **online writes** over HTTP/JSON (``/search``, ``/search_many``,
+``/explain``, ``/add_documents``, ``/healthz``, ``/metrics``), and on
+``POST /admin/drain`` -- or SIGINT/SIGTERM -- quiesces, commits a
+fresh snapshot, truncates the WAL, and exits.  See
+docs/OPERATIONS.md ("Running the server") for the endpoint reference
+and the admission-control knobs.
 
 ``shard build`` partitions a collection across N shards (parallel
 worker-process builds unless ``--serial``) and saves the sharded
@@ -82,6 +92,11 @@ import time
 
 from repro import ui
 from repro.query.term import Query
+
+# The term/query-line syntax is shared with the serving wire protocol:
+# a /search body accepts the same string form this CLI parses.
+from repro.serving.app import parse_query_line as _parse_query_line
+from repro.serving.app import parse_term as _parse_term
 from repro.storage.catalog import CollectionCatalog
 from repro.storage.snapshot import SnapshotError, snapshot_info
 from repro.summaries.dataguide import DataguideBuilder
@@ -154,22 +169,6 @@ def _build_seda(args):
     return seda
 
 
-def _parse_term(text):
-    """``context:search`` -> a (context, search) pair."""
-    if ":" in text:
-        context, search = text.split(":", 1)
-    else:
-        context, search = "*", text
-    return context.strip() or "*", search.strip() or "*"
-
-
-def _parse_query_line(line):
-    """One query file line -> a list of (context, search) pairs."""
-    return [
-        _parse_term(piece.strip())
-        for piece in line.split(";;")
-        if piece.strip()
-    ]
 
 
 #: Fallback query set for serve-batch/bench-queries without --queries:
@@ -677,6 +676,56 @@ def cmd_shard_info(args, out):
     return 0
 
 
+def cmd_serve(args, out):
+    """Serve a snapshot over HTTP until drained or interrupted.
+
+    The long-running counterpart of ``serve-batch``: loads the
+    snapshot (replaying its WAL), binds a threaded HTTP server, and
+    blocks until an ``/admin/drain`` request -- or SIGINT/SIGTERM,
+    which triggers the same graceful drain -- commits a fresh snapshot
+    and shuts the listener down.  The first output line names the
+    bound address (``--port 0`` binds an ephemeral port), so wrappers
+    can parse where to connect.
+    """
+    import signal
+
+    from repro.serving.app import ServingApp, load_serving_system
+    from repro.serving.server import ReproServer
+    from repro.testing.faults import maybe_install_kill_switch_from_env
+
+    system = _read_snapshot_or_exit(load_serving_system, args.snapshot)
+    # Arm the crash-harness kill switch, when the environment asks for
+    # it, only *after* the load: the sweep counts durable operations
+    # from the first online ingest, not from WAL replay.
+    maybe_install_kill_switch_from_env()
+    app = ServingApp(
+        system, args.snapshot, workers=args.workers,
+        max_inflight=args.max_inflight, per_client=args.per_client,
+        retry_after=args.retry_after, slow_threshold=args.slow_ms / 1000.0,
+    )
+    server = ReproServer(app, host=args.host, port=args.port)
+
+    def request_shutdown(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, request_shutdown)
+    server.start()
+    kind = "sharded" if app.sharded else "single-file"
+    print(f"serving {args.snapshot} ({kind}, "
+          f"{app.document_count()} documents) on {server.url}",
+          file=out, flush=True)
+    try:
+        while not server.wait(timeout=0.5):
+            pass
+    except KeyboardInterrupt:
+        if app.state == "serving":
+            app.handle("POST", "/admin/drain")
+        server.stop()
+    print(f"drained: snapshot committed to {args.snapshot}",
+          file=out, flush=True)
+    return 0
+
+
 # -- argument parsing -------------------------------------------------------------
 
 def build_parser():
@@ -777,12 +826,40 @@ def build_parser():
                           help="emit the report as JSON")
     info_cmd.set_defaults(handler=cmd_info)
 
-    serve = subparsers.add_parser(
+    serve_batch = subparsers.add_parser(
         "serve-batch", help="serve a batch of queries concurrently"
     )
-    add_source_options(serve)
-    add_service_options(serve)
-    serve.set_defaults(handler=cmd_serve_batch)
+    add_source_options(serve_batch)
+    add_service_options(serve_batch)
+    serve_batch.set_defaults(handler=cmd_serve_batch)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a snapshot over HTTP with online writes "
+             "(drain via POST /admin/drain or SIGINT/SIGTERM)",
+    )
+    serve.add_argument("--snapshot", required=True, metavar="PATH",
+                       help="snapshot file (or sharded directory) to "
+                            "serve; online writes are WAL-logged next "
+                            "to it and drain commits back into it")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default 0 = pick an ephemeral "
+                            "port, printed on the first output line)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="concurrent query workers (default 4)")
+    serve.add_argument("--max-inflight", type=int, default=64,
+                       help="admission cap on concurrent requests "
+                            "(default 64; excess gets 429)")
+    serve.add_argument("--per-client", type=int, default=16,
+                       help="per-client concurrent-request cap "
+                            "(default 16)")
+    serve.add_argument("--retry-after", type=int, default=1,
+                       help="Retry-After seconds on 429 (default 1)")
+    serve.add_argument("--slow-ms", type=float, default=100.0,
+                       help="slow-query log threshold in ms (default 100)")
+    serve.set_defaults(handler=cmd_serve)
 
     bench = subparsers.add_parser(
         "bench-queries",

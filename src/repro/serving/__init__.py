@@ -1,0 +1,46 @@
+"""Long-running serving: the HTTP daemon over snapshots and the WAL.
+
+Everything before this package ran build-then-query inside one process
+invocation; ``repro serve`` turns the system into a daemon that serves
+queries while documents stream in.  The pieces:
+
+* :mod:`~repro.serving.app` -- endpoint logic, readers-writer
+  consistency, and the drain/reload lifecycle (socket-free, the unit
+  under test).
+* :mod:`~repro.serving.server` -- the threaded stdlib HTTP layer and
+  :func:`~repro.serving.server.start_server`.
+* :mod:`~repro.serving.client` -- a keep-alive JSON client
+  (:class:`~repro.serving.client.ServingClient`).
+* :mod:`~repro.serving.admission` -- bounded in-flight admission
+  control with per-client fairness (429 + ``Retry-After``).
+* :mod:`~repro.serving.rwlock` -- the writer-priority readers-writer
+  lock behind the single-writer / many-readers serving contract.
+
+Quick start::
+
+    from repro.serving import ServingClient, start_server
+
+    server = start_server("collection.snapshot")
+    with ServingClient(server.host, server.port) as client:
+        hits = client.search('*:"United States" ;; trade_country:*')
+        client.add_documents([("new-doc", "<country>...</country>")])
+        client.drain()                  # snapshot committed, WAL empty
+    server.wait()
+"""
+
+from repro.serving.admission import AdmissionController
+from repro.serving.app import ServingApp, load_serving_system
+from repro.serving.client import ServerError, ServingClient
+from repro.serving.rwlock import ReadWriteLock
+from repro.serving.server import ReproServer, start_server
+
+__all__ = [
+    "AdmissionController",
+    "ReadWriteLock",
+    "ReproServer",
+    "ServerError",
+    "ServingApp",
+    "ServingClient",
+    "load_serving_system",
+    "start_server",
+]

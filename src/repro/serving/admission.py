@@ -1,0 +1,185 @@
+"""Admission control: bounded in-flight work with per-client fairness.
+
+A long-running server cannot let load grow without bound -- every
+admitted request pins a worker thread, a searcher, and memory, so past
+a point more admissions only add latency for everyone.  The
+:class:`AdmissionController` enforces two limits *before* any work
+starts:
+
+* ``max_inflight`` -- total requests executing at once.  At the limit
+  new requests are rejected immediately (HTTP 429 + ``Retry-After``),
+  which is backpressure the client can act on, instead of an
+  ever-deepening queue it cannot see.
+* ``per_client`` -- concurrent requests per client identity (the
+  ``X-Repro-Client`` header, falling back to the peer address), so one
+  greedy client saturating its connection pool cannot consume the
+  whole global budget.
+
+Rejection is cheap and stateless: counters move only on admit/release,
+and the controller never queues.  The *drain* lifecycle rides the same
+counters: :meth:`begin_drain` atomically stops admissions (rejections
+then say "draining", HTTP 503) and :meth:`wait_idle` blocks until the
+already-admitted requests finish -- the quiesce step of a graceful
+shutdown.
+
+Everything is condition-variable based; there are no timers, so tests
+drive every state transition deterministically.
+"""
+
+import threading
+import time
+
+#: Rejection reasons, also the ``reason`` field of the 429/503 body.
+REJECT_SATURATED = "saturated"
+REJECT_CLIENT_LIMIT = "client-limit"
+REJECT_DRAINING = "draining"
+
+
+class AdmissionDecision:
+    """The outcome of one admission attempt."""
+
+    __slots__ = ("admitted", "reason", "retry_after")
+
+    def __init__(self, admitted, reason=None, retry_after=None):
+        self.admitted = admitted
+        self.reason = reason
+        #: Suggested client backoff in seconds (the ``Retry-After``
+        #: header); ``None`` for draining -- the server is going away.
+        self.retry_after = retry_after
+
+    def __bool__(self):
+        return self.admitted
+
+    def __repr__(self):
+        if self.admitted:
+            return "AdmissionDecision(admitted)"
+        return (
+            f"AdmissionDecision(rejected, reason={self.reason!r}, "
+            f"retry_after={self.retry_after})"
+        )
+
+
+class AdmissionController:
+    """Thread-safe in-flight accounting with global and per-client caps."""
+
+    def __init__(self, max_inflight=64, per_client=16, retry_after=1):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if per_client < 1:
+            raise ValueError("per_client must be >= 1")
+        self.max_inflight = int(max_inflight)
+        self.per_client = int(per_client)
+        self.retry_after = retry_after
+        self._condition = threading.Condition()
+        self._inflight = 0
+        self._per_client = {}
+        self._draining = False
+        # Lifetime counters for /metrics.
+        self.admitted_total = 0
+        self.rejected = {
+            REJECT_SATURATED: 0,
+            REJECT_CLIENT_LIMIT: 0,
+            REJECT_DRAINING: 0,
+        }
+        self.peak_inflight = 0
+
+    # -- admission ------------------------------------------------------------
+
+    def admit(self, client):
+        """Try to admit one request for ``client``.
+
+        Returns an :class:`AdmissionDecision`; when it is truthy the
+        caller *must* pair it with :meth:`release` (try/finally).
+        """
+        with self._condition:
+            if self._draining:
+                self.rejected[REJECT_DRAINING] += 1
+                return AdmissionDecision(False, REJECT_DRAINING, None)
+            if self._inflight >= self.max_inflight:
+                self.rejected[REJECT_SATURATED] += 1
+                return AdmissionDecision(
+                    False, REJECT_SATURATED, self.retry_after
+                )
+            held = self._per_client.get(client, 0)
+            if held >= self.per_client:
+                self.rejected[REJECT_CLIENT_LIMIT] += 1
+                return AdmissionDecision(
+                    False, REJECT_CLIENT_LIMIT, self.retry_after
+                )
+            self._inflight += 1
+            self._per_client[client] = held + 1
+            self.admitted_total += 1
+            self.peak_inflight = max(self.peak_inflight, self._inflight)
+            return AdmissionDecision(True)
+
+    def release(self, client):
+        """Return one admitted request's slot (global and per-client)."""
+        with self._condition:
+            self._inflight -= 1
+            held = self._per_client.get(client, 0) - 1
+            if held <= 0:
+                self._per_client.pop(client, None)
+            else:
+                self._per_client[client] = held
+            self._condition.notify_all()
+
+    # -- drain lifecycle ------------------------------------------------------
+
+    @property
+    def draining(self):
+        with self._condition:
+            return self._draining
+
+    @property
+    def inflight(self):
+        with self._condition:
+            return self._inflight
+
+    def begin_drain(self):
+        """Stop admitting; already-admitted requests keep running."""
+        with self._condition:
+            self._draining = True
+            self._condition.notify_all()
+
+    def wait_idle(self, leftover=0, timeout=None):
+        """Block until at most ``leftover`` requests remain in flight.
+
+        The drain handler passes ``leftover=0`` (admin endpoints
+        bypass admission, so it holds no slot itself).  Returns
+        ``True`` on quiesce, ``False`` on timeout (the caller decides
+        whether to force shutdown anyway).
+        """
+        with self._condition:
+            if timeout is None:
+                while self._inflight > leftover:
+                    self._condition.wait()
+                return True
+            end = time.monotonic() + float(timeout)
+            while self._inflight > leftover:
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._condition.wait(remaining)
+            return True
+
+    # -- reporting ------------------------------------------------------------
+
+    def counters(self):
+        """JSON-clean admission counters for ``/metrics``."""
+        with self._condition:
+            return {
+                "max_inflight": self.max_inflight,
+                "per_client_limit": self.per_client,
+                "inflight": self._inflight,
+                "peak_inflight": self.peak_inflight,
+                "admitted_total": self.admitted_total,
+                "rejected": dict(self.rejected),
+                "draining": self._draining,
+            }
+
+    def __repr__(self):
+        return (
+            f"AdmissionController(inflight={self._inflight}/"
+            f"{self.max_inflight}, per_client<={self.per_client}, "
+            f"draining={self._draining})"
+        )

@@ -1,0 +1,183 @@
+"""A small stdlib client for the serving API.
+
+:class:`ServingClient` speaks the JSON protocol of
+:mod:`repro.serving.app` over one keep-alive ``http.client``
+connection (reconnecting transparently when the server closed it), so
+tests, benchmarks, and operators' scripts don't each reinvent request
+encoding.  Non-2xx responses raise :class:`ServerError` carrying the
+status, the decoded error payload, and the parsed ``Retry-After``
+backoff -- the admission-control tests assert on exactly these fields.
+
+One client instance is one logical client for admission accounting
+(its ``client_id`` rides every request in the ``X-Repro-Client``
+header) and is **not** thread-safe: concurrent callers create one
+client per thread, which also matches how per-client limits are
+counted.
+"""
+
+import http.client
+import json
+
+from repro.serving.server import CLIENT_HEADER, TEST_DELAY_HEADER
+
+
+class ServerError(RuntimeError):
+    """A non-2xx response from the serving API."""
+
+    def __init__(self, status, payload, retry_after=None):
+        self.status = status
+        self.payload = payload if isinstance(payload, dict) else {}
+        #: Parsed ``Retry-After`` seconds, when the server sent one.
+        self.retry_after = retry_after
+        detail = self.payload.get("error", payload)
+        super().__init__(f"HTTP {status}: {detail}")
+
+
+class ServingClient:
+    """JSON client over one reusable connection to a repro server."""
+
+    def __init__(self, host, port, client_id=None, timeout=30):
+        self.host = host
+        self.port = int(port)
+        self.client_id = client_id
+        self.timeout = timeout
+        self._connection = None
+
+    # -- transport ------------------------------------------------------------
+
+    def _connect(self):
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self):
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def request(self, method, path, body=None, headers=None):
+        """One API call; returns the decoded payload (dict or text).
+
+        Retries exactly once on a dead keep-alive connection (the
+        server may close idle connections or have restarted); a
+        request that *reached* the server is never resent.
+        """
+        encoded = None
+        send_headers = {}
+        if body is not None:
+            encoded = json.dumps(body).encode("utf-8")
+            send_headers["Content-Type"] = "application/json"
+        if self.client_id:
+            send_headers[CLIENT_HEADER] = self.client_id
+        send_headers.update(headers or {})
+        try:
+            response = self._roundtrip(method, path, encoded, send_headers)
+        except (http.client.NotConnected, http.client.CannotSendRequest,
+                BrokenPipeError, ConnectionResetError,
+                http.client.BadStatusLine, http.client.RemoteDisconnected):
+            # Stale keep-alive connection: reconnect and retry once.
+            self.close()
+            response = self._roundtrip(method, path, encoded, send_headers)
+        status, payload, retry_after = response
+        if status >= 400:
+            raise ServerError(status, payload, retry_after)
+        return payload
+
+    def _roundtrip(self, method, path, encoded, headers):
+        connection = self._connect()
+        connection.request(method, path, body=encoded, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+        if response.will_close:
+            self.close()
+        retry_after = response.getheader("Retry-After")
+        if retry_after is not None:
+            retry_after = float(retry_after)
+        content_type = response.getheader("Content-Type", "")
+        if content_type.startswith("application/json"):
+            payload = json.loads(raw.decode("utf-8")) if raw else None
+        else:
+            payload = raw.decode("utf-8")
+        return response.status, payload, retry_after
+
+    # -- the API --------------------------------------------------------------
+
+    def search(self, query, k=10, test_delay=None):
+        """``POST /search``; the response dict (``results``, ``generation``,
+        ``cache_hit``).  ``query`` is a pair list or a query-line string."""
+        headers = (
+            {TEST_DELAY_HEADER: str(test_delay)} if test_delay else None
+        )
+        return self.request(
+            "POST", "/search", {"query": _wire_query(query), "k": k},
+            headers=headers,
+        )
+
+    def search_many(self, queries, k=10):
+        """``POST /search_many``; per-query result lists in input order."""
+        return self.request(
+            "POST", "/search_many",
+            {"queries": [_wire_query(query) for query in queries], "k": k},
+        )
+
+    def explain(self, query, k=10):
+        """``POST /explain``; the execution profile report."""
+        return self.request(
+            "POST", "/explain", {"query": _wire_query(query), "k": k}
+        )
+
+    def add_documents(self, documents, value_links=None):
+        """``POST /add_documents``; documents as ``(name, xml)`` pairs
+        or bare XML strings.  Acknowledged means WAL-durable."""
+        wire = [
+            list(entry) if isinstance(entry, (tuple, list)) else entry
+            for entry in documents
+        ]
+        body = {"documents": wire}
+        if value_links:
+            body["value_links"] = [
+                spec if isinstance(spec, dict) else spec.to_dict()
+                for spec in value_links
+            ]
+        return self.request("POST", "/add_documents", body)
+
+    def healthz(self):
+        """``GET /healthz``; the liveness/lifecycle report."""
+        return self.request("GET", "/healthz")
+
+    def metrics(self, as_json=True):
+        """``GET /metrics``; JSON tree or Prometheus text."""
+        path = "/metrics?format=json" if as_json else "/metrics"
+        return self.request("GET", path)
+
+    def drain(self):
+        """``POST /admin/drain``; quiesce, snapshot, shut down."""
+        return self.request("POST", "/admin/drain")
+
+    def reload(self):
+        """``POST /admin/reload``; swap in the on-disk snapshot+WAL."""
+        return self.request("POST", "/admin/reload")
+
+    # -- context manager ------------------------------------------------------
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return (
+            f"ServingClient({self.host}:{self.port}, "
+            f"client_id={self.client_id!r})"
+        )
+
+
+def _wire_query(query):
+    """Wire form of a query: strings pass through, pairs listify."""
+    if isinstance(query, str):
+        return query
+    return [list(pair) for pair in query]

@@ -1,0 +1,89 @@
+"""Writer-priority readers-writer lock: the serving-path discipline.
+
+The query service's contract is single-writer / many-readers:
+mutations (``add_documents``, reload, drain) must be serialized
+against query execution, but between mutations any number of reader
+threads may serve concurrently.  Up to now that discipline was the
+*caller's* problem (``tests/test_serving_stress.py`` modeled it with a
+private lock); the long-running server makes it a product concern, so
+the lock lives here.
+
+Writer priority: once a writer is waiting, new readers block until it
+runs.  Without it a steady query stream would starve ingestion forever
+-- the classic readers-writer pathology, exactly wrong for a server
+whose writes carry durability acknowledgments.
+
+The lock is not reentrant.  Guard blocks with the context managers::
+
+    with lock.read():    # many concurrently
+        ...serve a query...
+    with lock.write():   # exclusive
+        ...mutate the indexes...
+"""
+
+import contextlib
+import threading
+
+
+class ReadWriteLock:
+    """Writer-priority RW lock built on one condition variable."""
+
+    def __init__(self):
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # -- reader side ----------------------------------------------------------
+
+    def acquire_read(self):
+        with self._condition:
+            while self._writer or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self):
+        with self._condition:
+            self._readers -= 1
+            self._condition.notify_all()
+
+    # -- writer side ----------------------------------------------------------
+
+    def acquire_write(self):
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self):
+        with self._condition:
+            self._writer = False
+            self._condition.notify_all()
+
+    # -- context managers -----------------------------------------------------
+
+    @contextlib.contextmanager
+    def read(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextlib.contextmanager
+    def write(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    def __repr__(self):
+        return (
+            f"ReadWriteLock(readers={self._readers}, "
+            f"writer={self._writer}, waiting={self._writers_waiting})"
+        )

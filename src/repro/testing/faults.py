@@ -25,10 +25,34 @@ Everything restores cleanly: both the injector (a context manager) and
 the kill switch's :func:`uninstall_kill_switch` put the original
 functions back, and injection state is process-local -- no globals
 survive a ``with`` block.
+
+Multi-process use
+-----------------
+
+Both tools patch *this process's* seams only -- monkeypatching never
+crosses a ``fork``/``exec`` boundary, so arming an injector in a test
+process does nothing to a server subprocess.  To fault a subprocess,
+arm the switch *inside it*:
+
+* A writer child you control (the classic crash harness) imports and
+  calls :func:`install_kill_switch` itself before its workload --
+  see the ``CHILD`` script in ``tests/test_crash_recovery.py``.
+* A process you start through an entry point (``repro serve``) is
+  armed through the environment: export ``REPRO_KILL_SWITCH=n`` and
+  the entry point's :func:`maybe_install_kill_switch_from_env` call
+  installs the switch at operation ``n`` in *that* process.  The
+  variable is read once at startup; an unset or empty variable is a
+  no-op, so production invocations are unaffected.  The serving crash
+  sweep (``tests/test_server_crash.py``) SIGKILLs a live server
+  mid-ingest exactly this way.
 """
 
 import os
 import signal
+
+#: Environment variable arming the kill switch across an exec boundary
+#: (``REPRO_KILL_SWITCH=n`` -> die at the n-th durable seam operation).
+KILL_SWITCH_ENV = "REPRO_KILL_SWITCH"
 
 from repro.storage import durable, wal
 
@@ -194,3 +218,29 @@ def uninstall_kill_switch():
     for module, attribute, original in state["originals"]:
         setattr(module, attribute, original)
     _kill_state["installed"] = None
+
+
+def maybe_install_kill_switch_from_env(environ=None):
+    """Arm the kill switch from ``REPRO_KILL_SWITCH``, if set.
+
+    The cross-process arming seam: a parent test exports
+    ``REPRO_KILL_SWITCH=n`` and execs an entry point (``repro
+    serve``); the entry point calls this once at startup and the n-th
+    durable operation of the child SIGKILLs it mid-operation.  Returns
+    the installed state dict, or ``None`` when the variable is unset,
+    empty, or not a positive integer (never raises -- a stray value
+    in a production environment must not take the server down at
+    boot; dying is strictly the armed switch's job).
+    """
+    value = (environ if environ is not None else os.environ).get(
+        KILL_SWITCH_ENV, ""
+    ).strip()
+    if not value:
+        return None
+    try:
+        operations = int(value)
+    except ValueError:
+        return None
+    if operations < 1:
+        return None
+    return install_kill_switch(operations)

@@ -1,0 +1,624 @@
+"""The serving-path battery: lifecycle, consistency, and admission.
+
+``repro serve`` turns the system into a long-running daemon; this file
+tests the daemon the way operators meet it -- over a real socket --
+plus unit coverage for the two primitives underneath it
+(:class:`~repro.serving.rwlock.ReadWriteLock`,
+:class:`~repro.serving.admission.AdmissionController`) and the
+socket-free :class:`~repro.serving.app.ServingApp` protocol surface:
+
+* start / serve / online-ingest / drain over HTTP, with the drained
+  directory fsck-clean and its write-ahead log empty;
+* concurrent readers against a mutating writer, every answer checked
+  against ground truth at the generation it was served under;
+* admission rejection (429 + ``Retry-After``, per-client and global)
+  and recovery once slots free up, driven deterministically via the
+  debug-only test-delay header;
+* ``/healthz`` and ``/metrics`` (JSON and Prometheus text) contents;
+* ``/admin/reload`` swapping in the on-disk snapshot + WAL;
+* the ``repro serve`` CLI as a real subprocess, drained over HTTP and
+  via SIGTERM;
+* the cross-process fault-injection seam (``REPRO_KILL_SWITCH``),
+  regression-testing that a subprocess really dies at its own durable
+  seams (monkeypatching never crosses exec -- see
+  ``repro.testing.faults``).
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.query.term import Query
+from repro.serving import (
+    AdmissionController,
+    ReadWriteLock,
+    ServerError,
+    ServingApp,
+    ServingClient,
+    load_serving_system,
+    start_server,
+)
+from repro.serving.admission import (
+    REJECT_CLIENT_LIMIT,
+    REJECT_DRAINING,
+    REJECT_SATURATED,
+)
+from repro.serving.app import parse_query_payload, result_to_dict
+from repro.storage.snapshot import fsck_report
+from repro.storage.wal import verify_wal, wal_file_name
+from repro.system import Seda
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _doc(index):
+    names = ("France", "Spain", "Chile", "Japan", "Ghana", "Peru")
+    name = names[index % len(names)]
+    return (
+        f"doc-{index}",
+        f"<country><name>{name} city{index}</name>"
+        f"<gdp>{100 * (index + 1)}</gdp>"
+        f"<year>{2000 + index}</year></country>",
+    )
+
+
+BASE_DOCS = [_doc(index) for index in range(6)]
+QUERY = "name:* ;; gdp:*"
+
+
+def _build_snapshot(tmp_path, name="seda.snapshot"):
+    path = str(tmp_path / name)
+    Seda.from_documents(list(BASE_DOCS)).save(path)
+    return path
+
+
+def _offline_results(documents, query=QUERY, k=10):
+    """Ground truth: a fresh offline build over ``documents``."""
+    system = Seda.from_documents(list(documents))
+    results = system.topk.search(parse_query_payload(query), k=k)
+    return [result_to_dict(result) for result in results]
+
+
+# -- the primitives ----------------------------------------------------------------
+
+
+class TestReadWriteLock:
+    def test_readers_share_writers_exclude(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        lock.acquire_read()       # two readers coexist
+        lock.release_read()
+
+        acquired = []
+
+        def writer():
+            with lock.write():
+                acquired.append("write")
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        time.sleep(0.05)
+        assert acquired == []     # blocked behind the live reader
+        lock.release_read()
+        thread.join(timeout=5)
+        assert acquired == ["write"]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        order = []
+
+        def writer():
+            with lock.write():
+                order.append("writer")
+
+        def late_reader():
+            with lock.read():
+                order.append("reader")
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        time.sleep(0.05)          # writer is now waiting on the reader
+        reader_thread = threading.Thread(target=late_reader)
+        reader_thread.start()
+        time.sleep(0.05)
+        assert order == []        # late reader must queue behind the writer
+        lock.release_read()
+        writer_thread.join(timeout=5)
+        reader_thread.join(timeout=5)
+        assert order == ["writer", "reader"]
+
+
+class TestAdmissionController:
+    def test_global_saturation(self):
+        control = AdmissionController(max_inflight=2, per_client=2)
+        assert control.admit("a")
+        assert control.admit("b")
+        decision = control.admit("c")
+        assert not decision
+        assert decision.reason == REJECT_SATURATED
+        assert decision.retry_after == 1
+        control.release("a")
+        assert control.admit("c")
+        assert control.inflight == 2
+        assert control.peak_inflight == 2
+
+    def test_per_client_limit(self):
+        control = AdmissionController(max_inflight=10, per_client=1)
+        assert control.admit("greedy")
+        decision = control.admit("greedy")
+        assert not decision
+        assert decision.reason == REJECT_CLIENT_LIMIT
+        assert control.admit("other")   # global budget still open
+        control.release("greedy")
+        assert control.admit("greedy")
+
+    def test_drain_rejects_and_quiesces(self):
+        control = AdmissionController(max_inflight=4, per_client=4)
+        assert control.admit("a")
+        control.begin_drain()
+        decision = control.admit("b")
+        assert not decision and decision.reason == REJECT_DRAINING
+        assert decision.retry_after is None
+        assert not control.wait_idle(timeout=0.05)   # still one in flight
+        control.release("a")
+        assert control.wait_idle(timeout=5)
+
+    def test_counters_shape(self):
+        control = AdmissionController(max_inflight=1, per_client=1)
+        control.admit("a")
+        control.admit("a")              # rejected: saturated
+        counters = control.counters()
+        assert counters["inflight"] == 1
+        assert counters["admitted_total"] == 1
+        assert counters["rejected"][REJECT_SATURATED] == 1
+        assert counters["draining"] is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(per_client=0)
+
+
+# -- the socket-free protocol surface ----------------------------------------------
+
+
+class TestServingAppProtocol:
+    @pytest.fixture
+    def app(self, tmp_path):
+        snapshot = _build_snapshot(tmp_path)
+        return ServingApp(load_serving_system(snapshot), snapshot)
+
+    def test_unknown_path_404(self, app):
+        assert app.handle("GET", "/nope").status == 404
+
+    def test_wrong_method_405(self, app):
+        response = app.handle("GET", "/search")
+        assert response.status == 405
+        assert response.headers["Allow"] == "POST"
+
+    def test_malformed_query_400(self, app):
+        assert app.handle("POST", "/search", body={}).status == 400
+        assert app.handle(
+            "POST", "/search", body={"query": 7}
+        ).status == 400
+        assert app.handle(
+            "POST", "/add_documents", body={"documents": []}
+        ).status == 400
+
+    def test_draining_rejects_admitted_endpoints_503(self, app):
+        app.admission.begin_drain()
+        response = app.handle("POST", "/search", body={"query": QUERY})
+        assert response.status == 503
+        assert response.payload["reason"] == REJECT_DRAINING
+        # Monitoring still answers.
+        assert app.handle("GET", "/healthz").status == 200
+
+    def test_drain_is_once_only(self, app):
+        assert app.handle("POST", "/admin/drain").status == 200
+        assert app.state == "drained"
+        assert app.handle("POST", "/admin/drain").status == 409
+        assert app.handle("POST", "/admin/reload").status == 409
+
+
+# -- the real socket ---------------------------------------------------------------
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A started server over a fresh snapshot; stops on teardown."""
+    snapshot = _build_snapshot(tmp_path)
+    server = start_server(snapshot)
+    try:
+        yield snapshot, server
+    finally:
+        server.stop()
+
+
+class TestServerLifecycle:
+    def test_serve_ingest_drain_roundtrip(self, served):
+        snapshot, server = served
+        with ServingClient(server.host, server.port) as client:
+            health = client.healthz()
+            assert health["status"] == "serving"
+            assert health["sharded"] is False
+            assert health["documents"] == len(BASE_DOCS)
+            assert health["snapshot"] == snapshot
+
+            before = client.search(QUERY)
+            assert before["results"] == _offline_results(BASE_DOCS)
+
+            extra = _doc(100)
+            added = client.add_documents([list(extra)])
+            assert added["added"] == 1
+            assert added["documents"] == len(BASE_DOCS) + 1
+            assert added["generation"] != before["generation"]
+
+            # Acknowledged means WAL-durable, before any drain.
+            wal = verify_wal(wal_file_name(snapshot))
+            assert wal["present"] and wal["records"] == 1
+
+            after = client.search(QUERY)
+            assert after["results"] == _offline_results(BASE_DOCS + [extra])
+
+            drained = client.drain()
+            assert drained["drained"] is True
+            assert drained["documents"] == len(BASE_DOCS) + 1
+
+        # The listener shuts itself down after the drain response.
+        assert server.wait(timeout=10)
+
+        # The directory left behind is exactly a clean cold-start:
+        # fsck-clean snapshot, empty WAL, and the online write inside.
+        report = fsck_report(snapshot)
+        assert report["ok"], report
+        wal = verify_wal(wal_file_name(snapshot))
+        assert wal["records"] == 0 and wal["error"] is None
+        reloaded = Seda.load(snapshot)
+        assert len(reloaded.collection.documents) == len(BASE_DOCS) + 1
+
+    def test_search_many_and_explain(self, served):
+        _, server = served
+        queries = [QUERY, "year:*", [["name", "france"]]]
+        with ServingClient(server.host, server.port) as client:
+            batch = client.search_many(queries, k=5)
+            assert len(batch["results"]) == len(queries)
+            single = [
+                client.search(query, k=5)["results"] for query in queries
+            ]
+            assert batch["results"] == single
+
+            report = client.explain(QUERY, k=5)
+            assert report["k"] == 5
+            assert len(report["results"]) == len(
+                client.search(QUERY, k=5)["results"]
+            )
+            assert report["per_term"]
+
+    def test_metrics_exposition(self, served):
+        _, server = served
+        with ServingClient(server.host, server.port) as client:
+            client.search(QUERY)
+            client.search(QUERY)        # second hit comes from the cache
+            tree = client.metrics(as_json=True)
+            assert tree["server"]["requests_total"]["search"] == 2
+            assert tree["server"]["documents"] == len(BASE_DOCS)
+            assert tree["admission"]["admitted_total"] == 2
+            assert tree["registry"]["total_queries"] == 2
+            (row,) = tree["registry"]["fingerprints"].values()
+            assert row["count"] == 2 and row["cache_hits"] == 1
+
+            text = client.metrics(as_json=False)
+            assert f"repro_documents {len(BASE_DOCS)}" in text
+            assert 'repro_requests_total{endpoint="search"} 2' in text
+            assert "repro_queries_total 2" in text
+            assert 'quantile="p99"' in text
+
+    def test_reload_keeps_online_writes(self, served):
+        snapshot, server = served
+        extra = _doc(200)
+        with ServingClient(server.host, server.port) as client:
+            client.add_documents([list(extra)])
+            reloaded = client.reload()
+            # The reload replays the WAL beside the snapshot, so the
+            # acknowledged-but-not-snapshotted write survives the swap.
+            assert reloaded["reloaded"] is True
+            assert reloaded["documents"] == len(BASE_DOCS) + 1
+            results = client.search(QUERY)["results"]
+            assert results == _offline_results(BASE_DOCS + [extra])
+
+    def test_concurrent_readers_with_online_writer(self, served):
+        _, server = served
+        rounds, readers = 5, 3
+        errors = []
+        observed = []
+        truth = {}
+        truth_lock = threading.Lock()
+
+        def snapshot_truth(documents, generation):
+            with truth_lock:
+                truth[json.dumps(generation)] = _offline_results(documents)
+
+        def reader():
+            try:
+                with ServingClient(server.host, server.port) as client:
+                    for _ in range(rounds):
+                        response = client.search(QUERY)
+                        observed.append(
+                            (json.dumps(response["generation"]),
+                             response["results"])
+                        )
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def writer():
+            try:
+                documents = list(BASE_DOCS)
+                with ServingClient(server.host, server.port) as client:
+                    snapshot_truth(
+                        documents, client.healthz()["generation"]
+                    )
+                    for index in range(3):
+                        extra = _doc(300 + index)
+                        documents.append(extra)
+                        added = client.add_documents([list(extra)])
+                        snapshot_truth(documents, added["generation"])
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=reader) for _ in range(readers)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        assert len(observed) == rounds * readers
+        for generation, results in observed:
+            assert generation in truth, (
+                f"answer served under unknown generation {generation}"
+            )
+            assert results == truth[generation], (
+                f"stale answer at generation {generation}"
+            )
+
+
+class TestShardedServerLifecycle:
+    def test_sharded_serve_ingest_drain(self, tmp_path):
+        from repro.shard import ShardedSeda
+        from repro.storage.wal import sharded_wal_file_name
+
+        directory = str(tmp_path / "seda.shards")
+        ShardedSeda.from_documents(
+            list(BASE_DOCS), shards=2, parallel=False
+        ).save(directory)
+        server = start_server(directory)
+        try:
+            with ServingClient(server.host, server.port) as client:
+                health = client.healthz()
+                assert health["sharded"] is True
+                assert health["documents"] == len(BASE_DOCS)
+
+                extra = _doc(500)
+                client.add_documents([list(extra)])
+                results = client.search(QUERY)["results"]
+                offline = ShardedSeda.from_documents(
+                    list(BASE_DOCS) + [extra], shards=2, parallel=False
+                ).search(parse_query_payload(QUERY), k=10)
+                assert results == [
+                    result_to_dict(result) for result in offline
+                ]
+
+                report = client.explain(QUERY, k=5)
+                assert report["sharded"] is True
+                assert len(report["per_shard"]) == 2
+
+                assert client.drain()["drained"] is True
+            assert server.wait(timeout=10)
+        finally:
+            server.stop()
+        assert fsck_report(directory)["ok"]
+        wal = verify_wal(sharded_wal_file_name(directory))
+        assert wal["records"] == 0 and wal["error"] is None
+        reloaded = ShardedSeda.load(directory)
+        assert reloaded.document_count == len(BASE_DOCS) + 1
+
+
+class TestAdmissionOverHttp:
+    @pytest.fixture
+    def debug_server(self, tmp_path):
+        """A tiny admission window + the test-delay header enabled."""
+        snapshot = _build_snapshot(tmp_path)
+        app = ServingApp(
+            load_serving_system(snapshot), snapshot,
+            max_inflight=2, per_client=1, retry_after=3, debug=True,
+        )
+        from repro.serving.server import ReproServer
+
+        server = ReproServer(app).start()
+        try:
+            yield server
+        finally:
+            server.stop()
+
+    def _hold_slot(self, server, client_id, seconds):
+        """A thread holding one admitted slot open for ``seconds``."""
+        def hold():
+            with ServingClient(server.host, server.port,
+                               client_id=client_id) as client:
+                client.search(QUERY, test_delay=seconds)
+
+        thread = threading.Thread(target=hold)
+        thread.start()
+        return thread
+
+    def _await_inflight(self, server, count):
+        with ServingClient(server.host, server.port) as client:
+            deadline = time.monotonic() + 10
+            while client.healthz()["inflight"] < count:
+                assert time.monotonic() < deadline, "slots never filled"
+                time.sleep(0.01)
+
+    def test_per_client_then_global_rejection_then_recovery(
+        self, debug_server
+    ):
+        server = debug_server
+        holders = [self._hold_slot(server, "holder-1", 0.8)]
+        self._await_inflight(server, 1)
+
+        # Same identity as the holder, global budget still open: the
+        # per-client cap fires (saturation is checked first, so this
+        # must happen below max_inflight).
+        with ServingClient(server.host, server.port,
+                           client_id="holder-1") as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.search(QUERY)
+        assert excinfo.value.status == 429
+        assert excinfo.value.payload["reason"] == REJECT_CLIENT_LIMIT
+        assert excinfo.value.retry_after == 3.0
+
+        holders.append(self._hold_slot(server, "holder-2", 0.8))
+        self._await_inflight(server, 2)
+
+        # A fresh identity: the global max_inflight=2 cap fires.
+        with ServingClient(server.host, server.port,
+                           client_id="fresh") as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.search(QUERY)
+            assert excinfo.value.status == 429
+            assert excinfo.value.payload["reason"] == REJECT_SATURATED
+
+            # Monitoring bypasses admission even at saturation.
+            assert client.healthz()["inflight"] == 2
+
+            for thread in holders:
+                thread.join(timeout=30)
+            # Slots released: the same client is admitted again.
+            assert client.search(QUERY)["results"]
+
+        rejected = server.app.admission.counters()["rejected"]
+        assert rejected[REJECT_CLIENT_LIMIT] == 1
+        assert rejected[REJECT_SATURATED] == 1
+
+
+# -- the CLI subprocess ------------------------------------------------------------
+
+
+def _spawn_serve(snapshot, env_extra=None):
+    env = dict(os.environ,
+               PYTHONPATH=os.path.join(REPO_ROOT, "src"),
+               **(env_extra or {}))
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--snapshot", snapshot, "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env, cwd=REPO_ROOT,
+    )
+    banner = process.stdout.readline()
+    match = re.search(r"http://([\d.]+):(\d+)", banner)
+    if match is None:
+        process.kill()
+        raise AssertionError(f"no address in serve banner: {banner!r}"
+                             f"\n{process.stdout.read()}")
+    return process, match.group(1), int(match.group(2))
+
+
+class TestServeCli:
+    def test_subprocess_serve_drain_exits_clean(self, tmp_path):
+        snapshot = _build_snapshot(tmp_path)
+        process, host, port = _spawn_serve(snapshot)
+        try:
+            with ServingClient(host, port) as client:
+                assert client.healthz()["status"] == "serving"
+                client.add_documents([list(_doc(400))])
+                assert client.drain()["drained"] is True
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+        assert "drained: snapshot committed" in process.stdout.read()
+        assert fsck_report(snapshot)["ok"]
+        assert verify_wal(wal_file_name(snapshot))["records"] == 0
+
+    def test_subprocess_sigterm_drains(self, tmp_path):
+        snapshot = _build_snapshot(tmp_path)
+        process, host, port = _spawn_serve(snapshot)
+        try:
+            with ServingClient(host, port) as client:
+                client.add_documents([list(_doc(401))])
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+        # SIGTERM took the same graceful path as /admin/drain.
+        assert fsck_report(snapshot)["ok"]
+        assert verify_wal(wal_file_name(snapshot))["records"] == 0
+        reloaded = Seda.load(snapshot)
+        assert len(reloaded.collection.documents) == len(BASE_DOCS) + 1
+
+
+# -- the cross-process fault seam --------------------------------------------------
+
+_KILL_CHILD = """
+import sys
+from repro.testing.faults import maybe_install_kill_switch_from_env
+from repro.system import Seda
+
+maybe_install_kill_switch_from_env()
+seda = Seda.from_documents(["<a>payload</a>"])
+seda.save(sys.argv[1])
+print("SURVIVED", flush=True)
+"""
+
+
+class TestKillSwitchEnv:
+    def test_env_parsing(self, monkeypatch):
+        from repro.testing import faults
+
+        monkeypatch.delenv(faults.KILL_SWITCH_ENV, raising=False)
+        assert faults.maybe_install_kill_switch_from_env() is None
+        assert faults.maybe_install_kill_switch_from_env(
+            {faults.KILL_SWITCH_ENV: "garbage"}) is None
+        assert faults.maybe_install_kill_switch_from_env(
+            {faults.KILL_SWITCH_ENV: "0"}) is None
+        state = faults.maybe_install_kill_switch_from_env(
+            {faults.KILL_SWITCH_ENV: "7"})
+        try:
+            assert state is not None and state["limit"] == 7
+        finally:
+            faults.uninstall_kill_switch()
+
+    def _run_child(self, tmp_path, env_extra):
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+        env.pop("REPRO_KILL_SWITCH", None)
+        env.update(env_extra)
+        return subprocess.run(
+            [sys.executable, "-c", _KILL_CHILD,
+             str(tmp_path / "child.snapshot")],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+
+    def test_armed_subprocess_dies_at_first_durable_operation(
+        self, tmp_path
+    ):
+        # The regression: the switch must fire in the *subprocess* --
+        # in-process monkeypatching never crosses the exec boundary.
+        result = self._run_child(tmp_path, {"REPRO_KILL_SWITCH": "1"})
+        assert result.returncode == -signal.SIGKILL
+        assert "SURVIVED" not in result.stdout
+        assert not os.path.exists(tmp_path / "child.snapshot")
+
+    def test_unarmed_subprocess_survives(self, tmp_path):
+        result = self._run_child(tmp_path, {})
+        assert result.returncode == 0, result.stdout
+        assert "SURVIVED" in result.stdout
+        assert os.path.exists(tmp_path / "child.snapshot")

@@ -1,0 +1,166 @@
+"""Crash sweep for the serving path: SIGKILL a live server everywhere.
+
+``tests/test_crash_recovery.py`` proves the load-add-save cycle is
+crash-consistent by SIGKILLing a writer child at every durable
+operation.  This file makes the same claim about the *server*: a real
+``repro serve`` subprocess, armed through the cross-process seam
+(``REPRO_KILL_SWITCH=n`` -- see ``repro.testing.faults``), is killed
+at the n-th durable operation while a client drives an online ingest
+followed by an HTTP drain.  The parent then recovers whatever hit the
+disk and asserts, for every n until the server survives:
+
+* recovery lands on the pre-batch or post-batch answers, never a
+  hybrid -- and once the client saw the ingest acknowledged (HTTP
+  200), recovery *must* be post-batch: acknowledged means WAL-durable;
+* the surviving files pass ``fsck``;
+* outcomes are monotonic (pre ... pre, post ... post): durability
+  never regresses as the kill point moves later.
+
+The sweep therefore crashes into the WAL append of a live ingest, the
+snapshot commit inside drain, and the WAL truncation after it --
+every durable seam the serving path crosses.
+"""
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import warnings
+
+from repro.serving import ServingClient
+from repro.shard import ShardedSeda
+from repro.storage.snapshot import fsck_report
+from repro.system import Seda
+from tests.test_server import _spawn_serve
+
+DOCS = [
+    ("alpha", "<r><a>red blue</a><b>green</b></r>"),
+    ("bravo", "<r><a>blue</a><c>red red</c></r>"),
+    ("charlie", "<r><b>green green</b><a>red</a></r>"),
+]
+BATCH = [("delta", "<r><a>red green</a><b>blue blue</b></r>")]
+QUERIES = ([("*", "red")], [("a", "blue")], [("*", "green"), ("b", "*")])
+
+
+def _canon(system):
+    search = (system.search if isinstance(system, ShardedSeda)
+              else lambda pairs, k: system.search(pairs, k=k).results)
+    state = []
+    for pairs in QUERIES:
+        state.append([
+            (r.node_ids, r.content_scores, r.compactness, r.score)
+            for r in search(pairs, k=10)
+        ])
+    return state
+
+
+def _copy_baseline(baseline, work):
+    if os.path.isdir(baseline):
+        shutil.copytree(baseline, work)
+        return
+    shutil.copy(baseline, work)
+    for suffix in (".cols", ".wal"):
+        if os.path.exists(baseline + suffix):
+            shutil.copy(baseline + suffix, work + suffix)
+
+
+def _drive_once(snapshot, n):
+    """One armed server run: returns (returncode, ingest_acknowledged)."""
+    process, host, port = _spawn_serve(
+        snapshot, env_extra={"REPRO_KILL_SWITCH": str(n)}
+    )
+    acknowledged = False
+    try:
+        with ServingClient(host, port, timeout=30) as client:
+            try:
+                response = client.add_documents(
+                    [list(pair) for pair in BATCH]
+                )
+                acknowledged = response["added"] == len(BATCH)
+                client.drain()
+            except Exception:
+                # The kill switch took the server mid-request; the
+                # parent's recovery checks below are the real assert.
+                pass
+        returncode = process.wait(timeout=60)
+    finally:
+        if process.poll() is None:  # pragma: no cover - cleanup
+            process.kill()
+            process.wait(timeout=30)
+            returncode = process.returncode
+    return returncode, acknowledged
+
+
+def _sweep(baseline, loader, pre, post, tmp_path):
+    outcomes = []
+    n = 0
+    while True:
+        n += 1
+        assert n < 100, "kill sweep did not terminate"
+        suffix = ".shards" if os.path.isdir(baseline) else ".snapshot"
+        work = str(tmp_path / f"work-{n}{suffix}")
+        _copy_baseline(baseline, work)
+        returncode, acknowledged = _drive_once(work, n)
+        if returncode != 0:
+            assert returncode == -signal.SIGKILL, returncode
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            recovered = loader(work)
+        got = _canon(recovered)
+        assert got in (pre, post), (
+            f"kill at operation {n} recovered to neither the pre- nor "
+            f"the post-batch answers"
+        )
+        if acknowledged:
+            assert got == post, (
+                f"kill at operation {n}: the ingest was acknowledged "
+                f"over HTTP but recovery lost it"
+            )
+        outcomes.append("post" if got == post else "pre")
+        report = fsck_report(work)
+        assert report["ok"], (n, report["problems"])
+        if returncode == 0:
+            return outcomes
+
+
+def _check_outcomes(outcomes):
+    assert "pre" in outcomes and "post" in outcomes
+    assert outcomes[-1] == "post"
+    # Durability is monotonic in time: once a kill point lands after
+    # the acknowledgment, every later one must too.
+    assert outcomes == sorted(outcomes, key=("pre", "post").index)
+
+
+class TestServerCrashRecovery:
+    def test_sigkill_live_server_at_every_operation(self, tmp_path):
+        baseline = str(tmp_path / "baseline.snapshot")
+        Seda.from_documents(DOCS).save(baseline)
+        pre = _canon(Seda.load(baseline))
+        reference = Seda.from_documents(DOCS)
+        reference.add_documents(BATCH)
+        post = _canon(reference)
+        assert pre != post
+
+        outcomes = _sweep(baseline, Seda.load, pre, post, tmp_path)
+        _check_outcomes(outcomes)
+
+
+class TestShardedServerCrashRecovery:
+    def test_sigkill_live_sharded_server_at_every_operation(
+        self, tmp_path
+    ):
+        baseline = str(tmp_path / "baseline.shards")
+        ShardedSeda.from_documents(DOCS, shards=2, parallel=False).save(
+            baseline
+        )
+        pre = _canon(ShardedSeda.load(baseline))
+        reference = ShardedSeda.from_documents(DOCS, shards=2,
+                                               parallel=False)
+        reference.add_documents(BATCH)
+        post = _canon(reference)
+        assert pre != post
+
+        outcomes = _sweep(baseline, ShardedSeda.load, pre, post,
+                          tmp_path)
+        _check_outcomes(outcomes)

@@ -1,0 +1,199 @@
+"""Property test: a live server's answers == an offline rebuild, always.
+
+The serving consistency contract (``repro.serving.app``): answers
+served *while documents stream in over HTTP* are byte-identical to
+what a fresh offline build over the same document sequence computes.
+Hypothesis generates a random seed corpus plus a random interleaving
+of online ``add_documents`` batches and searches, runs the whole plan
+against a real listening server, then replays every search against an
+offline :class:`~repro.system.Seda` built from exactly the documents
+the server held at that moment.  Equality is on the serialized wire
+form (``result_to_dict`` dictionaries, compared as canonical JSON), so
+"byte-identical" means the actual response bytes, not a rounded
+approximation.
+
+Both server shapes run the same plans: single-file and sharded (two
+shards; the corpora carry no cross-document links, the regime where
+sharded answers equal unsharded ones exactly -- so one unsharded
+oracle serves both).  Every example also drains its server and checks
+the directory left behind is fsck-clean with an empty WAL: the
+property covers the full lifecycle, not just the steady state.
+
+Servers are started per example, so ``max_examples`` stays small; the
+derandomized "ci" profile (see ``conftest.py``) keeps the corpus set
+stable run to run.
+"""
+
+import json
+import shutil
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+from repro.query.term import Query
+from repro.serving import ServingClient, start_server
+from repro.serving.app import result_to_dict
+from repro.storage.snapshot import fsck_report
+from repro.storage.wal import (
+    sharded_wal_file_name,
+    verify_wal,
+    wal_file_name,
+)
+from repro.system import Seda
+
+_TAGS = ("a", "b", "c")
+_WORDS = (
+    "red", "blue", "green", "red blue", "blue green red",
+    "red " * 12, "blue blue blue blue", "green pad pad",
+)
+
+_QUERIES = (
+    [("*", "red"), ("*", "blue")],
+    [("*", "blue"), ("*", "green")],
+    [("a", "*"), ("*", "red")],
+    [("*", "green")],
+)
+
+
+@st.composite
+def _document_body(draw):
+    parts = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        tag = draw(st.sampled_from(_TAGS))
+        words = draw(st.sampled_from(_WORDS))
+        parts.append(f"<{tag}>{words}</{tag}>")
+    return "<r>" + "".join(parts) + "</r>"
+
+
+@st.composite
+def _plan(draw):
+    """A seed corpus plus an interleaved add/search operation list."""
+    seed = [
+        (f"seed-{index}", draw(_document_body()))
+        for index in range(draw(st.integers(min_value=1, max_value=4)))
+    ]
+    operations = []
+    live = 0
+    for _ in range(draw(st.integers(min_value=2, max_value=7))):
+        if draw(st.booleans()):
+            batch = []
+            for _ in range(draw(st.integers(min_value=1, max_value=2))):
+                batch.append((f"live-{live}", draw(_document_body())))
+                live += 1
+            operations.append(("add", batch))
+        else:
+            operations.append((
+                "search",
+                draw(st.integers(min_value=0,
+                                 max_value=len(_QUERIES) - 1)),
+                draw(st.integers(min_value=1, max_value=12)),
+            ))
+    # Every plan ends with one search per query shape, so even
+    # add-heavy draws check the final corpus from every angle.
+    for index in range(len(_QUERIES)):
+        operations.append(("search", index, 10))
+    return seed, operations
+
+
+def _offline_answer(cache, documents, query_index, k):
+    """Wire-form results from a fresh offline build (memoized)."""
+    key = (len(documents), query_index, k)
+    if key not in cache:
+        system = cache.get(("system", len(documents)))
+        if system is None:
+            system = Seda.from_documents(list(documents))
+            cache[("system", len(documents))] = system
+        results = system.topk.search(
+            Query.parse(_QUERIES[query_index]), k=k
+        )
+        cache[key] = json.dumps(
+            [result_to_dict(result) for result in results],
+            sort_keys=True, separators=(",", ":"),
+        )
+    return cache[key]
+
+
+def _run_plan(seed, operations, sharded):
+    workdir = tempfile.mkdtemp(prefix="serving-props-")
+    try:
+        if sharded:
+            from repro.shard import ShardedSeda
+
+            snapshot = f"{workdir}/seda.shards"
+            ShardedSeda.from_documents(
+                list(seed), shards=2, parallel=False
+            ).save(snapshot)
+            wal_path = sharded_wal_file_name(snapshot)
+        else:
+            snapshot = f"{workdir}/seda.snapshot"
+            Seda.from_documents(list(seed)).save(snapshot)
+            wal_path = wal_file_name(snapshot)
+
+        documents = list(seed)
+        observed = []          # (document_count, query_index, k, wire_json)
+        server = start_server(snapshot)
+        try:
+            with ServingClient(server.host, server.port) as client:
+                for operation in operations:
+                    if operation[0] == "add":
+                        _, batch = operation
+                        response = client.add_documents(
+                            [list(pair) for pair in batch]
+                        )
+                        documents.extend(batch)
+                        assert response["documents"] == len(documents)
+                    else:
+                        _, query_index, k = operation
+                        wire = " ;; ".join(
+                            f"{context}:{search}"
+                            for context, search in _QUERIES[query_index]
+                        )
+                        response = client.search(wire, k=k)
+                        observed.append((
+                            len(documents), query_index, k,
+                            json.dumps(response["results"],
+                                       sort_keys=True,
+                                       separators=(",", ":")),
+                        ))
+                client.drain()
+            assert server.wait(timeout=30)
+        finally:
+            server.stop()
+
+        # Lifecycle epilogue: the drained directory cold-starts clean.
+        assert fsck_report(snapshot)["ok"]
+        wal = verify_wal(wal_path)
+        assert wal["records"] == 0 and wal["error"] is None
+
+        # The property: every answer equals the offline rebuild over
+        # the exact documents the server held when it answered.
+        cache = {}
+        prefix = {len(seed): list(seed)}
+        running = list(seed)
+        for operation in operations:
+            if operation[0] == "add":
+                running = running + list(operation[1])
+                prefix[len(running)] = running
+        for count, query_index, k, wire_json in observed:
+            expected = _offline_answer(cache, prefix[count],
+                                       query_index, k)
+            assert wire_json == expected, (
+                f"live answer diverged from offline rebuild at "
+                f"{count} documents (query {query_index}, k={k})"
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+@given(plan=_plan())
+@settings(max_examples=12, deadline=None)
+def test_live_server_matches_offline_rebuild(plan):
+    seed, operations = plan
+    _run_plan(seed, operations, sharded=False)
+
+
+@given(plan=_plan())
+@settings(max_examples=8, deadline=None)
+def test_live_sharded_server_matches_offline_rebuild(plan):
+    seed, operations = plan
+    _run_plan(seed, operations, sharded=True)

@@ -6,8 +6,9 @@ execution, but *between* mutations any number of threads may hammer
 the service.  This battery drives both facades through that regime:
 
 * N reader threads issue batches while a writer thread ingests
-  documents (under an RW lock that models the external serialization
-  the contract requires);
+  documents (under the product
+  :class:`~repro.serving.rwlock.ReadWriteLock` -- the same lock
+  ``repro serve`` uses for this exact discipline);
 * every answer a reader observes must equal the ground truth computed
   by a bare searcher *at the graph version the answer was served
   under* -- a stale cache hit surviving a version bump would surface
@@ -24,6 +25,7 @@ import pytest
 
 from repro.query.term import Query
 from repro.search.topk import TopKSearcher
+from repro.serving.rwlock import ReadWriteLock
 from repro.system import Seda
 
 READERS = 4
@@ -56,40 +58,9 @@ def _canonical(results):
     )
 
 
-class _RWLock:
-    """Writer-priority RW lock: the external single-writer discipline."""
-
-    def __init__(self):
-        self._condition = threading.Condition()
-        self._readers = 0
-        self._writer = False
-
-    def acquire_read(self):
-        with self._condition:
-            while self._writer:
-                self._condition.wait()
-            self._readers += 1
-
-    def release_read(self):
-        with self._condition:
-            self._readers -= 1
-            self._condition.notify_all()
-
-    def acquire_write(self):
-        with self._condition:
-            while self._writer or self._readers:
-                self._condition.wait()
-            self._writer = True
-
-    def release_write(self):
-        with self._condition:
-            self._writer = False
-            self._condition.notify_all()
-
-
 def _stress(system, service, version_of, searcher_factory):
     """Drive readers + writer; return (errors, served_count, truth_map)."""
-    lock = _RWLock()
+    lock = ReadWriteLock()
     errors = []
     served = []
     ground_truth = {}
