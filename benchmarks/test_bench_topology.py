@@ -1,0 +1,197 @@
+"""TOPO -- shard topology: split/rebalance cost tracks the affected shards.
+
+The topology operations (:mod:`repro.shard.topology`) claim *elastic*
+resharding: splitting one shard or moving a few documents rewrites
+only the affected shards' snapshot files and costs time proportional
+to those shards -- not to the corpus.  This module measures that over
+a real on-disk sharded Factbook corpus and gates it two ways:
+
+* **bytes**: the set of files rewritten by each operation is exactly
+  the affected shards' (every other shard file survives with its name
+  and bytes intact), so I/O is bounded by affected-shard size by
+  construction;
+* **wall-clock**: one split out of ``SHARDS`` shards must finish in
+  less time than the initial full build -- the operation rebuilds
+  ~2/``SHARDS`` of the corpus, so this bound holds with a wide margin
+  unless the implementation secretly rebuilds everything;
+
+and, throughout, on **byte-equality**: every answer over the hot query
+set must match an unsharded oracle before, between, and after the
+operations.  Results land in ``BENCH_topology.json`` at the repo root
+(gitignored; uploaded as a CI artifact).
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.datasets.factbook import FactbookGenerator
+from repro.query.term import Query
+from repro.shard import ShardedSeda, skew_report
+from repro.storage.snapshot import fsck_report, read_sharded_manifest
+from repro.system import Seda
+from repro.xmlio import serialize
+
+#: Mirrors ``conftest.FULL_SCALE`` (benchmarks/ is not a package).
+SCALE = float(os.environ.get("SEDA_BENCH_SCALE", "1.0"))
+
+SHARDS = 8
+
+QUERY_SET = [
+    [("*", '"United States"'), ("trade_country", "*")],
+    [("trade_country", "*"), ("percentage", "*")],
+    [("*", "canada"), ("year", "*")],
+    [("*", "germany"), ("percentage", "*")],
+]
+
+ARTIFACT = pathlib.Path(__file__).resolve().parents[1] / "BENCH_topology.json"
+
+
+def _record(section, data):
+    """Merge one section into the benchmark artifact (test-order safe)."""
+    payload = {}
+    if ARTIFACT.exists():
+        try:
+            payload = json.loads(ARTIFACT.read_text(encoding="utf-8"))
+        except ValueError:
+            payload = {}
+    payload[section] = data
+    ARTIFACT.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def _canon_sharded(system):
+    return [
+        [(r.node_ids, r.content_scores, r.compactness, r.score)
+         for r in system.search(pairs, k=10)]
+        for pairs in QUERY_SET
+    ]
+
+
+def _shard_files(directory):
+    """``{file_name: size}`` for every manifest-listed shard file."""
+    manifest = read_sharded_manifest(directory)
+    sizes = {}
+    for shard_file in manifest["shard_files"]:
+        for name in (shard_file, f"{shard_file}.cols"):
+            path = os.path.join(directory, name)
+            if os.path.exists(path):
+                sizes[name] = os.path.getsize(path)
+    return sizes
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return [
+        (name, serialize(root))
+        for name, root in FactbookGenerator(scale=SCALE).documents()
+    ]
+
+
+@pytest.fixture(scope="module")
+def oracle(corpus):
+    system = Seda.from_documents(list(corpus))
+    return [
+        [(r.node_ids, r.content_scores, r.compactness, r.score)
+         for r in system.topk.search(Query.parse(pairs), k=10)]
+        for pairs in QUERY_SET
+    ]
+
+
+def test_split_and_rebalance_cost_tracks_affected_shards(
+    corpus, oracle, tmp_path
+):
+    directory = str(tmp_path / "factbook.shards")
+
+    start = time.perf_counter()
+    built = ShardedSeda.from_documents(
+        list(corpus), shards=SHARDS, parallel=False,
+        partitioner="round-robin",
+    )
+    build_seconds = time.perf_counter() - start
+    built.save(directory)
+    before_files = _shard_files(directory)
+    total_bytes = sum(before_files.values())
+
+    system = ShardedSeda.load(directory)
+    assert _canon_sharded(system) == oracle
+
+    # -- split one shard ------------------------------------------------------
+    start = time.perf_counter()
+    summary = system.split(0)
+    split_seconds = time.perf_counter() - start
+    assert summary["committed"] is True
+    assert _canon_sharded(system) == oracle
+
+    after_files = _shard_files(directory)
+    rewritten = {
+        name for name in after_files
+        if before_files.get(name) is None
+    }
+    surviving = set(before_files) & set(after_files)
+    # Every unaffected shard file survived the split untouched, so the
+    # operation's I/O is bounded by the affected shards' size.
+    assert len(surviving) == 2 * (SHARDS - 1)
+    rewritten_bytes = sum(after_files[name] for name in rewritten)
+    assert rewritten_bytes < total_bytes / 2, (
+        f"split rewrote {rewritten_bytes} of {total_bytes} bytes -- "
+        f"more than the affected shards can explain"
+    )
+    assert split_seconds < build_seconds, (
+        f"splitting 1 of {SHARDS} shards took {split_seconds:.3f}s, "
+        f"slower than the {build_seconds:.3f}s full build -- the cost "
+        f"is not tracking the affected shards"
+    )
+
+    # -- rebalance a handful of documents -------------------------------------
+    # A *bounded* plan -- a few documents between two shards -- is the
+    # case the affected-shards claim covers (a full reshuffle, like
+    # propose_rebalance right after a split, legitimately touches
+    # every shard and costs accordingly).
+    donor = max(range(system.shard_count),
+                key=lambda i: len(system._shard_docs[i]))
+    receiver = min(range(system.shard_count),
+                   key=lambda i: len(system._shard_docs[i]))
+    plan = {"moves": {g: receiver
+                      for g in system._shard_docs[donor][:8]}}
+    start = time.perf_counter()
+    summary = system.rebalance(plan)
+    rebalance_seconds = time.perf_counter() - start
+    assert summary["committed"] is True
+    assert summary["moved_documents"] >= 1
+    assert _canon_sharded(system) == oracle
+    assert rebalance_seconds < build_seconds, (
+        f"rebalancing {summary['moved_documents']} documents took "
+        f"{rebalance_seconds:.3f}s, slower than the "
+        f"{build_seconds:.3f}s full build"
+    )
+
+    # -- epilogue: the directory is sound and cold-starts identically ---------
+    report = fsck_report(directory)
+    assert report["ok"], report["problems"]
+    assert _canon_sharded(ShardedSeda.load(directory)) == oracle
+    skew = skew_report(directory)
+
+    _record("topology_ops", {
+        "scale": SCALE,
+        "documents": len(corpus),
+        "shards": SHARDS,
+        "full_build_seconds": round(build_seconds, 3),
+        "split_seconds": round(split_seconds, 3),
+        "split_rewritten_bytes": rewritten_bytes,
+        "total_shard_bytes": total_bytes,
+        "rebalance_seconds": round(rebalance_seconds, 3),
+        "rebalance_moved_documents": summary["moved_documents"],
+        "document_imbalance_after": skew["imbalance"]["documents"],
+    })
+    print(
+        f"\n[bench-topology] scale={SCALE} shards={SHARDS} "
+        f"build={build_seconds:.3f}s split={split_seconds:.3f}s "
+        f"({rewritten_bytes}/{total_bytes}B rewritten) "
+        f"rebalance={rebalance_seconds:.3f}s"
+    )

@@ -23,6 +23,10 @@ Subcommands::
     python -m repro shard build seda.shards --dataset factbook --shards 4
     python -m repro shard search seda.shards --term 'percentage:*'
     python -m repro shard info seda.shards
+    python -m repro shard skew seda.shards
+    python -m repro shard split seda.shards 1
+    python -m repro shard merge seda.shards 0 2
+    python -m repro shard rebalance seda.shards --metric documents
 
 ``--data DIR`` loads ``*.xml`` files from a directory instead of a
 generated dataset, so the CLI works on user collections too.  Terms
@@ -63,6 +67,16 @@ snapshot directory; ``shard search`` scatter-gathers a query over it
 (restoring shards lazily); ``shard info`` prints the topology from the
 manifest alone, loading nothing (``--memory`` additionally loads every
 shard and reports per-shard compact-index memory).
+
+``shard skew`` reports per-shard document/node/byte counts and (when
+the snapshot retains a stats registry) per-shard query traffic, plus a
+max-over-mean imbalance ratio per metric -- the input to deciding when
+to ``shard split`` a hot shard, ``shard merge`` two cold ones, or
+``shard rebalance`` documents between shards.  All three topology
+operations rewrite **only the affected shards' files** and commit by
+writing a new manifest generation carrying the updated
+document-to-shard assignment map; answers are byte-identical before
+and after (see docs/OPERATIONS.md, "Shard topology").
 
 ``info`` reports the compact-index memory estimates of one system --
 encoded column bytes, interned-label and trie sizes, hot vs. cold term
@@ -676,6 +690,105 @@ def cmd_shard_info(args, out):
     return 0
 
 
+def cmd_shard_skew(args, out):
+    """Per-shard skew report from the manifest, files, and obs state."""
+    from repro.shard import skew_report
+
+    report = _read_snapshot_or_exit(skew_report, args.path)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+        return 0
+    print(f"shard skew: {report['collection']} "
+          f"({report['shards']} shards, routing epoch "
+          f"{report['routing_epoch']})", file=out)
+    for entry in report["per_shard"]:
+        print(f"  shard {entry['shard']}: {entry['documents']:6d} docs  "
+              f"{entry['nodes']:8d} nodes  {entry['bytes']:10d} bytes  "
+              f"traffic {entry['traffic']}", file=out)
+    for metric, ratio in sorted(report["imbalance"].items()):
+        rendered = "n/a" if ratio is None else f"{ratio:.2f}x"
+        print(f"  imbalance[{metric}]: {rendered} (max over mean)",
+              file=out)
+    if not report["wal_present"]:
+        print("  (no write-ahead log present)", file=out)
+    return 0
+
+
+def _run_topology_op(args, out, operate):
+    """Load a sharded snapshot, apply one topology op, report it."""
+    from repro.shard import ShardedSeda
+
+    sharded = _read_snapshot_or_exit(ShardedSeda.load, args.path)
+    try:
+        summary = operate(sharded)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True), file=out)
+        return 0
+    for key in sorted(summary):
+        print(f"  {key}: {summary[key]}", file=out)
+    return 0
+
+
+def cmd_shard_split(args, out):
+    """Split one shard of a saved sharded snapshot into two."""
+    if not args.json:
+        print(f"splitting shard {args.shard} of {args.path}", file=out)
+    return _run_topology_op(
+        args, out, lambda sharded: sharded.split(args.shard)
+    )
+
+
+def cmd_shard_merge(args, out):
+    """Merge two shards of a saved sharded snapshot into one."""
+    if not args.json:
+        print(f"merging shards {args.a} and {args.b} of {args.path}",
+              file=out)
+    return _run_topology_op(
+        args, out, lambda sharded: sharded.merge(args.a, args.b)
+    )
+
+
+def cmd_shard_rebalance(args, out):
+    """Plan (or apply) a document rebalance over a sharded snapshot."""
+    from repro.shard import ShardedSeda
+
+    if args.moves:
+        try:
+            moves = json.loads(args.moves)
+        except ValueError as error:
+            raise SystemExit(f"--moves is not valid JSON: {error}")
+        plan = {"moves": moves}
+    else:
+        sharded = _read_snapshot_or_exit(ShardedSeda.load, args.path)
+        plan = sharded.propose_rebalance(metric=args.metric)
+        if args.dry_run:
+            print(json.dumps(
+                {"plan": {"metric": plan["metric"],
+                          "moves": {str(k): v
+                                    for k, v in plan["moves"].items()},
+                          "projected_loads": plan["projected_loads"]}},
+                indent=2, sort_keys=True), file=out)
+            return 0
+        try:
+            summary = sharded.rebalance(plan)
+        except ValueError as error:
+            raise SystemExit(str(error))
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True), file=out)
+            return 0
+        for key in sorted(summary):
+            print(f"  {key}: {summary[key]}", file=out)
+        return 0
+    if args.dry_run:
+        print(json.dumps({"plan": plan}, indent=2, sort_keys=True), file=out)
+        return 0
+    return _run_topology_op(
+        args, out, lambda sharded: sharded.rebalance(plan)
+    )
+
+
 def cmd_serve(args, out):
     """Serve a snapshot over HTTP until drained or interrupted.
 
@@ -962,6 +1075,61 @@ def build_parser():
                             help="also load every shard and report "
                                  "per-shard compact-index memory")
     shard_info.set_defaults(handler=cmd_shard_info)
+
+    shard_skew = shard_sub.add_parser(
+        "skew",
+        help="per-shard document/node/byte/traffic skew report from "
+             "the manifest (loads nothing)",
+    )
+    shard_skew.add_argument("path", help="sharded snapshot directory")
+    shard_skew.add_argument("--json", action="store_true",
+                            help="emit the raw skew report as JSON")
+    shard_skew.set_defaults(handler=cmd_shard_skew)
+
+    shard_split = shard_sub.add_parser(
+        "split",
+        help="split one shard into two, rewriting only that shard's "
+             "files and the manifest",
+    )
+    shard_split.add_argument("path", help="sharded snapshot directory")
+    shard_split.add_argument("shard", type=int, help="shard index to split")
+    shard_split.add_argument("--json", action="store_true",
+                             help="emit the operation summary as JSON")
+    shard_split.set_defaults(handler=cmd_shard_split)
+
+    shard_merge = shard_sub.add_parser(
+        "merge",
+        help="merge two shards into one, rewriting only the surviving "
+             "shard's files and the manifest",
+    )
+    shard_merge.add_argument("path", help="sharded snapshot directory")
+    shard_merge.add_argument("a", type=int, help="first shard index")
+    shard_merge.add_argument("b", type=int, help="second shard index")
+    shard_merge.add_argument("--json", action="store_true",
+                             help="emit the operation summary as JSON")
+    shard_merge.set_defaults(handler=cmd_shard_merge)
+
+    shard_rebalance = shard_sub.add_parser(
+        "rebalance",
+        help="move documents between shards (explicit --moves or a "
+             "plan computed from --metric), rewriting only the "
+             "affected shards",
+    )
+    shard_rebalance.add_argument("path", help="sharded snapshot directory")
+    shard_rebalance.add_argument("--metric", default="documents",
+                                 choices=("documents", "nodes"),
+                                 help="balance target when planning "
+                                      "(default documents)")
+    shard_rebalance.add_argument("--moves", default=None,
+                                 metavar="JSON",
+                                 help="explicit plan as a JSON object "
+                                      "{global_doc_index: target_shard}; "
+                                      "overrides --metric")
+    shard_rebalance.add_argument("--dry-run", action="store_true",
+                                 help="print the plan without applying it")
+    shard_rebalance.add_argument("--json", action="store_true",
+                                 help="emit the operation summary as JSON")
+    shard_rebalance.set_defaults(handler=cmd_shard_rebalance)
 
     return parser
 

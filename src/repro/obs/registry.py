@@ -226,6 +226,28 @@ class StatsRegistry:
         with self._lock:
             return [dict(entry) for entry in self._slow]
 
+    def per_shard_traffic(self):
+        """Query traffic summed per shard across all fingerprints.
+
+        Returns ``{shard_index: {"sorted_accesses": n, "tuples_scored":
+        n, "pruned": n, "early_stops": n}}`` -- the per-shard work
+        counters the skew report (``repro shard skew``) reads to tell a
+        hot shard from a merely large one.  Shards that served no
+        recorded query are absent.
+        """
+        totals = {}
+        with self._lock:
+            for entry in self._fingerprints.values():
+                for shard, counters in entry.per_shard.items():
+                    bucket = totals.setdefault(
+                        int(shard),
+                        {name: 0 for name in _SHARD_COUNTERS}
+                        | {"early_stops": 0},
+                    )
+                    for name, value in counters.items():
+                        bucket[name] = bucket.get(name, 0) + value
+        return totals
+
     def metrics(self):
         """The full JSON-clean metrics dump (``repro stats --json``)."""
         with self._lock:

@@ -44,7 +44,9 @@ class AdmissionDecision:
         self.admitted = admitted
         self.reason = reason
         #: Suggested client backoff in seconds (the ``Retry-After``
-        #: header); ``None`` for draining -- the server is going away.
+        #: header).  Set on every rejection, draining included -- a
+        #: drain is often a rolling restart, so "come back shortly" is
+        #: the right signal, not "go away forever".
         self.retry_after = retry_after
 
     def __bool__(self):
@@ -82,6 +84,7 @@ class AdmissionController:
             REJECT_DRAINING: 0,
         }
         self.peak_inflight = 0
+        self.unpaired_release = 0
 
     # -- admission ------------------------------------------------------------
 
@@ -94,7 +97,9 @@ class AdmissionController:
         with self._condition:
             if self._draining:
                 self.rejected[REJECT_DRAINING] += 1
-                return AdmissionDecision(False, REJECT_DRAINING, None)
+                return AdmissionDecision(
+                    False, REJECT_DRAINING, self.retry_after
+                )
             if self._inflight >= self.max_inflight:
                 self.rejected[REJECT_SATURATED] += 1
                 return AdmissionDecision(
@@ -113,14 +118,29 @@ class AdmissionController:
             return AdmissionDecision(True)
 
     def release(self, client):
-        """Return one admitted request's slot (global and per-client)."""
+        """Return one admitted request's slot (global and per-client).
+
+        An unpaired release (a release with nothing in flight, or for a
+        client holding no slot) is a caller bug: it must not drive the
+        counters negative, which would silently widen the saturation
+        gate forever.  Both counters clamp at zero and the incident is
+        counted in ``unpaired_release`` for ``/metrics``.
+        """
         with self._condition:
-            self._inflight -= 1
+            unpaired = False
+            if self._inflight > 0:
+                self._inflight -= 1
+            else:
+                unpaired = True
             held = self._per_client.get(client, 0) - 1
+            if held < 0:
+                unpaired = True
             if held <= 0:
                 self._per_client.pop(client, None)
             else:
                 self._per_client[client] = held
+            if unpaired:
+                self.unpaired_release += 1
             self._condition.notify_all()
 
     # -- drain lifecycle ------------------------------------------------------
@@ -174,6 +194,7 @@ class AdmissionController:
                 "peak_inflight": self.peak_inflight,
                 "admitted_total": self.admitted_total,
                 "rejected": dict(self.rejected),
+                "unpaired_release": self.unpaired_release,
                 "draining": self._draining,
             }
 

@@ -39,6 +39,10 @@ Request shapes (all POST bodies JSON)::
                     "value_links": [spec, ...]}
     /admin/drain   {}
     /admin/reload  {}
+    /admin/rebalance {"op": "split", "shard": 0}
+                     | {"op": "merge", "a": 0, "b": 1}
+                     | {"op": "rebalance", "metric": "documents"}
+                     | {"op": "rebalance", "moves": {"3": 1, ...}}
 
 A ``<query>`` is either a list of ``[context, search]`` pairs or a
 string in the CLI's query-line syntax (``ctx:term ;; ctx:term``).
@@ -201,10 +205,10 @@ class ServingApp:
         """An opaque, JSON-clean token naming the served index
         generation: queries answered under one token are mutually
         consistent.  Unsharded: the graph version; sharded: the
-        per-shard versions plus the recovery epoch."""
+        per-shard versions plus the recovery and routing epochs."""
         if self.sharded:
-            versions, epoch = self.service._versions()
-            return [list(versions), epoch]
+            versions, recovery, routing = self.service._versions()
+            return [list(versions), recovery, routing]
         return self.system.graph.version
 
     def uptime(self):
@@ -245,9 +249,18 @@ class ServingApp:
         decision = self.admission.admit(client)
         if not decision:
             if decision.reason == REJECT_DRAINING:
+                # A drain is usually a rolling restart, not a
+                # disappearance: well-behaved clients should back off
+                # and retry the (re)started server, so the 503 carries
+                # Retry-After exactly like the 429 path.
                 return _Response(
                     503,
-                    {"error": "server is draining", "reason": decision.reason},
+                    {
+                        "error": "server is draining",
+                        "reason": decision.reason,
+                        "retry_after": decision.retry_after,
+                    },
+                    headers={"Retry-After": str(decision.retry_after)},
                 )
             return _Response(
                 429,
@@ -439,6 +452,47 @@ class ServingApp:
             "generation": generation,
         })
 
+    def _endpoint_rebalance(self, body, params):
+        """Online topology change: split/merge/rebalance under traffic.
+
+        Runs the rewrite under the write lock, so in-flight reads
+        finish against the old topology and every later read runs
+        against the new one -- the routing epoch inside the generation
+        token keeps the two regimes distinguishable while answers stay
+        byte-identical (placement independence).
+        """
+        if not self.sharded:
+            return _Response(
+                400, {"error": "topology operations need a sharded system"}
+            )
+        with self._state_lock:
+            if self.state != "serving":
+                return _Response(
+                    409, {"error": f"server is {self.state}; cannot "
+                          "change topology"}
+                )
+        op = body.get("op")
+        with self.lock.write():
+            if op == "split":
+                summary = self.system.split(int(body["shard"]))
+            elif op == "merge":
+                summary = self.system.merge(int(body["a"]), int(body["b"]))
+            elif op == "rebalance":
+                if "moves" in body:
+                    plan = {"moves": body["moves"]}
+                else:
+                    plan = self.system.propose_rebalance(
+                        metric=body.get("metric", "documents")
+                    )
+                summary = self.system.rebalance(plan)
+            else:
+                raise ValueError(
+                    "rebalance op must be 'split', 'merge', or "
+                    f"'rebalance', not {op!r}"
+                )
+            summary["generation"] = self.generation()
+        return _Response(200, summary)
+
     #: path -> (method, endpoint name, passes through admission).
     _ROUTES = {
         "/search": ("POST", "search", True),
@@ -449,6 +503,7 @@ class ServingApp:
         "/metrics": ("GET", "metrics", False),
         "/admin/drain": ("POST", "drain", False),
         "/admin/reload": ("POST", "reload", False),
+        "/admin/rebalance": ("POST", "rebalance", False),
     }
 
     def __repr__(self):

@@ -160,6 +160,29 @@ class ServingClient:
         """``POST /admin/reload``; swap in the on-disk snapshot+WAL."""
         return self.request("POST", "/admin/reload")
 
+    def rebalance(self, op, shard=None, a=None, b=None, metric=None,
+                  moves=None):
+        """``POST /admin/rebalance``; online topology change.
+
+        ``op`` is ``"split"`` (with ``shard``), ``"merge"`` (with
+        ``a``/``b``), or ``"rebalance"`` (with explicit ``moves`` --
+        ``{global_doc_index: target_shard}`` -- or a ``metric`` the
+        server plans from).  Returns the operation summary.
+        """
+        body = {"op": op}
+        if shard is not None:
+            body["shard"] = int(shard)
+        if a is not None:
+            body["a"] = int(a)
+        if b is not None:
+            body["b"] = int(b)
+        if metric is not None:
+            body["metric"] = metric
+        if moves is not None:
+            body["moves"] = {str(key): int(value)
+                             for key, value in moves.items()}
+        return self.request("POST", "/admin/rebalance", body)
+
     # -- context manager ------------------------------------------------------
 
     def __enter__(self):

@@ -33,18 +33,34 @@ from repro.shard.sharded import (
     publish_shared_payload,
     read_shared_payload,
 )
+from repro.shard.topology import (
+    REBALANCE_METRICS,
+    colocation_units,
+    merge,
+    propose_rebalance,
+    rebalance,
+    skew_report,
+    split,
+)
 
 __all__ = [
     "DegradationPolicy",
     "PARTITIONERS",
+    "REBALANCE_METRICS",
     "ShardSearchTimeout",
     "SharedPayload",
     "ShardedCollectionView",
     "ShardedQueryService",
     "ShardedSeda",
+    "colocation_units",
     "hash_partition",
+    "merge",
+    "propose_rebalance",
     "publish_shared_payload",
     "read_shared_payload",
+    "rebalance",
     "resolve_partitioner",
     "round_robin_partition",
+    "skew_report",
+    "split",
 ]

@@ -17,6 +17,14 @@ no discovered link edge crosses shards.  Neither built-in policy
 inspects document *content*, so corpora whose IDREF/XLink/value links
 span documents need a caller-supplied partitioner that co-locates each
 linked group on one shard.
+
+A partitioner places **new** documents only.  Documents already in the
+collection are routed by the manifest's explicit document->shard
+assignment map (the document table), which topology operations
+(:mod:`repro.shard.topology` -- split, merge, rebalance) rewrite
+freely: after any such operation the live placement no longer follows
+partitioner arithmetic, and write-ahead replay of old batches follows
+the map, not the policy.
 """
 
 import hashlib

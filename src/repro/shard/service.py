@@ -70,16 +70,19 @@ class ShardedQueryService:
             self._groups.put(group)
 
     def _versions(self):
-        """Topology version: per-shard graph versions + recovery epoch.
+        """Topology version: graph versions + recovery + routing epochs.
 
         The recovery epoch is folded in so a crashed-shard recovery
         (which swaps the underlying shard objects without necessarily
         changing any graph version) still expires cached results and
-        triggers a searcher-group rebuild.
+        triggers a searcher-group rebuild; the routing epoch so a
+        topology operation (split/merge/rebalance -- which can change
+        the shard *count*) does the same.
         """
         return (
             tuple(shard.graph.version for shard in self.sharded.shards),
             getattr(self.sharded, "recovery_epoch", 0),
+            getattr(self.sharded, "routing_epoch", 0),
         )
 
     def _refresh_shared_caches(self):
@@ -93,9 +96,19 @@ class ShardedQueryService:
                 return
             # A recovered shard is a *new* system object; any group
             # searcher still pointing at the old one is rebuilt before
-            # warming (identity check: cheap, and exact).
+            # warming (identity check: cheap, and exact).  A topology
+            # operation can change the shard *count*: the groups are
+            # resized in place -- the checkout queue holds these same
+            # list objects, so replacing them would serve stale groups.
             shards = self.sharded.shards
             for group in self._group_pool:
+                if len(group) != len(shards):
+                    group[:] = [
+                        TopKSearcher(shard.matcher, shard.scoring,
+                                     streams=shard.streams)
+                        for shard in shards
+                    ]
+                    continue
                 for index, shard in enumerate(shards):
                     if group[index].matcher is not shard.matcher:
                         group[index] = TopKSearcher(

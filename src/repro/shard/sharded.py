@@ -398,11 +398,15 @@ class ShardedSeda:
     """N independent SEDA shards behind one scatter-gather facade."""
 
     def __init__(self, slots, documents, name, value_links,
-                 partitioner, partitioner_name):
+                 partitioner, partitioner_name, routing_epoch=0,
+                 shard_doc_bases=None):
         self._slots = list(slots)
         #: Global-order document table: ``[name, shard_index,
         #: node_count]`` per document -- the topology record that
-        #: defines the global node-id space.
+        #: defines the global node-id space *and* the explicit
+        #: document->shard assignment map routing works from (the
+        #: partitioner only places *new* documents; existing documents
+        #: are always routed by this table).
         self._docs = [list(row) for row in documents]
         self.name = name
         self.value_links = tuple(value_links)
@@ -419,7 +423,18 @@ class ShardedSeda:
         self._service = None
         self.obs = None  # StatsRegistry; enable_observability() attaches one
         self._wal = None  # WriteAheadLog; enable_durability() attaches one
-        self._wal_base_docs = 0  # docs absorbed by the shard files on disk
+        #: Per shard, the global document count when that shard's
+        #: backing file was written: write-ahead records with ``base >=
+        #: _shard_doc_bases[s]`` are not in shard ``s``'s file and must
+        #: be replayed onto it (the manifest's ``shard_doc_bases``).
+        self._shard_doc_bases = (
+            list(shard_doc_bases) if shard_doc_bases is not None
+            else [len(self._docs)] * len(self._slots)
+        )
+        #: Manifest-owned routing epoch, bumped by every topology
+        #: operation (split/merge/rebalance); serving layers fold it
+        #: into their cache keys.
+        self._routing_epoch = int(routing_epoch)
         self._degradation = None  # DegradationPolicy; configure_degradation()
         self._recovery_epoch = 0  # bumped by _recover_shard
         self.last_search_stats = None
@@ -621,6 +636,7 @@ class ShardedSeda:
             "collection": self.name,
             "shards": len(self._slots),
             "partitioner": self._partitioner_name,
+            "routing_epoch": self._routing_epoch,
             "documents": len(self._docs),
             "nodes": self._node_count,
             "per_shard": per_shard,
@@ -814,6 +830,17 @@ class ShardedSeda:
         it into their topology version so pooled searchers rebuild."""
         return self._recovery_epoch
 
+    @property
+    def routing_epoch(self):
+        """Manifest-owned routing generation.
+
+        Bumped by every topology operation (:meth:`split`,
+        :meth:`merge`, :meth:`rebalance`); the serving layer folds it
+        into its cache keys so generation-keyed reads distinguish
+        pre- and post-topology states.
+        """
+        return self._routing_epoch
+
     def configure_degradation(self, retries=1, backoff=0.05, timeout=None,
                               allow_partial=False, recover=True,
                               enabled=True):
@@ -852,18 +879,13 @@ class ShardedSeda:
         seda = slot.get()  # on_load rewires the global statistics
         if self._wal is not None:
             records, _warning = replay_wal(self._wal.path, repair=False)
-            if records and self._partitioner is None:
-                raise ValueError(
-                    "cannot re-route write-ahead batches without a "
-                    "partitioner; reload with ShardedSeda.load(path, "
-                    "partitioner=...)"
-                )
-            shards = len(self._slots)
+            mutated = False
+            stale_stats = False
             for record in records:
                 if record.get("op") != "add_documents":
                     continue
                 base = record.get("base", 0)
-                if base < self._wal_base_docs:
+                if base < self._shard_doc_bases[index]:
                     # Absorbed by the shard file this slot restores
                     # from (leftover of a crash between manifest commit
                     # and log truncation); re-applying would duplicate.
@@ -872,14 +894,26 @@ class ShardedSeda:
                          for pair in record.get("documents", ())]
                 specs = [ValueLinkSpec.from_dict(payload)
                          for payload in record.get("value_links", ())]
+                # Route by the assignment map, never by partitioner
+                # arithmetic: batches logged under an older routing
+                # epoch (before a split/merge/rebalance) land exactly
+                # where the document table says they live now.
                 routed = [
                     pair for offset, pair in enumerate(pairs)
-                    if self._partitioner(
-                        pair[0], base + offset, shards
-                    ) % shards == index
+                    if base + offset < len(self._docs)
+                    and self._docs[base + offset][1] == index
                 ]
                 if routed or specs:
                     seda.add_documents(routed, value_links=specs or None)
+                    mutated = True
+                else:
+                    # The batch landed entirely on other shards, but it
+                    # still moved the corpus-wide ``df``/``N`` after
+                    # this shard's file was written: the restored
+                    # streams carry scores for the old statistics.
+                    stale_stats = True
+            if stale_stats and not mutated:
+                seda.graph.bump_version()
         self._searchers[index] = None
         self.stats.invalidate()
         self._recovery_epoch += 1
@@ -1000,9 +1034,15 @@ class ShardedSeda:
             # ``base`` (the global document count when the batch was
             # acknowledged) lets single-shard recovery re-run the
             # routing of this batch without replaying the others.
+            # ``epoch`` is diagnostic: replay routes covered batches by
+            # the manifest's assignment map and fresh batches by the
+            # current partitioner, so records written under an older
+            # routing epoch still land correctly after a topology
+            # change (every topology commit covers all live documents).
             self._wal.append({
                 "op": "add_documents",
                 "base": base,
+                "epoch": self._routing_epoch,
                 "documents": [list(pair) for pair in pairs],
                 "value_links": [spec.to_dict() for spec in specs],
             })
@@ -1092,8 +1132,14 @@ class ShardedSeda:
             "partitioner": self._partitioner_name,
             "value_links": [spec.to_dict() for spec in self.value_links],
         }
+        # A full save rewrites every shard file, so every watermark
+        # advances to the full document count; the routing epoch is
+        # carried forward unchanged (it only moves on topology
+        # operations).
         write_sharded_manifest(
-            directory, meta, self._docs, shard_files, generation=generation
+            directory, meta, self._docs, shard_files, generation=generation,
+            routing_epoch=self._routing_epoch,
+            shard_doc_bases=[len(self._docs)] * len(self._slots),
         )
         # Observability history rides alongside the manifest (advisory:
         # written after the commit record, never required to load).  A
@@ -1144,8 +1190,8 @@ class ShardedSeda:
         elif os.path.exists(wal_path):
             WriteAheadLog(wal_path).truncate()
         # Everything on disk now includes every live document; shard
-        # recovery must not re-apply logged batches below this mark.
-        self._wal_base_docs = len(self._docs)
+        # recovery must not re-apply logged batches below these marks.
+        self._shard_doc_bases = [len(self._docs)] * len(self._slots)
         # A saved collection is durable at that directory from here on
         # (the log file itself only appears on the first append).
         self.enable_durability(directory)
@@ -1185,16 +1231,74 @@ class ShardedSeda:
             base = record.get("base")
             if base is not None and base < len(self._docs):
                 # ``base`` is the global document count when the batch
-                # was acknowledged; the restored manifest already counts
-                # past it, so its shard files absorbed this batch (the
-                # crash hit between manifest commit and log truncation).
-                # Replaying it would double-apply.
+                # was acknowledged; the restored manifest already
+                # counts past it, so the *manifest* absorbed this batch
+                # -- but a topology commit rewrites only the affected
+                # shards' files, so an unaffected shard's file may
+                # still predate the batch.  Apply it to exactly those
+                # stale shards, routed by the assignment map.
+                self._apply_covered_batch(record, base)
                 continue
+            # A fresh batch (past the manifest) was necessarily written
+            # under the *current* topology -- every topology operation
+            # commits a manifest covering all live documents -- so the
+            # current partitioner reproduces its routing exactly.
             self._ingest(
                 [tuple(pair) for pair in record.get("documents", ())],
                 tuple(ValueLinkSpec.from_dict(payload)
                       for payload in record.get("value_links", ())),
             )
+
+    def _apply_covered_batch(self, record, base):
+        """Re-apply a manifest-covered batch to shards whose files missed it.
+
+        The manifest's document table already lists the batch's
+        documents (so neither ``self._docs`` nor ``self.value_links``
+        changes here -- the manifest meta carries the merged specs),
+        but any shard whose ``shard_doc_bases`` watermark is at or
+        below ``base`` restored from a file written *before* the batch.
+        Those shards get their missing documents back -- routed by the
+        assignment map, never by partitioner arithmetic, so batches
+        logged under an older routing epoch land exactly where the
+        table says.  A stale shard that receives no documents still
+        saw the corpus-wide ``df``/``N`` move under its persisted
+        streams, so it is version-bumped (deferred slots record the
+        bump for materialization).
+        """
+        pairs = [tuple(pair) for pair in record.get("documents", ())]
+        specs = tuple(ValueLinkSpec.from_dict(payload)
+                      for payload in record.get("value_links", ()))
+        stale = [index for index, mark in enumerate(self._shard_doc_bases)
+                 if base >= mark]
+        if not stale:
+            return
+        routed = {index: [] for index in stale}
+        for offset, pair in enumerate(pairs):
+            row = self._docs[base + offset]
+            if row[1] in routed:
+                routed[row[1]].append((pair, row))
+        for index in stale:
+            slot = self._slots[index]
+            shard_pairs = routed[index]
+            if not shard_pairs and not specs:
+                if slot.loaded:
+                    slot.get().graph.bump_version()
+                else:
+                    slot.pending_bumps += 1
+                continue
+            added = slot.get().add_documents(
+                [pair for pair, _row in shard_pairs],
+                value_links=specs or None,
+            )
+            for document, (pair, row) in zip(added, shard_pairs):
+                if len(document.nodes) != row[2]:
+                    raise SnapshotError(
+                        f"replayed document {pair[0]!r} rebuilt with "
+                        f"{len(document.nodes)} nodes but the manifest "
+                        f"records {row[2]}; write-ahead log and "
+                        f"manifest disagree"
+                    )
+        self.stats.invalidate()
 
     @classmethod
     def load(cls, directory, lazy=True, partitioner=None,
@@ -1260,21 +1364,22 @@ class ShardedSeda:
                 entry = mapping.get(shard_file)
                 if entry is not None:
                     slot.shared_segment = entry[0]
+        # The manifest's per-shard watermarks say which write-ahead
+        # batches each shard file absorbed (a topology commit rewrites
+        # only the affected shards, so the marks can differ per shard);
+        # replay and single-shard recovery both route from them.
         system = cls(
             slots, manifest["documents"],
             meta.get("collection", "collection"), value_links,
             route, partitioner_name,
+            routing_epoch=manifest.get("routing_epoch", 0),
+            shard_doc_bases=manifest.get("shard_doc_bases"),
         )
         obs_payload = read_obs_state(directory)
         if obs_payload is not None:
             from repro.obs.registry import StatsRegistry
 
             system.obs = StatsRegistry.from_dict(obs_payload)
-        # The shard files on disk hold exactly the manifest's documents;
-        # record that mark *before* replay so single-shard recovery
-        # re-applies replayed batches (they live only in memory) while
-        # skipping batches the files already absorbed.
-        system._wal_base_docs = len(system._docs)
         wal_path = sharded_wal_file_name(directory)
         if os.path.exists(wal_path):
             system._replay_wal_records(*replay_wal(wal_path))
@@ -1285,6 +1390,33 @@ class ShardedSeda:
             for slot in slots:
                 slot.get()
         return system
+
+    # -- topology operations --------------------------------------------------
+
+    def split(self, shard_id):
+        """Split shard ``shard_id`` into two; see :func:`.topology.split`."""
+        from repro.shard.topology import split
+
+        return split(self, shard_id)
+
+    def merge(self, a, b):
+        """Merge two shards into one; see :func:`.topology.merge`."""
+        from repro.shard.topology import merge
+
+        return merge(self, a, b)
+
+    def rebalance(self, plan):
+        """Move documents between shards; see :func:`.topology.rebalance`."""
+        from repro.shard.topology import rebalance
+
+        return rebalance(self, plan)
+
+    def propose_rebalance(self, metric="documents"):
+        """Draft a plan equalizing ``metric``; see
+        :func:`.topology.propose_rebalance`."""
+        from repro.shard.topology import propose_rebalance
+
+        return propose_rebalance(self, metric=metric)
 
     def __repr__(self):
         loaded = sum(1 for slot in self._slots if slot.loaded)

@@ -549,7 +549,15 @@ def read_snapshot(path, sidecar=None, repair=True):
 
 
 SHARDED_FORMAT = "seda-sharded-snapshot"
-SHARDED_VERSION = 1
+#: Version 2 adds the manifest-owned routing state: ``routing_epoch``
+#: (bumped by every topology operation -- split/merge/rebalance) and
+#: ``shard_doc_bases`` (per shard, the global document count at the
+#: moment that shard's file was written; write-ahead records with
+#: ``base >= shard_doc_bases[s]`` are *not* absorbed by shard ``s``'s
+#: file and must be replayed onto it).  Version-1 manifests read as
+#: epoch 0 with every base at the full document count.
+SHARDED_VERSION = 2
+SHARDED_SUPPORTED_VERSIONS = (1, 2)
 SHARDED_MANIFEST = "manifest.json"
 
 #: Shard files are named by zero-padded shard index; re-saves into a
@@ -591,18 +599,28 @@ def next_shard_generation(directory):
 
 
 def write_sharded_manifest(directory, meta, documents, shard_files,
-                           generation=0):
+                           generation=0, routing_epoch=0,
+                           shard_doc_bases=None):
     """Write a sharded snapshot's ``manifest.json`` atomically.
 
     ``documents`` is the global-order ``[name, shard_index,
-    node_count]`` table; ``shard_files`` the per-shard file names
-    (relative to ``directory``).  Callers write the shard files
-    *first*: the manifest is the commit record.
+    node_count]`` table -- the explicit document->shard assignment map
+    routing works from; ``shard_files`` the per-shard file names
+    (relative to ``directory``).  ``routing_epoch`` is bumped by every
+    topology operation; ``shard_doc_bases`` records, per shard, the
+    global document count when that shard's file was written (defaults
+    to the full count: a plain save absorbs everything everywhere).
+    Callers write the shard files *first*: the manifest is the commit
+    record.
     """
+    if shard_doc_bases is None:
+        shard_doc_bases = [len(documents)] * len(shard_files)
     manifest = {
         "format": SHARDED_FORMAT,
         "version": SHARDED_VERSION,
         "generation": generation,
+        "routing_epoch": int(routing_epoch),
+        "shard_doc_bases": [int(base) for base in shard_doc_bases],
         "meta": meta,
         "documents": [list(row) for row in documents],
         "shard_files": list(shard_files),
@@ -642,10 +660,11 @@ def read_sharded_manifest(directory):
             f"{path}: not a {SHARDED_FORMAT} manifest "
             f"(format={manifest.get('format') if isinstance(manifest, dict) else None!r})"
         )
-    if manifest.get("version") != SHARDED_VERSION:
+    if manifest.get("version") not in SHARDED_SUPPORTED_VERSIONS:
         raise SnapshotError(
             f"{path}: unsupported sharded snapshot version "
-            f"{manifest.get('version')!r} (supported: {SHARDED_VERSION})"
+            f"{manifest.get('version')!r} "
+            f"(supported: {list(SHARDED_SUPPORTED_VERSIONS)})"
         )
     for name in ("documents", "shard_files"):
         if not isinstance(manifest.get(name), list):
@@ -661,6 +680,29 @@ def read_sharded_manifest(directory):
                 f"{path}: malformed document row {row!r} "
                 f"(need [name, shard_index < {shard_count}, node_count])"
             )
+    # Normalize the version-2 routing state so every reader sees it: a
+    # version-1 manifest predates topology operations, so its epoch is
+    # 0 and every shard file absorbed the whole document table.
+    document_count = len(manifest["documents"])
+    epoch = manifest.setdefault("routing_epoch", 0)
+    if not (isinstance(epoch, int) and epoch >= 0):
+        raise SnapshotError(
+            f"{path}: malformed routing_epoch {epoch!r} (need int >= 0)"
+        )
+    bases = manifest.setdefault(
+        "shard_doc_bases", [document_count] * shard_count
+    )
+    if not (
+        isinstance(bases, list) and len(bases) == shard_count
+        and all(
+            isinstance(base, int) and 0 <= base <= document_count
+            for base in bases
+        )
+    ):
+        raise SnapshotError(
+            f"{path}: malformed shard_doc_bases {bases!r} (need "
+            f"{shard_count} ints in [0, {document_count}])"
+        )
     missing = [
         shard_file for shard_file in manifest["shard_files"]
         if not os.path.exists(os.path.join(directory, shard_file))
@@ -743,6 +785,8 @@ def sharded_snapshot_info(directory):
         "documents": len(documents),
         "nodes": sum(per_shard_nodes),
         "total_bytes": total,
+        "routing_epoch": manifest.get("routing_epoch", 0),
+        "generation": manifest.get("generation", 0),
     }
 
 
@@ -760,9 +804,13 @@ def _verify_snapshot_file(path, problems, warnings, checked, label=None):
     """Fold one snapshot file's health into an fsck report's lists.
 
     Reads with ``repair=False`` (fsck never modifies anything) and
-    returns the staged sidecar path when the file's save was
-    interrupted mid-commit -- that ``.tmp`` is load-bearing (a normal
-    load completes its rename) and must not be reported as deletable.
+    returns ``(staged, documents)``: ``staged`` is the staged sidecar
+    path when the file's save was interrupted mid-commit -- that
+    ``.tmp`` is load-bearing (a normal load completes its rename) and
+    must not be reported as deletable -- and ``documents`` is the
+    file's ``(name, node_count)`` list (the sharded fsck checks it
+    against the manifest's assignment map), or ``None`` when the file
+    could not be read.
     """
     import warnings as warnmod
 
@@ -782,10 +830,10 @@ def _verify_snapshot_file(path, problems, warnings, checked, label=None):
             _meta, records = read_snapshot(path, repair=False)
     except FileNotFoundError:
         problems.append(f"{label}: snapshot file is missing")
-        return None
+        return None, None
     except SnapshotError as error:
         problems.append(str(error))
-        return None
+        return None, None
     staged = None
     for entry in caught:
         if issubclass(entry.category, RuntimeWarning):
@@ -798,7 +846,11 @@ def _verify_snapshot_file(path, problems, warnings, checked, label=None):
     checked[label]["records"] = sorted(
         name for name in records if name != SIDECAR_KEY
     )
-    return staged
+    documents = [
+        (record["name"], len(record["parents"]))
+        for record in records["collection"]["documents"]
+    ]
+    return staged, documents
 
 
 def _verify_wal_file(path, problems, warnings, checked):
@@ -816,6 +868,73 @@ def _verify_wal_file(path, problems, warnings, checked):
             f"{report['torn_tail']} -- the interrupted append was never "
             f"acknowledged; replay (Seda.load) repairs this automatically"
         )
+
+
+def _verify_shard_assignment(directory, manifest, shard_documents,
+                             problems):
+    """Check the manifest's assignment map against the shard files.
+
+    The manifest's document table assigns every document to exactly one
+    shard.  Each shard file must hold exactly the documents assigned to
+    it whose global index is below that shard's ``shard_doc_bases``
+    watermark (in global order, with matching node counts); documents
+    at or above a shard's watermark are not in its file yet and must be
+    covered by a write-ahead record, or they would be silently lost on
+    load.  ``shard_documents`` is the per-shard ``(name, node_count)``
+    list from :func:`_verify_snapshot_file` (``None`` for unreadable
+    files, which already reported their own problem).
+    """
+    from repro.storage.wal import sharded_wal_file_name
+
+    rows = manifest["documents"]
+    bases = manifest["shard_doc_bases"]
+    expected = [[] for _ in manifest["shard_files"]]
+    unabsorbed = []
+    for global_index, (name, shard, node_count) in enumerate(rows):
+        if global_index < bases[shard]:
+            expected[shard].append((name, node_count))
+        else:
+            unabsorbed.append(global_index)
+    for shard, documents in enumerate(shard_documents):
+        if documents is None:
+            continue  # unreadable file: already a problem of its own
+        if documents == expected[shard]:
+            continue
+        label = os.path.join(directory, manifest["shard_files"][shard])
+        extra = [name for name, _count in documents
+                 if (name, _count) not in set(expected[shard])]
+        missing = [name for name, _count in expected[shard]
+                   if (name, _count) not in set(documents)]
+        problems.append(
+            f"{label}: shard file disagrees with the manifest's "
+            f"assignment map (expected {len(expected[shard])} documents, "
+            f"found {len(documents)}; missing {missing[:3]!r}, "
+            f"unassigned extras {extra[:3]!r})"
+        )
+    if unabsorbed:
+        covered = set()
+        try:
+            from repro.storage.wal import replay_wal
+
+            records, _warning = replay_wal(
+                sharded_wal_file_name(directory), repair=False
+            )
+        except Exception:  # noqa: BLE001 - WAL check reports separately
+            records = []
+        for record in records:
+            base = record.get("base", 0)
+            covered.update(
+                range(base, base + len(record.get("documents", ())))
+            )
+        lost = [index for index in unabsorbed if index not in covered]
+        if lost:
+            names = [rows[index][0] for index in lost[:3]]
+            problems.append(
+                f"{directory}: {len(lost)} document(s) past their "
+                f"shard's absorption watermark are not covered by any "
+                f"write-ahead record (first: {names!r}) -- they would "
+                f"be lost on load"
+            )
 
 
 def _stale_tmp_files(paths):
@@ -851,20 +970,26 @@ def fsck_report(path):
         if manifest is not None:
             checked[os.path.join(path, SHARDED_MANIFEST)] = {
                 "generation": manifest.get("generation", 0),
+                "routing_epoch": manifest.get("routing_epoch", 0),
                 "shards": len(manifest["shard_files"]),
                 "documents": len(manifest["documents"]),
             }
             listed = set()
             protected = set()
+            shard_documents = []
             for shard_file in manifest["shard_files"]:
                 shard_path = os.path.join(path, shard_file)
                 listed.update((shard_file, f"{shard_file}.cols"))
-                staged = _verify_snapshot_file(
+                staged, documents = _verify_snapshot_file(
                     shard_path, problems, warnings, checked,
                     label=shard_path,
                 )
+                shard_documents.append(documents)
                 if staged is not None:
                     protected.add(os.path.basename(staged))
+            _verify_shard_assignment(
+                path, manifest, shard_documents, problems
+            )
             for name in sorted(os.listdir(path)):
                 if name in protected:
                     continue  # load-bearing staged sidecar, warned above
@@ -887,7 +1012,9 @@ def fsck_report(path):
         )
     else:
         kind = "snapshot"
-        staged = _verify_snapshot_file(path, problems, warnings, checked)
+        staged, _documents = _verify_snapshot_file(
+            path, problems, warnings, checked
+        )
         _verify_wal_file(wal_file_name(path), problems, warnings, checked)
         for stale in _stale_tmp_files(
             (path, sidecar_file_name(path), wal_file_name(path))

@@ -166,7 +166,9 @@ class TestAdmissionController:
         control.begin_drain()
         decision = control.admit("b")
         assert not decision and decision.reason == REJECT_DRAINING
-        assert decision.retry_after is None
+        # Draining is a transient condition like saturation: the
+        # rejection carries the backoff hint too.
+        assert decision.retry_after == control.retry_after
         assert not control.wait_idle(timeout=0.05)   # still one in flight
         control.release("a")
         assert control.wait_idle(timeout=5)
@@ -186,6 +188,32 @@ class TestAdmissionController:
             AdmissionController(max_inflight=0)
         with pytest.raises(ValueError):
             AdmissionController(per_client=0)
+
+    def test_unpaired_release_clamps_at_zero(self):
+        # Regression: a buggy caller releasing without a matching
+        # admit used to drive ``inflight`` negative, silently widening
+        # the admission window (and wedging ``wait_idle`` semantics).
+        control = AdmissionController(max_inflight=2, per_client=2)
+        control.release("ghost")
+        counters = control.counters()
+        assert counters["inflight"] == 0
+        assert counters["unpaired_release"] == 1
+
+        assert control.admit("a")
+        control.release("a")
+        control.release("a")            # second release is unpaired
+        counters = control.counters()
+        assert counters["inflight"] == 0
+        assert counters["unpaired_release"] == 2
+
+        # The window did not widen: capacity is still exactly 2.
+        assert control.admit("x")
+        assert control.admit("y")
+        assert not control.admit("z")
+        assert control.wait_idle(timeout=0) is False
+        control.release("x")
+        control.release("y")
+        assert control.wait_idle(timeout=5)
 
 
 # -- the socket-free protocol surface ----------------------------------------------
@@ -219,6 +247,11 @@ class TestServingAppProtocol:
         response = app.handle("POST", "/search", body={"query": QUERY})
         assert response.status == 503
         assert response.payload["reason"] == REJECT_DRAINING
+        # Like the 429s, the 503 tells clients when to come back.
+        assert response.headers["Retry-After"] == str(
+            app.admission.retry_after
+        )
+        assert response.payload["retry_after"] == app.admission.retry_after
         # Monitoring still answers.
         assert app.handle("GET", "/healthz").status == 200
 
@@ -507,6 +540,20 @@ class TestAdmissionOverHttp:
         rejected = server.app.admission.counters()["rejected"]
         assert rejected[REJECT_CLIENT_LIMIT] == 1
         assert rejected[REJECT_SATURATED] == 1
+
+    def test_draining_503_carries_retry_after(self, debug_server):
+        # A client hitting a draining server gets the same machine-
+        # readable backoff as a saturated one -- over the real socket,
+        # surfaced on ServerError by ServingClient.
+        server = debug_server
+        server.app.admission.begin_drain()
+        with ServingClient(server.host, server.port) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.search(QUERY)
+        assert excinfo.value.status == 503
+        assert excinfo.value.payload["reason"] == REJECT_DRAINING
+        assert excinfo.value.retry_after == 3.0
+        assert excinfo.value.payload["retry_after"] == 3
 
 
 # -- the CLI subprocess ------------------------------------------------------------

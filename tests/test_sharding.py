@@ -417,6 +417,39 @@ class TestShardedSnapshots:
         rerouted.add_documents([("kilo", "<r><a>red</a></r>")])
         assert rerouted.document_count == len(DOCS) + 1
 
+    def test_round_robin_ingest_after_load_matches_single_process(
+        self, tmp_path
+    ):
+        # Regression: round-robin routes by *global index*, so a
+        # restored system must keep counting from the persisted corpus
+        # size -- ingest-after-load has to land every document on the
+        # same shard as one uninterrupted build.
+        extra = [
+            ("kilo", "<r><a>red green</a></r>"),
+            ("lima", "<r><b>blue</b><c>red</c></r>"),
+            ("mike", "<r><c>green green</c></r>"),
+        ]
+        target = tmp_path / "rr.shards"
+        ShardedSeda.from_documents(
+            DOCS, shards=3, parallel=False, partitioner="round-robin"
+        ).save(str(target))
+        restored = ShardedSeda.load(str(target))
+        restored.add_documents(extra)
+
+        oneshot = ShardedSeda.from_documents(
+            DOCS + extra, shards=3, parallel=False,
+            partitioner="round-robin",
+        )
+        assert (
+            [row[1] for row in restored._docs]
+            == [row[1] for row in oneshot._docs]
+        )
+        baseline = Seda.from_documents(DOCS + extra)
+        for pairs in QUERIES:
+            assert restored.search(pairs, k=10) == (
+                baseline.topk.search(Query.parse(pairs), k=10)
+            )
+
 
 class TestShardedService:
     def test_batch_matches_single_queries(self, sharded):
